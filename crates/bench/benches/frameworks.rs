@@ -1,0 +1,72 @@
+//! End-to-end engine benchmarks: wall-clock cost of simulating one full
+//! job per framework on a 4 MB click stream. This measures the *harness*
+//! (how fast OPA replays the paper's experiments), complementing the
+//! virtual-time numbers the `repro` binary reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opa_common::units::MB;
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::JobBuilder;
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::sessionize::SessionizeJob;
+use opa_workloads::ClickCountJob;
+
+fn bench_frameworks(c: &mut Criterion) {
+    let spec = ClickStreamSpec::paper_scaled(4 * MB);
+    let input = spec.generate(5);
+    let mut g = c.benchmark_group("engine_end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(input.total_bytes()));
+
+    for fw in Framework::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("sessionization", fw.label()),
+            &input,
+            |b, input| {
+                let job = SessionizeJob {
+                    gap_secs: 300,
+                    slack_secs: 600,
+                    state_capacity: 512,
+                    charge_fixed_footprint: true,
+                    expected_users: spec.users as u64,
+                };
+                b.iter(|| {
+                    JobBuilder::new(job.clone())
+                        .framework(fw)
+                        .cluster(ClusterSpec::paper_scaled())
+                        .run(input)
+                        .expect("job runs")
+                        .metrics
+                        .output_records
+                })
+            },
+        );
+    }
+
+    let cspec = ClickStreamSpec::counting_scaled(4 * MB);
+    let cinput = cspec.generate(6);
+    for fw in [Framework::SortMerge, Framework::IncHash] {
+        g.bench_with_input(
+            BenchmarkId::new("click_count", fw.label()),
+            &cinput,
+            |b, input| {
+                b.iter(|| {
+                    JobBuilder::new(ClickCountJob {
+                        expected_users: cspec.users as u64,
+                    })
+                    .framework(fw)
+                    .cluster(ClusterSpec::paper_scaled())
+                    .km_hint(0.05)
+                    .run(input)
+                    .expect("job runs")
+                    .metrics
+                    .output_records
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the platform's building blocks.
+//!
+//! The headline comparison is the paper's core claim in miniature:
+//! collecting map output by **sorting** (the Hadoop baseline) versus by
+//! **hashing** (the OPA frameworks) — the hash path should win clearly.
+//! The rest measure the hot inner loops: FREQUENT offers, bucket-manager
+//! pushes, the universal hash family, and the closed-form model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opa_common::rng::SplitMix64;
+use opa_common::{HashFamily, Key, Pair, Value};
+use opa_freq::MisraGries;
+use opa_model::lambda::lambda_f;
+use opa_simio::BucketManager;
+use std::collections::HashMap;
+
+fn make_pairs(n: usize, keys: u64) -> Vec<Pair> {
+    let mut rng = SplitMix64::new(7);
+    (0..n)
+        .map(|_| {
+            Pair::new(
+                Key::from_u64(rng.next_below(keys)),
+                Value::from_u64(1),
+            )
+        })
+        .collect()
+}
+
+/// Sort-based vs hash-based map-output collection (the §4 argument).
+fn bench_collect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("map_output_collect");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let pairs = make_pairs(n, n as u64 / 10);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sort", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut v = pairs.clone();
+                v.sort_by(|a, b| a.key.cmp(&b.key));
+                black_box(v.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut table: HashMap<&Key, u64> = HashMap::with_capacity(pairs.len());
+                for p in pairs {
+                    *table.entry(&p.key).or_default() += 1;
+                }
+                black_box(table.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// FREQUENT monitor throughput across slot counts.
+fn bench_misra_gries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("misra_gries_offer");
+    let stream: Vec<u64> = {
+        let mut rng = SplitMix64::new(3);
+        (0..100_000).map(|_| rng.next_below(5_000)).collect()
+    };
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for &s in &[64usize, 1024, 16_384] {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &stream, |b, stream| {
+            b.iter(|| {
+                let mut mg: MisraGries<u64, u64> = MisraGries::new(s);
+                for &k in stream {
+                    let _ = mg.offer(k, 1, |_, a, b| *a += b);
+                }
+                black_box(mg.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Bucket-manager staging throughput.
+fn bench_bucket_manager(c: &mut Criterion) {
+    let pairs = make_pairs(50_000, 5_000);
+    let fam = HashFamily::new(1);
+    let h3 = fam.fn_at(2);
+    let mut g = c.benchmark_group("bucket_manager");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    for &h in &[4usize, 32] {
+        g.bench_with_input(BenchmarkId::new("push", h), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut m = BucketManager::new(h, 8 * 1024);
+                for p in pairs {
+                    let _ = m.push(h3.bucket(p.key.bytes(), h), p.clone());
+                }
+                black_box(m.seal().written)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Universal hash family throughput on short keys.
+fn bench_hash_family(c: &mut Criterion) {
+    let h = HashFamily::new(9).fn_at(0);
+    let keys: Vec<[u8; 8]> = (0..10_000u64).map(|k| k.to_be_bytes()).collect();
+    let mut g = c.benchmark_group("hash_family");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("hash_8B_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc ^= h.hash(k);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Closed-form model evaluation (used inside grid searches).
+fn bench_lambda(c: &mut Criterion) {
+    c.bench_function("lambda_f_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..200 {
+                acc += lambda_f(black_box(n as f64), 1024.0, 10);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_collect,
+    bench_misra_gries,
+    bench_bucket_manager,
+    bench_hash_family,
+    bench_lambda
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! One module per paper artifact, plus shared runners.
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig4;
+pub mod fig7;
+pub mod modelcheck;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+use crate::ExpConfig;
+use opa_common::units::{GB, KB};
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::{JobBuilder, JobInput, JobOutcome};
+use opa_core::metrics::JobMetrics;
+use opa_model::optimizer::recommended_merge_factor;
+use opa_workloads::clickstream::{ClickStreamSpec, StreamStats};
+use opa_workloads::documents::DocumentSpec;
+use opa_workloads::sessionize::SessionizeJob;
+
+/// Paper sizes (full scale, bytes) for the evaluation datasets.
+pub const WORLDCUP_TABLE1: u64 = 256 * GB;
+/// §6 evaluation click stream: 236 GB.
+pub const WORLDCUP_EVAL: u64 = 236 * GB;
+/// Page-frequency input: 508 GB.
+pub const PAGEFREQ_INPUT: u64 = 508 * GB;
+/// GOV2 sample: 156 GB. The trigram run uses half of it by default (the
+/// map output is ~5× the input at any scale; halving keeps the single-core
+/// harness run in seconds while preserving the states ≫ memory regime).
+pub const GOV2_INPUT: u64 = 156 * GB;
+/// §3.2 model-validation workload: 97 GB.
+pub const FIG4_INPUT: u64 = 97 * GB;
+/// §3.2 "optimized Hadoop" rerun: 240 GB.
+pub const FIG4C_INPUT: u64 = 240 * GB;
+
+/// A generated click stream together with what the harness needs to size
+/// jobs honestly (the Zipf sampler touches far fewer users than the pool).
+#[derive(Debug, Clone)]
+pub struct StreamInfo {
+    /// Generator parameters used.
+    pub spec: ClickStreamSpec,
+    /// Measured stream statistics.
+    pub stats: StreamStats,
+}
+
+/// Generates the sessionization-regime click stream at `bytes`.
+pub fn session_input(cfg: &ExpConfig, full_bytes: u64) -> (JobInput, StreamInfo) {
+    let spec = ClickStreamSpec::paper_scaled(cfg.size(full_bytes));
+    let (input, stats) = spec.generate_with_stats(cfg.seed);
+    (input, StreamInfo { spec, stats })
+}
+
+/// Generates the counting-regime click stream at `bytes`.
+pub fn counting_input(cfg: &ExpConfig, full_bytes: u64) -> (JobInput, StreamInfo) {
+    let spec = ClickStreamSpec::counting_scaled(cfg.size(full_bytes));
+    let (input, stats) = spec.generate_with_stats(cfg.seed);
+    (input, StreamInfo { spec, stats })
+}
+
+/// Generates the GOV2-style corpus.
+pub fn document_input(cfg: &ExpConfig, full_bytes: u64) -> (JobInput, DocumentSpec) {
+    let spec = DocumentSpec::paper_scaled(cfg.size(full_bytes));
+    let input = spec.generate(cfg.seed);
+    (input, spec)
+}
+
+/// The paper's sessionization job at a given state capacity.
+pub fn session_job(info: &StreamInfo, state_capacity: usize) -> SessionizeJob {
+    SessionizeJob {
+        gap_secs: 300,
+        // The reducer-side disorder is dominated by the map wave span
+        // (N × map_slots chunks ≈ 270 s of event time at this scale).
+        slack_secs: 400,
+        state_capacity,
+        charge_fixed_footprint: true,
+        expected_users: info.stats.distinct_users,
+    }
+}
+
+/// Stock Hadoop configuration at the experiment's data scale
+/// (C = 64 MB/scale, F = 10, R = 4).
+pub fn stock_cluster(cfg: &ExpConfig) -> ClusterSpec {
+    ClusterSpec::paper_scaled_at(cfg.scale)
+}
+
+/// Model-optimized "1-pass SM" configuration: merge factor raised to the
+/// one-pass point for the given workload (§3.2), with 4× headroom so even
+/// reducers inflated by key skew (hot users concentrate on one partition)
+/// stay single-pass.
+pub fn one_pass_cluster(cfg: &ExpConfig, input_bytes: u64, km: f64) -> ClusterSpec {
+    let mut spec = stock_cluster(cfg);
+    let workload = opa_common::WorkloadSpec::new(input_bytes, km, 1.0);
+    let one_pass = recommended_merge_factor(
+        &workload,
+        &spec.hardware,
+        spec.system.reducers_per_node,
+    );
+    spec.system.merge_factor = (one_pass * 4).max(10);
+    spec
+}
+
+/// Runs one job and prints a one-line summary.
+pub fn run_job(
+    label: &str,
+    job: impl opa_core::api::Job + 'static,
+    framework: Framework,
+    cluster: ClusterSpec,
+    input: &JobInput,
+    km_hint: f64,
+) -> JobOutcome {
+    let wall = std::time::Instant::now();
+    let outcome = JobBuilder::new(job)
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km_hint)
+        .run(input)
+        .expect("experiment job must run");
+    eprintln!(
+        "  [{label}] virtual {:.0}s, wall {:.1?}",
+        outcome.metrics.running_time.as_secs_f64(),
+        wall.elapsed()
+    );
+    outcome
+}
+
+/// Formats run bytes as paper-scale gigabytes.
+pub fn gb(cfg: &ExpConfig, run_bytes: u64) -> String {
+    format!("{:.1}", cfg.to_paper_gb(run_bytes))
+}
+
+/// Formats a virtual time in seconds.
+pub fn secs(m: &JobMetrics) -> String {
+    format!("{:.0}", m.running_time.as_secs_f64())
+}
+
+/// Small-buffer variant of the fig-4 cluster (the paper's §3.2 setup used
+/// B_r = 260 MB).
+pub fn fig4_cluster(cfg: &ExpConfig, chunk_kb: u64, merge_factor: usize) -> ClusterSpec {
+    let mut spec = stock_cluster(cfg);
+    spec.system.chunk_size = chunk_kb * KB * 1024 / cfg.scale;
+    spec.system.merge_factor = merge_factor;
+    spec.hardware.reduce_buffer = 260 * opa_common::units::MB / cfg.scale;
+    spec
+}

@@ -1,0 +1,149 @@
+//! Table 3 — optimized Hadoop (1-pass SM) vs MR-hash vs INC-hash across
+//! sessionization, user click counting, and frequent user identification:
+//! running time, per-node map/reduce CPU time, shuffle volume, reduce
+//! spill.
+
+use super::*;
+use crate::report::Table;
+use crate::ExpConfig;
+use opa_core::metrics::JobMetrics;
+use opa_workloads::{ClickCountJob, FrequentUsersJob};
+
+/// Paper reference values per workload:
+/// (running time, map CPU/node, reduce CPU/node, shuffle GB, spill GB)
+/// for (1-pass SM, MR-hash, INC-hash).
+const PAPER: [(&str, [[f64; 5]; 3]); 3] = [
+    (
+        "sessionization",
+        [
+            [4424.0, 936.0, 1104.0, 245.0, 250.0],
+            [3577.0, 566.0, 1033.0, 245.0, 256.0],
+            [2258.0, 571.0, 565.0, 245.0, 51.0],
+        ],
+    ),
+    (
+        "user click counting",
+        [
+            [1430.0, 853.0, 39.0, 2.5, 1.1],
+            [1100.0, 444.0, 41.0, 2.5, 0.0],
+            [1113.0, 443.0, 35.0, 2.5, 0.0],
+        ],
+    ),
+    (
+        "frequent user identification",
+        [
+            [1435.0, 855.0, 38.0, 2.5, 1.1],
+            [1153.0, 442.0, 38.0, 2.5, 0.0],
+            [1135.0, 441.0, 34.0, 2.5, 0.0],
+        ],
+    ),
+];
+
+const FRAMEWORKS: [Framework; 3] = [Framework::SortMerge, Framework::MrHash, Framework::IncHash];
+
+fn metrics_cells(cfg: &ExpConfig, m: &JobMetrics) -> [String; 5] {
+    [
+        format!("{:.0}", m.running_time.as_secs_f64()),
+        format!("{:.0}", m.map_cpu_per_node.as_secs_f64()),
+        format!("{:.0}", m.reduce_cpu_per_node.as_secs_f64()),
+        gb(cfg, m.map_output_bytes),
+        gb(cfg, m.reduce_spill_bytes),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) {
+    println!("== Table 3: 1-pass SM vs MR-hash vs INC-hash ==\n");
+    let mut table = Table::new([
+        "workload",
+        "framework",
+        "time s (paper/OPA)",
+        "map cpu (paper/OPA)",
+        "red cpu (paper/OPA)",
+        "shuffle GB (paper/OPA)",
+        "spill GB (paper/OPA)",
+    ]);
+
+    for (wi, (wname, paper)) in PAPER.iter().enumerate() {
+        let outcomes: Vec<JobMetrics> = match wi {
+            0 => {
+                let (input, info) = session_input(cfg, WORLDCUP_EVAL);
+                let cluster = one_pass_cluster(cfg, input.total_bytes(), 1.0);
+                FRAMEWORKS
+                    .iter()
+                    .map(|&fw| {
+                        run_job(
+                            &format!("table3/sessionization/{}", fw.label()),
+                            session_job(&info, 512),
+                            fw,
+                            cluster,
+                            &input,
+                            1.0,
+                        )
+                        .metrics
+                    })
+                    .collect()
+            }
+            1 => {
+                let (input, info) = counting_input(cfg, WORLDCUP_EVAL);
+                let cluster = one_pass_cluster(cfg, input.total_bytes(), 0.05);
+                FRAMEWORKS
+                    .iter()
+                    .map(|&fw| {
+                        run_job(
+                            &format!("table3/click-counting/{}", fw.label()),
+                            ClickCountJob {
+                                expected_users: info.stats.distinct_users,
+                            },
+                            fw,
+                            cluster,
+                            &input,
+                            0.05,
+                        )
+                        .metrics
+                    })
+                    .collect()
+            }
+            _ => {
+                let (input, info) = counting_input(cfg, WORLDCUP_EVAL);
+                let cluster = one_pass_cluster(cfg, input.total_bytes(), 0.05);
+                FRAMEWORKS
+                    .iter()
+                    .map(|&fw| {
+                        run_job(
+                            &format!("table3/frequent-users/{}", fw.label()),
+                            FrequentUsersJob {
+                                threshold: 50,
+                                expected_users: info.stats.distinct_users,
+                            },
+                            fw,
+                            cluster,
+                            &input,
+                            0.05,
+                        )
+                        .metrics
+                    })
+                    .collect()
+            }
+        };
+
+        for (fi, m) in outcomes.iter().enumerate() {
+            let p = paper[fi];
+            let c = metrics_cells(cfg, m);
+            table.row([
+                wname.to_string(),
+                FRAMEWORKS[fi].label().to_string(),
+                format!("{:.0} / {}", p[0], c[0]),
+                format!("{:.0} / {}", p[1], c[1]),
+                format!("{:.0} / {}", p[2], c[2]),
+                format!("{:.1} / {}", p[3], c[3]),
+                format!("{:.1} / {}", p[4], c[4]),
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    let path = cfg.outdir.join("table3.csv");
+    table.write_csv(&path).expect("write table3.csv");
+    println!("wrote {}\n", path.display());
+}

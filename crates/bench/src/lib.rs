@@ -1,0 +1,67 @@
+//! # opa-bench
+//!
+//! The reproduction harness: one experiment module per table and figure of
+//! the paper's evaluation, all reachable through the `repro` binary:
+//!
+//! ```text
+//! cargo run -p opa-bench --release --bin repro -- all
+//! cargo run -p opa-bench --release --bin repro -- table3 fig7a
+//! cargo run -p opa-bench --release --bin repro -- --quick all
+//! ```
+//!
+//! Every experiment prints the paper's reference numbers next to the
+//! numbers measured on the OPA engine (absolute values are *scaled*:
+//! data sizes by 1/1024, times by the calibrated cost model — the
+//! comparison is about shape: who wins, by what factor, where curves
+//! diverge) and writes CSV series into `results/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+use std::path::PathBuf;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Data scale denominator relative to the paper (default 1024:
+    /// 256 GB → 256 MB).
+    pub scale: u64,
+    /// Output directory for CSV artifacts.
+    pub outdir: PathBuf,
+    /// Quick mode: shrink inputs a further 8× for smoke runs.
+    pub quick: bool,
+    /// Master seed for all generators.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 1024,
+            outdir: PathBuf::from("results"),
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Scales a paper-reported size (in bytes at full scale) to this
+    /// configuration's run size.
+    pub fn size(&self, full_scale_bytes: u64) -> u64 {
+        let scaled = full_scale_bytes / self.scale;
+        if self.quick {
+            scaled / 8
+        } else {
+            scaled
+        }
+    }
+
+    /// Scale factor from run bytes back to paper-comparable gigabytes.
+    pub fn to_paper_gb(&self, run_bytes: u64) -> f64 {
+        (run_bytes * self.scale) as f64 / (1u64 << 30) as f64
+    }
+}

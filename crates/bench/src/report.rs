@@ -1,0 +1,198 @@
+//! Aligned-table printing and CSV emission for the repro harness.
+
+use opa_core::progress::ProgressCurve;
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Display>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one or more labelled progress curves as a long-format CSV:
+/// `series,t_secs,map_pct,reduce_pct`.
+pub fn write_progress_csv(
+    path: &Path,
+    curves: &[(&str, &ProgressCurve)],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "series,t_secs,map_pct,reduce_pct")?;
+    for (label, curve) in curves {
+        for p in &curve.points {
+            writeln!(
+                f,
+                "{label},{:.1},{:.2},{:.2}",
+                p.t.as_secs_f64(),
+                p.map_pct,
+                p.reduce_pct
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders a compact ASCII plot of progress curves: one row per series per
+/// metric, sampled at fixed columns.
+pub fn ascii_progress(curves: &[(&str, &ProgressCurve)], cols: usize) -> String {
+    let end = curves
+        .iter()
+        .map(|(_, c)| c.end_time().as_secs_f64())
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "progress 0s → {end:.0}s ({cols} columns; each char = {:.0}s)\n",
+        end / cols as f64
+    ));
+    for (label, curve) in curves {
+        for (kind, pick) in [
+            ("map", true),
+            ("red", false),
+        ] {
+            let mut line = String::with_capacity(cols);
+            for c in 0..cols {
+                let t = end * (c as f64 + 0.5) / cols as f64;
+                let pct = curve
+                    .points
+                    .iter()
+                    .take_while(|p| p.t.as_secs_f64() <= t)
+                    .last()
+                    .map(|p| if pick { p.map_pct } else { p.reduce_pct })
+                    .unwrap_or(0.0);
+                line.push(gauge_char(pct));
+            }
+            out.push_str(&format!("{label:>14} {kind} |{line}|\n"));
+        }
+    }
+    out
+}
+
+fn gauge_char(pct: f64) -> char {
+    match pct {
+        p if p >= 99.5 => '#',
+        p if p >= 87.5 => '8',
+        p if p >= 75.0 => '7',
+        p if p >= 62.5 => '6',
+        p if p >= 50.0 => '5',
+        p if p >= 37.5 => '4',
+        p if p >= 25.0 => '3',
+        p if p >= 12.5 => '2',
+        p if p >= 1.0 => '1',
+        _ => '.',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["running time", "4860 s"]);
+        t.row(["spill", "370 GB"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("metric"));
+        assert!(lines[2].contains("4860"));
+        // Columns align: "value" column starts at the same offset.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find("4860"), Some(off));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("opa-bench-test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gauge_is_monotone() {
+        let chars: Vec<char> = [0.0, 5.0, 20.0, 30.0, 45.0, 55.0, 70.0, 80.0, 90.0, 100.0]
+            .iter()
+            .map(|&p| gauge_char(p))
+            .collect();
+        assert_eq!(chars.first(), Some(&'.'));
+        assert_eq!(chars.last(), Some(&'#'));
+        assert_eq!(chars.len(), 10);
+    }
+}

@@ -1,0 +1,109 @@
+//! Tiny dependency-free argument parsing for the `opa` binary.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand path, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments in order (subcommands first).
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    /// An option consumes the next argument as its value unless that
+    /// argument starts with `--`, in which case it is a bare flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = iter.next().expect("peeked");
+                        args.options.insert(name.to_string(), v);
+                    }
+                    _ => args.flags.push(name.to_string()),
+                }
+            } else {
+                args.positional.push(a);
+            }
+        }
+        args
+    }
+
+    /// Looks up an option, parsed.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.options.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Looks up an option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Parses a human byte size: `1024`, `64K`, `16M`, `2G` (binary units).
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.trim().parse::<u64>().ok().map(|n| n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_options_separate() {
+        let a = parse(&["run", "sessionize", "--framework", "inc-hash", "--verbose"]);
+        assert_eq!(a.positional, vec!["run", "sessionize"]);
+        assert_eq!(a.options.get("framework").map(String::as_str), Some("inc-hash"));
+        assert!(a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn option_followed_by_option_is_flag() {
+        let a = parse(&["--quick", "--seed", "7"]);
+        assert!(a.has_flag("quick"));
+        assert_eq!(a.get::<u64>("seed"), Some(7));
+    }
+
+    #[test]
+    fn typed_getters() {
+        let a = parse(&["--n", "42", "--x", "not-a-number"]);
+        assert_eq!(a.get::<u64>("n"), Some(42));
+        assert_eq!(a.get::<u64>("x"), None);
+        assert_eq!(a.get_or("missing", 9u64), 9);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("64K"), Some(64 << 10));
+        assert_eq!(parse_bytes("16M"), Some(16 << 20));
+        assert_eq!(parse_bytes("2G"), Some(2 << 30));
+        assert_eq!(parse_bytes("2 g"), Some(2 << 30));
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+}

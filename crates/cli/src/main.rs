@@ -1,0 +1,279 @@
+//! `opa` — command-line interface for the One-Pass Analytics platform.
+//!
+//! ```text
+//! opa generate clickstream --bytes 16M --preset sessionization --seed 42 --out clicks.log
+//! opa generate documents   --bytes 8M  --out docs.txt
+//! opa run sessionize  --input clicks.log --framework dinc-hash --state 2048
+//! opa run click-count --input clicks.log --framework inc-hash
+//! opa run trigrams    --input docs.txt   --framework inc-hash --threshold 1000
+//! opa model --d 97G --km 1.0 --chunk-mb 64 --merge-factor 10
+//! ```
+//!
+//! `run` prints the job's Table-3-style metrics; `--progress-csv PATH`
+//! additionally writes the Definition-1 progress curve and
+//! `--output PATH` persists the result in the IFile-style run format.
+
+mod args;
+
+use args::{parse_bytes, Args};
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::{JobBuilder, JobInput, JobOutcome};
+use opa_model::io_model::ModelInput;
+use opa_model::optimizer::Optimizer;
+use opa_model::time_model::CostConstants;
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::documents::DocumentSpec;
+use opa_workloads::{
+    ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  opa generate clickstream --bytes SIZE [--preset sessionization|counting] [--seed N] --out FILE
+  opa generate documents   --bytes SIZE [--seed N] --out FILE
+  opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
+              [--km RATIO] [--progress-csv FILE] [--output FILE]
+      JOB: sessionize | click-count | frequent-users | page-freq | trigrams
+      FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
+  opa model --d SIZE [--km R] [--kr R] [--chunk-mb N] [--merge-factor N] [--optimize]
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let cmd: Vec<&str> = args.positional.iter().map(String::as_str).collect();
+    let result = match cmd.as_slice() {
+        ["generate", "clickstream"] => generate_clickstream(&args),
+        ["generate", "documents"] => generate_documents(&args),
+        ["run", job] => run_job(job, &args),
+        ["model"] => model(&args),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn required_bytes(args: &Args, key: &str) -> Result<u64, String> {
+    args.options
+        .get(key)
+        .ok_or(format!("--{key} is required"))
+        .and_then(|v| parse_bytes(v).ok_or(format!("--{key}: cannot parse '{v}' as a size")))
+}
+
+fn out_path(args: &Args) -> Result<PathBuf, String> {
+    args.options
+        .get("out")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--out FILE is required".into())
+}
+
+fn generate_clickstream(args: &Args) -> Result<(), String> {
+    let bytes = required_bytes(args, "bytes")?;
+    let seed = args.get_or("seed", 42u64);
+    let preset = args
+        .options
+        .get("preset")
+        .map(String::as_str)
+        .unwrap_or("sessionization");
+    let spec = match preset {
+        "sessionization" => ClickStreamSpec::paper_scaled(bytes),
+        "counting" => ClickStreamSpec::counting_scaled(bytes),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let (input, stats) = spec.generate_with_stats(seed);
+    let path = out_path(args)?;
+    write_lines(&path, &input)?;
+    println!(
+        "wrote {} clicks ({} users, {} s of event time) to {}",
+        input.len(),
+        stats.distinct_users,
+        stats.span_secs,
+        path.display()
+    );
+    Ok(())
+}
+
+fn generate_documents(args: &Args) -> Result<(), String> {
+    let bytes = required_bytes(args, "bytes")?;
+    let seed = args.get_or("seed", 42u64);
+    let input = DocumentSpec::paper_scaled(bytes).generate(seed);
+    let path = out_path(args)?;
+    write_lines(&path, &input)?;
+    println!("wrote {} documents to {}", input.len(), path.display());
+    Ok(())
+}
+
+fn write_lines(path: &PathBuf, input: &JobInput) -> Result<(), String> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    let mut buf = std::io::BufWriter::new(&mut f);
+    for rec in &input.records {
+        buf.write_all(rec).and_then(|()| buf.write_all(b"\n"))
+            .map_err(|e| format!("write {path:?}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn parse_framework(s: &str) -> Result<Framework, String> {
+    Ok(match s {
+        "sort-merge" | "sm" => Framework::SortMerge,
+        "sort-merge-pipelined" | "hop" => Framework::SortMergePipelined,
+        "mr-hash" => Framework::MrHash,
+        "inc-hash" => Framework::IncHash,
+        "dinc-hash" => Framework::DincHash,
+        other => return Err(format!("unknown framework '{other}'")),
+    })
+}
+
+fn run_job(job: &str, args: &Args) -> Result<(), String> {
+    let input_path = args
+        .options
+        .get("input")
+        .ok_or("--input FILE is required")?;
+    let text =
+        std::fs::read_to_string(input_path).map_err(|e| format!("read {input_path}: {e}"))?;
+    let input = JobInput::from_text(&text);
+    if input.is_empty() {
+        return Err(format!("{input_path} holds no records"));
+    }
+    let framework = parse_framework(
+        args.options
+            .get("framework")
+            .map(String::as_str)
+            .unwrap_or("inc-hash"),
+    )?;
+    let km = args.get_or("km", 1.0f64);
+    let cluster = ClusterSpec::paper_scaled();
+
+    let outcome: JobOutcome = match job {
+        "sessionize" => JobBuilder::new(SessionizeJob {
+            gap_secs: args.get_or("gap", 300u64),
+            slack_secs: args.get_or("slack", 400u64),
+            state_capacity: args.get_or("state", 512usize),
+            charge_fixed_footprint: true,
+            expected_users: args.get_or("expected-keys", 50_000u64),
+        })
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km)
+        .run(&input),
+        "click-count" => JobBuilder::new(ClickCountJob {
+            expected_users: args.get_or("expected-keys", 50_000u64),
+        })
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km)
+        .run(&input),
+        "frequent-users" => JobBuilder::new(FrequentUsersJob {
+            threshold: args.get_or("threshold", 50u64),
+            expected_users: args.get_or("expected-keys", 50_000u64),
+        })
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km)
+        .run(&input),
+        "page-freq" => JobBuilder::new(PageFreqJob {
+            expected_pages: args.get_or("expected-keys", 10_000u64),
+        })
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km)
+        .run(&input),
+        "trigrams" => JobBuilder::new(TrigramCountJob {
+            threshold: args.get_or("threshold", 1000u64),
+            expected_trigrams: args.get_or("expected-keys", 1_000_000u64),
+        })
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km)
+        .run(&input),
+        other => return Err(format!("unknown job '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("{}", outcome.metrics);
+    println!(
+        "  reduce@mapfinish    {:.1}%",
+        outcome.progress.reduce_pct_at_map_finish()
+    );
+
+    if let Some(csv) = args.options.get("progress-csv") {
+        use std::io::Write;
+        let mut f = std::fs::File::create(csv).map_err(|e| format!("create {csv}: {e}"))?;
+        writeln!(f, "t_secs,map_pct,reduce_pct").map_err(|e| e.to_string())?;
+        for p in &outcome.progress.points {
+            writeln!(
+                f,
+                "{:.1},{:.2},{:.2}",
+                p.t.as_secs_f64(),
+                p.map_pct,
+                p.reduce_pct
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        println!("  progress CSV        {csv}");
+    }
+    if let Some(out) = args.options.get("output") {
+        outcome
+            .write_output(std::path::Path::new(out))
+            .map_err(|e| e.to_string())?;
+        println!("  output file         {out}");
+    }
+    Ok(())
+}
+
+fn model(args: &Args) -> Result<(), String> {
+    use opa_common::units::MB;
+    use opa_common::{HardwareSpec, SystemSettings, WorkloadSpec};
+    let d = required_bytes(args, "d")?;
+    let workload = WorkloadSpec::new(d, args.get_or("km", 1.0), args.get_or("kr", 1.0));
+    let hardware = HardwareSpec::paper_cluster_full();
+    let constants = CostConstants::default();
+
+    let system = SystemSettings {
+        reducers_per_node: args.get_or("r", 4usize),
+        chunk_size: args.get_or("chunk-mb", 64u64) * MB,
+        merge_factor: args.get_or("merge-factor", 10usize),
+    };
+    let input = ModelInput::new(system, workload, hardware).map_err(|e| e.to_string())?;
+    let bytes = input.io_bytes();
+    let t = input.time_measurement(&constants);
+    println!("Eq. 1 per-node bytes:");
+    println!("  U1 map input     {:>12.0}", bytes.u1);
+    println!("  U2 map spill     {:>12.0}", bytes.u2);
+    println!("  U3 map output    {:>12.0}", bytes.u3);
+    println!("  U4 reduce spill  {:>12.0}", bytes.u4);
+    println!("  U5 reduce output {:>12.0}", bytes.u5);
+    println!("  total            {:>12.0}", bytes.total());
+    println!("Eq. 3 I/O requests: {:.0}", input.io_requests());
+    println!(
+        "Eq. 4 time: {:.0} s (bytes {:.0} + seeks {:.0} + startup {:.0})",
+        t.total(),
+        t.byte_time,
+        t.seek_time,
+        t.startup_time
+    );
+
+    if args.has_flag("optimize") {
+        let rec = Optimizer::new(workload, hardware, constants)
+            .optimize()
+            .map_err(|e| e.to_string())?;
+        println!(
+            "recommendation: C = {} MB, F = {}, R = {} → T = {:.0} s",
+            rec.chunk_size / MB,
+            rec.merge_factor,
+            rec.reducers_per_node,
+            rec.modeled_time
+        );
+    }
+    Ok(())
+}

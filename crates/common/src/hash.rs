@@ -1,0 +1,188 @@
+//! Universal hashing.
+//!
+//! The paper's hash framework (§4.1) relies on *a series of independent hash
+//! functions* `h1, h2, h3, …`: `h1` partitions map output across reducers,
+//! `h2` splits a reducer's input into buckets, `h3` performs in-memory
+//! group-by, `h4…` drive recursive partitioning. Independence matters — if
+//! `h2` and `h3` were correlated, every bucket would collapse into a few
+//! hash-table slots.
+//!
+//! We implement a Carter–Wegman style family: the key bytes are first
+//! compressed to a 64-bit fingerprint with a seeded polynomial (distinct odd
+//! multiplier per function), then diffused through the SplitMix64 finalizer,
+//! which is a bijection on `u64`. Each [`HashFn`] draws its parameters from
+//! an independent stream of a seeded PCG, so `HashFamily::new(seed).fn_at(i)`
+//! is stable across runs and platforms.
+
+use crate::rng::SplitMix64;
+
+/// One member of the hash family. Cheap to copy; hashing allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFn {
+    /// Odd multiplier for the byte-polynomial compression stage.
+    mul: u64,
+    /// Additive seed mixed into the initial accumulator.
+    add: u64,
+    /// Post-compression xor mask, distinct per function.
+    mask: u64,
+}
+
+impl HashFn {
+    /// Hashes raw bytes to a 64-bit fingerprint.
+    #[inline]
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut acc = self.add ^ (data.len() as u64).wrapping_mul(self.mul);
+        // Consume 8-byte words, then the tail.
+        let mut chunks = data.chunks_exact(8);
+        for w in &mut chunks {
+            let v = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
+            acc = acc.wrapping_mul(self.mul).wrapping_add(v);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            acc = acc
+                .wrapping_mul(self.mul)
+                .wrapping_add(u64::from_le_bytes(tail));
+        }
+        finalize(acc ^ self.mask)
+    }
+
+    /// Hashes bytes into one of `m` buckets (`m > 0`).
+    #[inline]
+    pub fn bucket(&self, data: &[u8], m: usize) -> usize {
+        debug_assert!(m > 0, "bucket count must be positive");
+        // Multiply-high maps the uniform u64 to [0, m) with less bias than
+        // a modulo and no division.
+        (((self.hash(data) as u128) * (m as u128)) >> 64) as usize
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+#[inline]
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A reproducible family of independent hash functions.
+///
+/// ```
+/// use opa_common::hash::HashFamily;
+/// let fam = HashFamily::new(42);
+/// let h1 = fam.fn_at(0);
+/// let h2 = fam.fn_at(1);
+/// assert_ne!(h1.hash(b"user-17"), h2.hash(b"user-17"));
+/// // Deterministic across instantiations:
+/// assert_eq!(h1.hash(b"x"), HashFamily::new(42).fn_at(0).hash(b"x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family from a seed. The same seed always yields the same
+    /// functions.
+    pub fn new(seed: u64) -> Self {
+        HashFamily { seed }
+    }
+
+    /// Returns the `i`-th function of the family (`h_{i+1}` in the paper's
+    /// notation). Functions at distinct indices are independent.
+    pub fn fn_at(&self, i: usize) -> HashFn {
+        // Derive three parameters from an index-keyed SplitMix stream.
+        let mut sm = SplitMix64::new(self.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let mul = sm.next() | 1; // multiplier must be odd
+        let add = sm.next();
+        let mask = sm.next();
+        HashFn { mul, add, mask }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashFamily::new(7).fn_at(3);
+        let b = HashFamily::new(7).fn_at(3);
+        for k in 0..100u64 {
+            assert_eq!(a.hash(&k.to_le_bytes()), b.hash(&k.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_functions() {
+        let fam = HashFamily::new(1);
+        let h0 = fam.fn_at(0);
+        let h1 = fam.fn_at(1);
+        let differing = (0..1000u64)
+            .filter(|k| h0.hash(&k.to_le_bytes()) != h1.hash(&k.to_le_bytes()))
+            .count();
+        assert!(differing > 990, "functions nearly identical: {differing}");
+    }
+
+    #[test]
+    fn buckets_are_roughly_balanced() {
+        let h = HashFamily::new(99).fn_at(0);
+        let m = 16;
+        let mut counts = vec![0usize; m];
+        let n = 64_000u64;
+        for k in 0..n {
+            counts[h.bucket(&k.to_le_bytes(), m)] += 1;
+        }
+        let expect = n as usize / m;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < expect as f64 * 0.1,
+                "bucket {i} holds {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_bucket_independence() {
+        // Keys colliding under h2 should not preferentially collide under
+        // h3: condition on one h2 bucket and check h3 spread.
+        let fam = HashFamily::new(5);
+        let (h2, h3) = (fam.fn_at(1), fam.fn_at(2));
+        let m = 8;
+        let in_bucket0: Vec<u64> = (0..100_000u64)
+            .filter(|k| h2.bucket(&k.to_le_bytes(), m) == 0)
+            .collect();
+        assert!(in_bucket0.len() > 10_000);
+        let mut counts = vec![0usize; m];
+        for k in &in_bucket0 {
+            counts[h3.bucket(&k.to_le_bytes(), m)] += 1;
+        }
+        let expect = in_bucket0.len() / m;
+        for &c in &counts {
+            assert!((c as f64 - expect as f64).abs() < expect as f64 * 0.15);
+        }
+    }
+
+    #[test]
+    fn few_collisions_on_sequential_keys() {
+        let h = HashFamily::new(0).fn_at(0);
+        let mut seen = HashSet::new();
+        for k in 0..100_000u64 {
+            seen.insert(h.hash(&k.to_le_bytes()));
+        }
+        // Birthday bound: expected collisions ~ n^2/2^65 ≈ 0.
+        assert!(seen.len() >= 99_998);
+    }
+
+    #[test]
+    fn variable_length_inputs_differ() {
+        let h = HashFamily::new(3).fn_at(0);
+        // Length is mixed in, so a prefix and its zero-padded extension
+        // must not collide systematically.
+        assert_ne!(h.hash(b"ab"), h.hash(b"ab\0"));
+        assert_ne!(h.hash(b""), h.hash(b"\0"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # opa-common
+//!
+//! Foundation types shared by every crate in the One-Pass Analytics (OPA)
+//! platform, a reproduction of *"A Platform for Scalable One-Pass Analytics
+//! using MapReduce"* (SIGMOD 2011).
+//!
+//! This crate provides:
+//!
+//! - byte-oriented [`Key`]/[`Value`] record types ([`types`]),
+//! - a family of pairwise-independent universal hash functions used for the
+//!   recursive hash partitioning `h1, h2, h3, …` of the paper's §4
+//!   ([`hash`]),
+//! - configuration structs mirroring the symbols of the paper's Table 2
+//!   ([`config`]),
+//! - virtual-time and byte-size units ([`units`]),
+//! - deterministic seeded RNG helpers ([`rng`]),
+//! - the shared error type ([`error`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod types;
+pub mod units;
+
+pub use config::{HardwareSpec, SystemSettings, WorkloadSpec};
+pub use error::{Error, Result};
+pub use hash::{HashFamily, HashFn};
+pub use types::{Key, Pair, StatePair, Value};
+pub use units::{ByteSize, SimDuration, SimTime, GB, KB, MB};

@@ -1,0 +1,234 @@
+//! Record types flowing through the platform.
+//!
+//! MapReduce data is untyped bytes at the system level: the map function
+//! emits ⟨key, value⟩ pairs and the reduce side groups by key. OPA follows
+//! the paper's prototype (§5), which stores records in byte arrays rather
+//! than heap objects, by backing [`Key`] and [`Value`] with [`bytes::Bytes`]
+//! so shuffling and spilling never deep-copy payloads.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Fixed per-record bookkeeping overhead charged when accounting buffer
+/// occupancy (two 32-bit length prefixes, mirroring Hadoop's IFile record
+/// framing).
+pub const RECORD_OVERHEAD: u64 = 8;
+
+/// An opaque record key. Ordering is lexicographic on the raw bytes, which
+/// is what the sort-merge baseline sorts by.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub Bytes);
+
+/// An opaque record value.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Value(pub Bytes);
+
+impl Key {
+    /// Builds a key from anything convertible to [`Bytes`] (e.g. `&'static
+    /// str`, `Vec<u8>`, another `Bytes`).
+    pub fn new(b: impl Into<Bytes>) -> Self {
+        Key(b.into())
+    }
+
+    /// Builds a key from a u64 in big-endian form, so numeric order matches
+    /// lexicographic byte order. Used by workloads with integer keys
+    /// (user-ids).
+    pub fn from_u64(v: u64) -> Self {
+        Key(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Interprets the first 8 bytes as a big-endian u64 (the inverse of
+    /// [`Key::from_u64`]). Returns `None` for short keys.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0
+            .get(..8)
+            .map(|b| u64::from_be_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// The raw key bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Value {
+    /// Builds a value from anything convertible to [`Bytes`].
+    pub fn new(b: impl Into<Bytes>) -> Self {
+        Value(b.into())
+    }
+
+    /// Builds a value holding a big-endian u64 (e.g. a count).
+    pub fn from_u64(v: u64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Interprets the first 8 bytes as a big-endian u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0
+            .get(..8)
+            .map(|b| u64::from_be_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// The raw value bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control()) => write!(f, "Key({s:?})"),
+            _ => write!(f, "Key(0x{})", hex(&self.0)),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control()) => write!(f, "Value({s:?})"),
+            _ => write!(f, "Value(0x{})", hex(&self.0)),
+        }
+    }
+}
+
+fn hex(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+/// A ⟨key, value⟩ pair, the unit of map output in the classic model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pair {
+    /// Grouping key.
+    pub key: Key,
+    /// Payload.
+    pub value: Value,
+}
+
+impl Pair {
+    /// Builds a pair.
+    pub fn new(key: Key, value: Value) -> Self {
+        Pair { key, value }
+    }
+
+    /// Serialized size used for all buffer/spill accounting: key bytes +
+    /// value bytes + [`RECORD_OVERHEAD`].
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.key.len() as u64 + self.value.len() as u64 + RECORD_OVERHEAD
+    }
+}
+
+/// A ⟨key, state⟩ pair — the unit flowing through the incremental (INC/DINC)
+/// frameworks after the `init()` function has collapsed raw values into
+/// states (paper §4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatePair {
+    /// Grouping key.
+    pub key: Key,
+    /// Opaque serialized state produced by `init()`/`cb()`.
+    pub state: Value,
+}
+
+impl StatePair {
+    /// Builds a key-state pair.
+    pub fn new(key: Key, state: Value) -> Self {
+        StatePair { key, state }
+    }
+
+    /// Serialized size used for buffer/spill accounting.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.key.len() as u64 + self.state.len() as u64 + RECORD_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_key_roundtrip_preserves_order() {
+        let a = Key::from_u64(3);
+        let b = Key::from_u64(200);
+        let c = Key::from_u64(70_000);
+        assert!(a < b && b < c, "big-endian keys must sort numerically");
+        assert_eq!(b.as_u64(), Some(200));
+    }
+
+    #[test]
+    fn short_key_as_u64_is_none() {
+        assert_eq!(Key::from("abc").as_u64(), None);
+    }
+
+    #[test]
+    fn pair_size_includes_overhead() {
+        let p = Pair::new(Key::from("user1"), Value::from("click"));
+        assert_eq!(p.size(), 5 + 5 + RECORD_OVERHEAD);
+    }
+
+    #[test]
+    fn state_pair_size() {
+        let p = StatePair::new(Key::from_u64(1), Value::new(vec![0u8; 512]));
+        assert_eq!(p.size(), 8 + 512 + RECORD_OVERHEAD);
+    }
+
+    #[test]
+    fn debug_renders_text_and_binary() {
+        assert_eq!(format!("{:?}", Key::from("abc")), "Key(\"abc\")");
+        let dbg = format!("{:?}", Key::new(vec![0u8, 1u8]));
+        assert!(dbg.starts_with("Key(0x0001"), "{dbg}");
+    }
+
+    #[test]
+    fn value_u64_roundtrip() {
+        assert_eq!(Value::from_u64(42).as_u64(), Some(42));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        // Bytes clones share the same backing allocation.
+        let v = Value::new(vec![7u8; 1024]);
+        let w = v.clone();
+        assert_eq!(v.bytes().as_ptr(), w.bytes().as_ptr());
+    }
+}

@@ -1,0 +1,267 @@
+//! The user-facing job API.
+//!
+//! A workload implements [`Job`] (the classic map/reduce pair) and, to run
+//! under the incremental frameworks, exposes an [`IncrementalReducer`] —
+//! the paper's `init() / cb() / fn()` triple (§4.2) plus the DINC eviction
+//! hook (§4.3, §6.2). Values and states are opaque bytes, mirroring the
+//! prototype's byte-array memory managers (§5): the engine never interprets
+//! them, it only moves, groups and sizes them.
+
+use opa_common::{Key, Pair, Value};
+
+/// Where user code is currently running. Incremental jobs whose early
+/// output is only safe with global knowledge (e.g. "count reached 50")
+/// must gate emission on [`Site::Reduce`]; jobs with locally-safe early
+/// output (a session closed by a within-chunk gap) may emit at either
+/// site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Map-side combine (`cb` applied inside the Hash-based Map Output
+    /// component).
+    Map,
+    /// Reduce-side processing.
+    Reduce,
+}
+
+/// Emission context handed to reduce-side user code. Everything a reducer
+/// (classic or incremental) outputs goes through here; the engine drains it
+/// to account output bytes and progress.
+#[derive(Debug)]
+pub struct ReduceCtx {
+    emitted: Vec<Pair>,
+    /// Highest event time observed by this reducer, if the job defines
+    /// event times. Drives the DINC expiry eviction rule.
+    pub watermark: Option<u64>,
+    /// Whether this context serves map-side or reduce-side user code.
+    pub site: Site,
+}
+
+impl Default for ReduceCtx {
+    fn default() -> Self {
+        ReduceCtx {
+            emitted: Vec::new(),
+            watermark: None,
+            site: Site::Reduce,
+        }
+    }
+}
+
+impl ReduceCtx {
+    /// Fresh reduce-side context.
+    pub fn new() -> Self {
+        ReduceCtx::default()
+    }
+
+    /// Fresh context at an explicit site.
+    pub fn at_site(site: Site) -> Self {
+        ReduceCtx {
+            site,
+            ..ReduceCtx::default()
+        }
+    }
+
+    /// Emits one output pair.
+    #[inline]
+    pub fn emit(&mut self, key: Key, value: Value) {
+        self.emitted.push(Pair::new(key, value));
+    }
+
+    /// Takes everything emitted since the last drain.
+    pub fn drain(&mut self) -> Vec<Pair> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Number of pairs pending drain.
+    pub fn pending(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Raises the watermark to `t` if it is higher.
+    pub fn advance_watermark(&mut self, t: u64) {
+        self.watermark = Some(self.watermark.map_or(t, |w| w.max(t)));
+    }
+}
+
+/// A combine function for the sort-merge baseline (Fig. 1): partial
+/// aggregation applied after the map function and again when a reducer's
+/// buffer fills. Must be commutative and associative over values.
+pub trait Combiner: Send + Sync {
+    /// Collapses the values of one key into (usually) fewer values.
+    fn combine(&self, key: &Key, values: Vec<Value>) -> Vec<Value>;
+}
+
+/// The paper's incremental-processing interface (§4.2): `init()` turns a
+/// raw value into a state, `cb()` merges states, `finalize()` produces the
+/// final answer — `reduce = cb ∘ … ∘ cb` followed by `fn`.
+pub trait IncrementalReducer: Send + Sync {
+    /// `init()` — reduces one raw value to a state. Applied map-side,
+    /// immediately after the map function.
+    fn init(&self, key: &Key, value: Value) -> Value;
+
+    /// `cb()` — merges `other` into `acc`. May emit early output through
+    /// `ctx` (e.g. closed sessions, counters crossing a query threshold),
+    /// which is what lets INC/DINC reduce progress track map progress.
+    fn cb(&self, key: &Key, acc: &mut Value, other: Value, ctx: &mut ReduceCtx);
+
+    /// `fn()` — produces the final answer(s) for a key from its state.
+    fn finalize(&self, key: &Key, state: Value, ctx: &mut ReduceCtx);
+
+    /// Memory footprint charged for a resident state. Defaults to the
+    /// serialized length; jobs with pre-allocated fixed-size state buffers
+    /// (sessionization's 0.5/1/2 KB reorder buffers) override this with the
+    /// fixed capacity, which is what makes Table 4's "larger states ⇒
+    /// fewer resident keys ⇒ more spill" trade-off real.
+    fn state_mem_size(&self, state: &Value) -> u64 {
+        state.len() as u64
+    }
+
+    /// Event time carried by a state, if this job has a temporal dimension
+    /// (sessionization does; counting does not). The engine maintains the
+    /// per-reducer watermark from these.
+    fn event_time(&self, _state: &Value) -> Option<u64> {
+        None
+    }
+
+    /// DINC eviction *guard* (the paper's §6.2 rule): may this state be
+    /// displaced from the monitor right now? Sessionization answers "only
+    /// if every click in the state belongs to an expired session"; counting
+    /// workloads accept any eviction (their partial states spill and merge
+    /// later). The default permits eviction.
+    fn can_evict(&self, _key: &Key, _state: &Value, _watermark: Option<u64>) -> bool {
+        true
+    }
+
+    /// DINC eviction hook. Called when the FREQUENT monitor displaces
+    /// `state` (and at end-of-input drain). Return `None` after emitting
+    /// the state's results through `ctx` if the state is complete and can
+    /// bypass disk (the paper's sessionization rule: all clicks belong to
+    /// an expired session); return `Some(state)` to spill it. The default
+    /// spills everything.
+    fn evict(
+        &self,
+        _key: &Key,
+        state: Value,
+        _watermark: Option<u64>,
+        _ctx: &mut ReduceCtx,
+    ) -> Option<Value> {
+        Some(state)
+    }
+}
+
+/// A MapReduce job: the map function, the classic reduce function, and the
+/// optional combiner / incremental interfaces that unlock the richer
+/// frameworks.
+pub trait Job: Send + Sync {
+    /// Human-readable job name for reports.
+    fn name(&self) -> &str;
+
+    /// The map function: parse one input record, emit ⟨key, value⟩ pairs.
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value));
+
+    /// The classic reduce function over a key's complete value list. Used
+    /// by the sort-merge and MR-hash frameworks.
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx);
+
+    /// Combiner for the sort-merge baseline, if the reduce function is
+    /// commutative and associative.
+    fn combiner(&self) -> Option<&dyn Combiner> {
+        None
+    }
+
+    /// Incremental interface, if the reduce function permits incremental
+    /// processing. Required by `Framework::IncHash` / `Framework::DincHash`.
+    fn incremental(&self) -> Option<&dyn IncrementalReducer> {
+        None
+    }
+
+    /// Hint: expected number of distinct keys, used to size the hash
+    /// frameworks' bucket fan-out (the paper sets `h = K·n_p/B`).
+    fn expected_keys(&self) -> Option<u64> {
+        None
+    }
+
+    /// Hint: typical key-state pair size in bytes, used to size the DINC
+    /// monitor (`s = (B − h)·n_p`).
+    fn state_size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountJob;
+
+    impl Job for CountJob {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+            emit(Key::new(record.to_vec()), Value::from_u64(1));
+        }
+        fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+            let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+            ctx.emit(key.clone(), Value::from_u64(sum));
+        }
+    }
+
+    #[test]
+    fn ctx_collects_and_drains() {
+        let mut ctx = ReduceCtx::new();
+        CountJob.reduce(
+            &Key::from("a"),
+            vec![Value::from_u64(1), Value::from_u64(2)],
+            &mut ctx,
+        );
+        assert_eq!(ctx.pending(), 1);
+        let out = ctx.drain();
+        assert_eq!(out[0].value.as_u64(), Some(3));
+        assert_eq!(ctx.pending(), 0);
+        assert!(ctx.drain().is_empty());
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut ctx = ReduceCtx::new();
+        assert_eq!(ctx.watermark, None);
+        ctx.advance_watermark(10);
+        ctx.advance_watermark(5);
+        assert_eq!(ctx.watermark, Some(10));
+        ctx.advance_watermark(20);
+        assert_eq!(ctx.watermark, Some(20));
+    }
+
+    #[test]
+    fn default_hooks_are_absent() {
+        let j = CountJob;
+        assert!(j.combiner().is_none());
+        assert!(j.incremental().is_none());
+        assert!(j.expected_keys().is_none());
+        assert!(j.state_size_hint().is_none());
+    }
+
+    struct EchoInc;
+    impl IncrementalReducer for EchoInc {
+        fn init(&self, _k: &Key, v: Value) -> Value {
+            v
+        }
+        fn cb(&self, _k: &Key, acc: &mut Value, other: Value, _ctx: &mut ReduceCtx) {
+            let mut b = acc.bytes().to_vec();
+            b.extend_from_slice(other.bytes());
+            *acc = Value::new(b);
+        }
+        fn finalize(&self, k: &Key, state: Value, ctx: &mut ReduceCtx) {
+            ctx.emit(k.clone(), state);
+        }
+    }
+
+    #[test]
+    fn default_evict_spills_state_unchanged() {
+        let inc = EchoInc;
+        let mut ctx = ReduceCtx::new();
+        let out = inc.evict(&Key::from("k"), Value::from("abc"), Some(5), &mut ctx);
+        assert_eq!(out, Some(Value::from("abc")));
+        assert_eq!(ctx.pending(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # opa-core
+//!
+//! The One-Pass Analytics MapReduce engine — the paper's primary
+//! contribution (§4–§5), plus the sort-merge and pipelined baselines it is
+//! evaluated against (§2–§3).
+//!
+//! ## How execution works
+//!
+//! A job really runs: the user's `map`, `reduce`, `combine` and
+//! `init/cb/fn` functions process every record, and the job output is
+//! byte-for-byte verifiable. Time, however, is *virtual*: a deterministic
+//! discrete-event simulation of an N-node cluster charges each task CPU
+//! costs (per record, per comparison, per hash op…) and routes every spill,
+//! merge and shuffle through per-node disk queues priced by
+//! [`opa_simio::DiskProfile`]s. This is the substitution documented in
+//! DESIGN.md — all of the paper's findings are about *relative* behaviour
+//! (which framework blocks, where bytes go, whose reduce progress keeps up
+//! with map progress), and those survive the change of substrate.
+//!
+//! ## The five reduce-side frameworks
+//!
+//! | [`Framework`] variant | Paper section | Character |
+//! |---|---|---|
+//! | `SortMerge` | §2.2, §3 | Hadoop baseline: map-side sort, reduce-side multi-pass merge (blocking) |
+//! | `SortMergePipelined` | §2.2, §3.3 | MapReduce-Online-style eager push of sorted granules |
+//! | `MrHash` | §4.1 | hybrid-hash group-by; bucket `D1` in memory |
+//! | `IncHash` | §4.2 | incremental `init/cb/fn`, first-come keys stay in memory |
+//! | `DincHash` | §4.3 | FREQUENT-monitored hot keys stay in memory; coverage-based early answers |
+//!
+//! ## Entry point
+//!
+//! Build a [`job::JobBuilder`] around a [`api::Job`] implementation, choose
+//! a framework and a [`cluster::ClusterSpec`], and call `run` on a
+//! [`job::JobInput`]. The returned [`job::JobOutcome`] carries the real
+//! output, the five-category I/O statistics, Definition-1 progress curves
+//! and the task timeline used to regenerate the paper's figures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod cluster;
+pub mod cost;
+pub mod job;
+pub mod map_phase;
+pub mod metrics;
+pub mod progress;
+pub mod reduce;
+pub mod sim;
+
+/// Convenient glob-import surface for applications and examples.
+pub mod prelude {
+    pub use crate::api::{Combiner, IncrementalReducer, Job, ReduceCtx};
+    pub use crate::cluster::{ClusterSpec, Framework};
+    pub use crate::cost::CostModel;
+    pub use crate::job::{JobBuilder, JobInput, JobOutcome};
+    pub use crate::metrics::JobMetrics;
+    pub use crate::progress::ProgressCurve;
+    pub use opa_common::{Key, Pair, StatePair, Value};
+}
+
+pub use cluster::{ClusterSpec, Framework};
+pub use job::{JobBuilder, JobInput, JobOutcome};

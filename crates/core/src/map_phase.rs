@@ -1,0 +1,688 @@
+//! Map-task execution and map-output collection.
+//!
+//! A map task reads its chunk, applies the user map function, and then
+//! hands the output to a framework-specific collector:
+//!
+//! - **sort-merge** — sorts by ⟨partition, key⟩ (charging the comparison
+//!   CPU the paper blames for the busy map phase), applies the combiner if
+//!   present, and external-sorts through spill files when the output
+//!   exceeds `B_m`;
+//! - **MR-hash** — partitions by `h1` with a single buffer scan, no sort;
+//! - **INC/DINC-hash** — applies `init()` immediately after map (§4.2) and
+//!   collapses same-key states with `cb()` in an in-memory hash table (the
+//!   Hash-based Map Output component of §5).
+//!
+//! Under pipelining the task emits several *granules* (each independently
+//! sorted, like MapReduce Online's eager spills) at interpolated times;
+//! otherwise a single granule at task completion.
+
+use crate::api::{Job, ReduceCtx, Site};
+use crate::cluster::{ClusterSpec, Framework};
+use crate::sim::{OpKind, Resources};
+use bytes::Bytes;
+use opa_common::units::{SimDuration, SimTime};
+use opa_common::{HashFn, Key, Pair, StatePair, Value};
+use opa_simio::{IoCategory, IoOp};
+use std::collections::HashMap;
+
+/// Data delivered from a mapper to one reducer.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Key-value pairs; sorted by key when produced by sort-merge.
+    Pairs(Vec<Pair>),
+    /// Key-state pairs (incremental frameworks).
+    States(Vec<StatePair>),
+}
+
+impl Payload {
+    /// Serialized size in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Payload::Pairs(v) => v.iter().map(Pair::size).sum(),
+            Payload::States(v) => v.iter().map(StatePair::size).sum(),
+        }
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Pairs(v) => v.len(),
+            Payload::States(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One batch of deliveries pushed by a mapper at `time`: element `p` goes
+/// to reducer partition `p`.
+#[derive(Debug)]
+pub struct Granule {
+    /// Virtual instant at which the granule leaves the mapper.
+    pub time: SimTime,
+    /// Per-reducer payloads (length = total reducers).
+    pub partitions: Vec<Payload>,
+}
+
+/// Outcome of one executed map task.
+#[derive(Debug)]
+pub struct MapTaskResult {
+    /// Task completion time.
+    pub finish: SimTime,
+    /// Granules to deliver (non-pipelined tasks have exactly one, at
+    /// `finish`).
+    pub granules: Vec<Granule>,
+    /// CPU time this task consumed.
+    pub cpu: SimDuration,
+    /// Total map-output bytes (shuffle volume contributed).
+    pub output_bytes: u64,
+    /// Map-side internal spill bytes written (external sort).
+    pub spill_bytes: u64,
+    /// Output pairs emitted directly at the mapper by map-side `cb()`
+    /// early output (e.g. sessions that closed within a chunk).
+    pub early_output: Vec<Pair>,
+}
+
+/// Executes one map task starting at `start` on `node`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_map_task(
+    job: &dyn Job,
+    framework: Framework,
+    records: &[Bytes],
+    chunk_bytes: u64,
+    node: usize,
+    start: SimTime,
+    spec: &ClusterSpec,
+    h1: HashFn,
+    res: &mut Resources,
+) -> MapTaskResult {
+    let cost = &spec.cost;
+    let n_partitions = spec.total_reducers();
+    let mut cpu = SimDuration::ZERO;
+
+    // Task startup, then read the input chunk from HDFS.
+    let mut t = start + SimDuration::from_secs_f64(cost.c_start);
+    t = res.hdfs_io(node, t, IoCategory::MapInput, IoOp::read(chunk_bytes), cost);
+
+    // The map function, for real.
+    let mut pairs: Vec<Pair> = Vec::with_capacity(records.len());
+    for rec in records {
+        job.map(rec, &mut |k, v| pairs.push(Pair::new(k, v)));
+    }
+    let map_dur = cost.map_time(records.len() as u64);
+    t = res.cpu(node, t, map_dur);
+    cpu += map_dur;
+
+    let mut result = match framework {
+        Framework::SortMerge => collect_sort_merge(job, pairs, 1, node, t, spec, h1, res, &mut cpu),
+        Framework::SortMergePipelined => {
+            // Pipelined granules interpolate between map-fn end and finish.
+            collect_sort_merge(
+                job,
+                pairs,
+                spec.pipeline_granules,
+                node,
+                t,
+                spec,
+                h1,
+                res,
+                &mut cpu,
+            )
+        }
+        Framework::MrHash => {
+            collect_mr_hash(job, pairs, n_partitions, node, t, spec, h1, res, &mut cpu)
+        }
+        Framework::IncHash | Framework::DincHash => {
+            collect_incremental(job, pairs, n_partitions, node, t, spec, h1, res, &mut cpu)
+        }
+    };
+    result.cpu = cpu;
+    res.span(OpKind::Map, start, result.finish);
+    result
+}
+
+/// Sort-merge collection, optionally split into `granules` pipelined
+/// pieces (each sorted and combined independently, like HOP's spills).
+#[allow(clippy::too_many_arguments)]
+fn collect_sort_merge(
+    job: &dyn Job,
+    pairs: Vec<Pair>,
+    granules: usize,
+    node: usize,
+    t0: SimTime,
+    spec: &ClusterSpec,
+    h1: HashFn,
+    res: &mut Resources,
+    cpu: &mut SimDuration,
+) -> MapTaskResult {
+    let cost = &spec.cost;
+    let n_partitions = spec.total_reducers();
+    let n = pairs.len();
+    let granules = granules.clamp(1, n.max(1));
+    let mut t = t0;
+    let mut out = Vec::with_capacity(granules);
+    let mut output_bytes = 0u64;
+    let mut spill_bytes = 0u64;
+
+    for g in 0..granules {
+        let lo = n * g / granules;
+        let hi = n * (g + 1) / granules;
+        let mut part: Vec<(usize, Pair)> = pairs[lo..hi]
+            .iter()
+            .map(|p| (h1.bucket(p.key.bytes(), n_partitions), p.clone()))
+            .collect();
+        // The compound ⟨partition, key⟩ sort of §2.2.
+        part.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.key.cmp(&b.1.key)));
+        let sort_dur = cost.sort_time(part.len() as u64);
+        t = res.cpu(node, t, sort_dur);
+        *cpu += sort_dur;
+
+        // Combiner on sorted groups, if the job has one.
+        let part = if let Some(cb) = job.combiner() {
+            let in_recs = part.len() as u64;
+            let combined = combine_sorted(cb, part);
+            let dur = cost.cb_time(in_recs);
+            t = res.cpu(node, t, dur);
+            *cpu += dur;
+            combined
+        } else {
+            part
+        };
+
+        let g_bytes: u64 = part.iter().map(|(_, p)| p.size()).sum();
+        output_bytes += g_bytes;
+
+        // External sort when this piece overflows the map buffer.
+        if g_bytes > spec.hardware.map_buffer {
+            let (sp, end) = external_sort_io(
+                g_bytes,
+                part.len() as u64,
+                spec,
+                node,
+                t,
+                res,
+                cpu,
+            );
+            spill_bytes += sp;
+            t = end;
+        }
+
+        // Write the (final) sorted map output for this granule.
+        t = res.spill_io(node, t, IoCategory::MapOutput, IoOp::write(g_bytes), cost);
+
+        // Scatter into per-reducer payloads, preserving sorted order.
+        let mut per_part: Vec<Vec<Pair>> = vec![Vec::new(); n_partitions];
+        for (p, pair) in part {
+            per_part[p].push(pair);
+        }
+        out.push(Granule {
+            time: t,
+            partitions: per_part.into_iter().map(Payload::Pairs).collect(),
+        });
+    }
+
+    MapTaskResult {
+        finish: t,
+        granules: out,
+        cpu: *cpu,
+        output_bytes,
+        spill_bytes,
+        early_output: Vec::new(),
+    }
+}
+
+/// Applies the combiner to consecutive same-⟨partition, key⟩ groups of a
+/// sorted run.
+fn combine_sorted(
+    cb: &dyn crate::api::Combiner,
+    sorted: Vec<(usize, Pair)>,
+) -> Vec<(usize, Pair)> {
+    let mut out = Vec::new();
+    let mut iter = sorted.into_iter().peekable();
+    while let Some((p, first)) = iter.next() {
+        let key = first.key.clone();
+        let mut values = vec![first.value];
+        while iter
+            .peek()
+            .is_some_and(|(q, pair)| *q == p && pair.key == key)
+        {
+            values.push(iter.next().expect("peeked").1.value);
+        }
+        for v in cb.combine(&key, values) {
+            out.push((p, Pair::new(key.clone(), v)));
+        }
+    }
+    out
+}
+
+/// Simulates the I/O and CPU of a map-side external sort: spill runs of
+/// `B_m`, background-merge per the `2F−1` policy, final read. Returns the
+/// spill bytes written and the completion time.
+fn external_sort_io(
+    out_bytes: u64,
+    out_records: u64,
+    spec: &ClusterSpec,
+    node: usize,
+    mut t: SimTime,
+    res: &mut Resources,
+    cpu: &mut SimDuration,
+) -> (u64, SimTime) {
+    let cost = &spec.cost;
+    let bm = spec.hardware.map_buffer;
+    let f = spec.system.merge_factor;
+    let rec_size = (out_bytes / out_records.max(1)).max(1);
+
+    // Write initial runs.
+    let mut files: Vec<u64> = Vec::new();
+    let mut remaining = out_bytes;
+    let mut written = 0u64;
+    while remaining > 0 {
+        let run = remaining.min(bm);
+        t = res.spill_io(node, t, IoCategory::MapSpill, IoOp::write(run), cost);
+        written += run;
+        remaining -= run;
+        files.push(run);
+        // Background merge at 2F−1 files.
+        while files.len() >= 2 * f - 1 {
+            files.sort_unstable_by(|a, b| b.cmp(a));
+            let tail: Vec<u64> = files.split_off(files.len() - f);
+            let merged: u64 = tail.iter().sum();
+            let mut op = IoOp::write(merged);
+            for sz in &tail {
+                op += IoOp::read(*sz);
+            }
+            let m0 = t;
+            t = res.spill_io(node, t, IoCategory::MapSpill, op, cost);
+            let dur = cost.merge_time(merged / rec_size, f);
+            t = res.cpu(node, t, dur);
+            *cpu += dur;
+            res.span(OpKind::Merge, m0, t);
+            written += merged;
+            files.push(merged);
+        }
+    }
+    // Final merge: read all remaining runs back (output write is charged
+    // by the caller as U3).
+    let mut op = IoOp::NONE;
+    for sz in &files {
+        op += IoOp::read(*sz);
+    }
+    t = res.spill_io(node, t, IoCategory::MapSpill, op, cost);
+    let dur = cost.merge_time(out_bytes / rec_size, files.len().max(2));
+    t = res.cpu(node, t, dur);
+    *cpu += dur;
+    (written, t)
+}
+
+/// MR-hash collection: one partitioning scan, no sort. When the job has a
+/// combiner, the Hash-based Map Output component (§5) builds an in-memory
+/// hash table and feeds each key's values through it — map-side partial
+/// aggregation works for every hash framework; what MR-hash lacks is only
+/// *reduce-side* incremental processing.
+#[allow(clippy::too_many_arguments)]
+fn collect_mr_hash(
+    job: &dyn Job,
+    pairs: Vec<Pair>,
+    n_partitions: usize,
+    node: usize,
+    t0: SimTime,
+    spec: &ClusterSpec,
+    h1: HashFn,
+    res: &mut Resources,
+    cpu: &mut SimDuration,
+) -> MapTaskResult {
+    let cost = &spec.cost;
+    let n = pairs.len() as u64;
+    let mut t = t0;
+    let pairs = if let Some(cb) = job.combiner() {
+        // Insertion-ordered hash table: key → collected values.
+        let mut groups: Vec<(Key, Vec<Value>)> = Vec::new();
+        let mut index: HashMap<Key, usize> = HashMap::new();
+        for p in pairs {
+            match index.get(&p.key) {
+                Some(&i) => groups[i].1.push(p.value),
+                None => {
+                    index.insert(p.key.clone(), groups.len());
+                    groups.push((p.key, vec![p.value]));
+                }
+            }
+        }
+        let mut combined = Vec::with_capacity(groups.len());
+        for (key, values) in groups {
+            for v in cb.combine(&key, values) {
+                combined.push(Pair::new(key.clone(), v));
+            }
+        }
+        let dur = cost.cb_time(n);
+        t = res.cpu(node, t, dur);
+        *cpu += dur;
+        combined
+    } else {
+        pairs
+    };
+    let mut per_part: Vec<Vec<Pair>> = vec![Vec::new(); n_partitions];
+    for p in pairs {
+        per_part[h1.bucket(p.key.bytes(), n_partitions)].push(p);
+    }
+    let dur = cost.hash_time(n);
+    t = res.cpu(node, t, dur);
+    *cpu += dur;
+
+    let output_bytes: u64 = per_part
+        .iter()
+        .map(|v| v.iter().map(Pair::size).sum::<u64>())
+        .sum();
+    t = res.spill_io(
+        node,
+        t,
+        IoCategory::MapOutput,
+        IoOp::write(output_bytes),
+        cost,
+    );
+    MapTaskResult {
+        finish: t,
+        granules: vec![Granule {
+            time: t,
+            partitions: per_part.into_iter().map(Payload::Pairs).collect(),
+        }],
+        cpu: *cpu,
+        output_bytes,
+        spill_bytes: 0,
+        early_output: Vec::new(),
+    }
+}
+
+/// INC/DINC collection: `init()` per pair, then an insertion-ordered hash
+/// table collapses same-key states with `cb()` (map-side combine).
+#[allow(clippy::too_many_arguments)]
+fn collect_incremental(
+    job: &dyn Job,
+    pairs: Vec<Pair>,
+    n_partitions: usize,
+    node: usize,
+    t0: SimTime,
+    spec: &ClusterSpec,
+    h1: HashFn,
+    res: &mut Resources,
+    cpu: &mut SimDuration,
+) -> MapTaskResult {
+    let cost = &spec.cost;
+    let inc = job
+        .incremental()
+        .expect("validated: incremental frameworks require an IncrementalReducer");
+    let n = pairs.len() as u64;
+
+    // init() immediately after map.
+    let mut ctx = ReduceCtx::at_site(Site::Map);
+    let mut order: Vec<(usize, Key, Value)> = Vec::new();
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut cb_calls = 0u64;
+    for p in pairs {
+        let state = inc.init(&p.key, p.value);
+        match index.get(&p.key) {
+            Some(&i) => {
+                let (_, ref key, ref mut acc) = order[i];
+                inc.cb(key, acc, state, &mut ctx);
+                cb_calls += 1;
+            }
+            None => {
+                let part = h1.bucket(p.key.bytes(), n_partitions);
+                index.insert(p.key.clone(), order.len());
+                order.push((part, p.key, state));
+            }
+        }
+    }
+    let dur = cost.init_time(n) + cost.hash_time(n) + cost.cb_time(cb_calls);
+    let mut t = res.cpu(node, t0, dur);
+    *cpu += dur;
+
+    let mut per_part: Vec<Vec<StatePair>> = vec![Vec::new(); n_partitions];
+    for (part, key, state) in order {
+        per_part[part].push(StatePair::new(key, state));
+    }
+    let output_bytes: u64 = per_part
+        .iter()
+        .map(|v| v.iter().map(StatePair::size).sum::<u64>())
+        .sum();
+    t = res.spill_io(
+        node,
+        t,
+        IoCategory::MapOutput,
+        IoOp::write(output_bytes),
+        cost,
+    );
+
+    // Any map-side early output (closed sessions) goes straight to HDFS.
+    let early_output = ctx.drain();
+    let early_bytes: u64 = early_output.iter().map(Pair::size).sum();
+    if early_bytes > 0 {
+        t = res.hdfs_io(
+            node,
+            t,
+            IoCategory::ReduceOutput,
+            IoOp::write(early_bytes),
+            cost,
+        );
+    }
+
+    MapTaskResult {
+        finish: t,
+        granules: vec![Granule {
+            time: t,
+            partitions: per_part.into_iter().map(Payload::States).collect(),
+        }],
+        cpu: *cpu,
+        output_bytes,
+        spill_bytes: 0,
+        early_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Combiner;
+    use crate::sim::Resources;
+
+    /// Word-count-ish job keyed on the record's first byte.
+    struct FirstByte {
+        with_combiner: bool,
+    }
+
+    impl Job for FirstByte {
+        fn name(&self) -> &str {
+            "first byte"
+        }
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+            emit(Key::new(vec![record[0]]), Value::from_u64(1));
+        }
+        fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+            let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+            ctx.emit(key.clone(), Value::from_u64(sum));
+        }
+        fn combiner(&self) -> Option<&dyn Combiner> {
+            if self.with_combiner {
+                Some(self)
+            } else {
+                None
+            }
+        }
+        fn incremental(&self) -> Option<&dyn crate::api::IncrementalReducer> {
+            Some(self)
+        }
+    }
+
+    impl Combiner for FirstByte {
+        fn combine(&self, _key: &Key, values: Vec<Value>) -> Vec<Value> {
+            vec![Value::from_u64(
+                values.iter().filter_map(Value::as_u64).sum(),
+            )]
+        }
+    }
+
+    impl crate::api::IncrementalReducer for FirstByte {
+        fn init(&self, _key: &Key, value: Value) -> Value {
+            value
+        }
+        fn cb(&self, _key: &Key, acc: &mut Value, other: Value, _ctx: &mut ReduceCtx) {
+            *acc = Value::from_u64(acc.as_u64().unwrap_or(0) + other.as_u64().unwrap_or(0));
+        }
+        fn finalize(&self, key: &Key, state: Value, ctx: &mut ReduceCtx) {
+            ctx.emit(key.clone(), state);
+        }
+    }
+
+    fn records(n: usize, alphabet: u8) -> Vec<Bytes> {
+        (0..n)
+            .map(|i| Bytes::from(vec![(i as u8) % alphabet, b'x', b'y']))
+            .collect()
+    }
+
+    fn run(
+        job: &dyn Job,
+        framework: Framework,
+        recs: &[Bytes],
+        spec: &ClusterSpec,
+    ) -> MapTaskResult {
+        let mut res = Resources::new(spec.hardware.nodes, 4, false);
+        let h1 = opa_common::HashFamily::new(spec.hash_seed).fn_at(0);
+        let bytes: u64 = recs.iter().map(|r| r.len() as u64).sum();
+        run_map_task(
+            job,
+            framework,
+            recs,
+            bytes,
+            0,
+            SimTime::ZERO,
+            spec,
+            h1,
+            &mut res,
+        )
+    }
+
+    #[test]
+    fn sort_merge_payloads_are_key_sorted_per_partition() {
+        let spec = ClusterSpec::tiny();
+        let job = FirstByte {
+            with_combiner: false,
+        };
+        let recs = records(64, 13);
+        let result = run(&job, Framework::SortMerge, &recs, &spec);
+        assert_eq!(result.granules.len(), 1);
+        let mut total = 0usize;
+        for payload in &result.granules[0].partitions {
+            let Payload::Pairs(pairs) = payload else {
+                panic!("sort-merge emits pairs");
+            };
+            total += pairs.len();
+            for w in pairs.windows(2) {
+                assert!(w[0].key <= w[1].key, "partition not key-sorted");
+            }
+        }
+        assert_eq!(total, 64, "no record may vanish");
+        assert_eq!(result.spill_bytes, 0, "tiny chunk fits the map buffer");
+    }
+
+    #[test]
+    fn combiner_shrinks_sort_merge_output() {
+        let spec = ClusterSpec::tiny();
+        let recs = records(200, 5); // 5 distinct keys, 40 repeats each
+        let plain = run(
+            &FirstByte {
+                with_combiner: false,
+            },
+            Framework::SortMerge,
+            &recs,
+            &spec,
+        );
+        let combined = run(
+            &FirstByte {
+                with_combiner: true,
+            },
+            Framework::SortMerge,
+            &recs,
+            &spec,
+        );
+        assert!(
+            combined.output_bytes < plain.output_bytes / 10,
+            "combiner should collapse 200 records into 5: {} vs {}",
+            combined.output_bytes,
+            plain.output_bytes
+        );
+    }
+
+    #[test]
+    fn external_sort_triggers_past_map_buffer() {
+        let mut spec = ClusterSpec::tiny();
+        spec.hardware.map_buffer = 256; // force external sort
+        let job = FirstByte {
+            with_combiner: false,
+        };
+        let recs = records(500, 250);
+        let result = run(&job, Framework::SortMerge, &recs, &spec);
+        assert!(result.spill_bytes > 0, "map-side spill expected");
+    }
+
+    #[test]
+    fn pipelined_granules_cover_all_records_in_order() {
+        let mut spec = ClusterSpec::tiny();
+        spec.pipeline_granules = 4;
+        let job = FirstByte {
+            with_combiner: false,
+        };
+        let recs = records(100, 9);
+        let result = run(&job, Framework::SortMergePipelined, &recs, &spec);
+        assert_eq!(result.granules.len(), 4);
+        let mut prev = SimTime::ZERO;
+        let mut total = 0usize;
+        for g in &result.granules {
+            assert!(g.time >= prev, "granule times must be non-decreasing");
+            prev = g.time;
+            total += g.partitions.iter().map(Payload::len).sum::<usize>();
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn incremental_map_side_collapses_states() {
+        let spec = ClusterSpec::tiny();
+        let job = FirstByte {
+            with_combiner: false,
+        };
+        let recs = records(120, 6);
+        let result = run(&job, Framework::IncHash, &recs, &spec);
+        let mut keys = 0usize;
+        let mut mass = 0u64;
+        for payload in &result.granules[0].partitions {
+            let Payload::States(states) = payload else {
+                panic!("incremental map emits states");
+            };
+            keys += states.len();
+            mass += states
+                .iter()
+                .filter_map(|s| s.state.as_u64())
+                .sum::<u64>();
+        }
+        assert_eq!(keys, 6, "map-side cb must collapse to distinct keys");
+        assert_eq!(mass, 120, "counts must be preserved by the collapse");
+    }
+
+    #[test]
+    fn mr_hash_without_combiner_keeps_every_pair() {
+        let spec = ClusterSpec::tiny();
+        let job = FirstByte {
+            with_combiner: false,
+        };
+        let recs = records(80, 7);
+        let result = run(&job, Framework::MrHash, &recs, &spec);
+        let total: usize = result.granules[0]
+            .partitions
+            .iter()
+            .map(Payload::len)
+            .sum();
+        assert_eq!(total, 80);
+    }
+}

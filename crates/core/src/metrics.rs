@@ -1,0 +1,147 @@
+//! Per-job metrics: the rows of the paper's Tables 1, 3 and 4.
+
+use opa_common::units::{ByteSize, SimDuration, SimTime};
+use opa_simio::IoStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// DINC-hash monitor statistics, aggregated over all reducers. `None`
+/// for other frameworks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DincStats {
+    /// Monitor slot capacity `s` per reducer.
+    pub slots_per_reducer: u64,
+    /// Total tuples offered to monitors (`M`).
+    pub offered: u64,
+    /// Tuples rejected (staged to disk with counters decremented).
+    pub rejected: u64,
+    /// Evictions resolved by direct output (the §6.2 fast path).
+    pub evict_output: u64,
+    /// Evictions that spilled their state to a bucket.
+    pub evict_spilled: u64,
+}
+
+/// Everything the paper reports about one job run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Framework label ("SM", "MR-hash", …).
+    pub framework: String,
+    /// Job name.
+    pub job: String,
+    /// Total running time (virtual).
+    pub running_time: SimTime,
+    /// When the last map task finished.
+    pub map_finish: SimTime,
+    /// Job input bytes (`D`).
+    pub input_bytes: u64,
+    /// Total map output = shuffle volume ("Map output / Shuffle" rows).
+    pub map_output_bytes: u64,
+    /// Map-side internal spill bytes written (external sort).
+    pub map_spill_bytes: u64,
+    /// Reduce-side internal spill bytes written ("Reduce spill" rows).
+    pub reduce_spill_bytes: u64,
+    /// Job output bytes.
+    pub output_bytes: u64,
+    /// Snapshot output bytes (MapReduce Online's periodic outputs; zero
+    /// unless snapshots were requested).
+    pub snapshot_bytes: u64,
+    /// Output record count.
+    pub output_records: u64,
+    /// CPU time consumed by map tasks, averaged per node ("Map CPU time
+    /// per node").
+    pub map_cpu_per_node: SimDuration,
+    /// CPU time consumed by reduce tasks, averaged per node.
+    pub reduce_cpu_per_node: SimDuration,
+    /// Five-category I/O statistics (cluster-wide).
+    pub io: IoStats,
+    /// DINC monitor statistics (only for `Framework::DincHash`).
+    pub dinc: Option<DincStats>,
+}
+
+impl JobMetrics {
+    /// Reduce-spill reduction factor relative to another run — the paper's
+    /// "3 orders of magnitude" headline is
+    /// `sm.spill_reduction_vs(&dinc) ≈ 1000`.
+    pub fn spill_reduction_vs(&self, other: &JobMetrics) -> f64 {
+        if self.reduce_spill_bytes == 0 {
+            return f64::INFINITY;
+        }
+        other.reduce_spill_bytes as f64 / self.reduce_spill_bytes as f64
+    }
+}
+
+impl fmt::Display for JobMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} / {}", self.job, self.framework)?;
+        writeln!(f, "  running time        {}", self.running_time)?;
+        writeln!(f, "  map finish          {}", self.map_finish)?;
+        writeln!(f, "  input               {}", ByteSize(self.input_bytes))?;
+        writeln!(
+            f,
+            "  map output/shuffle  {}",
+            ByteSize(self.map_output_bytes)
+        )?;
+        writeln!(f, "  map spill           {}", ByteSize(self.map_spill_bytes))?;
+        writeln!(
+            f,
+            "  reduce spill        {}",
+            ByteSize(self.reduce_spill_bytes)
+        )?;
+        writeln!(
+            f,
+            "  output              {} ({} records)",
+            ByteSize(self.output_bytes),
+            self.output_records
+        )?;
+        writeln!(f, "  map CPU / node      {}", self.map_cpu_per_node)?;
+        write!(f, "  reduce CPU / node   {}", self.reduce_cpu_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(spill: u64) -> JobMetrics {
+        JobMetrics {
+            framework: "SM".into(),
+            job: "sessionization".into(),
+            running_time: SimTime::from_secs_f64(4860.0),
+            map_finish: SimTime::from_secs_f64(2070.0),
+            input_bytes: 256 << 20,
+            map_output_bytes: 269 << 20,
+            map_spill_bytes: 0,
+            reduce_spill_bytes: spill,
+            output_bytes: 256 << 20,
+            snapshot_bytes: 0,
+            output_records: 1000,
+            map_cpu_per_node: SimDuration::from_secs_f64(936.0),
+            reduce_cpu_per_node: SimDuration::from_secs_f64(1104.0),
+            io: IoStats::new(),
+            dinc: None,
+        }
+    }
+
+    #[test]
+    fn spill_reduction_factor() {
+        let dinc = sample(100 << 10); // 0.1 MB-scale
+        let sm = sample(370 << 20); // 370 MB-scale
+        let factor = dinc.spill_reduction_vs(&sm);
+        assert!(factor > 3000.0, "{factor}");
+        let zero = sample(0);
+        assert!(zero.spill_reduction_vs(&sm).is_infinite());
+    }
+
+    #[test]
+    fn display_contains_key_rows() {
+        let s = sample(1).to_string();
+        for needle in [
+            "running time",
+            "map output/shuffle",
+            "reduce spill",
+            "map CPU / node",
+        ] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

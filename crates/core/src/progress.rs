@@ -1,0 +1,311 @@
+//! Incremental map and reduce progress (the paper's Definition 1).
+//!
+//! *Map progress* = fraction of map tasks completed. *Reduce progress* =
+//! ⅓ · shuffle-completed + ⅓ · combine-or-reduce-function-completed +
+//! ⅓ · output-produced. Multi-pass merge contributes **nothing** — it is
+//! irrelevant to the user's query, which is exactly why sort-merge's reduce
+//! curve flatlines at 33% until the mappers finish.
+//!
+//! The tracker records raw cumulative counters on every simulation event
+//! and normalizes post-hoc (totals are only known when the job ends), then
+//! resamples to an even grid for plotting.
+
+use opa_common::units::SimTime;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy)]
+struct Raw {
+    t: SimTime,
+    maps_done: u64,
+    shuffled: u64,
+    work: u64,
+    output: u64,
+}
+
+/// Records progress events during a run.
+#[derive(Debug)]
+pub struct ProgressTracker {
+    map_total: u64,
+    maps_done: u64,
+    shuffled: u64,
+    work: u64,
+    output: u64,
+    raw: Vec<Raw>,
+}
+
+impl ProgressTracker {
+    /// Creates a tracker for a job with `map_total` map tasks.
+    pub fn new(map_total: u64) -> Self {
+        let mut tr = ProgressTracker {
+            map_total,
+            maps_done: 0,
+            shuffled: 0,
+            work: 0,
+            output: 0,
+            raw: Vec::new(),
+        };
+        tr.snapshot(SimTime::ZERO);
+        tr
+    }
+
+    fn snapshot(&mut self, t: SimTime) {
+        self.raw.push(Raw {
+            t,
+            maps_done: self.maps_done,
+            shuffled: self.shuffled,
+            work: self.work,
+            output: self.output,
+        });
+    }
+
+    /// One map task finished at `t`.
+    pub fn map_done(&mut self, t: SimTime) {
+        self.maps_done += 1;
+        self.snapshot(t);
+    }
+
+    /// `bytes` of map output arrived at a reducer at `t`.
+    pub fn shuffled(&mut self, t: SimTime, bytes: u64) {
+        self.shuffled += bytes;
+        self.snapshot(t);
+    }
+
+    /// `units` of user reduce/combine work (tuples absorbed) happened at
+    /// `t`.
+    pub fn worked(&mut self, t: SimTime, units: u64) {
+        if units > 0 {
+            self.work += units;
+            self.snapshot(t);
+        }
+    }
+
+    /// `bytes` of job output were produced at `t`.
+    pub fn emitted(&mut self, t: SimTime, bytes: u64) {
+        if bytes > 0 {
+            self.output += bytes;
+            self.snapshot(t);
+        }
+    }
+
+    /// Normalizes against the final totals and resamples to `points`
+    /// evenly spaced instants over `[0, end]`.
+    pub fn finish(mut self, end: SimTime, points: usize) -> ProgressCurve {
+        self.snapshot(end);
+        let totals = self.raw.last().copied().expect("at least one snapshot");
+        let pct = |v: u64, total: u64| -> f64 {
+            if total == 0 {
+                100.0
+            } else {
+                100.0 * v as f64 / total as f64
+            }
+        };
+        let map_total = self.map_total;
+
+        let grid = points.max(2);
+        let mut out = Vec::with_capacity(grid);
+        let end_s = end.as_secs_f64();
+        let mut idx = 0usize;
+        let mut cur = Raw {
+            t: SimTime::ZERO,
+            maps_done: 0,
+            shuffled: 0,
+            work: 0,
+            output: 0,
+        };
+        for g in 0..grid {
+            let t = SimTime::from_secs_f64(end_s * g as f64 / (grid - 1) as f64);
+            while idx < self.raw.len() && self.raw[idx].t <= t {
+                cur = self.raw[idx];
+                idx += 1;
+            }
+            let shuffle_pct = pct(cur.shuffled, totals.shuffled);
+            let work_pct = pct(cur.work, totals.work);
+            let output_pct = pct(cur.output, totals.output);
+            out.push(ProgressPoint {
+                t,
+                map_pct: pct(cur.maps_done, map_total),
+                reduce_pct: (shuffle_pct + work_pct + output_pct) / 3.0,
+                shuffle_pct,
+                work_pct,
+                output_pct,
+            });
+        }
+        ProgressCurve { points: out }
+    }
+}
+
+/// One point of a progress curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressPoint {
+    /// Instant.
+    pub t: SimTime,
+    /// Map progress (Definition 1), in percent.
+    pub map_pct: f64,
+    /// Reduce progress (Definition 1), in percent.
+    pub reduce_pct: f64,
+    /// Shuffle component (before the ⅓ weighting).
+    pub shuffle_pct: f64,
+    /// Reduce/combine-function component.
+    pub work_pct: f64,
+    /// Output component.
+    pub output_pct: f64,
+}
+
+/// A normalized, evenly resampled pair of map/reduce progress curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgressCurve {
+    /// Evenly spaced samples from job start to job end.
+    pub points: Vec<ProgressPoint>,
+}
+
+impl ProgressCurve {
+    /// Reduce progress at the moment map progress first reaches 100%
+    /// — the paper's headline "does reduce keep up with map?" number.
+    pub fn reduce_pct_at_map_finish(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.map_pct >= 100.0)
+            .map(|p| p.reduce_pct)
+            .unwrap_or(0.0)
+    }
+
+    /// Reduce progress at the last sample *before* map progress reaches
+    /// 100% — exposes the ceiling a framework hits while mappers still run
+    /// (⅓ for blocking frameworks, ⅔ for incremental frameworks without
+    /// early output, ~1 with early output).
+    pub fn reduce_pct_before_map_finish(&self) -> f64 {
+        self.points
+            .iter()
+            .take_while(|p| p.map_pct < 100.0)
+            .last()
+            .map(|p| p.reduce_pct)
+            .unwrap_or(0.0)
+    }
+
+    /// First instant at which map progress reaches 100%.
+    pub fn map_finish_time(&self) -> SimTime {
+        self.points
+            .iter()
+            .find(|p| p.map_pct >= 100.0)
+            .map(|p| p.t)
+            .unwrap_or_else(|| self.points.last().map(|p| p.t).unwrap_or(SimTime::ZERO))
+    }
+
+    /// Job end (last sample instant).
+    pub fn end_time(&self) -> SimTime {
+        self.points.last().map(|p| p.t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Mean absolute gap between map and reduce progress over the map
+    /// phase — small means "reduce keeps up with map".
+    pub fn mean_map_reduce_gap(&self) -> f64 {
+        let during_map: Vec<&ProgressPoint> =
+            self.points.iter().filter(|p| p.map_pct < 100.0).collect();
+        if during_map.is_empty() {
+            return 0.0;
+        }
+        during_map
+            .iter()
+            .map(|p| (p.map_pct - p.reduce_pct).max(0.0))
+            .sum::<f64>()
+            / during_map.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn curves_are_monotone_and_end_at_100() {
+        let mut tr = ProgressTracker::new(4);
+        for i in 0..4 {
+            tr.map_done(t(10.0 * (i + 1) as f64));
+            tr.shuffled(t(10.0 * (i + 1) as f64 + 1.0), 100);
+        }
+        tr.worked(t(50.0), 42);
+        tr.emitted(t(60.0), 1000);
+        let curve = tr.finish(t(60.0), 61);
+        let mut prev_map = -1.0;
+        let mut prev_red = -1.0;
+        for p in &curve.points {
+            assert!(p.map_pct >= prev_map && p.reduce_pct >= prev_red);
+            prev_map = p.map_pct;
+            prev_red = p.reduce_pct;
+        }
+        let last = curve.points.last().unwrap();
+        assert_eq!(last.map_pct, 100.0);
+        assert!((last.reduce_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_reduce_stalls_at_33_percent() {
+        // Sort-merge shape: shuffle tracks map, but work and output happen
+        // only after the maps finish.
+        let mut tr = ProgressTracker::new(10);
+        for i in 0..10 {
+            let now = t(10.0 * (i + 1) as f64);
+            tr.map_done(now);
+            tr.shuffled(now, 50);
+        }
+        // All reduce work crammed at the end.
+        tr.worked(t(190.0), 100);
+        tr.emitted(t(200.0), 500);
+        let curve = tr.finish(t(200.0), 201);
+        // At map finish (t=100) reduce should sit at ~33%.
+        let p = curve
+            .points
+            .iter()
+            .find(|p| p.t >= t(100.0))
+            .unwrap();
+        assert!(
+            (p.reduce_pct - 100.0 / 3.0).abs() < 2.0,
+            "expected ~33%, got {}",
+            p.reduce_pct
+        );
+        assert!((curve.reduce_pct_at_map_finish() - 100.0 / 3.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn incremental_reduce_tracks_map() {
+        // INC-hash shape: work and output flow during the map phase.
+        let mut tr = ProgressTracker::new(10);
+        for i in 0..10 {
+            let now = t(10.0 * (i + 1) as f64);
+            tr.map_done(now);
+            tr.shuffled(now, 50);
+            tr.worked(now, 10);
+            tr.emitted(now, 50);
+        }
+        let curve = tr.finish(t(100.0), 101);
+        assert!(curve.reduce_pct_at_map_finish() > 95.0);
+        assert!(curve.mean_map_reduce_gap() < 10.0);
+    }
+
+    #[test]
+    fn zero_total_components_count_complete() {
+        // A job with no output at all (everything filtered) still reaches
+        // 100% reduce progress.
+        let mut tr = ProgressTracker::new(1);
+        tr.map_done(t(1.0));
+        tr.shuffled(t(1.0), 10);
+        tr.worked(t(2.0), 1);
+        let curve = tr.finish(t(2.0), 3);
+        assert_eq!(curve.points.last().unwrap().reduce_pct, 100.0);
+    }
+
+    #[test]
+    fn map_finish_time_detected() {
+        let mut tr = ProgressTracker::new(2);
+        tr.map_done(t(5.0));
+        tr.map_done(t(9.0));
+        tr.worked(t(20.0), 1);
+        let curve = tr.finish(t(20.0), 41);
+        let mf = curve.map_finish_time().as_secs_f64();
+        assert!((mf - 9.0).abs() <= 0.5 + 1e-9, "map finish at {mf}");
+    }
+}

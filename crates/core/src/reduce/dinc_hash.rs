@@ -1,0 +1,424 @@
+//! DINC-hash: the dynamic incremental hash technique (§4.3).
+//!
+//! `s = (B − h)·n_p` monitor slots hold (counter, key, state, t) per the
+//! FREQUENT algorithm: hot keys stay resident and keep combining in memory;
+//! a tuple for an unmonitored key either takes over a zero-counter slot
+//! (evicting its occupant through the workload's eviction hook — closed
+//! sessions are *output directly*, other states spill to a bucket) or, when
+//! every counter is positive, is itself staged to disk while all counters
+//! decrement. The §6.2 refinement is honoured: the workload's `can_evict`
+//! guard can veto displacing a state whose work is not finished (an active
+//! session), in which case the tuple spills without the decrement.
+//!
+//! After the input ends, the monitored states are flushed through the same
+//! eviction hook (complete states go straight to output, the rest join
+//! their bucket) and the buckets are processed exactly like INC-hash, so
+//! every key's partial states and stray tuples meet again and final answers
+//! are exact.
+//!
+//! Coverage estimation (`γ = t/(t + M/(s+1))`) is exposed through
+//! [`DincHashReducer`]'s underlying monitor for the approximate-answer
+//! mode: with an `early_stop_coverage` threshold φ set on the builder, keys
+//! whose γ ≥ φ are finalized from their partial in-memory state and their
+//! buckets skipped (approximate answers, §4.3).
+
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerSizing, WORK_BATCH};
+use crate::api::{IncrementalReducer, Job, ReduceCtx};
+use crate::cluster::ClusterSpec;
+use crate::map_phase::Payload;
+use crate::sim::OpKind;
+use opa_common::units::SimTime;
+use opa_common::{HashFamily, HashFn, Key, StatePair, Value};
+use opa_freq::{MgEntry, MgOutcome, MisraGries, SpaceSavingMonitor};
+use opa_simio::BucketManager;
+use std::collections::HashMap;
+
+/// Monitor bookkeeping per slot (counter, t, indices) charged against the
+/// memory budget in addition to the key-state bytes.
+const SLOT_OVERHEAD: u64 = 32;
+
+const MAX_DEPTH: usize = 6;
+
+/// Which frequency algorithm drives the DINC monitor. The paper uses
+/// FREQUENT; SpaceSaving is provided for the monitor-choice ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorKind {
+    /// Misra-Gries / FREQUENT (the paper's choice, §4.3).
+    #[default]
+    Frequent,
+    /// SpaceSaving (Metwally et al. 2005): displace the minimum counter.
+    SpaceSaving,
+}
+
+/// Either monitor behind one interface.
+enum Monitor {
+    Frequent(MisraGries<Key, Value>),
+    SpaceSaving(SpaceSavingMonitor<Key, Value>),
+}
+
+impl Monitor {
+    fn new(kind: MonitorKind, s: usize) -> Monitor {
+        match kind {
+            MonitorKind::Frequent => Monitor::Frequent(MisraGries::new(s)),
+            MonitorKind::SpaceSaving => Monitor::SpaceSaving(SpaceSavingMonitor::new(s)),
+        }
+    }
+
+    fn offer_guarded(
+        &mut self,
+        key: Key,
+        state: Value,
+        cb: impl FnOnce(&Key, &mut Value, Value),
+        guard: impl FnMut(&Key, &Value) -> bool,
+    ) -> MgOutcome<Key, Value> {
+        match self {
+            Monitor::Frequent(m) => m.offer_guarded(key, state, cb, guard),
+            Monitor::SpaceSaving(m) => m.offer_guarded(key, state, cb, guard),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Monitor::Frequent(m) => m.capacity(),
+            Monitor::SpaceSaving(m) => m.capacity(),
+        }
+    }
+
+    fn offered(&self) -> u64 {
+        match self {
+            Monitor::Frequent(m) => m.offered(),
+            Monitor::SpaceSaving(m) => m.offered(),
+        }
+    }
+
+    fn drain(self) -> Vec<MgEntry<Key, Value>> {
+        match self {
+            Monitor::Frequent(m) => m.drain(),
+            Monitor::SpaceSaving(m) => m.drain(),
+        }
+    }
+}
+
+/// One reduce task running the DINC-hash framework.
+pub struct DincHashReducer<'j> {
+    inc: &'j dyn IncrementalReducer,
+    family: HashFamily,
+    h3: HashFn,
+    monitor: Monitor,
+    mem_budget: u64,
+    write_buffer: u64,
+    buckets: BucketManager<StatePair>,
+    ctx: ReduceCtx,
+    sink: OutputSink,
+    /// Coverage threshold φ for approximate early termination (None =
+    /// exact processing).
+    early_stop_coverage: Option<f64>,
+    stats: crate::metrics::DincStats,
+}
+
+impl<'j> DincHashReducer<'j> {
+    /// Creates the reducer: `h` buckets per the `K·n_p/B` rule, monitor
+    /// capacity `s` from the remaining memory and the state-size hint.
+    pub fn new(
+        job: &'j dyn Job,
+        spec: &ClusterSpec,
+        sizing: ReducerSizing,
+        family: &HashFamily,
+    ) -> Self {
+        let inc = job.incremental().expect("checked by make_reducer");
+        let mem = spec.hardware.reduce_buffer;
+        let write_buffer = spec.bucket_write_buffer;
+        let h = sizing.bucket_count(mem, write_buffer);
+        let monitor_mem = mem.saturating_sub(h as u64 * write_buffer).max(1);
+        let entry = sizing.state_size.max(1) + SLOT_OVERHEAD;
+        let s = ((monitor_mem / entry) as usize).max(1);
+        DincHashReducer {
+            inc,
+            family: family.clone(),
+            h3: family.fn_at(2),
+            monitor: Monitor::new(sizing.monitor, s),
+            mem_budget: monitor_mem,
+            write_buffer,
+            buckets: BucketManager::new(h, write_buffer),
+            ctx: ReduceCtx::new(),
+            sink: OutputSink::new(),
+            early_stop_coverage: sizing.early_stop_coverage,
+            stats: crate::metrics::DincStats {
+                slots_per_reducer: s as u64,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Enables approximate early termination at coverage threshold `phi`.
+    pub fn set_early_stop(&mut self, phi: f64) {
+        self.early_stop_coverage = Some(phi);
+    }
+
+    /// Monitor slot capacity `s`.
+    pub fn slots(&self) -> usize {
+        self.monitor.capacity()
+    }
+
+    fn stage(&mut self, t: SimTime, sp: StatePair, env: &mut ReduceEnv<'_>) -> SimTime {
+        let b = self.h3.bucket(sp.key.bytes(), self.buckets.num_buckets());
+        let op = self.buckets.push(b, sp);
+        env.spill(t, op)
+    }
+
+    /// Runs the workload eviction hook on a displaced entry.
+    fn handle_eviction(
+        &mut self,
+        mut t: SimTime,
+        key: Key,
+        state: Value,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        let wm = self.ctx.watermark;
+        match self.inc.evict(&key, state, wm, &mut self.ctx) {
+            None => {
+                // Fully output — the 0.1 GB-vs-370 GB headline lives here.
+                self.stats.evict_output += 1;
+                let out = self.ctx.drain();
+                t = self.sink.push(t, out, env);
+            }
+            Some(state) => {
+                self.stats.evict_spilled += 1;
+                t = self.stage(t, StatePair::new(key, state), env);
+            }
+        }
+        t
+    }
+}
+
+impl ReduceSide for DincHashReducer<'_> {
+    fn on_delivery(&mut self, mut t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+        let Payload::States(tuples) = payload else {
+            unreachable!("DINC-hash receives key-state pairs");
+        };
+        let bytes: u64 = tuples.iter().map(StatePair::size).sum();
+        env.progress.shuffled(t, bytes);
+        for sp in tuples {
+            if let Some(ts) = self.inc.event_time(&sp.state) {
+                self.ctx.advance_watermark(ts);
+            }
+            let wm = self.ctx.watermark;
+            let StatePair { key, state } = sp;
+            let inc = self.inc;
+            let ctx = &mut self.ctx;
+            let outcome = self.monitor.offer_guarded(
+                key,
+                state,
+                |k, acc, other| inc.cb(k, acc, other, ctx),
+                |k, s| inc.can_evict(k, s, wm),
+            );
+            match outcome {
+                MgOutcome::Combined => {
+                    t = env.cpu(t, env.cost().cb_time(1) + env.cost().hash_time(1));
+                    env.progress.worked(t, 1);
+                    if self.ctx.pending() > 0 {
+                        let out = self.ctx.drain();
+                        t = self.sink.push(t, out, env);
+                    }
+                }
+                MgOutcome::Installed { evicted } => {
+                    t = env.cpu(t, env.cost().hash_time(1));
+                    env.progress.worked(t, 1);
+                    if let Some(e) = evicted {
+                        t = self.handle_eviction(t, e.key, e.state, env);
+                    }
+                }
+                MgOutcome::Rejected { key, state } => {
+                    // Tuple staged to disk; re-absorbed during bucket
+                    // processing.
+                    self.stats.rejected += 1;
+                    t = env.cpu(t, env.cost().hash_time(1));
+                    t = self.stage(t, StatePair::new(key, state), env);
+                }
+            }
+        }
+        t
+    }
+
+    fn dinc_stats(&self) -> Option<crate::metrics::DincStats> {
+        Some(self.stats)
+    }
+
+    fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        let start = t;
+        self.stats.offered = self.monitor.offered();
+        let offered = self.monitor.offered();
+        let capacity = self.monitor.capacity();
+        let monitor = std::mem::replace(&mut self.monitor, Monitor::new(MonitorKind::Frequent, 1));
+        let entries = monitor.drain();
+
+        // Approximate early termination (§4.3): finalize monitored keys
+        // whose coverage lower bound γ = t/(t + M/(s+1)) clears φ, skip
+        // the disk-resident remainder entirely.
+        if let Some(phi) = self.early_stop_coverage {
+            let slack = offered as f64 / (capacity as f64 + 1.0);
+            let mut finalized = 0u64;
+            for e in entries {
+                let gamma = e.t as f64 / (e.t as f64 + slack);
+                if gamma >= phi {
+                    self.inc.finalize(&e.key, e.state, &mut self.ctx);
+                    finalized += 1;
+                }
+            }
+            t = env.cpu(t, env.cost().reduce_time(finalized));
+            let out = self.ctx.drain();
+            t = self.sink.push(t, out, env);
+            t = self.sink.flush(t, env);
+            env.res.span(OpKind::Reduce, start, t);
+            return t;
+        }
+
+        // Exact completion: flush the monitor through the eviction hook.
+        // The input is over, so every temporal construct (a session) is
+        // closed by definition — advance the watermark past everything so
+        // complete states go straight to output instead of disk.
+        if self.ctx.watermark.is_some() {
+            self.ctx.watermark = Some(u64::MAX);
+        }
+        for e in entries {
+            t = self.handle_eviction(t, e.key, e.state, env);
+        }
+
+        // …then process staged buckets exactly like INC-hash.
+        let op = self.buckets.seal();
+        t = env.spill(t, op);
+        for b in 0..self.buckets.num_buckets() {
+            let (recs, op) = self.buckets.take_bucket(b);
+            t = env.spill(t, op);
+            if !recs.is_empty() {
+                t = process_bucket_inc(
+                    self.inc,
+                    &self.family,
+                    self.mem_budget,
+                    self.write_buffer,
+                    &mut self.ctx,
+                    &mut self.sink,
+                    t,
+                    recs,
+                    3,
+                    env,
+                );
+            }
+        }
+        t = self.sink.flush(t, env);
+        env.res.span(OpKind::Reduce, start, t);
+        t
+    }
+}
+
+/// Shared INC-style bucket processing (also used by DINC's completion
+/// phase): build a fresh table, combine, finalize, recurse on overflow.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_bucket_inc(
+    inc: &dyn IncrementalReducer,
+    family: &HashFamily,
+    mem_budget: u64,
+    write_buffer: u64,
+    ctx: &mut ReduceCtx,
+    sink: &mut OutputSink,
+    mut t: SimTime,
+    tuples: Vec<StatePair>,
+    depth: usize,
+    env: &mut ReduceEnv<'_>,
+) -> SimTime {
+    // Same bucket-local watermark discipline as INC-hash: the replayed
+    // file preserves arrival order, so the reorder buffering of
+    // order-sensitive jobs keeps working during completion.
+    let saved_watermark = ctx.watermark;
+    ctx.watermark = None;
+    let mut states: Vec<(Key, Value)> = Vec::new();
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut used = 0u64;
+    let mut overflow: Vec<StatePair> = Vec::new();
+    let mut overflow_started = false;
+    let mut batch = 0u64;
+    for sp in tuples {
+        if let Some(ts) = inc.event_time(&sp.state) {
+            ctx.advance_watermark(ts);
+        }
+        match index.get(&sp.key) {
+            Some(&i) => {
+                let (ref key, ref mut acc) = states[i];
+                let before = inc.state_mem_size(acc);
+                inc.cb(key, acc, sp.state, ctx);
+                let after = inc.state_mem_size(acc);
+                used = (used + after).saturating_sub(before);
+                batch += 1;
+            }
+            None => {
+                let sz = sp.key.len() as u64 + inc.state_mem_size(&sp.state) + 16;
+                if (!overflow_started && used + sz <= mem_budget) || depth >= MAX_DEPTH {
+                    used += sz;
+                    index.insert(sp.key.clone(), states.len());
+                    states.push((sp.key, sp.state));
+                    batch += 1;
+                } else {
+                    overflow_started = true;
+                    overflow.push(sp);
+                }
+            }
+        }
+        if batch >= WORK_BATCH {
+            t = env.cpu(t, env.cost().hash_time(batch) + env.cost().cb_time(batch / 2));
+            env.progress.worked(t, batch);
+            batch = 0;
+            if ctx.pending() > 0 {
+                let out = ctx.drain();
+                t = sink.push(t, out, env);
+            }
+        }
+    }
+    if batch > 0 {
+        t = env.cpu(t, env.cost().hash_time(batch) + env.cost().cb_time(batch / 2));
+        env.progress.worked(t, batch);
+    }
+    let n = states.len() as u64;
+    for (key, state) in states {
+        inc.finalize(&key, state, ctx);
+    }
+    t = env.cpu(t, env.cost().reduce_time(n));
+    let out = ctx.drain();
+    t = sink.push(t, out, env);
+
+    if !overflow.is_empty() {
+        let h = family.fn_at(depth + 1);
+        let bytes: u64 = overflow.iter().map(StatePair::size).sum();
+        let fan = ((bytes as f64 / (mem_budget as f64 * 0.8)).ceil() as usize).max(2);
+        let mut sub: BucketManager<StatePair> = BucketManager::new(fan, write_buffer);
+        for sp in overflow {
+            let b = h.bucket(sp.key.bytes(), fan);
+            let op = sub.push(b, sp);
+            t = env.spill(t, op);
+        }
+        let op = sub.seal();
+        t = env.spill(t, op);
+        for b in 0..fan {
+            let (recs, op) = sub.take_bucket(b);
+            t = env.spill(t, op);
+            if !recs.is_empty() {
+                t = process_bucket_inc(
+                    inc,
+                    family,
+                    mem_budget,
+                    write_buffer,
+                    ctx,
+                    sink,
+                    t,
+                    recs,
+                    depth + 1,
+                    env,
+                );
+            }
+        }
+    }
+    ctx.watermark = match (saved_watermark, ctx.watermark) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, b) => a.or(b),
+    };
+    t
+}

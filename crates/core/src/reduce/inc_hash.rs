@@ -1,0 +1,283 @@
+//! INC-hash: the incremental hash technique (§4.2).
+//!
+//! The reducer keeps an in-memory table `H` from key to the state of the
+//! computation. A tuple whose key is in `H` is collapsed immediately with
+//! `cb()` — no I/O, ever, and any early output (a closed session, a counter
+//! crossing a threshold) flows straight to HDFS, which is why INC-hash
+//! reduce progress can track map progress. A tuple whose key is absent is
+//! admitted while memory lasts and staged to an `h3` bucket afterwards;
+//! staged buckets are processed one at a time after the input ends.
+//!
+//! Key invariant (and the reason INC-hash output is exact even for
+//! order-sensitive jobs like sessionization): a key is either resident in
+//! `H` from its first appearance, or *all* of its tuples go to the same
+//! bucket — a key's data is never split between memory and disk.
+
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerSizing, WORK_BATCH};
+use crate::api::{IncrementalReducer, Job, ReduceCtx};
+use crate::cluster::ClusterSpec;
+use crate::map_phase::Payload;
+use crate::sim::OpKind;
+use opa_common::units::SimTime;
+use opa_common::{HashFamily, HashFn, Key, StatePair, Value};
+use opa_simio::BucketManager;
+use std::collections::HashMap;
+
+/// Per-entry bookkeeping overhead charged against the memory budget
+/// (hash-table slot, indices), mirroring the byte-array memory managers of
+/// the prototype (§5).
+const ENTRY_OVERHEAD: u64 = 16;
+
+/// Recursion ceiling for pathological bucket skew.
+const MAX_DEPTH: usize = 6;
+
+/// One reduce task running the INC-hash framework.
+pub struct IncHashReducer<'j> {
+    inc: &'j dyn IncrementalReducer,
+    family: HashFamily,
+    h3: HashFn,
+    /// Insertion-ordered key→state table (`H`).
+    states: Vec<(Key, Value)>,
+    index: HashMap<Key, usize>,
+    mem_used: u64,
+    mem_budget: u64,
+    write_buffer: u64,
+    buckets: BucketManager<StatePair>,
+    ctx: ReduceCtx,
+    sink: OutputSink,
+    /// Tuples absorbed in memory during the streaming phase.
+    absorbed: u64,
+    /// Set on the first rejection: no further keys are admitted even if
+    /// draining states later frees memory. A key admitted after one of its
+    /// tuples spilled would be split between memory and disk, breaking the
+    /// module invariant ("the keys chosen for in-memory processing are
+    /// just the first keys observed" — paper §4.3).
+    admissions_closed: bool,
+}
+
+impl<'j> IncHashReducer<'j> {
+    /// Creates the reducer; the bucket fan-out follows the paper's
+    /// `h = K·n_p/B` sizing so each staged bucket's keys fit in memory.
+    pub fn new(
+        job: &'j dyn Job,
+        spec: &ClusterSpec,
+        sizing: ReducerSizing,
+        family: &HashFamily,
+    ) -> Self {
+        let inc = job.incremental().expect("checked by make_reducer");
+        let mem = spec.hardware.reduce_buffer;
+        let write_buffer = spec.bucket_write_buffer;
+        let h = sizing.bucket_count(mem, write_buffer);
+        let mem_budget = mem.saturating_sub(h as u64 * write_buffer).max(1);
+        IncHashReducer {
+            inc,
+            family: family.clone(),
+            h3: family.fn_at(2),
+            states: Vec::new(),
+            index: HashMap::new(),
+            mem_used: 0,
+            mem_budget,
+            write_buffer,
+            buckets: BucketManager::new(h, write_buffer),
+            ctx: ReduceCtx::new(),
+            sink: OutputSink::new(),
+            absorbed: 0,
+            admissions_closed: false,
+        }
+    }
+
+    /// Streams one tuple through the table. Returns the advanced clock.
+    fn absorb(&mut self, mut t: SimTime, sp: StatePair, env: &mut ReduceEnv<'_>) -> SimTime {
+        if let Some(ts) = self.inc.event_time(&sp.state) {
+            self.ctx.advance_watermark(ts);
+        }
+        match self.index.get(&sp.key) {
+            Some(&i) => {
+                let (ref key, ref mut acc) = self.states[i];
+                let before = self.inc.state_mem_size(acc);
+                self.inc.cb(key, acc, sp.state, &mut self.ctx);
+                let after = self.inc.state_mem_size(acc);
+                self.mem_used = adjust(self.mem_used, before, after);
+                t = env.cpu(t, env.cost().cb_time(1) + env.cost().hash_time(1));
+                self.absorbed += 1;
+                env.progress.worked(t, 1);
+                if self.ctx.pending() > 0 {
+                    let out = self.ctx.drain();
+                    t = self.sink.push(t, out, env);
+                }
+            }
+            None => {
+                let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
+                if !self.admissions_closed && self.mem_used + sz <= self.mem_budget {
+                    self.mem_used += sz;
+                    self.index.insert(sp.key.clone(), self.states.len());
+                    self.states.push((sp.key, sp.state));
+                    t = env.cpu(t, env.cost().hash_time(1));
+                    self.absorbed += 1;
+                    env.progress.worked(t, 1);
+                } else {
+                    self.admissions_closed = true;
+                    let b = self.h3.bucket(sp.key.bytes(), self.buckets.num_buckets());
+                    let op = self.buckets.push(b, sp);
+                    t = env.spill(t, op);
+                }
+            }
+        }
+        t
+    }
+
+    /// Processes one staged bucket with a fresh in-memory table,
+    /// recursively re-partitioning if even the bucket's distinct keys
+    /// exceed memory.
+    fn process_bucket(
+        &mut self,
+        mut t: SimTime,
+        tuples: Vec<StatePair>,
+        depth: usize,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        // Replay the bucket under its own watermark: the file preserves
+        // arrival order, so advancing the watermark from the replayed
+        // tuples reproduces the original bounded disorder. Reusing the
+        // end-of-stream watermark would defeat the reorder buffering of
+        // order-sensitive jobs (sessionization).
+        let saved_watermark = self.ctx.watermark;
+        self.ctx.watermark = None;
+        let mut states: Vec<(Key, Value)> = Vec::new();
+        let mut index: HashMap<Key, usize> = HashMap::new();
+        let mut used = 0u64;
+        let mut overflow: Vec<StatePair> = Vec::new();
+        let mut overflow_started = false;
+        let mut batch = 0u64;
+        for sp in tuples {
+            if let Some(ts) = self.inc.event_time(&sp.state) {
+                self.ctx.advance_watermark(ts);
+            }
+            match index.get(&sp.key) {
+                Some(&i) => {
+                    let (ref key, ref mut acc) = states[i];
+                    let before = self.inc.state_mem_size(acc);
+                    self.inc.cb(key, acc, sp.state, &mut self.ctx);
+                    let after = self.inc.state_mem_size(acc);
+                    used = adjust(used, before, after);
+                    batch += 1;
+                }
+                None => {
+                    let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
+                    if (!overflow_started && used + sz <= self.mem_budget) || depth >= MAX_DEPTH {
+                        used += sz;
+                        index.insert(sp.key.clone(), states.len());
+                        states.push((sp.key, sp.state));
+                        batch += 1;
+                    } else {
+                        overflow_started = true;
+                        overflow.push(sp);
+                    }
+                }
+            }
+            if batch >= WORK_BATCH {
+                t = env.cpu(
+                    t,
+                    env.cost().hash_time(batch) + env.cost().cb_time(batch / 2),
+                );
+                env.progress.worked(t, batch);
+                batch = 0;
+                if self.ctx.pending() > 0 {
+                    let out = self.ctx.drain();
+                    t = self.sink.push(t, out, env);
+                }
+            }
+        }
+        if batch > 0 {
+            t = env.cpu(
+                t,
+                env.cost().hash_time(batch) + env.cost().cb_time(batch / 2),
+            );
+            env.progress.worked(t, batch);
+        }
+        // Finalize this bucket's resident keys.
+        for (key, state) in states {
+            self.inc.finalize(&key, state, &mut self.ctx);
+        }
+        t = env.cpu(t, env.cost().reduce_time(index.len() as u64));
+        let out = self.ctx.drain();
+        t = self.sink.push(t, out, env);
+
+        // Overflow keys (key set larger than memory): stage again with the
+        // next hash function and recurse.
+        if !overflow.is_empty() {
+            let h = self.family.fn_at(depth + 1);
+            let bytes: u64 = overflow.iter().map(StatePair::size).sum();
+            let fan = ((bytes as f64 / (self.mem_budget as f64 * 0.8)).ceil() as usize).max(2);
+            let mut sub: BucketManager<StatePair> = BucketManager::new(fan, self.write_buffer);
+            for sp in overflow {
+                let b = h.bucket(sp.key.bytes(), fan);
+                let op = sub.push(b, sp);
+                t = env.spill(t, op);
+            }
+            let op = sub.seal();
+            t = env.spill(t, op);
+            for b in 0..fan {
+                let (recs, op) = sub.take_bucket(b);
+                t = env.spill(t, op);
+                if !recs.is_empty() {
+                    t = self.process_bucket(t, recs, depth + 1, env);
+                }
+            }
+        }
+        self.ctx.watermark = match (saved_watermark, self.ctx.watermark) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        t
+    }
+}
+
+/// Adjusts a memory-usage counter by the signed size change of a state.
+fn adjust(used: u64, before: u64, after: u64) -> u64 {
+    (used + after).saturating_sub(before)
+}
+
+impl ReduceSide for IncHashReducer<'_> {
+    fn on_delivery(&mut self, mut t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+        let Payload::States(tuples) = payload else {
+            unreachable!("INC-hash receives key-state pairs");
+        };
+        let bytes: u64 = tuples.iter().map(StatePair::size).sum();
+        env.progress.shuffled(t, bytes);
+        for sp in tuples {
+            t = self.absorb(t, sp, env);
+        }
+        t
+    }
+
+    fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        let start = t;
+        // Finalize every memory-resident key (their data is complete —
+        // see the module invariant).
+        let states = std::mem::take(&mut self.states);
+        self.index.clear();
+        self.mem_used = 0;
+        let n = states.len() as u64;
+        for (key, state) in states {
+            self.inc.finalize(&key, state, &mut self.ctx);
+        }
+        t = env.cpu(t, env.cost().reduce_time(n));
+        let out = self.ctx.drain();
+        t = self.sink.push(t, out, env);
+
+        // Staged buckets, one at a time.
+        let op = self.buckets.seal();
+        t = env.spill(t, op);
+        for b in 0..self.buckets.num_buckets() {
+            let (recs, op) = self.buckets.take_bucket(b);
+            t = env.spill(t, op);
+            if !recs.is_empty() {
+                t = self.process_bucket(t, recs, 3, env);
+            }
+        }
+        t = self.sink.flush(t, env);
+        env.res.span(OpKind::Reduce, start, t);
+        t
+    }
+}

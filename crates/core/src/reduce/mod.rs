@@ -1,0 +1,262 @@
+//! Reduce-side frameworks.
+//!
+//! Each framework implements [`ReduceSide`]: the engine feeds it shuffle
+//! deliveries as mappers complete, then calls `finish` once the last
+//! delivery has arrived. All five share [`ReduceEnv`] (the reducer's view
+//! of the simulated node) and [`OutputSink`] (batched HDFS output writes +
+//! progress accounting).
+
+pub mod dinc_hash;
+pub mod inc_hash;
+pub mod mr_hash;
+pub mod sort_merge;
+
+#[cfg(test)]
+#[path = "tests.rs"]
+mod tests_frameworks;
+
+use crate::api::Job;
+use crate::cluster::{ClusterSpec, Framework};
+use crate::cost::CostModel;
+use crate::map_phase::Payload;
+use crate::progress::ProgressTracker;
+use crate::sim::Resources;
+use opa_common::units::{SimDuration, SimTime};
+use opa_common::{Error, HashFamily, Pair, Result};
+use opa_simio::{IoCategory, IoOp};
+
+/// Advance-the-clock batch size: user-function work is priced per record
+/// but committed to the simulation in batches this large, so progress
+/// curves rise smoothly without one event per record.
+pub(crate) const WORK_BATCH: u64 = 512;
+
+/// Sizing hints the engine derives for each reducer from job hints and the
+/// cluster spec.
+#[derive(Debug, Clone, Copy)]
+pub struct ReducerSizing {
+    /// Expected bytes of shuffle input this reducer will receive.
+    pub expected_input: u64,
+    /// Expected distinct keys this reducer will see.
+    pub expected_keys: u64,
+    /// Typical key-state pair size in bytes.
+    pub state_size: u64,
+    /// DINC approximate mode: coverage threshold φ at which monitored keys
+    /// may be finalized from partial state, skipping disk (§4.3). `None`
+    /// requests exact processing.
+    pub early_stop_coverage: Option<f64>,
+    /// Which frequency algorithm drives the DINC monitor.
+    pub monitor: dinc_hash::MonitorKind,
+}
+
+impl ReducerSizing {
+    /// Bucket fan-out `h` such that one bucket's keys fit in `mem` bytes:
+    /// `h = ⌈K·entry/mem⌉`, clamped to leave room for write buffers.
+    pub fn bucket_count(&self, mem: u64, write_buffer: u64) -> usize {
+        let entry = self.state_size.max(1);
+        let needed = (self.expected_keys.max(1) * entry).div_ceil(mem.max(1));
+        let max_h = (mem / (2 * write_buffer.max(1))).max(1);
+        (needed.max(1) as usize).min(max_h as usize)
+    }
+}
+
+/// The reducer's handle on shared simulation state.
+pub struct ReduceEnv<'a> {
+    /// Node hosting this reducer.
+    pub node: usize,
+    /// Cluster configuration.
+    pub spec: &'a ClusterSpec,
+    /// Shared disks / usage / timeline / IoStats.
+    pub res: &'a mut Resources,
+    /// Job-wide progress tracker.
+    pub progress: &'a mut ProgressTracker,
+    /// Job-wide collected output.
+    pub output: &'a mut Vec<Pair>,
+    /// CPU seconds consumed by this reducer (engine aggregates per node).
+    pub reduce_cpu: &'a mut SimDuration,
+    /// Reduce-side spill bytes written (Tables 1/3/4 "Reduce spill").
+    pub spill_written: &'a mut u64,
+    /// Snapshot output bytes (HOP's periodic approximate outputs, §3.3).
+    pub snapshot_bytes: &'a mut u64,
+}
+
+impl ReduceEnv<'_> {
+    /// Shortcut: cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.spec.cost
+    }
+
+    /// Charges CPU to this reducer starting at `t`; returns completion.
+    pub fn cpu(&mut self, t: SimTime, dur: SimDuration) -> SimTime {
+        *self.reduce_cpu += dur;
+        self.res.cpu(self.node, t, dur)
+    }
+
+    /// Performs a reduce-spill I/O (category `U_4`) and tracks written
+    /// bytes in the spill metric.
+    pub fn spill(&mut self, t: SimTime, op: IoOp) -> SimTime {
+        *self.spill_written += op.written;
+        let cost = self.spec.cost;
+        self.res
+            .spill_io(self.node, t, IoCategory::ReduceSpill, op, &cost)
+    }
+}
+
+/// Batches reducer output into 64 KB HDFS writes and keeps the output
+/// component of Definition-1 progress current.
+pub struct OutputSink {
+    pending: Vec<Pair>,
+    pending_bytes: u64,
+    flush_at: u64,
+}
+
+impl OutputSink {
+    /// A sink flushing every 64 KB.
+    pub fn new() -> Self {
+        OutputSink {
+            pending: Vec::new(),
+            pending_bytes: 0,
+            flush_at: 64 * 1024,
+        }
+    }
+
+    /// Queues pairs emitted at time `t`; flushes to HDFS if the write
+    /// buffer filled. Returns the (possibly advanced) clock.
+    pub fn push(&mut self, t: SimTime, pairs: Vec<Pair>, env: &mut ReduceEnv<'_>) -> SimTime {
+        if pairs.is_empty() {
+            return t;
+        }
+        for p in &pairs {
+            self.pending_bytes += p.size();
+        }
+        self.pending.extend(pairs);
+        if self.pending_bytes >= self.flush_at {
+            self.flush(t, env)
+        } else {
+            t
+        }
+    }
+
+    /// Flushes everything queued.
+    pub fn flush(&mut self, t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        if self.pending.is_empty() {
+            return t;
+        }
+        let bytes = self.pending_bytes;
+        let cost = env.spec.cost;
+        let t = env
+            .res
+            .hdfs_io(env.node, t, IoCategory::ReduceOutput, IoOp::write(bytes), &cost);
+        env.progress.emitted(t, bytes);
+        env.output.append(&mut self.pending);
+        self.pending_bytes = 0;
+        t
+    }
+}
+
+impl Default for OutputSink {
+    fn default() -> Self {
+        OutputSink::new()
+    }
+}
+
+/// A reduce-side framework instance serving one reduce task.
+pub trait ReduceSide {
+    /// Handles one shuffle delivery arriving at `t`. Returns the time the
+    /// reducer is next free.
+    fn on_delivery(&mut self, t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime;
+
+    /// Called once after the final delivery; completes all processing and
+    /// returns the reducer's finish time.
+    fn finish(&mut self, t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime;
+
+    /// DINC monitor statistics, if this reducer runs DINC-hash.
+    fn dinc_stats(&self) -> Option<crate::metrics::DincStats> {
+        None
+    }
+
+    /// Produces a snapshot of the current (partial) answer — MapReduce
+    /// Online's periodic outputs (§3.3). The default is a no-op; the
+    /// sort-merge framework implements it by *repeating the merge* over
+    /// everything received so far, which is exactly why the paper finds
+    /// snapshots expensive.
+    fn snapshot(&mut self, t: SimTime, _env: &mut ReduceEnv<'_>) -> SimTime {
+        t
+    }
+}
+
+/// Instantiates the reduce-side framework for one reduce task.
+pub fn make_reducer<'j>(
+    framework: Framework,
+    job: &'j dyn Job,
+    spec: &ClusterSpec,
+    sizing: ReducerSizing,
+    family: &HashFamily,
+) -> Result<Box<dyn ReduceSide + 'j>> {
+    match framework {
+        Framework::SortMerge | Framework::SortMergePipelined => {
+            Ok(Box::new(sort_merge::SortMergeReducer::new(job, spec)))
+        }
+        Framework::MrHash => Ok(Box::new(mr_hash::MrHashReducer::new(
+            job, spec, sizing, family,
+        ))),
+        Framework::IncHash => {
+            let _ = job.incremental().ok_or_else(|| {
+                Error::job("INC-hash requires the job to implement IncrementalReducer")
+            })?;
+            Ok(Box::new(inc_hash::IncHashReducer::new(
+                job, spec, sizing, family,
+            )))
+        }
+        Framework::DincHash => {
+            let _ = job.incremental().ok_or_else(|| {
+                Error::job("DINC-hash requires the job to implement IncrementalReducer")
+            })?;
+            Ok(Box::new(dinc_hash::DincHashReducer::new(
+                job, spec, sizing, family,
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_count_scales_with_key_space() {
+        let small = ReducerSizing {
+            expected_input: 1 << 20,
+            expected_keys: 100,
+            state_size: 64,
+            early_stop_coverage: None,
+            monitor: dinc_hash::MonitorKind::Frequent,
+        };
+        // 100 keys × 64 B = 6.4 KB fits easily in 1 MB → one bucket.
+        assert_eq!(small.bucket_count(1 << 20, 1024), 1);
+
+        let large = ReducerSizing {
+            expected_input: 1 << 30,
+            expected_keys: 1 << 20,
+            state_size: 512,
+            early_stop_coverage: None,
+            monitor: dinc_hash::MonitorKind::Frequent,
+        };
+        // 1 Mi keys × 512 B = 512 MB over 1 MB memory → many buckets,
+        // clamped by write-buffer room.
+        let h = large.bucket_count(1 << 20, 1024);
+        assert!(h > 1);
+        assert!(h as u64 <= (1 << 20) / 2048);
+    }
+
+    #[test]
+    fn bucket_count_never_zero() {
+        let s = ReducerSizing {
+            expected_input: 0,
+            expected_keys: 0,
+            state_size: 0,
+            early_stop_coverage: None,
+            monitor: dinc_hash::MonitorKind::Frequent,
+        };
+        assert_eq!(s.bucket_count(1024, 512), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! MR-hash: the basic hash technique (§4.1).
+//!
+//! Incoming pairs are partitioned by `h2` into `n` buckets; the first
+//! bucket `D1` is pinned in memory, the rest stream to disk through paged
+//! write buffers (hybrid hash join). After the input ends, `D1` is grouped
+//! in memory by `h3` and reduced; the on-disk buckets are then read back
+//! one at a time, recursively re-partitioned by `h4, h5, …` should one
+//! exceed memory. No sort ever happens, but the reduce function still
+//! cannot run before all input has arrived (full value lists), so reduce
+//! progress blocks at 33% just like sort-merge — the difference is the CPU
+//! saved and the early answers possible for `D1`.
+
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerSizing, WORK_BATCH};
+use crate::api::{Job, ReduceCtx};
+use crate::cluster::ClusterSpec;
+use crate::map_phase::Payload;
+use crate::sim::OpKind;
+use opa_common::units::SimTime;
+use opa_common::{HashFamily, HashFn, Key, Pair, Value};
+use opa_simio::BucketManager;
+use std::collections::HashMap;
+
+/// Recursive partitioning depth limit; `h2..h8` is far beyond anything a
+/// sane configuration needs (each level multiplies capacity by the fan-out).
+const MAX_DEPTH: usize = 6;
+
+/// One reduce task running the MR-hash framework.
+pub struct MrHashReducer<'j> {
+    job: &'j dyn Job,
+    family: HashFamily,
+    h2: HashFn,
+    mem_budget: u64,
+    write_buffer: u64,
+    /// `D1`: the memory-resident bucket.
+    d1: Vec<Pair>,
+    d1_bytes: u64,
+    d1_budget: u64,
+    /// On-disk buckets (index 0 doubles as the D1 overflow file).
+    buckets: BucketManager<Pair>,
+    n_buckets: usize,
+    sink: OutputSink,
+}
+
+impl<'j> MrHashReducer<'j> {
+    /// Creates the reducer, sizing the bucket fan-out from the expected
+    /// reducer input (hybrid-hash style: each on-disk bucket should fit in
+    /// memory when read back).
+    pub fn new(
+        job: &'j dyn Job,
+        spec: &ClusterSpec,
+        sizing: ReducerSizing,
+        family: &HashFamily,
+    ) -> Self {
+        let mem = spec.hardware.reduce_buffer;
+        let write_buffer = spec.bucket_write_buffer;
+        // Buckets needed so one bucket ≈ fits in 80% of memory; +1 for D1.
+        let per_bucket = (mem as f64 * 0.8).max(1.0);
+        let disk_buckets = ((sizing.expected_input as f64 / per_bucket).ceil() as usize)
+            .clamp(1, (mem / (2 * write_buffer)).max(1) as usize);
+        let n_buckets = disk_buckets + 1;
+        let d1_budget = mem.saturating_sub(disk_buckets as u64 * write_buffer).max(1);
+        MrHashReducer {
+            job,
+            family: family.clone(),
+            h2: family.fn_at(1),
+            mem_budget: mem,
+            write_buffer,
+            d1: Vec::new(),
+            d1_bytes: 0,
+            d1_budget,
+            buckets: BucketManager::new(disk_buckets, write_buffer),
+            n_buckets,
+            sink: OutputSink::new(),
+        }
+    }
+
+    /// Groups `pairs` by key with the depth-`d` hash function and streams
+    /// each group through the reduce function.
+    fn reduce_in_memory(
+        &mut self,
+        mut t: SimTime,
+        pairs: Vec<Pair>,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        let n = pairs.len() as u64;
+        t = env.cpu(t, env.cost().hash_time(n));
+        let mut groups: Vec<(Key, Vec<Value>)> = Vec::new();
+        let mut index: HashMap<Key, usize> = HashMap::new();
+        for p in pairs {
+            match index.get(&p.key) {
+                Some(&i) => groups[i].1.push(p.value),
+                None => {
+                    index.insert(p.key.clone(), groups.len());
+                    groups.push((p.key, vec![p.value]));
+                }
+            }
+        }
+        let mut ctx = ReduceCtx::new();
+        let mut batch = 0u64;
+        for (key, values) in groups {
+            let n = values.len() as u64;
+            self.job.reduce(&key, values, &mut ctx);
+            batch += n;
+            if batch >= WORK_BATCH {
+                t = env.cpu(t, env.cost().reduce_time(batch));
+                env.progress.worked(t, batch);
+                batch = 0;
+                t = self.sink.push(t, ctx.drain(), env);
+            }
+        }
+        if batch > 0 {
+            t = env.cpu(t, env.cost().reduce_time(batch));
+            env.progress.worked(t, batch);
+        }
+        self.sink.push(t, ctx.drain(), env)
+    }
+
+    /// Processes one staged bucket: reduce in memory if it fits, otherwise
+    /// recursively partition with the next hash function.
+    fn process_bucket(
+        &mut self,
+        mut t: SimTime,
+        pairs: Vec<Pair>,
+        depth: usize,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        let bytes: u64 = pairs.iter().map(Pair::size).sum();
+        if bytes <= self.mem_budget || depth >= MAX_DEPTH {
+            return self.reduce_in_memory(t, pairs, env);
+        }
+        // Rehashing cannot split a bucket whose size is dominated by one
+        // hot key: its pairs collide under every hash function. When even
+        // a perfect split leaves the hot key's group over memory, further
+        // partitioning only rewrites bytes — fall back to in-memory
+        // processing (what the paper's skew-aware hash customization in §5
+        // exists to avoid).
+        let mut per_key: HashMap<&Key, u64> = HashMap::new();
+        for p in &pairs {
+            *per_key.entry(&p.key).or_default() += p.size();
+        }
+        let dominant = per_key.values().copied().max().unwrap_or(0);
+        if dominant > self.mem_budget || per_key.len() == 1 {
+            return self.reduce_in_memory(t, pairs, env);
+        }
+        // Recursive partitioning with h_{depth}.
+        let h = self.family.fn_at(depth);
+        let fan = ((bytes as f64 / (self.mem_budget as f64 * 0.8)).ceil() as usize).max(2);
+        let mut sub: BucketManager<Pair> = BucketManager::new(fan, self.write_buffer);
+        t = env.cpu(t, env.cost().hash_time(pairs.len() as u64));
+        for p in pairs {
+            let b = h.bucket(p.key.bytes(), fan);
+            let op = sub.push(b, p);
+            t = env.spill(t, op);
+        }
+        let op = sub.seal();
+        t = env.spill(t, op);
+        for b in 0..fan {
+            let (recs, op) = sub.take_bucket(b);
+            t = env.spill(t, op);
+            if !recs.is_empty() {
+                t = self.process_bucket(t, recs, depth + 1, env);
+            }
+        }
+        t
+    }
+}
+
+impl ReduceSide for MrHashReducer<'_> {
+    fn on_delivery(&mut self, mut t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+        let Payload::Pairs(pairs) = payload else {
+            unreachable!("MR-hash receives key-value pairs");
+        };
+        let bytes: u64 = pairs.iter().map(Pair::size).sum();
+        env.progress.shuffled(t, bytes);
+        t = env.cpu(t, env.cost().hash_time(pairs.len() as u64));
+        for p in pairs {
+            let b = self.h2.bucket(p.key.bytes(), self.n_buckets);
+            if b == 0 {
+                let sz = p.size();
+                if self.d1_bytes + sz <= self.d1_budget {
+                    self.d1_bytes += sz;
+                    self.d1.push(p);
+                } else {
+                    // D1 overflow shares bucket file 0.
+                    let op = self.buckets.push(0, p);
+                    t = env.spill(t, op);
+                }
+            } else {
+                let op = self.buckets.push(b - 1, p);
+                t = env.spill(t, op);
+            }
+        }
+        t
+    }
+
+    fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        let start = t;
+        let op = self.buckets.seal();
+        t = env.spill(t, op);
+        // Phase 1: the memory-resident bucket, joined with its overflow
+        // file (keys hashing to bucket 0 may have pairs in both — they
+        // must be grouped together).
+        let mut d1 = std::mem::take(&mut self.d1);
+        self.d1_bytes = 0;
+        let (overflow, op) = self.buckets.take_bucket(0);
+        t = env.spill(t, op);
+        let had_overflow = !overflow.is_empty();
+        d1.extend(overflow);
+        if had_overflow {
+            t = self.process_bucket(t, d1, 3, env);
+        } else {
+            t = self.reduce_in_memory(t, d1, env);
+        }
+        // Phase 2: the remaining staged buckets, one at a time.
+        for b in 1..self.buckets.num_buckets() {
+            let (recs, op) = self.buckets.take_bucket(b);
+            t = env.spill(t, op);
+            if !recs.is_empty() {
+                t = self.process_bucket(t, recs, 3, env);
+            }
+        }
+        t = self.sink.flush(t, env);
+        env.res.span(OpKind::Reduce, start, t);
+        t
+    }
+}

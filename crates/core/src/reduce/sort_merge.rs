@@ -1,0 +1,248 @@
+//! The sort-merge reducer (Hadoop baseline, §2.2 of the paper).
+//!
+//! Sorted segments accumulate in the shuffle buffer; when it exceeds `B_r`
+//! they are merged (combiner applied if the job has one) and spilled as one
+//! sorted run. A background merge collapses the smallest `F` on-disk files
+//! whenever `2F − 1` accumulate — the exact policy analyzed by `λ_F`. Only
+//! after the last delivery does the *final merge* stream every remaining
+//! run through the user's reduce function: this is the blocking behaviour
+//! that pins sort-merge reduce progress at 33% for non-combiner workloads.
+
+use super::{OutputSink, ReduceEnv, ReduceSide, WORK_BATCH};
+use crate::api::{Job, ReduceCtx};
+use crate::cluster::ClusterSpec;
+use crate::map_phase::Payload;
+use crate::sim::OpKind;
+use opa_common::units::SimTime;
+use opa_common::{Key, Pair, Value};
+use opa_simio::{IoOp, SpillStore};
+
+/// One reduce task running the sort-merge framework.
+pub struct SortMergeReducer<'j> {
+    job: &'j dyn Job,
+    merge_factor: usize,
+    buffer_cap: u64,
+    /// Sorted in-memory segments (one per delivery since the last spill).
+    segments: Vec<Vec<Pair>>,
+    buffered_bytes: u64,
+    spills: SpillStore<Pair>,
+    sink: OutputSink,
+}
+
+impl<'j> SortMergeReducer<'j> {
+    /// Creates the reducer.
+    pub fn new(job: &'j dyn Job, spec: &ClusterSpec) -> Self {
+        SortMergeReducer {
+            job,
+            merge_factor: spec.system.merge_factor,
+            buffer_cap: spec.hardware.reduce_buffer,
+            segments: Vec::new(),
+            buffered_bytes: 0,
+            spills: SpillStore::new(),
+            sink: OutputSink::new(),
+        }
+    }
+
+    /// Merges the buffered segments into one sorted run (stable sort keeps
+    /// within-segment order; segments are key-sorted already, so groups are
+    /// exact).
+    fn merge_segments(&mut self, t: SimTime, env: &mut ReduceEnv<'_>) -> (Vec<Pair>, SimTime) {
+        let fan_in = self.segments.len();
+        let mut run: Vec<Pair> = self.segments.drain(..).flatten().collect();
+        run.sort_by(|a, b| a.key.cmp(&b.key));
+        let dur = env.cost().merge_time(run.len() as u64, fan_in);
+        let t = env.cpu(t, dur);
+        self.buffered_bytes = 0;
+        (run, t)
+    }
+
+    /// Buffer overflow: merge segments, apply the combiner, spill one run,
+    /// then run the background-merge policy.
+    fn spill_buffer(&mut self, t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        let (mut run, mut t) = self.merge_segments(t, env);
+        if let Some(cb) = self.job.combiner() {
+            let before = run.len() as u64;
+            run = combine_run(cb, run);
+            let dur = env.cost().cb_time(before);
+            t = env.cpu(t, dur);
+            // Combine calls are user work under Definition 1.
+            env.progress.worked(t, before);
+        }
+        let (_id, op) = self.spills.write_file(run);
+        t = env.spill(t, op);
+        self.background_merge(t, env)
+    }
+
+    /// While `2F − 1` files sit on disk, merge the smallest `F`.
+    fn background_merge(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        let f = self.merge_factor;
+        while self.spills.live_count() >= 2 * f - 1 {
+            let mut live: Vec<(usize, u64)> = self.spills.live_files().collect();
+            live.sort_by_key(|&(_, bytes)| bytes);
+            let start = t;
+            let mut merged: Vec<Pair> = Vec::new();
+            let mut read_op = IoOp::NONE;
+            for &(id, _) in live.iter().take(f) {
+                let (file, op) = self.spills.take_file(id).expect("live file");
+                read_op += op;
+                merged.extend(file.records);
+            }
+            t = env.spill(t, read_op);
+            merged.sort_by(|a, b| a.key.cmp(&b.key));
+            let dur = env.cost().merge_time(merged.len() as u64, f);
+            t = env.cpu(t, dur);
+            let (_id, wop) = self.spills.write_file(merged);
+            t = env.spill(t, wop);
+            env.res.span(OpKind::Merge, start, t);
+        }
+        t
+    }
+}
+
+impl ReduceSide for SortMergeReducer<'_> {
+    /// MapReduce Online's snapshot (§3.3): *repeat the merge* over
+    /// everything received so far, run the reduce function, and write a
+    /// snapshot output. None of the work is reusable — the inputs stay on
+    /// disk for the real final merge — which is the paper's point about
+    /// snapshots being expensive.
+    fn snapshot(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        let start = t;
+        let ids: Vec<usize> = self.spills.live_files().map(|(id, _)| id).collect();
+        let mut all: Vec<Pair> = Vec::new();
+        let mut read_op = IoOp::NONE;
+        for id in ids {
+            let (records, op) = self.spills.read_file(id).expect("live file");
+            read_op += op;
+            all.extend(records);
+        }
+        t = env.spill(t, IoOp {
+            read: read_op.read,
+            written: 0,
+            seeks: read_op.seeks,
+        });
+        for seg in &self.segments {
+            all.extend(seg.iter().cloned());
+        }
+        if all.is_empty() {
+            return t;
+        }
+        all.sort_by(|a, b| a.key.cmp(&b.key));
+        t = env.cpu(t, env.cost().merge_time(all.len() as u64, 8));
+        let mut ctx = ReduceCtx::new();
+        let mut i = 0usize;
+        let mut reduced = 0u64;
+        while i < all.len() {
+            let mut j = i + 1;
+            while j < all.len() && all[j].key == all[i].key {
+                j += 1;
+            }
+            let key = all[i].key.clone();
+            let values: Vec<Value> = all[i..j].iter().map(|p| p.value.clone()).collect();
+            reduced += values.len() as u64;
+            self.job.reduce(&key, values, &mut ctx);
+            i = j;
+        }
+        t = env.cpu(t, env.cost().reduce_time(reduced));
+        let out = ctx.drain();
+        let bytes: u64 = out.iter().map(Pair::size).sum();
+        *env.snapshot_bytes += bytes;
+        let cost = env.spec.cost;
+        t = env.res.hdfs_io(
+            env.node,
+            t,
+            opa_simio::IoCategory::ReduceOutput,
+            IoOp::write(bytes),
+            &cost,
+        );
+        env.res.span(crate::sim::OpKind::Reduce, start, t);
+        t
+    }
+
+    fn on_delivery(&mut self, t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+        let Payload::Pairs(pairs) = payload else {
+            unreachable!("sort-merge receives key-value pairs");
+        };
+        let bytes: u64 = pairs.iter().map(Pair::size).sum();
+        env.progress.shuffled(t, bytes);
+        self.buffered_bytes += bytes;
+        if !pairs.is_empty() {
+            self.segments.push(pairs);
+        }
+        if self.buffered_bytes >= self.buffer_cap {
+            self.spill_buffer(t, env)
+        } else {
+            t
+        }
+    }
+
+    fn finish(&mut self, t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
+        // Final merge: every on-disk run plus the in-memory tail, streamed
+        // through the reduce function.
+        let start = t;
+        let mut t = t;
+        let disk_files: Vec<usize> = self.spills.live_files().map(|(id, _)| id).collect();
+        let fan_in = disk_files.len() + self.segments.len();
+        let mut all: Vec<Pair> = Vec::new();
+        let mut read_op = IoOp::NONE;
+        for id in disk_files {
+            let (file, op) = self.spills.take_file(id).expect("live file");
+            read_op += op;
+            all.extend(file.records);
+        }
+        t = env.spill(t, read_op);
+        all.extend(self.segments.drain(..).flatten());
+        self.buffered_bytes = 0;
+        all.sort_by(|a, b| a.key.cmp(&b.key));
+        let dur = env.cost().merge_time(all.len() as u64, fan_in.max(2));
+        t = env.cpu(t, dur);
+
+        // Stream groups through reduce, advancing the clock in batches so
+        // the post-map progress curve rises smoothly.
+        let mut ctx = ReduceCtx::new();
+        let mut batch_work = 0u64;
+        let mut i = 0usize;
+        while i < all.len() {
+            let mut j = i + 1;
+            while j < all.len() && all[j].key == all[i].key {
+                j += 1;
+            }
+            let key: Key = all[i].key.clone();
+            let values: Vec<Value> = all[i..j].iter().map(|p| p.value.clone()).collect();
+            let n = values.len() as u64;
+            self.job.reduce(&key, values, &mut ctx);
+            batch_work += n;
+            if batch_work >= WORK_BATCH {
+                t = env.cpu(t, env.cost().reduce_time(batch_work));
+                env.progress.worked(t, batch_work);
+                batch_work = 0;
+                t = self.sink.push(t, ctx.drain(), env);
+            }
+            i = j;
+        }
+        if batch_work > 0 {
+            t = env.cpu(t, env.cost().reduce_time(batch_work));
+            env.progress.worked(t, batch_work);
+        }
+        t = self.sink.push(t, ctx.drain(), env);
+        t = self.sink.flush(t, env);
+        env.res.span(OpKind::Reduce, start, t);
+        t
+    }
+}
+
+/// Applies the combiner to consecutive same-key groups of a sorted run.
+fn combine_run(cb: &dyn crate::api::Combiner, run: Vec<Pair>) -> Vec<Pair> {
+    let mut out = Vec::new();
+    let mut iter = run.into_iter().peekable();
+    while let Some(first) = iter.next() {
+        let key = first.key.clone();
+        let mut values = vec![first.value];
+        while iter.peek().is_some_and(|p| p.key == key) {
+            values.push(iter.next().expect("peeked").value);
+        }
+        for v in cb.combine(&key, values) {
+            out.push(Pair::new(key.clone(), v));
+        }
+    }
+    out
+}

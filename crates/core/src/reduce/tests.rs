@@ -1,0 +1,295 @@
+//! Unit tests driving the reduce-side frameworks directly, without the
+//! full job orchestrator: buffer spills, background merges, hybrid-hash
+//! staging, incremental state flow and DINC eviction.
+
+use super::*;
+use crate::api::{Combiner, IncrementalReducer, Job, ReduceCtx};
+use crate::cluster::ClusterSpec;
+use crate::map_phase::Payload;
+use crate::progress::ProgressTracker;
+use crate::sim::Resources;
+use opa_common::units::{SimDuration, SimTime};
+use opa_common::{HashFamily, Key, Pair, StatePair, Value};
+use std::collections::BTreeMap;
+
+/// Counting job used across these tests.
+struct Count;
+
+impl Job for Count {
+    fn name(&self) -> &str {
+        "count"
+    }
+    fn map(&self, _record: &[u8], _emit: &mut dyn FnMut(Key, Value)) {
+        unreachable!("reduce-side tests never map");
+    }
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+        ctx.emit(key.clone(), Value::from_u64(sum));
+    }
+    fn combiner(&self) -> Option<&dyn Combiner> {
+        Some(self)
+    }
+    fn incremental(&self) -> Option<&dyn IncrementalReducer> {
+        Some(self)
+    }
+}
+
+impl Combiner for Count {
+    fn combine(&self, _key: &Key, values: Vec<Value>) -> Vec<Value> {
+        vec![Value::from_u64(
+            values.iter().filter_map(Value::as_u64).sum(),
+        )]
+    }
+}
+
+impl IncrementalReducer for Count {
+    fn init(&self, _key: &Key, value: Value) -> Value {
+        value
+    }
+    fn cb(&self, _key: &Key, acc: &mut Value, other: Value, _ctx: &mut ReduceCtx) {
+        *acc = Value::from_u64(acc.as_u64().unwrap_or(0) + other.as_u64().unwrap_or(0));
+    }
+    fn finalize(&self, key: &Key, state: Value, ctx: &mut ReduceCtx) {
+        ctx.emit(key.clone(), state);
+    }
+}
+
+struct Harness {
+    spec: ClusterSpec,
+    res: Resources,
+    progress: ProgressTracker,
+    output: Vec<Pair>,
+    reduce_cpu: SimDuration,
+    spill_written: u64,
+    snapshot_bytes: u64,
+}
+
+impl Harness {
+    fn new(spec: ClusterSpec) -> Self {
+        Harness {
+            spec,
+            res: Resources::new(spec.hardware.nodes, 4, false),
+            progress: ProgressTracker::new(1),
+            output: Vec::new(),
+            reduce_cpu: SimDuration::ZERO,
+            spill_written: 0,
+            snapshot_bytes: 0,
+        }
+    }
+
+    fn env(&mut self) -> ReduceEnv<'_> {
+        ReduceEnv {
+            node: 0,
+            spec: &self.spec,
+            res: &mut self.res,
+            progress: &mut self.progress,
+            output: &mut self.output,
+            reduce_cpu: &mut self.reduce_cpu,
+            spill_written: &mut self.spill_written,
+            snapshot_bytes: &mut self.snapshot_bytes,
+        }
+    }
+
+    fn counts(&self) -> BTreeMap<u64, u64> {
+        self.output
+            .iter()
+            .map(|p| (p.key.as_u64().unwrap(), p.value.as_u64().unwrap()))
+            .collect()
+    }
+}
+
+fn sorted_pairs(keys: &[u64]) -> Vec<Pair> {
+    let mut keys = keys.to_vec();
+    keys.sort_unstable();
+    keys.into_iter()
+        .map(|k| Pair::new(Key::from_u64(k), Value::from_u64(1)))
+        .collect()
+}
+
+fn states(keys: &[u64]) -> Vec<StatePair> {
+    keys.iter()
+        .map(|&k| StatePair::new(Key::from_u64(k), Value::from_u64(1)))
+        .collect()
+}
+
+fn sizing() -> ReducerSizing {
+    ReducerSizing {
+        expected_input: 1 << 20,
+        expected_keys: 64,
+        state_size: 16,
+        early_stop_coverage: None,
+        monitor: dinc_hash::MonitorKind::Frequent,
+    }
+}
+
+#[test]
+fn sort_merge_counts_across_spills() {
+    let mut spec = ClusterSpec::tiny();
+    spec.hardware.reduce_buffer = 256; // force many buffer spills
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let mut r = sort_merge::SortMergeReducer::new(&job, &spec);
+    let mut t = SimTime::ZERO;
+    for batch in 0..20u64 {
+        let keys: Vec<u64> = (0..5).map(|i| (batch + i) % 7).collect();
+        let mut env = h.env();
+        t = r.on_delivery(t, Payload::Pairs(sorted_pairs(&keys)), &mut env);
+    }
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    // With a combiner, spilled runs are pre-aggregated but totals survive.
+    let total: u64 = h.counts().values().sum();
+    assert_eq!(total, 100);
+    assert_eq!(h.counts().len(), 7);
+    assert!(h.spill_written > 0, "tiny buffer must have spilled");
+}
+
+#[test]
+fn sort_merge_background_merge_bounds_files() {
+    let mut spec = ClusterSpec::tiny();
+    spec.hardware.reduce_buffer = 128;
+    spec.system.merge_factor = 2; // merge whenever 3 files exist
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let mut r = sort_merge::SortMergeReducer::new(&job, &spec);
+    let mut t = SimTime::ZERO;
+    for batch in 0..40u64 {
+        let mut env = h.env();
+        t = r.on_delivery(
+            t,
+            Payload::Pairs(sorted_pairs(&[batch % 11, (batch + 1) % 11])),
+            &mut env,
+        );
+    }
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    assert_eq!(h.counts().values().sum::<u64>(), 80);
+}
+
+#[test]
+fn mr_hash_stages_and_recovers_everything() {
+    let mut spec = ClusterSpec::tiny();
+    spec.hardware.reduce_buffer = 2048;
+    spec.bucket_write_buffer = 256;
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let family = HashFamily::new(3);
+    let big = ReducerSizing {
+        expected_input: 1 << 16, // well over memory → several buckets
+        ..sizing()
+    };
+    let mut r = mr_hash::MrHashReducer::new(&job, &spec, big, &family);
+    let mut t = SimTime::ZERO;
+    for batch in 0..50u64 {
+        let keys: Vec<u64> = (0..8).map(|i| (batch * 3 + i) % 23).collect();
+        let mut env = h.env();
+        t = r.on_delivery(t, Payload::Pairs(sorted_pairs(&keys)), &mut env);
+    }
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    assert_eq!(h.counts().values().sum::<u64>(), 400);
+    assert_eq!(h.counts().len(), 23);
+    assert!(h.spill_written > 0, "staged buckets must exist");
+}
+
+#[test]
+fn inc_hash_zero_spill_when_memory_suffices() {
+    let spec = ClusterSpec::tiny();
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let family = HashFamily::new(4);
+    let mut r = inc_hash::IncHashReducer::new(&job, &spec, sizing(), &family);
+    let mut t = SimTime::ZERO;
+    for batch in 0..100u64 {
+        let mut env = h.env();
+        t = r.on_delivery(t, Payload::States(states(&[batch % 10])), &mut env);
+    }
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    assert_eq!(h.spill_written, 0);
+    assert_eq!(h.counts().values().sum::<u64>(), 100);
+    assert_eq!(h.counts().len(), 10);
+}
+
+#[test]
+fn inc_hash_bucket_path_is_exact() {
+    let mut spec = ClusterSpec::tiny();
+    spec.hardware.reduce_buffer = 600; // room for only a handful of states
+    spec.bucket_write_buffer = 128;
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let family = HashFamily::new(5);
+    let mut r = inc_hash::IncHashReducer::new(&job, &spec, sizing(), &family);
+    let mut t = SimTime::ZERO;
+    for round in 0..60u64 {
+        let keys: Vec<u64> = (0..4).map(|i| (round + i * 17) % 50).collect();
+        let mut env = h.env();
+        t = r.on_delivery(t, Payload::States(states(&keys)), &mut env);
+    }
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    assert!(h.spill_written > 0, "memory pressure must stage tuples");
+    assert_eq!(h.counts().values().sum::<u64>(), 240);
+    assert_eq!(h.counts().len(), 50);
+}
+
+#[test]
+fn dinc_hash_counts_survive_eviction_churn() {
+    let mut spec = ClusterSpec::tiny();
+    spec.hardware.reduce_buffer = 512;
+    spec.bucket_write_buffer = 128;
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let family = HashFamily::new(6);
+    let mut r = dinc_hash::DincHashReducer::new(&job, &spec, sizing(), &family);
+    assert!(r.slots() >= 1);
+    let mut t = SimTime::ZERO;
+    // A hot key interleaved with a churning cold tail.
+    let mut expect: BTreeMap<u64, u64> = BTreeMap::new();
+    for round in 0..300u64 {
+        let keys = [7u64, 1000 + (round % 60)];
+        for &k in &keys {
+            *expect.entry(k).or_default() += 1;
+        }
+        let mut env = h.env();
+        t = r.on_delivery(t, Payload::States(states(&keys)), &mut env);
+    }
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    assert_eq!(h.counts(), expect, "eviction churn must not lose counts");
+}
+
+#[test]
+fn dinc_early_stop_reports_only_covered_keys() {
+    let mut spec = ClusterSpec::tiny();
+    spec.hardware.reduce_buffer = 512;
+    spec.bucket_write_buffer = 128;
+    let mut h = Harness::new(spec);
+    let job = Count;
+    let family = HashFamily::new(8);
+    let approx = ReducerSizing {
+        early_stop_coverage: Some(0.5),
+        ..sizing()
+    };
+    let mut r = dinc_hash::DincHashReducer::new(&job, &spec, approx, &family);
+    let mut t = SimTime::ZERO;
+    for round in 0..200u64 {
+        let keys = [7u64, 2000 + (round % 80)];
+        let mut env = h.env();
+        t = r.on_delivery(t, Payload::States(states(&keys)), &mut env);
+    }
+    let spilled_before = h.spill_written;
+    let mut env = h.env();
+    let _ = r.finish(t, &mut env);
+    // Early stop: no bucket is read back, so spill stays as-is and only
+    // hot (covered) keys are reported.
+    assert_eq!(h.spill_written, spilled_before);
+    let counts = h.counts();
+    assert!(counts.contains_key(&7), "the hot key must be reported");
+    assert!(
+        counts.len() < 81,
+        "early stop must not report the whole key space"
+    );
+    // The reported hot-key count is a partial (≤ true) count.
+    assert!(counts[&7] <= 200);
+}

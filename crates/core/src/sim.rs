@@ -1,0 +1,399 @@
+//! Discrete-event simulation primitives: per-node disk queues, CPU/disk
+//! utilization accounting, and the task timeline behind Fig. 2(a).
+//!
+//! Each node owns one or two disk queues (one when intermediate data shares
+//! the HDFS device — the paper's default — two for the Fig 2(d) SSD
+//! variant). A queue serializes requests: an operation requested at `t` is
+//! serviced at `max(t, free_at)` and the requester blocks until completion,
+//! which is how disk contention between co-located map tasks, shuffles and
+//! merges arises without an explicit queueing model.
+
+use crate::cost::CostModel;
+use opa_common::units::{SimDuration, SimTime};
+use opa_simio::{IoCategory, IoOp, IoStats};
+use serde::{Deserialize, Serialize};
+
+/// Operation classes shown on the paper's task timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A map task (includes its sort, as in Fig 2(a)).
+    Map,
+    /// A shuffle transfer.
+    Shuffle,
+    /// A background (multi-pass) merge.
+    Merge,
+    /// Final-merge + reduce-function work, or hash-side reduce work.
+    Reduce,
+}
+
+/// One timeline interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval.
+    pub end: SimTime,
+}
+
+/// Cluster-wide busy-time accounting in fixed-width buckets, from which the
+/// harness derives CPU-utilization and disk-busy (iowait-proxy) series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Usage {
+    /// Bucket width in seconds.
+    pub bucket_secs: f64,
+    /// CPU busy seconds per bucket (all nodes pooled).
+    pub cpu: Vec<f64>,
+    /// Disk busy seconds per bucket (all devices pooled).
+    pub disk: Vec<f64>,
+    nodes: usize,
+    cores_per_node: usize,
+}
+
+impl Usage {
+    fn new(bucket_secs: f64, nodes: usize, cores_per_node: usize) -> Self {
+        Usage {
+            bucket_secs,
+            cpu: Vec::new(),
+            disk: Vec::new(),
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    fn add(series: &mut Vec<f64>, bucket_secs: f64, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        let (s, e) = (start.as_secs_f64(), end.as_secs_f64());
+        let first = (s / bucket_secs) as usize;
+        let last = (e / bucket_secs) as usize;
+        if series.len() <= last {
+            series.resize(last + 1, 0.0);
+        }
+        for (b, slot) in series.iter_mut().enumerate().take(last + 1).skip(first) {
+            let lo = (b as f64) * bucket_secs;
+            let hi = lo + bucket_secs;
+            *slot += (e.min(hi) - s.max(lo)).max(0.0);
+        }
+    }
+
+    fn add_cpu(&mut self, start: SimTime, end: SimTime) {
+        let w = self.bucket_secs;
+        Self::add(&mut self.cpu, w, start, end);
+    }
+
+    fn add_disk(&mut self, start: SimTime, end: SimTime) {
+        let w = self.bucket_secs;
+        Self::add(&mut self.disk, w, start, end);
+    }
+
+    /// CPU utilization percentage per bucket (busy cores / total cores).
+    pub fn cpu_utilization(&self) -> Vec<f64> {
+        let cap = self.bucket_secs * (self.nodes * self.cores_per_node) as f64;
+        self.cpu.iter().map(|&b| 100.0 * b / cap).collect()
+    }
+
+    /// Disk busy percentage per bucket — the engine's proxy for the
+    /// paper's CPU-iowait curves (the disks are the blocking resource).
+    pub fn disk_busy(&self) -> Vec<f64> {
+        let cap = self.bucket_secs * self.nodes as f64;
+        self.disk.iter().map(|&b| (100.0 * b / cap).min(100.0)).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DiskQueue {
+    free_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeRes {
+    hdfs: DiskQueue,
+    spill: DiskQueue,
+}
+
+/// All shared simulated resources of one job run.
+#[derive(Debug)]
+pub struct Resources {
+    nodes: Vec<NodeRes>,
+    /// Whether intermediate data shares the HDFS device (the default).
+    shared_device: bool,
+    /// Busy-time accounting.
+    pub usage: Usage,
+    /// Task timeline spans.
+    pub timeline: Vec<Span>,
+    /// Job-wide I/O statistics.
+    pub io: IoStats,
+}
+
+impl Resources {
+    /// Builds resources for `nodes` nodes. `separate_spill_device` selects
+    /// the Fig 2(d) topology (intermediate data on its own device).
+    pub fn new(nodes: usize, cores_per_node: usize, separate_spill_device: bool) -> Self {
+        Resources {
+            nodes: vec![
+                NodeRes {
+                    hdfs: DiskQueue {
+                        free_at: SimTime::ZERO
+                    },
+                    spill: DiskQueue {
+                        free_at: SimTime::ZERO
+                    },
+                };
+                nodes
+            ],
+            shared_device: !separate_spill_device,
+            usage: Usage::new(10.0, nodes, cores_per_node),
+            timeline: Vec::new(),
+            io: IoStats::new(),
+        }
+    }
+
+    /// Performs an I/O operation on a node's HDFS device starting no
+    /// earlier than `t`; records it under `cat` and returns completion.
+    pub fn hdfs_io(
+        &mut self,
+        node: usize,
+        t: SimTime,
+        cat: IoCategory,
+        op: IoOp,
+        cost: &CostModel,
+    ) -> SimTime {
+        if op.is_none() {
+            return t;
+        }
+        self.io.record(cat, op);
+        let dur = cost.hdfs_time(op);
+        let q = &mut self.nodes[node].hdfs;
+        let start = t.max(q.free_at);
+        let end = start + dur;
+        q.free_at = end;
+        self.usage.add_disk(start, end);
+        end
+    }
+
+    /// Performs an I/O operation on a node's intermediate-data device.
+    /// Falls back to the HDFS queue when the devices are shared.
+    pub fn spill_io(
+        &mut self,
+        node: usize,
+        t: SimTime,
+        cat: IoCategory,
+        op: IoOp,
+        cost: &CostModel,
+    ) -> SimTime {
+        if op.is_none() {
+            return t;
+        }
+        self.io.record(cat, op);
+        let dur = cost.spill_time(op);
+        let n = &mut self.nodes[node];
+        let q = if self.shared_device {
+            &mut n.hdfs
+        } else {
+            &mut n.spill
+        };
+        let start = t.max(q.free_at);
+        let end = start + dur;
+        q.free_at = end;
+        self.usage.add_disk(start, end);
+        end
+    }
+
+    /// Charges `dur` of CPU time starting at `t` (slots, not this method,
+    /// bound concurrency). Returns completion.
+    pub fn cpu(&mut self, _node: usize, t: SimTime, dur: SimDuration) -> SimTime {
+        let end = t + dur;
+        self.usage.add_cpu(t, end);
+        end
+    }
+
+    /// Records a timeline span.
+    pub fn span(&mut self, kind: OpKind, start: SimTime, end: SimTime) {
+        if end > start {
+            self.timeline.push(Span { kind, start, end });
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: std::collections::BinaryHeap<QueueEntry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct QueueEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for QueueEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for QueueEntry<E> {}
+impl<E> PartialOrd for QueueEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for QueueEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(QueueEntry { time, seq, event });
+    }
+
+    /// Pops the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opa_common::units::KB;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn event_queue_orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), "late");
+        q.push(t(1.0), "first");
+        q.push(t(1.0), "second");
+        q.push(t(0.5), "earliest");
+        assert_eq!(q.len(), 4);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["earliest", "first", "second", "late"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn disk_queue_serializes_requests() {
+        let cost = CostModel::paper_scaled();
+        let mut res = Resources::new(2, 4, false);
+        // Two requests at t=0 on the same node queue back-to-back.
+        let op = IoOp::read(80 * KB); // ~1.004 s at scaled 80 MB/s
+        let e1 = res.hdfs_io(0, SimTime::ZERO, IoCategory::MapInput, op, &cost);
+        let e2 = res.hdfs_io(0, SimTime::ZERO, IoCategory::MapInput, op, &cost);
+        assert!(e2 > e1);
+        assert!((e2.as_secs_f64() - 2.0 * e1.as_secs_f64()).abs() < 1e-6);
+        // A different node is unaffected.
+        let e3 = res.hdfs_io(1, SimTime::ZERO, IoCategory::MapInput, op, &cost);
+        assert_eq!(e3, e1);
+    }
+
+    #[test]
+    fn shared_device_couples_hdfs_and_spill() {
+        let cost = CostModel::paper_scaled();
+        let op = IoOp::write(80 * KB);
+        let mut shared = Resources::new(1, 4, false);
+        let h = shared.hdfs_io(0, SimTime::ZERO, IoCategory::MapInput, op, &cost);
+        let s = shared.spill_io(0, SimTime::ZERO, IoCategory::ReduceSpill, op, &cost);
+        assert!(s > h, "spill should queue behind HDFS on a shared device");
+
+        let mut split = Resources::new(1, 4, true);
+        let h2 = split.hdfs_io(0, SimTime::ZERO, IoCategory::MapInput, op, &cost);
+        let s2 = split.spill_io(0, SimTime::ZERO, IoCategory::ReduceSpill, op, &cost);
+        assert_eq!(
+            s2.as_secs_f64(),
+            h2.as_secs_f64(),
+            "separate devices serve in parallel"
+        );
+    }
+
+    #[test]
+    fn zero_ops_are_free_and_unrecorded() {
+        let cost = CostModel::paper_scaled();
+        let mut res = Resources::new(1, 4, false);
+        let end = res.hdfs_io(0, t(3.0), IoCategory::MapInput, IoOp::NONE, &cost);
+        assert_eq!(end, t(3.0));
+        assert_eq!(res.io.total_bytes(), 0);
+        assert_eq!(res.io.total_seeks(), 0);
+    }
+
+    #[test]
+    fn usage_buckets_accumulate() {
+        let mut u = Usage::new(10.0, 1, 4);
+        u.add_cpu(t(5.0), t(25.0)); // spans buckets 0,1,2
+        assert_eq!(u.cpu.len(), 3);
+        assert!((u.cpu[0] - 5.0).abs() < 1e-9);
+        assert!((u.cpu[1] - 10.0).abs() < 1e-9);
+        assert!((u.cpu[2] - 5.0).abs() < 1e-9);
+        let util = u.cpu_utilization();
+        // Bucket 1: 10 busy seconds / (10 s × 4 cores) = 25%.
+        assert!((util[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_drop_empty_intervals() {
+        let mut res = Resources::new(1, 4, false);
+        res.span(OpKind::Map, t(1.0), t(1.0));
+        res.span(OpKind::Map, t(1.0), t(2.0));
+        assert_eq!(res.timeline.len(), 1);
+    }
+
+    #[test]
+    fn io_stats_flow_through() {
+        let cost = CostModel::free();
+        let mut res = Resources::new(1, 4, false);
+        let _ = res.spill_io(
+            0,
+            SimTime::ZERO,
+            IoCategory::ReduceSpill,
+            IoOp::write(100),
+            &cost,
+        );
+        assert_eq!(res.io.written_bytes(IoCategory::ReduceSpill), 100);
+    }
+}

@@ -1,0 +1,126 @@
+//! I/O analysis of the hash frameworks (§4.1–§4.3 of the paper).
+//!
+//! - **MR-hash** follows hybrid hash join [Shapiro 86]: with reducer input
+//!   `|D_r|` and memory `B`, no recursive partitioning is needed once
+//!   `B ≥ 2√|D_r|`, and the staged traffic is `2(|D_r| − |D_1|)` bytes
+//!   (everything but the memory-resident bucket is written once and read
+//!   once).
+//! - **INC-hash** follows Hybrid Cache [Hellerstein & Naughton 96]: with
+//!   total distinct key-state volume `Δ`, I/O vanishes when `B ≥ Δ`; for
+//!   `√Δ < B < Δ` the tuples of resident keys collapse in memory and the
+//!   rest are written out and read back exactly once.
+//! - **DINC-hash** adds the FREQUENT guarantee: at least
+//!   `M' = Σ_{i≤s} max(0, f_i − M/(s+1))` tuples combine in memory, so at
+//!   most `M − M' + s` tuples spill.
+
+/// Minimum reducer memory (bytes) above which MR-hash never needs
+/// recursive partitioning: `2√|D_r|`.
+pub fn mr_hash_min_memory(reducer_input: u64) -> u64 {
+    (2.0 * (reducer_input as f64).sqrt()).ceil() as u64
+}
+
+/// MR-hash staged bytes (written + read): `2(|D_r| − |D_1|)`, where the
+/// memory-resident bucket `D_1` holds `memory − h·write_buffer` bytes and
+/// `h` buckets of `≈ memory` each cover the remainder.
+pub fn mr_hash_staged_bytes(reducer_input: u64, memory: u64, write_buffer: u64) -> u64 {
+    if reducer_input <= memory {
+        return 0;
+    }
+    let h = reducer_input.div_ceil(memory.max(1));
+    let d1 = memory.saturating_sub(h * write_buffer);
+    2 * reducer_input.saturating_sub(d1)
+}
+
+/// INC-hash staged bytes: zero when all distinct key-state pairs fit;
+/// otherwise the non-resident fraction of the *tuple* volume is written
+/// once and read once. `resident_tuple_fraction` is the share of tuples
+/// whose keys are memory-resident (workload-dependent: the mass of the
+/// first-observed keys).
+pub fn inc_hash_staged_bytes(
+    tuple_volume: u64,
+    distinct_state_volume: u64,
+    memory: u64,
+    resident_tuple_fraction: f64,
+) -> u64 {
+    if memory >= distinct_state_volume {
+        return 0;
+    }
+    let staged = tuple_volume as f64 * (1.0 - resident_tuple_fraction.clamp(0.0, 1.0));
+    (2.0 * staged).round() as u64
+}
+
+/// FREQUENT's combine-work guarantee for DINC-hash: with monitored slot
+/// count `s`, total tuples `M`, and the key-frequency vector (descending),
+/// at least `M' = Σ_{i≤s} max(0, f_i − M/(s+1))` combine operations happen
+/// in memory.
+pub fn dinc_guaranteed_combines(frequencies_desc: &[u64], s: usize) -> u64 {
+    let m: u64 = frequencies_desc.iter().sum();
+    let slack = m / (s as u64 + 1);
+    frequencies_desc
+        .iter()
+        .take(s)
+        .map(|&f| f.saturating_sub(slack))
+        .sum()
+}
+
+/// Upper bound on tuples DINC writes to disk: `M − M' + s`.
+pub fn dinc_max_spilled_tuples(frequencies_desc: &[u64], s: usize) -> u64 {
+    let m: u64 = frequencies_desc.iter().sum();
+    m - dinc_guaranteed_combines(frequencies_desc, s) + s as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mr_hash_memory_threshold() {
+        // |Dr| = 1 GiB → 2√|Dr| = 64 KiB.
+        assert_eq!(mr_hash_min_memory(1 << 30), 1 << 16);
+        assert_eq!(mr_hash_min_memory(0), 0);
+    }
+
+    #[test]
+    fn mr_hash_staging_shrinks_with_memory() {
+        let dr = 10 << 20;
+        let small = mr_hash_staged_bytes(dr, 1 << 20, 8 << 10);
+        let large = mr_hash_staged_bytes(dr, 4 << 20, 8 << 10);
+        assert!(small > large);
+        assert_eq!(mr_hash_staged_bytes(dr, dr, 8 << 10), 0);
+        // Everything staged at most twice.
+        assert!(small <= 2 * dr);
+    }
+
+    #[test]
+    fn inc_hash_zero_when_states_fit() {
+        assert_eq!(inc_hash_staged_bytes(1 << 30, 1 << 20, 1 << 20, 0.5), 0);
+        let staged = inc_hash_staged_bytes(1 << 20, 1 << 20, 1 << 10, 0.75);
+        // 25% of a MiB, twice.
+        assert_eq!(staged, (1 << 20) / 2);
+    }
+
+    #[test]
+    fn dinc_guarantee_matches_paper_formula() {
+        // f = [100, 50, 10, 10, 10, 10], M = 190, s = 2 → slack = 63.
+        let f = [100u64, 50, 10, 10, 10, 10];
+        let m_prime = dinc_guaranteed_combines(&f, 2);
+        assert_eq!(m_prime, 100 - 63); // 50 < 63 contributes nothing
+        assert_eq!(dinc_max_spilled_tuples(&f, 2), 190 - 37 + 2);
+    }
+
+    #[test]
+    fn dinc_guarantee_degrades_gracefully_on_flat_data() {
+        // No key above M/(s+1): the guarantee is zero — the paper's
+        // "does not give any guarantee if there are no [popular] keys".
+        let f = [10u64; 20];
+        assert_eq!(dinc_guaranteed_combines(&f, 4), 0);
+        // And improves monotonically with more slots.
+        let skewed: Vec<u64> = (1..=40u64).rev().map(|k| k * k).collect();
+        let mut prev = 0;
+        for s in [1usize, 2, 4, 8, 16] {
+            let g = dinc_guaranteed_combines(&skewed, s);
+            assert!(g >= prev, "guarantee not monotone in s");
+            prev = g;
+        }
+    }
+}

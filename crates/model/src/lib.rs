@@ -1,0 +1,38 @@
+//! # opa-model
+//!
+//! The paper's analytical model of Hadoop (§3), implemented verbatim:
+//!
+//! - [`lambda`] — the multi-pass-merge cost function `λ_F(n, b)` (Eq. 2)
+//!   together with an *exact* simulator of the merge tree of Fig. 3, used
+//!   to validate the closed form;
+//! - [`io_model`] — Proposition 3.1 (bytes read/written per node, Eq. 1,
+//!   with the `U_1..U_5` decomposition) and Proposition 3.2 (number of I/O
+//!   requests, Eq. 3);
+//! - [`time_model`] — the combined time measurement
+//!   `T = c_byte·U + c_seek·S + c_start·D/(CN)` (Eq. 4) with the paper's
+//!   constants (80 MB/s sequential access, 4 ms seek, 100 ms map startup);
+//! - [`optimizer`] — parameter selection per §3.2: the largest `C` with
+//!   `C·K_m ≤ B_m`, a one-pass merge factor, and a grid search minimizing
+//!   `T` over `(C, F)`;
+//! - [`hash_model`] — the hash frameworks' own I/O analysis (§4):
+//!   hybrid-hash staging for MR-hash, the `Δ`-vs-memory regimes of
+//!   INC-hash, and FREQUENT's combine-work guarantee for DINC-hash.
+//!
+//! The model deliberately predicts a *time measurement*, not wall-clock
+//! running time: the paper validates it by showing matching **trends** as
+//! `C` and `F` vary (Fig. 4(a)), which is exactly what `repro fig4a`
+//! reproduces against the OPA engine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hash_model;
+pub mod io_model;
+pub mod lambda;
+pub mod optimizer;
+pub mod time_model;
+
+pub use io_model::{IoBytesBreakdown, ModelInput};
+pub use lambda::{lambda_f, MergeTreeSim};
+pub use optimizer::{GridPoint, Optimizer, Recommendation};
+pub use time_model::{CostConstants, TimeBreakdown};

@@ -1,0 +1,104 @@
+//! Property-based tests for the storage substrate: byte conservation and
+//! partition completeness under arbitrary record streams.
+
+use opa_common::{Key, Pair, StatePair, Value};
+use opa_simio::{BlockStore, BucketManager, SpillStore};
+use proptest::prelude::*;
+
+fn tuple(k: u64, len: usize) -> StatePair {
+    StatePair::new(Key::from_u64(k), Value::new(vec![0xAB; len]))
+}
+
+proptest! {
+    /// Every record pushed into a bucket manager comes back exactly once,
+    /// from the bucket it was pushed to, in push order; written bytes on
+    /// flushes equal read bytes on take.
+    #[test]
+    fn bucket_manager_conserves_records(
+        recs in proptest::collection::vec((0u64..500, 1usize..120), 1..300),
+        h in 1usize..8,
+        buffer in 64u64..2048,
+    ) {
+        let mut m = BucketManager::new(h, buffer);
+        let mut expected: Vec<Vec<(u64, usize)>> = vec![Vec::new(); h];
+        let mut written = 0u64;
+        for &(k, len) in &recs {
+            let b = (k as usize) % h;
+            expected[b].push((k, len));
+            written += m.push(b, tuple(k, len)).written;
+        }
+        written += m.seal().written;
+        let mut read = 0u64;
+        for (b, exp) in expected.iter().enumerate() {
+            let (got, op) = m.take_bucket(b);
+            read += op.read;
+            let got: Vec<(u64, usize)> = got
+                .iter()
+                .map(|t| (t.key.as_u64().unwrap(), t.state.len()))
+                .collect();
+            prop_assert_eq!(&got, exp, "bucket {} contents differ", b);
+        }
+        prop_assert_eq!(written, read, "flushed bytes must equal read bytes");
+        prop_assert_eq!(m.total_spilled(), 0, "take_bucket resets accounting");
+    }
+
+    /// Spill files round-trip their records and sizes.
+    #[test]
+    fn spill_store_roundtrip(
+        runs in proptest::collection::vec(
+            proptest::collection::vec((0u64..100, 1usize..64), 1..40),
+            1..10,
+        ),
+    ) {
+        let mut store: SpillStore<StatePair> = SpillStore::new();
+        let mut ids = Vec::new();
+        let mut total_written = 0u64;
+        for run in &runs {
+            let records: Vec<StatePair> = run.iter().map(|&(k, l)| tuple(k, l)).collect();
+            let (id, op) = store.write_file(records);
+            total_written += op.written;
+            ids.push(id);
+        }
+        prop_assert_eq!(store.live_count(), runs.len());
+        prop_assert_eq!(store.total_written(), total_written);
+        for (id, run) in ids.into_iter().zip(&runs) {
+            let (file, op) = store.take_file(id).expect("live file");
+            prop_assert_eq!(file.records.len(), run.len());
+            prop_assert_eq!(op.read, file.bytes);
+        }
+        prop_assert_eq!(store.live_count(), 0);
+        prop_assert_eq!(store.live_bytes(), 0);
+    }
+
+    /// Block-store chunks tile the record index space exactly and respect
+    /// the chunk-size bound (except single oversized records).
+    #[test]
+    fn block_store_tiles_input(
+        sizes in proptest::collection::vec(1u64..200, 1..500),
+        chunk in 32u64..512,
+        nodes in 1usize..12,
+    ) {
+        let bs = BlockStore::split(sizes.iter().copied(), chunk, nodes);
+        let mut next = 0usize;
+        for c in bs.chunks() {
+            prop_assert_eq!(c.range.start, next);
+            prop_assert!(c.node < nodes);
+            // A chunk either fits the bound or holds a single big record.
+            prop_assert!(c.bytes <= chunk || c.len() == 1);
+            let expect: u64 = sizes[c.range.clone()].iter().sum();
+            prop_assert_eq!(c.bytes, expect);
+            next = c.range.end;
+        }
+        prop_assert_eq!(next, sizes.len());
+        prop_assert_eq!(bs.total_bytes(), sizes.iter().sum::<u64>());
+    }
+
+    /// Pair sizes are additive and stable under cloning.
+    #[test]
+    fn pair_size_additive(k in proptest::collection::vec(any::<u8>(), 0..64),
+                          v in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let p = Pair::new(Key::new(k.clone()), Value::new(v.clone()));
+        prop_assert_eq!(p.size(), (k.len() + v.len()) as u64 + 8);
+        prop_assert_eq!(p.clone().size(), p.size());
+    }
+}

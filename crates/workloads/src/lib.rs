@@ -1,0 +1,48 @@
+//! # opa-workloads
+//!
+//! The paper's evaluation workloads (§2.3, §6) rebuilt on synthetic data:
+//!
+//! - [`clickstream`] — a WorldCup'98-style click log generator: Zipf user
+//!   popularity, session-structured timestamps, bounded disorder;
+//! - [`documents`] — a GOV2-style document generator with Zipf vocabulary;
+//! - [`sessionize`] — **sessionization**: reorder clicks into per-user
+//!   sessions closed by 5 minutes of inactivity (the paper's flagship
+//!   workload — large intermediate data, no combiner);
+//! - [`click_count`] — **user click counting** (combiner-friendly);
+//! - [`frequent_users`] — **frequent user identification** (≥ 50 clicks,
+//!   early output when the counter crosses the threshold);
+//! - [`page_freq`] — **page frequency** (visits per URL, Table 1);
+//! - [`trigrams`] — **trigram counting** over documents (≥ 1000
+//!   occurrences; the large-key-state-space workload of Fig 7(f));
+//! - [`windowed_count`] — **windowed click counting**, the paper's
+//!   future-work extension to window-based stream processing;
+//! - [`online_agg`] — **online aggregation** with log-spaced early
+//!   approximate answers, the paper's other future-work direction.
+//!
+//! Each job implements [`opa_core::api::Job`] and, where the paper's reduce
+//! function permits incremental processing, [`opa_core::api::IncrementalReducer`]
+//! with states laid out in byte arrays exactly like the prototype (§5).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod click_count;
+pub mod clickstream;
+pub mod documents;
+pub mod frequent_users;
+pub mod online_agg;
+pub mod page_freq;
+pub mod sessionize;
+pub mod trigrams;
+pub mod windowed_count;
+pub mod zipf;
+
+pub use click_count::ClickCountJob;
+pub use clickstream::ClickStreamSpec;
+pub use documents::DocumentSpec;
+pub use frequent_users::FrequentUsersJob;
+pub use online_agg::OnlineAvgJob;
+pub use page_freq::PageFreqJob;
+pub use sessionize::SessionizeJob;
+pub use trigrams::TrigramCountJob;
+pub use windowed_count::WindowedCountJob;

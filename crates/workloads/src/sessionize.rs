@@ -1,0 +1,547 @@
+//! Sessionization: reorder a click stream into per-user sessions (§2.3).
+//!
+//! *Map* extracts the user id and re-keys each click (`K_m ≈ 1`, no
+//! combiner possible — every record must survive). *Reduce* orders a
+//! user's clicks by timestamp and splits them into sessions closed by
+//! `gap` (300 s) of inactivity; each output record is the click annotated
+//! with its session's start timestamp, so session identity is
+//! order-independent and verifiable.
+//!
+//! ## Incremental state (INC/DINC)
+//!
+//! The state is a fixed-capacity *reorder buffer* plus an *anchor*:
+//!
+//! ```text
+//! [flags u8][anchor_start u64][anchor_last u64][n u16] n×[ts u64][len u8][tail…]
+//! ```
+//!
+//! Buffered clicks are merged in timestamp order; a click is drained
+//! (emitted) once the reducer watermark guarantees no earlier click can
+//! still arrive (`ts < watermark − slack`). The anchor remembers the open
+//! session of already-drained clicks, so a slightly tardy click that still
+//! belongs to the current session is labelled correctly. When the buffer
+//! overflows its fixed capacity (the paper's 0.5/1/2 KB state sizes) the
+//! oldest click is force-drained — precisely the paper's "a sufficiently
+//! large buffer can guarantee the input order" caveat: under-provisioned
+//! states may fragment a hot user's sessions but never lose a click.
+//!
+//! The DINC eviction rule of §6.2 is implemented via [`can_evict`]: a state
+//! may leave the monitor only when every buffered click belongs to an
+//! expired session, in which case eviction *outputs* the clicks instead of
+//! spilling them.
+//!
+//! [`can_evict`]: opa_core::api::IncrementalReducer::can_evict
+
+use crate::clickstream::parse_click;
+use opa_core::api::{IncrementalReducer, Job, ReduceCtx, Site};
+use opa_core::prelude::{Key, Value};
+
+/// The sessionization job.
+#[derive(Debug, Clone)]
+pub struct SessionizeJob {
+    /// Inactivity gap closing a session, seconds (paper: 5 minutes).
+    pub gap_secs: u64,
+    /// Watermark slack: a click is only drained once
+    /// `ts < watermark − slack`. Must exceed the stream's total disorder.
+    pub slack_secs: u64,
+    /// Fixed state capacity in bytes (the paper's 0.5/1/2 KB knob).
+    pub state_capacity: usize,
+    /// Whether a resident state is charged its full fixed capacity (the
+    /// paper's pre-allocated buffers — the default) or its actual encoded
+    /// size (useful when `state_capacity` is a generous cap rather than a
+    /// pre-allocation).
+    pub charge_fixed_footprint: bool,
+    /// Expected distinct users (sizing hint).
+    pub expected_users: u64,
+}
+
+impl Default for SessionizeJob {
+    fn default() -> Self {
+        SessionizeJob {
+            gap_secs: 300,
+            slack_secs: 240,
+            state_capacity: 512,
+            charge_fixed_footprint: true,
+            expected_users: 10_000,
+        }
+    }
+}
+
+impl SessionizeJob {
+    /// Job with an explicit state capacity.
+    pub fn with_state_capacity(capacity: usize) -> Self {
+        SessionizeJob {
+            state_capacity: capacity,
+            ..SessionizeJob::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Click value layout: [ts u64][tail…]
+// ---------------------------------------------------------------------
+
+fn click_value(ts: u64, tail: &[u8]) -> Value {
+    let mut v = Vec::with_capacity(8 + tail.len());
+    v.extend_from_slice(&ts.to_be_bytes());
+    v.extend_from_slice(tail);
+    Value::new(v)
+}
+
+fn decode_click(v: &[u8]) -> (u64, &[u8]) {
+    let ts = u64::from_be_bytes(v[..8].try_into().expect("click value has ts"));
+    (ts, &v[8..])
+}
+
+/// Output value layout: [session_start u64][ts u64][tail…].
+pub fn session_output(session_start: u64, ts: u64, tail: &[u8]) -> Value {
+    let mut v = Vec::with_capacity(16 + tail.len());
+    v.extend_from_slice(&session_start.to_be_bytes());
+    v.extend_from_slice(&ts.to_be_bytes());
+    v.extend_from_slice(tail);
+    Value::new(v)
+}
+
+/// Decodes an output record into (session_start, ts, tail).
+pub fn decode_output(v: &[u8]) -> (u64, u64, &[u8]) {
+    let s = u64::from_be_bytes(v[..8].try_into().expect("output has session start"));
+    let t = u64::from_be_bytes(v[8..16].try_into().expect("output has ts"));
+    (s, t, &v[16..])
+}
+
+// ---------------------------------------------------------------------
+// Incremental state
+// ---------------------------------------------------------------------
+
+/// In-memory view of the serialized state.
+#[derive(Debug, Clone, PartialEq)]
+struct SessionState {
+    /// Open-session context of already-drained clicks:
+    /// (session_start, last_drained_ts).
+    anchor: Option<(u64, u64)>,
+    /// Buffered clicks, sorted by (ts, tail).
+    clicks: Vec<(u64, Vec<u8>)>,
+}
+
+impl SessionState {
+    fn decode(v: &[u8]) -> SessionState {
+        let flags = v[0];
+        let anchor = if flags & 1 != 0 {
+            Some((
+                u64::from_be_bytes(v[1..9].try_into().expect("anchor start")),
+                u64::from_be_bytes(v[9..17].try_into().expect("anchor last")),
+            ))
+        } else {
+            None
+        };
+        let n = u16::from_be_bytes(v[17..19].try_into().expect("count")) as usize;
+        let mut clicks = Vec::with_capacity(n);
+        let mut i = 19;
+        for _ in 0..n {
+            let ts = u64::from_be_bytes(v[i..i + 8].try_into().expect("click ts"));
+            let len = v[i + 8] as usize;
+            clicks.push((ts, v[i + 9..i + 9 + len].to_vec()));
+            i += 9 + len;
+        }
+        SessionState { anchor, clicks }
+    }
+
+    fn encode(&self) -> Value {
+        let mut v = Vec::with_capacity(self.encoded_len());
+        let (flags, a, b) = match self.anchor {
+            Some((s, l)) => (1u8, s, l),
+            None => (0u8, 0, 0),
+        };
+        v.push(flags);
+        v.extend_from_slice(&a.to_be_bytes());
+        v.extend_from_slice(&b.to_be_bytes());
+        v.extend_from_slice(&(self.clicks.len() as u16).to_be_bytes());
+        for (ts, tail) in &self.clicks {
+            v.extend_from_slice(&ts.to_be_bytes());
+            v.push(tail.len() as u8);
+            v.extend_from_slice(tail);
+        }
+        Value::new(v)
+    }
+
+    fn encoded_len(&self) -> usize {
+        19 + self
+            .clicks
+            .iter()
+            .map(|(_, tail)| 9 + tail.len())
+            .sum::<usize>()
+    }
+
+    fn single(ts: u64, tail: &[u8]) -> SessionState {
+        SessionState {
+            anchor: None,
+            clicks: vec![(ts, tail.to_vec())],
+        }
+    }
+
+    fn merge(&mut self, other: SessionState) {
+        // Anchors only collide on DINC respill paths; keep the later one
+        // (its drained clicks are the most recent — see module docs).
+        self.anchor = match (self.anchor, other.anchor) {
+            (Some(a), Some(b)) => Some(if a.1 >= b.1 { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        self.clicks.extend(other.clicks);
+        self.clicks.sort();
+    }
+
+    /// Latest activity in the state (buffered or drained).
+    fn last_activity(&self) -> u64 {
+        let buffered = self.clicks.last().map(|&(ts, _)| ts).unwrap_or(0);
+        let drained = self.anchor.map(|(_, l)| l).unwrap_or(0);
+        buffered.max(drained)
+    }
+
+    /// Drains clicks with `ts < close_point`, emitting them with session
+    /// labels; then force-drains oldest clicks while over `capacity`.
+    fn drain(
+        &mut self,
+        key: &Key,
+        close_point: u64,
+        capacity: usize,
+        gap: u64,
+        ctx: &mut ReduceCtx,
+    ) {
+        let mut i = 0;
+        while i < self.clicks.len() {
+            let within_close = self.clicks[i].0 < close_point;
+            let over_capacity = self.encoded_len()
+                - self.clicks[..i]
+                    .iter()
+                    .map(|(_, t)| 9 + t.len())
+                    .sum::<usize>()
+                > capacity;
+            if !within_close && !over_capacity {
+                break;
+            }
+            let (ts, ref tail) = self.clicks[i];
+            match self.anchor {
+                // Within (or extending) the open session.
+                Some((s, last)) if ts <= last + gap && ts >= s => {
+                    ctx.emit(key.clone(), session_output(s, ts, tail));
+                    self.anchor = Some((s, last.max(ts)));
+                }
+                // Older than the open session's start: only possible on
+                // DINC respill merges (the documented approximation).
+                // Emit as its own singleton session and leave the anchor
+                // alone, so the open session's structure stays valid.
+                Some((s, _)) if ts < s => {
+                    ctx.emit(key.clone(), session_output(ts, ts, tail));
+                }
+                // Gap exceeded (or no session yet): a new session opens.
+                _ => {
+                    ctx.emit(key.clone(), session_output(ts, ts, tail));
+                    self.anchor = Some((ts, ts));
+                }
+            }
+            i += 1;
+        }
+        self.clicks.drain(..i);
+    }
+
+    /// Whether every buffered click belongs to an expired session at the
+    /// given close point (the §6.2 eviction rule).
+    fn expired(&self, close_point: u64, gap: u64) -> bool {
+        self.clicks.is_empty() || self.last_activity() + gap < close_point
+    }
+}
+
+impl IncrementalReducer for SessionizeJob {
+    fn init(&self, _key: &Key, value: Value) -> Value {
+        let (ts, tail) = decode_click(value.bytes());
+        SessionState::single(ts, tail).encode()
+    }
+
+    fn cb(&self, key: &Key, acc: &mut Value, other: Value, ctx: &mut ReduceCtx) {
+        let mut state = SessionState::decode(acc.bytes());
+        state.merge(SessionState::decode(other.bytes()));
+        // Only reduce-side processing may emit: map-side chunks see a
+        // partial stream (and states there stay tiny anyway).
+        if ctx.site == Site::Reduce {
+            let close_point = ctx
+                .watermark
+                .map(|w| w.saturating_sub(self.slack_secs))
+                .unwrap_or(0);
+            state.drain(key, close_point, self.state_capacity, self.gap_secs, ctx);
+        }
+        *acc = state.encode();
+    }
+
+    fn finalize(&self, key: &Key, state: Value, ctx: &mut ReduceCtx) {
+        let mut s = SessionState::decode(state.bytes());
+        s.drain(key, u64::MAX, 0, self.gap_secs, ctx);
+    }
+
+    fn state_mem_size(&self, state: &Value) -> u64 {
+        // States are fixed-size pre-allocated reorder buffers (§6.1): a
+        // resident key costs its full capacity regardless of fill (unless
+        // configured as a soft cap).
+        if self.charge_fixed_footprint {
+            self.state_capacity as u64
+        } else {
+            state.len() as u64
+        }
+    }
+
+    fn event_time(&self, state: &Value) -> Option<u64> {
+        Some(SessionState::decode(state.bytes()).last_activity())
+    }
+
+    fn can_evict(&self, _key: &Key, state: &Value, watermark: Option<u64>) -> bool {
+        let Some(w) = watermark else { return false };
+        let close_point = w.saturating_sub(self.slack_secs);
+        SessionState::decode(state.bytes()).expired(close_point, self.gap_secs)
+    }
+
+    fn evict(
+        &self,
+        key: &Key,
+        state: Value,
+        watermark: Option<u64>,
+        ctx: &mut ReduceCtx,
+    ) -> Option<Value> {
+        let mut s = SessionState::decode(state.bytes());
+        let close_point = watermark
+            .map(|w| w.saturating_sub(self.slack_secs))
+            .unwrap_or(0);
+        if s.expired(close_point, self.gap_secs) {
+            // Complete: output directly, nothing touches disk.
+            s.drain(key, u64::MAX, 0, self.gap_secs, ctx);
+            None
+        } else {
+            Some(state)
+        }
+    }
+}
+
+impl Job for SessionizeJob {
+    fn name(&self) -> &str {
+        "sessionization"
+    }
+
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+        if let Some((ts, user, tail)) = parse_click(record) {
+            emit(Key::from_u64(user), click_value(ts, tail));
+        }
+    }
+
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        // Classic semantics: full sort by timestamp, then gap splitting —
+        // the oracle the incremental path is tested against.
+        let mut clicks: Vec<(u64, Vec<u8>)> = values
+            .iter()
+            .map(|v| {
+                let (ts, tail) = decode_click(v.bytes());
+                (ts, tail.to_vec())
+            })
+            .collect();
+        clicks.sort();
+        let mut session_start = 0u64;
+        let mut last = None::<u64>;
+        for (ts, tail) in clicks {
+            match last {
+                Some(l) if ts <= l + self.gap_secs => {}
+                _ => session_start = ts,
+            }
+            ctx.emit(key.clone(), session_output(session_start, ts, &tail));
+            last = Some(ts);
+        }
+    }
+
+    fn incremental(&self) -> Option<&dyn IncrementalReducer> {
+        Some(self)
+    }
+
+    fn expected_keys(&self) -> Option<u64> {
+        Some(self.expected_users)
+    }
+
+    fn state_size_hint(&self) -> Option<u64> {
+        Some(self.state_capacity as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opa_core::api::Site;
+
+    fn click(ts: u64) -> Value {
+        click_value(ts, b"/p")
+    }
+
+    #[test]
+    fn state_roundtrips_through_bytes() {
+        let mut s = SessionState::single(100, b"/a");
+        s.merge(SessionState::single(50, b"/b"));
+        s.anchor = Some((10, 40));
+        let decoded = SessionState::decode(s.encode().bytes());
+        assert_eq!(decoded, s);
+        assert_eq!(decoded.clicks[0].0, 50, "clicks sorted after merge");
+    }
+
+    #[test]
+    fn classic_reduce_splits_on_gap() {
+        let job = SessionizeJob::default();
+        let mut ctx = ReduceCtx::new();
+        let key = Key::from_u64(7);
+        job.reduce(
+            &key,
+            vec![click(1000), click(1100), click(2000), click(1050)],
+            &mut ctx,
+        );
+        let out = ctx.drain();
+        assert_eq!(out.len(), 4);
+        let sessions: Vec<(u64, u64)> = out
+            .iter()
+            .map(|p| {
+                let (s, t, _) = decode_output(p.value.bytes());
+                (s, t)
+            })
+            .collect();
+        // 1000, 1050, 1100 share a session; 2000 (gap 900 > 300) starts one.
+        assert_eq!(
+            sessions,
+            vec![(1000, 1000), (1000, 1050), (1000, 1100), (2000, 2000)]
+        );
+    }
+
+    #[test]
+    fn incremental_matches_classic_in_order() {
+        let job = SessionizeJob::default();
+        let key = Key::from_u64(1);
+        // Classic.
+        let mut cctx = ReduceCtx::new();
+        let ts = [100u64, 160, 220, 900, 950, 2000];
+        job.reduce(&key, ts.iter().map(|&t| click(t)).collect(), &mut cctx);
+        let mut classic: Vec<(u64, u64)> = cctx
+            .drain()
+            .iter()
+            .map(|p| {
+                let (s, t, _) = decode_output(p.value.bytes());
+                (s, t)
+            })
+            .collect();
+        classic.sort_unstable();
+        // Incremental with watermark advancing.
+        let mut ictx = ReduceCtx::new();
+        let mut acc = job.init(&key, click(ts[0]));
+        for &t in &ts[1..] {
+            ictx.advance_watermark(t);
+            job.cb(&key, &mut acc, job.init(&key, click(t)), &mut ictx);
+        }
+        job.finalize(&key, acc, &mut ictx);
+        let mut inc: Vec<(u64, u64)> = ictx
+            .drain()
+            .iter()
+            .map(|p| {
+                let (s, t, _) = decode_output(p.value.bytes());
+                (s, t)
+            })
+            .collect();
+        inc.sort_unstable();
+        assert_eq!(inc, classic);
+    }
+
+    #[test]
+    fn anchor_labels_tardy_click_correctly() {
+        let job = SessionizeJob {
+            slack_secs: 10,
+            ..SessionizeJob::default()
+        };
+        let key = Key::from_u64(2);
+        let mut ctx = ReduceCtx::new();
+        let mut acc = job.init(&key, click(100));
+        // Watermark at 300 (close point 290): click 100 drains, opening
+        // session 100; click 400 stays buffered.
+        ctx.advance_watermark(300);
+        job.cb(&key, &mut acc, job.init(&key, click(400)), &mut ctx);
+        let drained = ctx.drain();
+        assert_eq!(drained.len(), 1, "click 100 drained, 400 buffered");
+        // A tardy click at 150 still joins session 100 via the anchor.
+        job.cb(&key, &mut acc, job.init(&key, click(150)), &mut ctx);
+        job.finalize(&key, acc, &mut ctx);
+        let rest = ctx.drain();
+        let mut labels: Vec<(u64, u64)> = rest
+            .iter()
+            .map(|p| {
+                let (s, t, _) = decode_output(p.value.bytes());
+                (s, t)
+            })
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![(100, 150), (100, 400)]);
+    }
+
+    #[test]
+    fn capacity_overflow_force_drains_oldest() {
+        let job = SessionizeJob {
+            state_capacity: 60, // fits ~3 clicks of this size
+            slack_secs: 1_000_000,
+            ..SessionizeJob::default()
+        };
+        let key = Key::from_u64(3);
+        let mut ctx = ReduceCtx::new();
+        let mut acc = job.init(&key, click(10));
+        for t in [20u64, 30, 40, 50, 60] {
+            ctx.advance_watermark(t);
+            job.cb(&key, &mut acc, job.init(&key, click(t)), &mut ctx);
+        }
+        // Watermark never clears slack, yet the buffer cannot exceed
+        // capacity: some clicks must have been force-drained.
+        assert!(!ctx.drain().is_empty(), "force-drain did not happen");
+        assert!(SessionState::decode(acc.bytes()).encoded_len() <= 60 + 30);
+    }
+
+    #[test]
+    fn map_site_never_emits() {
+        let job = SessionizeJob::default();
+        let key = Key::from_u64(4);
+        let mut ctx = ReduceCtx::at_site(Site::Map);
+        ctx.advance_watermark(100_000);
+        let mut acc = job.init(&key, click(10));
+        job.cb(&key, &mut acc, job.init(&key, click(20)), &mut ctx);
+        assert_eq!(ctx.pending(), 0);
+        assert_eq!(SessionState::decode(acc.bytes()).clicks.len(), 2);
+    }
+
+    #[test]
+    fn eviction_rule_honours_expiry() {
+        let job = SessionizeJob::default();
+        let key = Key::from_u64(5);
+        let state = job.init(&key, click(100));
+        // Watermark close: session may still grow → veto.
+        assert!(!job.can_evict(&key, &state, Some(200)));
+        // No watermark at all → veto.
+        assert!(!job.can_evict(&key, &state, None));
+        // Watermark far past gap+slack → expired, evictable.
+        assert!(job.can_evict(&key, &state, Some(100 + 300 + 240 + 2)));
+        // Eviction of an expired state outputs and returns None.
+        let mut ctx = ReduceCtx::new();
+        let out = job.evict(&key, state, Some(100_000), &mut ctx);
+        assert!(out.is_none());
+        assert_eq!(ctx.pending(), 1);
+        // Eviction of a live state hands it back for spilling.
+        let mut ctx2 = ReduceCtx::new();
+        let live = job.init(&key, click(100));
+        let out2 = job.evict(&key, live.clone(), Some(150), &mut ctx2);
+        assert_eq!(out2, Some(live));
+        assert_eq!(ctx2.pending(), 0);
+    }
+
+    #[test]
+    fn event_time_tracks_latest_click() {
+        let job = SessionizeJob::default();
+        let key = Key::from_u64(6);
+        let mut acc = job.init(&key, click(500));
+        assert_eq!(job.event_time(&acc), Some(500));
+        let mut ctx = ReduceCtx::new();
+        job.cb(&key, &mut acc, job.init(&key, click(300)), &mut ctx);
+        assert_eq!(job.event_time(&acc), Some(500), "max, not last-merged");
+    }
+}

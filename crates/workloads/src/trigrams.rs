@@ -1,0 +1,180 @@
+//! Trigram counting (§6.2): report word trigrams appearing at least
+//! `threshold` times in the corpus.
+//!
+//! The large-key-state-space workload: trigram keys vastly outnumber what
+//! reduce memory can hold (the paper's run kept only 1/30 of the states
+//! resident), so both INC-hash and DINC-hash stage a substantial fraction
+//! of tuples — and because trigram frequencies are comparatively flat,
+//! DINC's frequency-aware monitoring barely improves on INC's first-come
+//! residency (Fig 7(f)). Early output fires when a resident counter
+//! crosses the threshold.
+
+use opa_core::api::{Combiner, IncrementalReducer, Job, ReduceCtx, Site};
+use opa_core::prelude::{Key, Value};
+
+/// The trigram-counting job.
+#[derive(Debug, Clone)]
+pub struct TrigramCountJob {
+    /// Occurrence threshold (paper: 1000).
+    pub threshold: u64,
+    /// Expected distinct trigrams (sizing hint).
+    pub expected_trigrams: u64,
+}
+
+impl Default for TrigramCountJob {
+    fn default() -> Self {
+        TrigramCountJob {
+            threshold: 1000,
+            expected_trigrams: 1_000_000,
+        }
+    }
+}
+
+// State layout: [count u64][emitted u8] — same as frequent users.
+fn encode_state(count: u64, emitted: bool) -> Value {
+    let mut v = Vec::with_capacity(9);
+    v.extend_from_slice(&count.to_be_bytes());
+    v.push(emitted as u8);
+    Value::new(v)
+}
+
+fn decode_state(v: &Value) -> (u64, bool) {
+    (
+        v.as_u64().unwrap_or(0),
+        v.bytes().get(8).copied().unwrap_or(0) != 0,
+    )
+}
+
+impl Combiner for TrigramCountJob {
+    fn combine(&self, _key: &Key, values: Vec<Value>) -> Vec<Value> {
+        let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+        vec![Value::from_u64(sum)]
+    }
+}
+
+impl IncrementalReducer for TrigramCountJob {
+    fn init(&self, _key: &Key, value: Value) -> Value {
+        encode_state(value.as_u64().unwrap_or(0), false)
+    }
+
+    fn cb(&self, key: &Key, acc: &mut Value, other: Value, ctx: &mut ReduceCtx) {
+        let (a, mut emitted) = decode_state(acc);
+        let (b, other_emitted) = decode_state(&other);
+        let count = a + b;
+        emitted |= other_emitted;
+        if !emitted && count >= self.threshold && ctx.site == Site::Reduce {
+            ctx.emit(key.clone(), Value::from_u64(count));
+            emitted = true;
+        }
+        *acc = encode_state(count, emitted);
+    }
+
+    fn finalize(&self, key: &Key, state: Value, ctx: &mut ReduceCtx) {
+        let (count, emitted) = decode_state(&state);
+        if !emitted && count >= self.threshold {
+            ctx.emit(key.clone(), Value::from_u64(count));
+        }
+    }
+}
+
+impl Job for TrigramCountJob {
+    fn name(&self) -> &str {
+        "trigram counting"
+    }
+
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+        let words: Vec<&[u8]> = record
+            .split(|&b| b == b' ')
+            .filter(|w| !w.is_empty())
+            .collect();
+        for w in words.windows(3) {
+            let mut key = Vec::with_capacity(w[0].len() + w[1].len() + w[2].len() + 2);
+            key.extend_from_slice(w[0]);
+            key.push(b' ');
+            key.extend_from_slice(w[1]);
+            key.push(b' ');
+            key.extend_from_slice(w[2]);
+            emit(Key::new(key), Value::from_u64(1));
+        }
+    }
+
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+        if sum >= self.threshold {
+            ctx.emit(key.clone(), Value::from_u64(sum));
+        }
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner> {
+        Some(self)
+    }
+
+    fn incremental(&self) -> Option<&dyn IncrementalReducer> {
+        Some(self)
+    }
+
+    fn expected_keys(&self) -> Option<u64> {
+        Some(self.expected_trigrams)
+    }
+
+    fn state_size_hint(&self) -> Option<u64> {
+        Some(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_emits_sliding_trigrams() {
+        let job = TrigramCountJob::default();
+        let mut out = Vec::new();
+        job.map(b"a b c d", &mut |k, _| out.push(k));
+        let keys: Vec<&[u8]> = out.iter().map(Key::bytes).collect();
+        assert_eq!(keys, vec![b"a b c".as_ref(), b"b c d".as_ref()]);
+    }
+
+    #[test]
+    fn short_documents_emit_nothing() {
+        let job = TrigramCountJob::default();
+        let mut out = Vec::new();
+        job.map(b"a b", &mut |k, _| out.push(k));
+        job.map(b"", &mut |k, _| out.push(k));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threshold_gates_output() {
+        let job = TrigramCountJob {
+            threshold: 2,
+            expected_trigrams: 100,
+        };
+        let mut ctx = ReduceCtx::new();
+        job.reduce(&Key::from("a b c"), vec![Value::from_u64(1)], &mut ctx);
+        assert_eq!(ctx.pending(), 0);
+        job.reduce(
+            &Key::from("d e f"),
+            vec![Value::from_u64(1), Value::from_u64(1)],
+            &mut ctx,
+        );
+        assert_eq!(ctx.pending(), 1);
+    }
+
+    #[test]
+    fn incremental_early_output_once() {
+        let job = TrigramCountJob {
+            threshold: 3,
+            expected_trigrams: 100,
+        };
+        let key = Key::from("x y z");
+        let mut ctx = ReduceCtx::new();
+        let mut acc = job.init(&key, Value::from_u64(1));
+        for _ in 0..4 {
+            job.cb(&key, &mut acc, job.init(&key, Value::from_u64(1)), &mut ctx);
+        }
+        assert_eq!(ctx.pending(), 1);
+        job.finalize(&key, acc, &mut ctx);
+        assert_eq!(ctx.pending(), 1, "no duplicate at finalize");
+    }
+}

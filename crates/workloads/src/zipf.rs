@@ -1,0 +1,126 @@
+//! A small, deterministic Zipf sampler.
+//!
+//! Both generators need Zipf-distributed popularity (hot users, hot words).
+//! The sampler precomputes the CDF once and draws by binary search, using
+//! the platform's own [`SplitMix64`] so streams are stable across `rand`
+//! versions and platforms.
+
+use opa_common::rng::SplitMix64;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1/(k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "support size must be positive");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::new(1);
+        let mut hits = [0usize; 10];
+        for _ in 0..20_000 {
+            hits[z.sample(&mut rng)] += 1;
+        }
+        for &h in &hits {
+            assert!((1600..2400).contains(&h), "not uniform: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_exponent_positive() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SplitMix64::new(2);
+        let mut rank0 = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                rank0 += 1;
+            }
+        }
+        // Under Zipf(1) over 1000 ranks, rank 0 gets ~1/H_1000 ≈ 13.4%.
+        let frac = rank0 as f64 / n as f64;
+        assert!((0.10..0.17).contains(&frac), "rank-0 share {frac}");
+    }
+
+    #[test]
+    fn higher_exponent_more_skew() {
+        let mut rng = SplitMix64::new(3);
+        let share = |s: f64, rng: &mut SplitMix64| {
+            let z = Zipf::new(100, s);
+            let mut head = 0usize;
+            for _ in 0..20_000 {
+                if z.sample(rng) < 5 {
+                    head += 1;
+                }
+            }
+            head as f64 / 20_000.0
+        };
+        let mild = share(0.5, &mut rng);
+        let steep = share(1.5, &mut rng);
+        assert!(steep > mild + 0.2, "mild={mild} steep={steep}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut r = SplitMix64::new(9);
+            (0..32).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = SplitMix64::new(9);
+            (0..32).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "support size")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

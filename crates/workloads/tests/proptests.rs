@@ -1,0 +1,177 @@
+//! Property-based tests of the incremental workload semantics: for
+//! arbitrary click sequences and arbitrary bounded-disorder arrival
+//! orders, the incremental `init/cb/fn` paths must agree with the classic
+//! reduce oracle.
+
+use opa_core::api::{IncrementalReducer, Job, ReduceCtx};
+use opa_core::prelude::{Key, Value};
+use opa_workloads::sessionize::{decode_output, SessionizeJob};
+use opa_workloads::windowed_count::decode_window_output;
+use opa_workloads::WindowedCountJob;
+use opa_workloads::FrequentUsersJob;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Generates (sorted timestamps, arrival permutation with bounded
+/// displacement, the displacement bound).
+fn disordered_stream() -> impl Strategy<Value = (Vec<u64>, Vec<usize>, u64)> {
+    (
+        proptest::collection::vec(0u64..2000, 1..60),
+        proptest::collection::vec(0usize..8, 1..60),
+    )
+        .prop_map(|(mut ts, jitter)| {
+            ts.sort_unstable();
+            let n = ts.len();
+            // Arrival order: sort indices by (ts + jitter displacement).
+            let mut order: Vec<usize> = (0..n).collect();
+            let perturbed: Vec<u64> = ts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| t + jitter[i % jitter.len()] as u64 * 10)
+                .collect();
+            order.sort_by_key(|&i| (perturbed[i], i));
+            // The effective disorder bound in seconds.
+            let bound = 80u64;
+            (ts, order, bound)
+        })
+}
+
+fn click_value(ts: u64) -> Value {
+    let mut v = Vec::with_capacity(10);
+    v.extend_from_slice(&ts.to_be_bytes());
+    v.extend_from_slice(b"/p");
+    Value::new(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sessionization: streaming a single key's clicks in any
+    /// bounded-disorder order through init/cb/fn, with the watermark
+    /// advancing along arrivals and slack ≥ the disorder bound, yields
+    /// exactly the classic labels.
+    #[test]
+    fn sessionize_incremental_equals_classic((ts, order, bound) in disordered_stream()) {
+        let job = SessionizeJob {
+            gap_secs: 300,
+            slack_secs: bound + 1,
+            state_capacity: 64 * 1024,
+            charge_fixed_footprint: false,
+            expected_users: 1,
+        };
+        let key = Key::from_u64(1);
+
+        // Classic oracle.
+        let mut octx = ReduceCtx::new();
+        job.reduce(&key, ts.iter().map(|&t| click_value(t)).collect(), &mut octx);
+        let mut oracle: Vec<(u64, u64)> = octx
+            .drain()
+            .iter()
+            .map(|p| {
+                let (s, t, _) = decode_output(p.value.bytes());
+                (s, t)
+            })
+            .collect();
+        oracle.sort_unstable();
+
+        // Incremental path in arrival order.
+        let mut ctx = ReduceCtx::new();
+        let mut acc: Option<Value> = None;
+        for &i in &order {
+            let t = ts[i];
+            ctx.advance_watermark(t);
+            let s = job.init(&key, click_value(t));
+            match acc.as_mut() {
+                None => acc = Some(s),
+                Some(a) => job.cb(&key, a, s, &mut ctx),
+            }
+        }
+        if let Some(a) = acc {
+            job.finalize(&key, a, &mut ctx);
+        }
+        let mut got: Vec<(u64, u64)> = ctx
+            .drain()
+            .iter()
+            .map(|p| {
+                let (s, t, _) = decode_output(p.value.bytes());
+                (s, t)
+            })
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Windowed counting: per-window sums are exact for ANY arrival order
+    /// and ANY slack, because emissions are additive.
+    #[test]
+    fn windowed_sums_always_exact(
+        (ts, order, _bound) in disordered_stream(),
+        slack in 0u64..500,
+        window in 50u64..400,
+    ) {
+        let job = WindowedCountJob {
+            window_secs: window,
+            slack_secs: slack,
+            expected_users: 1,
+        };
+        let key = Key::from_u64(9);
+        let mut truth: BTreeMap<u32, u64> = BTreeMap::new();
+        for &t in &ts {
+            *truth.entry((t / window) as u32).or_default() += 1;
+        }
+        let mut ctx = ReduceCtx::new();
+        let mut acc: Option<Value> = None;
+        for &i in &order {
+            let t = ts[i];
+            ctx.advance_watermark(t);
+            let s = job.init(&key, Value::from_u64(t));
+            match acc.as_mut() {
+                None => acc = Some(s),
+                Some(a) => job.cb(&key, a, s, &mut ctx),
+            }
+        }
+        if let Some(a) = acc {
+            job.finalize(&key, a, &mut ctx);
+        }
+        let mut got: BTreeMap<u32, u64> = BTreeMap::new();
+        for p in ctx.drain() {
+            let (w, c) = decode_window_output(p.value.bytes());
+            *got.entry(w).or_default() += c;
+        }
+        prop_assert_eq!(got, truth);
+    }
+
+    /// Frequent-user thresholding: exactly one emission iff the total
+    /// crosses the threshold, under arbitrary split of the count into
+    /// state merges.
+    #[test]
+    fn threshold_emits_exactly_once(
+        splits in proptest::collection::vec(1u64..20, 1..30),
+        threshold in 1u64..120,
+    ) {
+        let job = FrequentUsersJob {
+            threshold,
+            expected_users: 1,
+        };
+        let key = Key::from_u64(5);
+        let total: u64 = splits.iter().sum();
+        let mut ctx = ReduceCtx::new();
+        let mut acc: Option<Value> = None;
+        for &c in &splits {
+            let s = job.init(&key, Value::from_u64(c));
+            match acc.as_mut() {
+                None => acc = Some(s),
+                Some(a) => job.cb(&key, a, s, &mut ctx),
+            }
+        }
+        if let Some(a) = acc {
+            job.finalize(&key, a, &mut ctx);
+        }
+        let emitted = ctx.drain();
+        if total >= threshold {
+            prop_assert_eq!(emitted.len(), 1, "total {} threshold {}", total, threshold);
+        } else {
+            prop_assert!(emitted.is_empty());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Sessionization — the paper's flagship incremental workload.
+//!
+//! Splits a synthetic click stream into per-user sessions (5-minute
+//! inactivity gap) under sort-merge and INC-hash, prints an ASCII
+//! Definition-1 progress comparison, and verifies the incremental output
+//! against the classic one.
+//!
+//! ```bash
+//! cargo run --release --example sessionization
+//! ```
+
+use opa::common::units::MB;
+use opa::core::prelude::*;
+use opa::workloads::clickstream::ClickStreamSpec;
+use opa::workloads::sessionize::decode_output;
+use opa::workloads::SessionizeJob;
+use std::collections::BTreeSet;
+
+fn session_set(outcome: &JobOutcome) -> BTreeSet<(u64, u64, u64)> {
+    outcome
+        .output
+        .iter()
+        .map(|p| {
+            let (start, ts, _) = decode_output(p.value.bytes());
+            (p.key.as_u64().unwrap(), start, ts)
+        })
+        .collect()
+}
+
+fn bar(pct: f64) -> String {
+    let filled = (pct / 2.5) as usize;
+    format!("{}{} {pct:5.1}%", "█".repeat(filled), "░".repeat(40 - filled.min(40)))
+}
+
+fn main() {
+    let spec = ClickStreamSpec::paper_scaled(24 * MB);
+    let input = spec.generate(11);
+    // Exactness needs the reorder buffer to span the stream's full
+    // arrival disorder (one map wave ≈ 270 s of event time here), which for
+    // hot users means ~64 KB of buffered clicks — the paper's
+    // "sufficiently large buffer" condition. The 0.5 KB paper states are
+    // demonstrated afterwards.
+    let job = SessionizeJob {
+        gap_secs: 300,
+        slack_secs: 600,
+        state_capacity: 64 * 1024,
+        // A generous cap, not a pre-allocation: charge actual state size.
+        charge_fixed_footprint: false,
+        expected_users: spec.users as u64,
+    };
+    println!(
+        "sessionizing {} clicks from {} users…\n",
+        input.len(),
+        spec.users
+    );
+
+    let run = |fw: Framework| {
+        JobBuilder::new(job.clone())
+            .framework(fw)
+            .cluster(ClusterSpec::paper_scaled())
+            .run(&input)
+            .expect("job runs")
+    };
+    let sm = run(Framework::SortMerge);
+    let inc = run(Framework::IncHash);
+
+    // At cluster scale a skewed reducer slows its co-located mappers
+    // (shared disk), so a hot user's clicks can arrive later than the
+    // reorder slack — the residual label divergence this causes is the
+    // paper's own "sufficiently large buffer" caveat. Every click is
+    // still accounted exactly once.
+    let oracle = session_set(&sm);
+    let got = session_set(&inc);
+    assert_eq!(inc.output.len(), sm.output.len(), "click counts must match");
+    let matching = got.intersection(&oracle).count();
+    let rate = 100.0 * matching as f64 / oracle.len() as f64;
+    assert!(rate > 99.0, "match rate collapsed: {rate:.2}%");
+    println!(
+        "INC-hash session labels match sort-merge on {rate:.2}% of clicks \
+         (64 KB reorder buffers)\n"
+    );
+
+    // Progress at quartiles of the sort-merge job.
+    println!("Definition-1 reduce progress while mappers run:");
+    for (label, o) in [("sort-merge", &sm), ("INC-hash", &inc)] {
+        println!("\n  {label} (total {:.0}s):", o.metrics.running_time.as_secs_f64());
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let idx =
+                ((o.progress.points.len() - 1) as f64 * frac) as usize;
+            let p = o.progress.points[idx];
+            println!(
+                "    t={:>6.0}s  map {}  reduce {}",
+                p.t.as_secs_f64(),
+                bar(p.map_pct),
+                bar(p.reduce_pct)
+            );
+        }
+    }
+    println!(
+        "\nreduce spill: sort-merge {:.1} MB vs INC-hash {:.1} MB",
+        sm.metrics.reduce_spill_bytes as f64 / MB as f64,
+        inc.metrics.reduce_spill_bytes as f64 / MB as f64
+    );
+
+    // The paper's 0.5 KB fixed states: under-provisioned reorder buffers
+    // force-drain hot users' clicks early, so a small fraction of session
+    // labels fragment — every click still appears exactly once.
+    let tiny = JobBuilder::new(SessionizeJob {
+        state_capacity: 512,
+        charge_fixed_footprint: true,
+        ..job
+    })
+    .framework(Framework::IncHash)
+    .cluster(ClusterSpec::paper_scaled())
+    .run(&input)
+    .expect("job runs");
+    let oracle = session_set(&sm);
+    let got = session_set(&tiny);
+    assert_eq!(tiny.output.len(), input.len(), "clicks preserved");
+    let matching = got.intersection(&oracle).count();
+    println!(
+        "0.5 KB states: {} / {} session labels match the oracle ({:.1}%) — the paper's \
+         'sufficiently large buffer' caveat in action",
+        matching,
+        oracle.len(),
+        100.0 * matching as f64 / oracle.len() as f64
+    );
+}

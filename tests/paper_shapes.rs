@@ -1,0 +1,115 @@
+//! Regression tests pinning the paper's headline *shapes* at a reduced
+//! scale (24 MB ≈ 24 GB paper-scale, scale-invariant by design). If an
+//! engine change breaks any of the qualitative results the reproduction
+//! stands on, these fail.
+
+use opa::core::prelude::*;
+use opa::workloads::clickstream::ClickStreamSpec;
+use opa::workloads::SessionizeJob;
+use opa::common::units::MB;
+
+struct Shapes {
+    sm: JobOutcome,
+    mr: JobOutcome,
+    inc: JobOutcome,
+    dinc: JobOutcome,
+}
+
+fn run_all() -> Shapes {
+    let spec = ClickStreamSpec::paper_scaled(24 * MB);
+    let (input, stats) = spec.generate_with_stats(77);
+    let job = |state: usize| SessionizeJob {
+        gap_secs: 300,
+        slack_secs: 400,
+        state_capacity: state,
+        charge_fixed_footprint: true,
+        expected_users: stats.distinct_users,
+    };
+    let run = |fw: Framework, state: usize| {
+        JobBuilder::new(job(state))
+            .framework(fw)
+            .cluster(ClusterSpec::paper_scaled())
+            .run(&input)
+            .expect("job runs")
+    };
+    Shapes {
+        sm: run(Framework::SortMerge, 512),
+        mr: run(Framework::MrHash, 512),
+        inc: run(Framework::IncHash, 512),
+        dinc: run(Framework::DincHash, 512),
+    }
+}
+
+#[test]
+fn headline_shapes_hold() {
+    let s = run_all();
+
+    // Table 3 ordering: SM slowest, MR-hash in between, INC fastest.
+    let t = |o: &JobOutcome| o.metrics.running_time.as_secs_f64();
+    assert!(t(&s.sm) > t(&s.mr), "SM ({}) must outlast MR ({})", t(&s.sm), t(&s.mr));
+    assert!(t(&s.mr) > t(&s.inc), "MR ({}) must outlast INC ({})", t(&s.mr), t(&s.inc));
+
+    // Map CPU: eliminating the sort cuts map-side CPU substantially.
+    let mc = |o: &JobOutcome| o.metrics.map_cpu_per_node.as_secs_f64();
+    assert!(
+        mc(&s.mr) < mc(&s.sm) * 0.75,
+        "hash map CPU ({}) should be well under sort-merge's ({})",
+        mc(&s.mr),
+        mc(&s.sm)
+    );
+
+    // Definition-1 progress: SM and MR block at ~33%; INC/DINC keep up.
+    let at_finish = |o: &JobOutcome| o.progress.reduce_pct_at_map_finish();
+    assert!((at_finish(&s.sm) - 33.3).abs() < 3.0, "SM at {}", at_finish(&s.sm));
+    assert!((at_finish(&s.mr) - 33.3).abs() < 3.0, "MR at {}", at_finish(&s.mr));
+    assert!(at_finish(&s.inc) > 60.0, "INC at {}", at_finish(&s.inc));
+    assert!(at_finish(&s.dinc) > 85.0, "DINC at {}", at_finish(&s.dinc));
+
+    // Spill: INC cuts SM's spill hard; DINC nearly eliminates it.
+    let spill = |o: &JobOutcome| o.metrics.reduce_spill_bytes;
+    assert!(spill(&s.inc) * 2 < spill(&s.sm), "INC spill not reduced");
+    assert!(
+        spill(&s.dinc) * 20 < spill(&s.sm),
+        "DINC spill {} not ≫ below SM {}",
+        spill(&s.dinc),
+        spill(&s.sm)
+    );
+
+    // Every framework produces the same number of output clicks.
+    assert_eq!(s.sm.metrics.output_records, s.mr.metrics.output_records);
+    assert_eq!(s.sm.metrics.output_records, s.inc.metrics.output_records);
+    assert_eq!(s.sm.metrics.output_records, s.dinc.metrics.output_records);
+}
+
+#[test]
+fn state_size_tradeoff_holds() {
+    // Table 4 / Fig 7(d): bigger fixed states ⇒ fewer resident keys ⇒
+    // more spill and later divergence from map progress.
+    let spec = ClickStreamSpec::paper_scaled(24 * MB);
+    let (input, stats) = spec.generate_with_stats(78);
+    let run = |state: usize| {
+        JobBuilder::new(SessionizeJob {
+            gap_secs: 300,
+            slack_secs: 400,
+            state_capacity: state,
+            charge_fixed_footprint: true,
+            expected_users: stats.distinct_users,
+        })
+        .framework(Framework::IncHash)
+        .cluster(ClusterSpec::paper_scaled())
+        .run(&input)
+        .expect("job runs")
+    };
+    let small = run(512);
+    let large = run(2048);
+    assert!(
+        large.metrics.reduce_spill_bytes > small.metrics.reduce_spill_bytes,
+        "2 KB states must spill more than 0.5 KB states ({} vs {})",
+        large.metrics.reduce_spill_bytes,
+        small.metrics.reduce_spill_bytes
+    );
+    assert!(
+        large.progress.reduce_pct_at_map_finish() < small.progress.reduce_pct_at_map_finish(),
+        "larger states must diverge earlier from map progress"
+    );
+}

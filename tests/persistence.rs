@@ -1,0 +1,38 @@
+//! Output persistence: job results written through the IFile-style codec
+//! round-trip through a real file, checksum included.
+
+use opa::core::job::JobOutcome;
+use opa::core::prelude::*;
+use opa::workloads::clickstream::ClickStreamSpec;
+use opa::workloads::ClickCountJob;
+
+#[test]
+fn job_output_roundtrips_through_disk() {
+    let input = ClickStreamSpec::small().generate(55);
+    let outcome = JobBuilder::new(ClickCountJob {
+        expected_users: 100,
+    })
+    .framework(Framework::IncHash)
+    .cluster(ClusterSpec::tiny())
+    .run(&input)
+    .expect("job runs");
+
+    let dir = std::env::temp_dir().join("opa-persistence-test");
+    let path = dir.join("click_counts.opa");
+    outcome.write_output(&path).expect("write output file");
+
+    let back = JobOutcome::read_output(&path).expect("read output file");
+    assert_eq!(back.len(), outcome.output.len());
+    let mut a = back;
+    a.sort_by(|x, y| x.key.cmp(&y.key));
+    assert_eq!(a, outcome.sorted_output());
+
+    // Corrupting one byte must be detected by the CRC.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(JobOutcome::read_output(&path).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
