@@ -17,12 +17,7 @@ use std::collections::HashMap;
 fn make_pairs(n: usize, keys: u64) -> Vec<Pair> {
     let mut rng = SplitMix64::new(7);
     (0..n)
-        .map(|_| {
-            Pair::new(
-                Key::from_u64(rng.next_below(keys)),
-                Value::from_u64(1),
-            )
-        })
+        .map(|_| Pair::new(Key::from_u64(rng.next_below(keys)), Value::from_u64(1)))
         .collect()
 }
 

@@ -1,0 +1,142 @@
+//! Wall-clock benchmark of the engine's execution layer: sequential
+//! (`threads = 1`) versus parallel (machine parallelism) on the trigram
+//! and sessionization workloads. Results — host-records-per-second and
+//! the parallel speedup — land in `BENCH_engine.json` so later changes
+//! have a perf trajectory to regress against.
+//!
+//! ```text
+//! cargo run -p opa-bench --release --bin engine_bench [-- OUT.json]
+//! ```
+
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::{JobBuilder, JobInput};
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::documents::DocumentSpec;
+use opa_workloads::{SessionizeJob, TrigramCountJob};
+use std::time::Instant;
+
+/// Best-of-N timing of one engine run; returns (seconds, outcome digest).
+fn time_run(runs: usize, f: impl Fn() -> opa_core::job::JobOutcome) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut digest = 0u64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let outcome = f();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        // Cheap run-to-run sanity digest: outputs must never vary.
+        digest = outcome.metrics.output_records ^ outcome.metrics.running_time.0;
+    }
+    (best, digest)
+}
+
+struct Row {
+    workload: &'static str,
+    records: usize,
+    seq_secs: f64,
+    par_secs: f64,
+    par_threads: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.seq_secs / self.par_secs
+    }
+}
+
+fn bench_workload(
+    name: &'static str,
+    input: &JobInput,
+    threads: usize,
+    run: impl Fn(usize) -> opa_core::job::JobOutcome,
+) -> Row {
+    let runs = 3;
+    let (seq_secs, seq_digest) = time_run(runs, || run(1));
+    let (par_secs, par_digest) = time_run(runs, || run(threads));
+    assert_eq!(
+        seq_digest, par_digest,
+        "{name}: parallel outcome diverged from sequential"
+    );
+    Row {
+        workload: name,
+        records: input.len(),
+        seq_secs,
+        par_secs,
+        par_threads: threads,
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // On a single-CPU host the parallel run still exercises the worker
+    // machinery (2 threads time-slicing) but measures overhead, not
+    // speedup — the JSON records `host_cpus` so readers can tell.
+    let threads = cpus.max(2);
+    let mut spec = ClusterSpec::paper_scaled();
+    spec.system.chunk_size = 64 * 1024; // many map tasks to schedule
+
+    println!("engine_bench: {threads} threads vs sequential ({cpus} host CPUs)");
+
+    let docs = DocumentSpec::paper_scaled(12 << 20).generate(42);
+    let trigram = bench_workload("trigram", &docs, threads, |t| {
+        JobBuilder::new(TrigramCountJob {
+            threshold: 1000,
+            expected_trigrams: 1 << 20,
+        })
+        .framework(Framework::IncHash)
+        .cluster(spec)
+        .km_hint(8.0)
+        .threads(t)
+        .run(&docs)
+        .expect("trigram job runs")
+    });
+
+    let clicks = ClickStreamSpec::paper_scaled(12 << 20).generate(42);
+    let sessionize = bench_workload("sessionization", &clicks, threads, |t| {
+        JobBuilder::new(SessionizeJob {
+            gap_secs: 300,
+            slack_secs: 400,
+            state_capacity: 512,
+            charge_fixed_footprint: true,
+            expected_users: 50_000,
+        })
+        .framework(Framework::DincHash)
+        .cluster(spec)
+        .threads(t)
+        .run(&clicks)
+        .expect("sessionize job runs")
+    });
+
+    let rows = [trigram, sessionize];
+    let mut json = format!("{{\n  \"host_cpus\": {cpus},\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"records\": {}, \"seq_secs\": {:.4}, \"par_secs\": {:.4}, \"par_threads\": {}, \"seq_records_per_sec\": {:.0}, \"par_records_per_sec\": {:.0}, \"speedup\": {:.2}}}{sep}\n",
+            r.workload,
+            r.records,
+            r.seq_secs,
+            r.par_secs,
+            r.par_threads,
+            r.records as f64 / r.seq_secs,
+            r.records as f64 / r.par_secs,
+            r.speedup(),
+        ));
+        println!(
+            "  {:<14} {:>8} records  seq {:>7.3}s  par {:>7.3}s  speedup {:.2}x",
+            r.workload,
+            r.records,
+            r.seq_secs,
+            r.par_secs,
+            r.speedup()
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -133,9 +133,7 @@ pub fn run(cfg: &ExpConfig) {
         "yes".to_string(),
         format!(
             "{} ({}s vs {}s, post-map disk still {:.0}% busy)",
-            if ssd.metrics.running_time < stock.metrics.running_time
-                && mid_disk(&ssd) > 20.0
-            {
+            if ssd.metrics.running_time < stock.metrics.running_time && mid_disk(&ssd) > 20.0 {
                 "yes"
             } else {
                 "NO"

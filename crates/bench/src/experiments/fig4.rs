@@ -85,7 +85,12 @@ pub fn run_grid(cfg: &ExpConfig) {
     println!("model/actual trend correlation over the grid: r = {corr:.3} (paper: \"very similar trends\")\n");
 
     // Fig 4(b) view: per-F best chunk and the F ordering at C = 64 KB.
-    let mut t = Table::new(["F", "best C (KB)", "time at best C (s)", "time at C=64KB (s)"]);
+    let mut t = Table::new([
+        "F",
+        "best C (KB)",
+        "time at best C (s)",
+        "time at C=64KB (s)",
+    ]);
     for &f in &factors {
         let best = rows
             .iter()

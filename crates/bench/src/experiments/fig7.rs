@@ -34,11 +34,21 @@ pub fn run_a(cfg: &ExpConfig) {
     let (input, info) = session_input(cfg, WORLDCUP_EVAL);
     let cluster = one_pass_cluster(cfg, input.total_bytes(), 1.0);
     let job = || session_job(&info, 512);
-    let sm = run_job("fig7a/SM", job(), Framework::SortMerge, cluster, &input, 1.0);
+    let sm = run_job(
+        "fig7a/SM",
+        job(),
+        Framework::SortMerge,
+        cluster,
+        &input,
+        1.0,
+    );
     let mr = run_job("fig7a/MR", job(), Framework::MrHash, cluster, &input, 1.0);
     let inc = run_job("fig7a/INC", job(), Framework::IncHash, cluster, &input, 1.0);
     for (l, o) in [("SM", &sm), ("MR-hash", &mr), ("INC-hash", &inc)] {
-        println!("  {l}: {} (paper: SM/MR blocked at 33%, INC keeps up until memory fills)", keeps_up(&o.progress));
+        println!(
+            "  {l}: {} (paper: SM/MR blocked at 33%, INC keeps up until memory fills)",
+            keeps_up(&o.progress)
+        );
     }
     emit(
         cfg,
@@ -59,9 +69,23 @@ pub fn run_b(cfg: &ExpConfig) {
     let job = || ClickCountJob {
         expected_users: info.stats.distinct_users,
     };
-    let sm = run_job("fig7b/SM", job(), Framework::SortMerge, cluster, &input, 0.05);
+    let sm = run_job(
+        "fig7b/SM",
+        job(),
+        Framework::SortMerge,
+        cluster,
+        &input,
+        0.05,
+    );
     let mr = run_job("fig7b/MR", job(), Framework::MrHash, cluster, &input, 0.05);
-    let inc = run_job("fig7b/INC", job(), Framework::IncHash, cluster, &input, 0.05);
+    let inc = run_job(
+        "fig7b/INC",
+        job(),
+        Framework::IncHash,
+        cluster,
+        &input,
+        0.05,
+    );
     println!(
         "  INC ceiling during map phase (no early output possible): {:.0}% (paper: 66%)",
         inc.progress.reduce_pct_before_map_finish()
@@ -91,9 +115,23 @@ pub fn run_c(cfg: &ExpConfig) {
         threshold: 50,
         expected_users: info.stats.distinct_users,
     };
-    let sm = run_job("fig7c/SM", job(), Framework::SortMerge, cluster, &input, 0.05);
+    let sm = run_job(
+        "fig7c/SM",
+        job(),
+        Framework::SortMerge,
+        cluster,
+        &input,
+        0.05,
+    );
     let mr = run_job("fig7c/MR", job(), Framework::MrHash, cluster, &input, 0.05);
-    let inc = run_job("fig7c/INC", job(), Framework::IncHash, cluster, &input, 0.05);
+    let inc = run_job(
+        "fig7c/INC",
+        job(),
+        Framework::IncHash,
+        cluster,
+        &input,
+        0.05,
+    );
     println!(
         "  INC early output lets reduce keep up completely: {} (paper: 'completely keeps up')\n",
         keeps_up(&inc.progress)
@@ -138,7 +176,12 @@ pub fn run_d(cfg: &ExpConfig) {
         &input,
         1.0,
     );
-    let mut t = Table::new(["state size", "reduce spill GB", "reduce@mapfinish %", "running time s"]);
+    let mut t = Table::new([
+        "state size",
+        "reduce spill GB",
+        "reduce@mapfinish %",
+        "running time s",
+    ]);
     for (l, o) in [("0.5KB", &half), ("1KB", &one), ("2KB", &two)] {
         t.row([
             l.to_string(),
@@ -208,10 +251,29 @@ pub fn run_f(cfg: &ExpConfig) {
         expected_trigrams: 2_000_000,
     };
     let inc = run_job("fig7f/INC", job(), Framework::IncHash, cluster, &input, 5.0);
-    let dinc = run_job("fig7f/DINC", job(), Framework::DincHash, cluster, &input, 5.0);
-    let sm = run_job("fig7f/SM", job(), Framework::SortMerge, cluster, &input, 5.0);
+    let dinc = run_job(
+        "fig7f/DINC",
+        job(),
+        Framework::DincHash,
+        cluster,
+        &input,
+        5.0,
+    );
+    let sm = run_job(
+        "fig7f/SM",
+        job(),
+        Framework::SortMerge,
+        cluster,
+        &input,
+        5.0,
+    );
 
-    let mut t = Table::new(["framework", "running time s", "reduce spill GB", "reduce@mapfinish %"]);
+    let mut t = Table::new([
+        "framework",
+        "running time s",
+        "reduce spill GB",
+        "reduce@mapfinish %",
+    ]);
     for (l, o) in [("INC-hash", &inc), ("DINC-hash", &dinc), ("SM", &sm)] {
         t.row([
             l.to_string(),

@@ -91,11 +91,8 @@ pub fn stock_cluster(cfg: &ExpConfig) -> ClusterSpec {
 pub fn one_pass_cluster(cfg: &ExpConfig, input_bytes: u64, km: f64) -> ClusterSpec {
     let mut spec = stock_cluster(cfg);
     let workload = opa_common::WorkloadSpec::new(input_bytes, km, 1.0);
-    let one_pass = recommended_merge_factor(
-        &workload,
-        &spec.hardware,
-        spec.system.reducers_per_node,
-    );
+    let one_pass =
+        recommended_merge_factor(&workload, &spec.hardware, spec.system.reducers_per_node);
     spec.system.merge_factor = (one_pass * 4).max(10);
     spec
 }

@@ -20,7 +20,13 @@ pub fn run(cfg: &ExpConfig) {
     println!("== Model check: λ_F closed form and Prop 3.1 vs the engine ==\n");
 
     // --- λ_F vs exact merge-tree replay ---------------------------------
-    let mut t = Table::new(["F", "n runs", "2λ_F (closed form)", "exact replay", "rel err"]);
+    let mut t = Table::new([
+        "F",
+        "n runs",
+        "2λ_F (closed form)",
+        "exact replay",
+        "rel err",
+    ]);
     let mut worst: f64 = 0.0;
     for f in [4usize, 10, 16] {
         for n in [8usize, 20, 50, 120, 300] {
@@ -38,7 +44,10 @@ pub fn run(cfg: &ExpConfig) {
         }
     }
     println!("{}", t.render());
-    println!("worst λ_F deviation: {:.1}% (closed form vs exact policy replay)\n", worst * 100.0);
+    println!(
+        "worst λ_F deviation: {:.1}% (closed form vs exact policy replay)\n",
+        worst * 100.0
+    );
     t.write_csv(&cfg.outdir.join("modelcheck_lambda.csv"))
         .expect("write lambda csv");
 

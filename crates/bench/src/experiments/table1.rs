@@ -18,7 +18,10 @@ const PAPER: [(&str, f64, f64, f64, f64, f64); 3] = [
 /// Runs the experiment.
 pub fn run(cfg: &ExpConfig) {
     println!("== Table 1: click-analysis workloads under stock Hadoop (sort-merge) ==");
-    println!("   (measured values reported at paper scale: run bytes × {})\n", cfg.scale);
+    println!(
+        "   (measured values reported at paper scale: run bytes × {})\n",
+        cfg.scale
+    );
 
     let mut table = Table::new([
         "metric",

@@ -74,10 +74,7 @@ impl Table {
 
 /// Writes one or more labelled progress curves as a long-format CSV:
 /// `series,t_secs,map_pct,reduce_pct`.
-pub fn write_progress_csv(
-    path: &Path,
-    curves: &[(&str, &ProgressCurve)],
-) -> std::io::Result<()> {
+pub fn write_progress_csv(path: &Path, curves: &[(&str, &ProgressCurve)]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
@@ -110,10 +107,7 @@ pub fn ascii_progress(curves: &[(&str, &ProgressCurve)], cols: usize) -> String 
         end / cols as f64
     ));
     for (label, curve) in curves {
-        for (kind, pick) in [
-            ("map", true),
-            ("red", false),
-        ] {
+        for (kind, pick) in [("map", true), ("red", false)] {
             let mut line = String::with_capacity(cols);
             for c in 0..cols {
                 let t = end * (c as f64 + 0.5) / cols as f64;

@@ -77,7 +77,10 @@ mod tests {
     fn positional_and_options_separate() {
         let a = parse(&["run", "sessionize", "--framework", "inc-hash", "--verbose"]);
         assert_eq!(a.positional, vec!["run", "sessionize"]);
-        assert_eq!(a.options.get("framework").map(String::as_str), Some("inc-hash"));
+        assert_eq!(
+            a.options.get("framework").map(String::as_str),
+            Some("inc-hash")
+        );
         assert!(a.has_flag("verbose"));
     }
 

@@ -23,9 +23,7 @@ use opa_model::optimizer::Optimizer;
 use opa_model::time_model::CostConstants;
 use opa_workloads::clickstream::ClickStreamSpec;
 use opa_workloads::documents::DocumentSpec;
-use opa_workloads::{
-    ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob,
-};
+use opa_workloads::{ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -34,7 +32,7 @@ usage:
   opa generate clickstream --bytes SIZE [--preset sessionization|counting] [--seed N] --out FILE
   opa generate documents   --bytes SIZE [--seed N] --out FILE
   opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
-              [--km RATIO] [--progress-csv FILE] [--output FILE]
+              [--km RATIO] [--threads N] [--progress-csv FILE] [--output FILE]
       JOB: sessionize | click-count | frequent-users | page-freq | trigrams
       FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
   opa model --d SIZE [--km R] [--kr R] [--chunk-mb N] [--merge-factor N] [--optimize]
@@ -117,7 +115,8 @@ fn write_lines(path: &PathBuf, input: &JobInput) -> Result<(), String> {
     let mut f = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
     let mut buf = std::io::BufWriter::new(&mut f);
     for rec in &input.records {
-        buf.write_all(rec).and_then(|()| buf.write_all(b"\n"))
+        buf.write_all(rec)
+            .and_then(|()| buf.write_all(b"\n"))
             .map_err(|e| format!("write {path:?}: {e}"))?;
     }
     Ok(())
@@ -153,6 +152,17 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
     )?;
     let km = args.get_or("km", 1.0f64);
     let cluster = ClusterSpec::paper_scaled();
+    // Execution-layer threads: default to the machine's parallelism. The
+    // outcome is bit-identical at any count; threads only buy wall-clock.
+    let exec = match args.options.get("threads") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--threads: cannot parse '{v}' as a thread count"))?;
+            opa_common::ExecConfig::with_threads(n)
+        }
+        None => opa_common::ExecConfig::available_parallelism(),
+    };
 
     let outcome: JobOutcome = match job {
         "sessionize" => JobBuilder::new(SessionizeJob {
@@ -165,6 +175,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .framework(framework)
         .cluster(cluster)
         .km_hint(km)
+        .exec(exec)
         .run(&input),
         "click-count" => JobBuilder::new(ClickCountJob {
             expected_users: args.get_or("expected-keys", 50_000u64),
@@ -172,6 +183,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .framework(framework)
         .cluster(cluster)
         .km_hint(km)
+        .exec(exec)
         .run(&input),
         "frequent-users" => JobBuilder::new(FrequentUsersJob {
             threshold: args.get_or("threshold", 50u64),
@@ -180,6 +192,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .framework(framework)
         .cluster(cluster)
         .km_hint(km)
+        .exec(exec)
         .run(&input),
         "page-freq" => JobBuilder::new(PageFreqJob {
             expected_pages: args.get_or("expected-keys", 10_000u64),
@@ -187,6 +200,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .framework(framework)
         .cluster(cluster)
         .km_hint(km)
+        .exec(exec)
         .run(&input),
         "trigrams" => JobBuilder::new(TrigramCountJob {
             threshold: args.get_or("threshold", 1000u64),
@@ -195,6 +209,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .framework(framework)
         .cluster(cluster)
         .km_hint(km)
+        .exec(exec)
         .run(&input),
         other => return Err(format!("unknown job '{other}'")),
     }

@@ -151,9 +151,68 @@ impl HardwareSpec {
     }
 }
 
+/// Execution-layer configuration: how much host parallelism the engine
+/// may use. This is *host* concurrency (worker threads executing map
+/// tasks and recording reducer work), entirely separate from the
+/// simulated cluster's slots — results are bit-identical at any setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Total threads the engine may occupy, including the caller's
+    /// thread. `1` means fully sequential execution.
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::sequential()
+    }
+}
+
+impl ExecConfig {
+    /// Single-threaded execution (the default).
+    pub fn sequential() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// One thread per available hardware core (falls back to sequential
+    /// when the host refuses to say).
+    pub fn available_parallelism() -> Self {
+        ExecConfig {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig { threads }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(Error::config("threads must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_config_defaults_and_validation() {
+        assert_eq!(ExecConfig::default().threads, 1);
+        assert!(ExecConfig::sequential().validate().is_ok());
+        assert!(ExecConfig::available_parallelism().threads >= 1);
+        assert!(ExecConfig::with_threads(8).validate().is_ok());
+        assert!(matches!(
+            ExecConfig { threads: 0 }.validate(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
 
     #[test]
     fn stock_settings_validate() {
@@ -188,7 +247,9 @@ mod tests {
     #[test]
     fn nan_ratios_rejected() {
         assert!(WorkloadSpec::new(MB, f64::NAN, 1.0).validate().is_err());
-        assert!(WorkloadSpec::new(MB, 1.0, f64::INFINITY).validate().is_err());
+        assert!(WorkloadSpec::new(MB, 1.0, f64::INFINITY)
+            .validate()
+            .is_err());
         assert!(WorkloadSpec::new(MB, -1.0, 1.0).validate().is_err());
     }
 

@@ -26,7 +26,7 @@ pub mod rng;
 pub mod types;
 pub mod units;
 
-pub use config::{HardwareSpec, SystemSettings, WorkloadSpec};
+pub use config::{ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
 pub use error::{Error, Result};
 pub use hash::{HashFamily, HashFn};
 pub use types::{Key, Pair, StatePair, Value};

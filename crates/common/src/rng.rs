@@ -1,12 +1,9 @@
 //! Deterministic random number generation.
 //!
 //! Workload generators and the hash family need reproducible randomness that
-//! does not depend on the `rand` crate's version-to-version stream changes,
-//! so the primitive generator (SplitMix64) is implemented here. `rand` is
-//! still used at higher levels (distributions) via [`seeded_rng`].
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! does not depend on any external crate's version-to-version stream changes,
+//! so the primitive generator (SplitMix64) is implemented here and used
+//! throughout.
 
 /// SplitMix64: a tiny, fast, well-distributed PRNG with a 64-bit state.
 /// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
@@ -46,13 +43,6 @@ impl SplitMix64 {
     pub fn next_f64(&mut self) -> f64 {
         (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
-}
-
-/// Builds a seeded [`StdRng`] for code that wants `rand` distributions.
-/// Reproducible within one `rand` version; OPA's own determinism-critical
-/// paths use [`SplitMix64`] instead.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

@@ -25,7 +25,9 @@ pub const GB: u64 = 1024 * MB;
 /// use opa_common::units::{ByteSize, MB};
 /// assert_eq!(ByteSize(256 * MB).to_string(), "256.00 MB");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize,
+)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -70,11 +72,15 @@ impl From<u64> for ByteSize {
 }
 
 /// An instant on the simulated clock, in microseconds since job start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -217,9 +223,7 @@ mod tests {
 
     #[test]
     fn durations_sum() {
-        let total: SimDuration = (1..=4)
-            .map(|i| SimDuration::from_secs_f64(i as f64))
-            .sum();
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs_f64(i as f64)).sum();
         assert_eq!(total.as_secs_f64(), 10.0);
     }
 

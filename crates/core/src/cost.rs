@@ -236,9 +236,7 @@ mod tests {
         // Half the scale denominator → data-proportional costs halve.
         let half = CostModel::paper_scaled_at(512.0);
         assert!((half.c_map_rec - base.c_map_rec / 2.0).abs() < 1e-12);
-        assert!(
-            (half.hdfs_disk.secs_per_byte - base.hdfs_disk.secs_per_byte / 2.0).abs() < 1e-15
-        );
+        assert!((half.hdfs_disk.secs_per_byte - base.hdfs_disk.secs_per_byte / 2.0).abs() < 1e-15);
         // Count-proportional constants stay put.
         assert_eq!(half.c_start, base.c_start);
         assert_eq!(half.hdfs_disk.secs_per_seek, base.hdfs_disk.secs_per_seek);

@@ -1,0 +1,36 @@
+//! The parallel execution layer.
+//!
+//! The engine is split into two layers:
+//!
+//! - a **scheduling layer** (the event loop in [`crate::job`]) that owns
+//!   every piece of shared simulation state — disk queues, progress,
+//!   timeline, metrics — and mutates it in a deterministic order derived
+//!   purely from the event queue;
+//! - an **execution layer** (this module) that runs the *pure* part of the
+//!   work — map-task computation and reducer effect recording — on a pool
+//!   of host threads.
+//!
+//! Nothing a worker thread computes depends on simulated time or on any
+//! other worker, so the scheduling layer can replay recorded results in
+//! exactly the order the sequential engine would have produced them. The
+//! consequence is the engine's core contract: a job's [`crate::job::JobOutcome`]
+//! is bit-identical at any thread count, including `threads = 1`.
+//!
+//! Three primitives:
+//!
+//! - [`Pool`] — a scoped worker pool over `std::thread` (the sanctioned
+//!   dependency set has no crossbeam); tasks may borrow the job and input.
+//! - [`Planner`] — speculative execution of indexed pure tasks (map-task
+//!   plans): a bounded window of upcoming tasks runs ahead on the pool,
+//!   and the scheduler claims results by index, stealing unstarted work
+//!   inline so it never idles.
+//! - [`Gather`] — a fan-out/fan-in cell: submit N tasks, then collect all
+//!   N results while helping the pool drain.
+
+mod gather;
+mod planner;
+mod pool;
+
+pub use gather::Gather;
+pub use planner::Planner;
+pub use pool::Pool;

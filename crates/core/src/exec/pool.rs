@@ -1,0 +1,179 @@
+//! A scoped worker pool built on `std::thread::scope`.
+//!
+//! Tasks are `FnOnce` closures that may borrow from the enclosing job run
+//! (the job, the cluster spec, the input records): the pool's lifetime
+//! parameter ties every task to the scope that owns the worker threads.
+//! With zero workers the pool degrades to immediate inline execution on
+//! the submitting thread, which is what makes the `threads = 1`
+//! configuration share the exact code path of the parallel one.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Scope;
+use std::time::Duration;
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct State<'env> {
+    queue: VecDeque<Task<'env>>,
+    shutdown: bool,
+}
+
+struct Shared<'env> {
+    state: Mutex<State<'env>>,
+    cv: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A fixed-size pool of scoped worker threads draining a FIFO task queue.
+pub struct Pool<'env> {
+    shared: Arc<Shared<'env>>,
+    workers: usize,
+}
+
+impl<'env> Pool<'env> {
+    /// Spawns `workers` threads on `scope`. Zero workers is valid: tasks
+    /// then run inline at submission.
+    pub fn new<'scope>(scope: &'scope Scope<'scope, 'env>, workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        for _ in 0..workers {
+            let sh = Arc::clone(&shared);
+            scope.spawn(move || worker_loop(&sh));
+        }
+        Pool { shared, workers }
+    }
+
+    /// Number of worker threads (0 means inline execution).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues a task — or runs it immediately when the pool has no
+    /// workers.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'env) {
+        if self.workers == 0 {
+            task();
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.queue.push_back(Box::new(task));
+        }
+        self.shared.cv.notify_one();
+    }
+
+    /// Runs one queued task on the calling thread, if any is pending.
+    /// Waiters use this to help drain the pool instead of blocking.
+    pub fn try_run_one(&self) -> bool {
+        let task = {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.queue.pop_front()
+        };
+        match task {
+            Some(t) => {
+                t();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Propagates a worker-thread panic to the caller. Waiters call this
+    /// inside their wait loops so a crashed worker cannot deadlock the
+    /// scheduler.
+    pub fn assert_healthy(&self) {
+        if self.shared.panicked.load(Ordering::Acquire) {
+            panic!("an execution-layer worker thread panicked");
+        }
+    }
+
+    /// A short bounded sleep used by wait loops between health checks.
+    pub(crate) fn wait_beat() -> Duration {
+        Duration::from_millis(25)
+    }
+}
+
+impl Drop for Pool<'_> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        st.shutdown = true;
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+fn worker_loop(sh: &Shared<'_>) {
+    loop {
+        let task = {
+            let mut st = sh.state.lock().expect("pool lock");
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    break Some(t);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = sh.cv.wait(st).expect("pool cv");
+            }
+        };
+        let Some(task) = task else { return };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+            sh.panicked.store(true, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_workers_runs_inline() {
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let pool = Pool::new(s, 0);
+            pool.submit(|| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 1, "inline = done at submit");
+            assert!(!pool.try_run_one(), "nothing queued");
+        });
+    }
+
+    #[test]
+    fn workers_drain_the_queue() {
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let pool = Pool::new(s, 3);
+            for _ in 0..64 {
+                pool.submit(|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Help from the main thread too; then wait for quiescence.
+            while hits.load(Ordering::SeqCst) < 64 {
+                if !pool.try_run_one() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn pool_drop_releases_idle_workers() {
+        // The scope would hang forever if Drop failed to wake the workers.
+        std::thread::scope(|s| {
+            let _pool = Pool::new(s, 2);
+        });
+    }
+}

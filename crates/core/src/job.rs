@@ -11,17 +11,32 @@
 //! the extra reducers start only when a first-wave reducer on their node
 //! finishes and must re-read all their map output from the mappers' disks —
 //! the two-wave effect of §3.2(3).
+//!
+//! ## Scheduling vs execution
+//!
+//! The loop itself is the *scheduling layer*: it owns every piece of
+//! shared simulation state and touches it strictly in event order. The
+//! heavy data work — map-task computation ([`compute_map_task`]) and
+//! reducer ingestion (recorded through [`ReduceEnv`]) — runs on the
+//! *execution layer* ([`crate::exec`]): a pool of `threads − 1` worker
+//! threads plus the scheduler itself. Results come back as effect logs
+//! and are replayed here in the exact order the sequential engine would
+//! have produced, so a [`JobOutcome`] is bit-identical at any thread
+//! count (see `tests/determinism.rs`).
 
 use crate::api::Job;
 use crate::cluster::{ClusterSpec, Framework};
-use crate::map_phase::{run_map_task, Payload};
+use crate::exec::{Gather, Planner, Pool};
+use crate::map_phase::{compute_map_task, finish_map_task, Payload};
 use crate::metrics::JobMetrics;
 use crate::progress::{ProgressCurve, ProgressTracker};
-use crate::reduce::{make_reducer, ReduceEnv, ReducerSizing};
+use crate::reduce::{
+    make_reducer, replay, Effect, ReduceEnv, ReduceSide, ReducerSizing, ReplayTarget,
+};
 use crate::sim::{EventQueue, OpKind, Resources, Span, Usage};
 use bytes::Bytes;
 use opa_common::units::{SimDuration, SimTime};
-use opa_common::{Error, HashFamily, Pair, Result};
+use opa_common::{Error, ExecConfig, HashFamily, Pair, Result};
 use opa_simio::{BlockStore, IoCategory, IoOp};
 use std::collections::VecDeque;
 
@@ -120,6 +135,7 @@ pub struct JobBuilder<J: Job> {
     job: J,
     framework: Framework,
     spec: ClusterSpec,
+    exec: ExecConfig,
     km_hint: f64,
     early_stop_coverage: Option<f64>,
     snapshot_points: Vec<f64>,
@@ -133,6 +149,7 @@ impl<J: Job> JobBuilder<J> {
             job,
             framework: Framework::SortMerge,
             spec: ClusterSpec::paper_scaled(),
+            exec: ExecConfig::sequential(),
             km_hint: 1.0,
             early_stop_coverage: None,
             snapshot_points: Vec::new(),
@@ -149,6 +166,21 @@ impl<J: Job> JobBuilder<J> {
     /// Selects the cluster configuration.
     pub fn cluster(mut self, spec: ClusterSpec) -> Self {
         self.spec = spec;
+        self
+    }
+
+    /// Sets the execution-layer thread count. `1` (the default) runs the
+    /// engine fully sequentially on the calling thread; `n > 1` adds
+    /// `n − 1` worker threads. The [`JobOutcome`] is bit-identical at any
+    /// value — threads only change wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.exec = ExecConfig::with_threads(threads);
+        self
+    }
+
+    /// Sets the full execution-layer configuration.
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -189,6 +221,7 @@ impl<J: Job> JobBuilder<J> {
     /// Runs the job on `input`.
     pub fn run(&self, input: &JobInput) -> Result<JobOutcome> {
         self.spec.validate()?;
+        self.exec.validate()?;
         if input.is_empty() {
             return Err(Error::job("job input is empty"));
         }
@@ -196,6 +229,7 @@ impl<J: Job> JobBuilder<J> {
             &self.job,
             self.framework,
             &self.spec,
+            self.exec,
             self.km_hint,
             self.early_stop_coverage,
             self.dinc_monitor,
@@ -206,8 +240,45 @@ impl<J: Job> JobBuilder<J> {
 }
 
 enum Ev {
-    StartMap { chunk: usize },
-    Deliver { reducer: usize, from_node: usize, payload: Payload },
+    StartMap {
+        chunk: usize,
+    },
+    Deliver {
+        reducer: usize,
+        from_node: usize,
+        payload: Payload,
+    },
+}
+
+/// A reducer's recorded mailbox result: the reducer itself (handed back
+/// after recording) plus, per delivery, the delivery log and the logs of
+/// any snapshots taken right after it.
+type MailboxLogs = VecDeque<(Vec<Effect>, Vec<Vec<Effect>>)>;
+
+/// Records one reducer's mailbox — a run of consecutive deliveries, each
+/// followed by `snaps` snapshot repetitions — into effect logs. Pure data
+/// work: runs on any execution-layer thread.
+fn record_mailbox<'j>(
+    mut rec: Box<dyn ReduceSide + Send + 'j>,
+    items: Vec<(Payload, usize)>,
+    est: SimTime,
+    spec: &ClusterSpec,
+) -> (Box<dyn ReduceSide + Send + 'j>, MailboxLogs) {
+    let mut logs: MailboxLogs = VecDeque::with_capacity(items.len());
+    let mut te = est;
+    for (payload, snaps) in items {
+        let mut env = ReduceEnv::new(spec);
+        te = rec.on_delivery(te, payload, &mut env);
+        let dlog = env.into_log();
+        let mut slogs = Vec::with_capacity(snaps);
+        for _ in 0..snaps {
+            let mut senv = ReduceEnv::new(spec);
+            te = rec.snapshot(te, &mut senv);
+            slogs.push(senv.into_log());
+        }
+        logs.push_back((dlog, slogs));
+    }
+    (rec, logs)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -216,6 +287,7 @@ fn run_job(
     job: &dyn Job,
     framework: Framework,
     spec: &ClusterSpec,
+    exec: ExecConfig,
     km_hint: f64,
     early_stop: Option<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
@@ -228,309 +300,403 @@ fn run_job(
     let family = HashFamily::new(spec.hash_seed);
     let h1 = family.fn_at(0);
 
+    // Snapshot points are map-progress fractions; reject anything that is
+    // not a finite value in [0, 1] instead of panicking mid-sort.
+    let mut snapshots: Vec<f64> = snapshot_points.to_vec();
+    for &p in &snapshots {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(Error::job(format!(
+                "snapshot point {p} is not a map-progress fraction in [0, 1]"
+            )));
+        }
+    }
+    snapshots.sort_by(f64::total_cmp);
+
     // Split the input into chunks, HDFS-style.
     let store = BlockStore::split(
         input.records.iter().map(|r| r.len() as u64),
         spec.system.chunk_size,
         n_nodes,
     );
-    let separate_spill = spec.cost.spill_disk != spec.cost.hdfs_disk;
-    let mut res = Resources::new(n_nodes, hw.map_slots.max(hw.reduce_slots), separate_spill);
-    let mut progress = ProgressTracker::new(store.num_chunks() as u64);
 
-    // Reducer sizing from job hints.
-    let expected_input =
-        ((input.total_bytes() as f64 * km_hint) / n_reducers as f64).ceil() as u64;
-    let expected_keys = job
-        .expected_keys()
-        .map(|k| (k / n_reducers as u64).max(1))
-        .unwrap_or(expected_input / 64);
-    let sizing = ReducerSizing {
-        expected_input,
-        expected_keys,
-        state_size: job.state_size_hint().unwrap_or(64),
-        early_stop_coverage: early_stop,
-        monitor: dinc_monitor,
-    };
-    let mut reducers = Vec::with_capacity(n_reducers);
-    for _ in 0..n_reducers {
-        reducers.push(make_reducer(framework, job, spec, sizing, &family)?);
-    }
-    let reducer_node = |r: usize| r % n_nodes;
-    // Wave assignment: the first `reduce_slots` reducers per node start at
-    // time zero; the rest queue their deliveries.
-    let wave1_per_node = hw.reduce_slots;
-    let started: Vec<bool> = (0..n_reducers)
-        .map(|r| (r / n_nodes) < wave1_per_node)
-        .collect();
+    // The scheduler thread doubles as a worker, so `threads` total.
+    let workers = exec.threads.saturating_sub(1);
 
-    // Per-node FIFO of map chunks; seed each node's map slots.
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_nodes];
-    for (i, c) in store.chunks().iter().enumerate() {
-        pending[c.node].push_back(i);
-    }
-    for node_pending in pending.iter_mut() {
-        for _ in 0..hw.map_slots {
-            if let Some(chunk) = node_pending.pop_front() {
-                queue.push(SimTime::ZERO, Ev::StartMap { chunk });
+    std::thread::scope(|scope| -> Result<JobOutcome> {
+        let pool = Pool::new(scope, workers);
+
+        let separate_spill = spec.cost.spill_disk != spec.cost.hdfs_disk;
+        let mut res = Resources::new(n_nodes, hw.map_slots.max(hw.reduce_slots), separate_spill);
+        let mut progress = ProgressTracker::new(store.num_chunks() as u64);
+
+        // Reducer sizing from job hints.
+        let expected_input =
+            ((input.total_bytes() as f64 * km_hint) / n_reducers as f64).ceil() as u64;
+        let expected_keys = job
+            .expected_keys()
+            .map(|k| (k / n_reducers as u64).max(1))
+            .unwrap_or(expected_input / 64);
+        let sizing = ReducerSizing {
+            expected_input,
+            expected_keys,
+            state_size: job.state_size_hint().unwrap_or(64),
+            early_stop_coverage: early_stop,
+            monitor: dinc_monitor,
+        };
+        let mut reducers = Vec::with_capacity(n_reducers);
+        for _ in 0..n_reducers {
+            reducers.push(Some(make_reducer(framework, job, spec, sizing, &family)?));
+        }
+        let reducer_node = |r: usize| r % n_nodes;
+        // Wave assignment: the first `reduce_slots` reducers per node start
+        // at time zero; the rest queue their deliveries.
+        let wave1_per_node = hw.reduce_slots;
+        let started: Vec<bool> = (0..n_reducers)
+            .map(|r| (r / n_nodes) < wave1_per_node)
+            .collect();
+
+        // Per-node FIFO of map chunks; seed each node's map slots.
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_nodes];
+        for (i, c) in store.chunks().iter().enumerate() {
+            pending[c.node].push_back(i);
+        }
+        for node_pending in pending.iter_mut() {
+            for _ in 0..hw.map_slots {
+                if let Some(chunk) = node_pending.pop_front() {
+                    queue.push(SimTime::ZERO, Ev::StartMap { chunk });
+                }
             }
         }
-    }
 
-    // Per-entity accounting.
-    let mut map_cpu = vec![SimDuration::ZERO; n_nodes];
-    let mut reduce_cpu = vec![SimDuration::ZERO; n_reducers];
-    let mut ready_at = vec![SimTime::ZERO; n_reducers];
-    let mut deferred: Vec<Vec<(usize, Payload)>> = vec![Vec::new(); n_reducers];
-    let mut spill_written_map = 0u64;
-    let mut spill_written_reduce = vec![0u64; n_reducers];
-    let mut snapshot_bytes = vec![0u64; n_reducers];
-    let mut snapshots: Vec<f64> = snapshot_points.to_vec();
-    snapshots.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
-    let mut next_snapshot = 0usize;
-    let mut snapshots_taken = vec![0usize; n_reducers];
-    let mut maps_completed = 0usize;
-    let mut map_output_bytes = 0u64;
-    let mut map_finish = SimTime::ZERO;
-    let mut output: Vec<Pair> = Vec::new();
+        // Speculative map-task planning: plans are pure functions of the
+        // chunk index, so the pool computes a window of them ahead of the
+        // scheduler.
+        let compute_plan = |chunk: usize| {
+            let c = &store.chunks()[chunk];
+            compute_map_task(
+                job,
+                framework,
+                &input.records[c.range.clone()],
+                c.bytes,
+                spec,
+                h1,
+            )
+        };
+        let planner: Planner<crate::map_phase::MapTaskPlan> =
+            Planner::new(store.num_chunks(), workers * 2 + 2);
+        planner.prime(&pool, compute_plan);
 
-    // Main event loop.
-    while let Some((t, ev)) = queue.pop() {
-        match ev {
-            Ev::StartMap { chunk } => {
-                let c = &store.chunks()[chunk];
-                let node = c.node;
-                let result = run_map_task(
-                    job,
-                    framework,
-                    &input.records[c.range.clone()],
-                    c.bytes,
-                    node,
-                    t,
-                    spec,
-                    h1,
-                    &mut res,
-                );
-                map_cpu[node] += result.cpu;
-                spill_written_map += result.spill_bytes;
-                map_output_bytes += result.output_bytes;
-                map_finish = map_finish.max(result.finish);
-                progress.map_done(result.finish);
-                maps_completed += 1;
-                // MapReduce Online snapshots fire when map progress crosses
-                // a requested point; each reducer takes its snapshot at the
-                // next delivery it processes ("when reducers have received
-                // X% of the data").
-                while next_snapshot < snapshots.len()
-                    && maps_completed as f64
-                        >= snapshots[next_snapshot] * store.num_chunks() as f64
-                {
-                    next_snapshot += 1;
-                }
-                if !result.early_output.is_empty() {
-                    let bytes: u64 = result.early_output.iter().map(Pair::size).sum();
-                    progress.emitted(result.finish, bytes);
-                    output.extend(result.early_output);
-                }
-                for granule in result.granules {
-                    for (r, payload) in granule.partitions.into_iter().enumerate() {
-                        if payload.is_empty() {
-                            continue;
-                        }
-                        let arrival = granule.time + spec.cost.net_time(payload.bytes());
-                        res.span(OpKind::Shuffle, granule.time, arrival);
-                        queue.push(
-                            arrival,
-                            Ev::Deliver {
-                                reducer: r,
-                                from_node: node,
-                                payload,
-                            },
-                        );
-                    }
-                }
-                // Free the slot: schedule the node's next chunk.
-                if let Some(next) = pending[node].pop_front() {
-                    queue.push(result.finish, Ev::StartMap { chunk: next });
-                }
-            }
-            Ev::Deliver {
-                reducer,
-                from_node,
-                payload,
-            } => {
-                if !started[reducer] {
-                    deferred[reducer].push((from_node, payload));
-                    continue;
-                }
-                let node = reducer_node(reducer);
-                let t0 = ready_at[reducer].max(t);
-                let mut env = ReduceEnv {
-                    node,
-                    spec,
+        // Per-entity accounting.
+        let mut map_cpu = vec![SimDuration::ZERO; n_nodes];
+        let mut reduce_cpu = vec![SimDuration::ZERO; n_reducers];
+        let mut ready_at = vec![SimTime::ZERO; n_reducers];
+        let mut deferred: Vec<Vec<(usize, Payload)>> = vec![Vec::new(); n_reducers];
+        let mut spill_written_map = 0u64;
+        let mut spill_written_reduce = vec![0u64; n_reducers];
+        let mut snapshot_bytes = vec![0u64; n_reducers];
+        let mut next_snapshot = 0usize;
+        let mut snapshots_taken = vec![0usize; n_reducers];
+        let mut maps_completed = 0usize;
+        let mut map_output_bytes = 0u64;
+        let mut map_finish = SimTime::ZERO;
+        let mut output: Vec<Pair> = Vec::new();
+
+        // Burst scratch, reused across iterations.
+        let mut mail_of: Vec<Option<usize>> = vec![None; n_reducers];
+        let mut log_q: Vec<MailboxLogs> = (0..n_reducers).map(|_| VecDeque::new()).collect();
+
+        macro_rules! target {
+            ($r:expr) => {
+                ReplayTarget {
+                    node: reducer_node($r),
                     res: &mut res,
                     progress: &mut progress,
                     output: &mut output,
-                    reduce_cpu: &mut reduce_cpu[reducer],
-                    spill_written: &mut spill_written_reduce[reducer],
-                    snapshot_bytes: &mut snapshot_bytes[reducer],
-                };
-                ready_at[reducer] = reducers[reducer].on_delivery(t0, payload, &mut env);
-                while snapshots_taken[reducer] < next_snapshot {
-                    snapshots_taken[reducer] += 1;
-                    let mut env = ReduceEnv {
-                        node,
-                        spec,
-                        res: &mut res,
-                        progress: &mut progress,
-                        output: &mut output,
-                        reduce_cpu: &mut reduce_cpu[reducer],
-                        spill_written: &mut spill_written_reduce[reducer],
-                        snapshot_bytes: &mut snapshot_bytes[reducer],
-                    };
-                    ready_at[reducer] = reducers[reducer].snapshot(ready_at[reducer], &mut env);
+                    reduce_cpu: &mut reduce_cpu[$r],
+                    spill_written: &mut spill_written_reduce[$r],
+                    snapshot_bytes: &mut snapshot_bytes[$r],
+                }
+            };
+        }
+
+        // Main event loop.
+        while let Some((t, ev)) = queue.pop() {
+            match ev {
+                Ev::StartMap { chunk } => {
+                    let node = store.chunks()[chunk].node;
+                    let plan = planner.take(chunk, &pool, compute_plan);
+                    let result = finish_map_task(plan, node, t, spec, &mut res);
+                    map_cpu[node] += result.cpu;
+                    spill_written_map += result.spill_bytes;
+                    map_output_bytes += result.output_bytes;
+                    map_finish = map_finish.max(result.finish);
+                    progress.map_done(result.finish);
+                    maps_completed += 1;
+                    // MapReduce Online snapshots fire when map progress
+                    // crosses a requested point; each reducer takes its
+                    // snapshot at the next delivery it processes ("when
+                    // reducers have received X% of the data").
+                    while next_snapshot < snapshots.len()
+                        && maps_completed as f64
+                            >= snapshots[next_snapshot] * store.num_chunks() as f64
+                    {
+                        next_snapshot += 1;
+                    }
+                    if !result.early_output.is_empty() {
+                        let bytes: u64 = result.early_output.iter().map(Pair::size).sum();
+                        progress.emitted(result.finish, bytes);
+                        output.extend(result.early_output);
+                    }
+                    for granule in result.granules {
+                        for (r, payload) in granule.partitions.into_iter().enumerate() {
+                            if payload.is_empty() {
+                                continue;
+                            }
+                            let arrival = granule.time + spec.cost.net_time(payload.bytes());
+                            res.span(OpKind::Shuffle, granule.time, arrival);
+                            queue.push(
+                                arrival,
+                                Ev::Deliver {
+                                    reducer: r,
+                                    from_node: node,
+                                    payload,
+                                },
+                            );
+                        }
+                    }
+                    // Free the slot: schedule the node's next chunk.
+                    if let Some(next) = pending[node].pop_front() {
+                        queue.push(result.finish, Ev::StartMap { chunk: next });
+                    }
+                }
+                Ev::Deliver {
+                    reducer,
+                    from_node,
+                    payload,
+                } => {
+                    // Drain the maximal run of consecutive deliveries:
+                    // processing a delivery never schedules new events, so
+                    // everything up to the next StartMap can be recorded as
+                    // one parallel batch without changing the pop order.
+                    let mut burst: Vec<(SimTime, usize, usize, Payload)> =
+                        vec![(t, reducer, from_node, payload)];
+                    while matches!(queue.peek(), Some((_, Ev::Deliver { .. }))) {
+                        let Some((
+                            t2,
+                            Ev::Deliver {
+                                reducer,
+                                from_node,
+                                payload,
+                            },
+                        )) = queue.pop()
+                        else {
+                            unreachable!("peeked a delivery");
+                        };
+                        burst.push((t2, reducer, from_node, payload));
+                    }
+
+                    // Partition the burst into per-reducer mailboxes,
+                    // preserving each reducer's arrival order; second-wave
+                    // reducers defer as before.
+                    let mut order: Vec<(usize, SimTime)> = Vec::with_capacity(burst.len());
+                    let mut mailboxes: Vec<(usize, Vec<(Payload, usize)>)> = Vec::new();
+                    for (t_ev, r, from, payload) in burst {
+                        if !started[r] {
+                            deferred[r].push((from, payload));
+                            continue;
+                        }
+                        order.push((r, t_ev));
+                        let slot = match mail_of[r] {
+                            Some(s) => s,
+                            None => {
+                                mail_of[r] = Some(mailboxes.len());
+                                mailboxes.push((r, Vec::new()));
+                                mailboxes.len() - 1
+                            }
+                        };
+                        // Snapshots catch up after the first delivery a
+                        // reducer processes past each snapshot point.
+                        let snaps = if mailboxes[slot].1.is_empty() {
+                            next_snapshot.saturating_sub(snapshots_taken[r])
+                        } else {
+                            0
+                        };
+                        mailboxes[slot].1.push((payload, snaps));
+                    }
+                    if mailboxes.is_empty() {
+                        continue;
+                    }
+
+                    // Record every mailbox on the pool (inline when the
+                    // pool has no workers), then replay in pop order.
+                    let n_mail = mailboxes.len();
+                    let gather = Gather::new(n_mail);
+                    let mut mail_reducers: Vec<usize> = Vec::with_capacity(n_mail);
+                    for (slot, (r, items)) in mailboxes.into_iter().enumerate() {
+                        mail_reducers.push(r);
+                        mail_of[r] = None;
+                        let rec = reducers[r].take().expect("reducer in place");
+                        let est = ready_at[r];
+                        let g = gather.clone();
+                        if slot + 1 == n_mail {
+                            // The scheduler records the last mailbox itself:
+                            // no handoff for single-mailbox bursts, and the
+                            // main thread stays busy instead of waiting.
+                            g.put(slot, record_mailbox(rec, items, est, spec));
+                        } else {
+                            pool.submit(move || {
+                                g.put(slot, record_mailbox(rec, items, est, spec));
+                            });
+                        }
+                    }
+                    for ((rec, logs), &r) in gather.wait(&pool).into_iter().zip(&mail_reducers) {
+                        reducers[r] = Some(rec);
+                        log_q[r] = logs;
+                    }
+                    for (r, t_ev) in order {
+                        let (dlog, slogs) = log_q[r].pop_front().expect("one log per delivery");
+                        let t0 = ready_at[r].max(t_ev);
+                        ready_at[r] = replay(dlog, t0, spec, target!(r));
+                        for slog in slogs {
+                            snapshots_taken[r] += 1;
+                            ready_at[r] = replay(slog, ready_at[r], spec, target!(r));
+                        }
+                    }
                 }
             }
         }
-    }
 
-    // Finish wave-one reducers.
-    let mut dinc_total: Option<crate::metrics::DincStats> = None;
-    let mut merge_dinc = |stats: Option<crate::metrics::DincStats>| {
-        if let Some(st) = stats {
-            let acc = dinc_total.get_or_insert_with(Default::default);
-            acc.slots_per_reducer = st.slots_per_reducer;
-            acc.offered += st.offered;
-            acc.rejected += st.rejected;
-            acc.evict_output += st.evict_output;
-            acc.evict_spilled += st.evict_spilled;
-        }
-    };
-    let mut end = map_finish;
-    let mut node_wave1_finish: Vec<Vec<SimTime>> = vec![Vec::new(); n_nodes];
-    for r in 0..n_reducers {
-        if !started[r] {
-            continue;
-        }
-        let node = reducer_node(r);
-        let t0 = ready_at[r].max(map_finish);
-        let mut env = ReduceEnv {
-            node,
-            spec,
-            res: &mut res,
-            progress: &mut progress,
-            output: &mut output,
-            reduce_cpu: &mut reduce_cpu[r],
-            spill_written: &mut spill_written_reduce[r],
-            snapshot_bytes: &mut snapshot_bytes[r],
+        // Finish wave-one reducers: record in parallel, replay in reducer
+        // order (identical to the sequential engine's iteration order).
+        let mut dinc_total: Option<crate::metrics::DincStats> = None;
+        let mut merge_dinc = |stats: Option<crate::metrics::DincStats>| {
+            if let Some(st) = stats {
+                let acc = dinc_total.get_or_insert_with(Default::default);
+                acc.slots_per_reducer = st.slots_per_reducer;
+                acc.offered += st.offered;
+                acc.rejected += st.rejected;
+                acc.evict_output += st.evict_output;
+                acc.evict_spilled += st.evict_spilled;
+            }
         };
-        let done = reducers[r].finish(t0, &mut env);
-        merge_dinc(reducers[r].dinc_stats());
-        node_wave1_finish[node].push(done);
-        end = end.max(done);
-    }
-
-    // Second-wave reducers: start when a first-wave reducer on their node
-    // finishes, re-reading their map output from the mappers' disks.
-    for node_times in node_wave1_finish.iter_mut() {
-        node_times.sort_unstable();
-    }
-    let mut wave_cursor = vec![0usize; n_nodes];
-    for r in 0..n_reducers {
-        if started[r] {
-            continue;
-        }
-        let node = reducer_node(r);
-        let slot_times = &node_wave1_finish[node];
-        let start = if slot_times.is_empty() {
-            map_finish
-        } else {
-            let i = wave_cursor[node].min(slot_times.len() - 1);
-            wave_cursor[node] += 1;
-            slot_times[i]
-        };
-        let mut t = start;
-        let deliveries = std::mem::take(&mut deferred[r]);
-        let dbg_wave2 = std::env::var_os("OPA_TRACE_WAVE2").is_some();
-        let n_deliveries = deliveries.len();
-        let bytes_total: u64 = deliveries.iter().map(|(_, p)| p.bytes()).sum();
-        // The mappers finished long ago: their output must come off disk.
-        // Fetches from distinct source nodes proceed in parallel (the
-        // shuffle's parallel fetch threads); each source disk serves its
-        // own reads sequentially.
-        let mut arrivals: Vec<(SimTime, Payload)> = deliveries
-            .into_iter()
-            .map(|(from_node, payload)| {
-                let op = IoOp::read(payload.bytes());
-                let read_done =
-                    res.spill_io(from_node, start, IoCategory::MapOutput, op, &spec.cost);
-                (read_done + spec.cost.net_time(payload.bytes()), payload)
-            })
-            .collect();
-        arrivals.sort_by_key(|&(at, _)| at);
-        for (arrival, payload) in arrivals {
-            let t0 = t.max(arrival);
-            let mut env = ReduceEnv {
-                node,
-                spec,
-                res: &mut res,
-                progress: &mut progress,
-                output: &mut output,
-                reduce_cpu: &mut reduce_cpu[r],
-                spill_written: &mut spill_written_reduce[r],
-                snapshot_bytes: &mut snapshot_bytes[r],
+        let mut end = map_finish;
+        let mut node_wave1_finish: Vec<Vec<SimTime>> = vec![Vec::new(); n_nodes];
+        let wave1: Vec<usize> = (0..n_reducers).filter(|&r| started[r]).collect();
+        let gather = Gather::new(wave1.len());
+        for (slot, &r) in wave1.iter().enumerate() {
+            let mut rec = reducers[r].take().expect("reducer in place");
+            let est = ready_at[r].max(map_finish);
+            let g = gather.clone();
+            let record = move || {
+                let mut env = ReduceEnv::new(spec);
+                rec.finish(est, &mut env);
+                g.put(slot, (rec, env.into_log()));
             };
-            t = reducers[r].on_delivery(t0, payload, &mut env);
+            if slot + 1 == wave1.len() {
+                record();
+            } else {
+                pool.submit(record);
+            }
         }
-        let mut env = ReduceEnv {
-            node,
-            spec,
-            res: &mut res,
-            progress: &mut progress,
-            output: &mut output,
-            reduce_cpu: &mut reduce_cpu[r],
-            spill_written: &mut spill_written_reduce[r],
-            snapshot_bytes: &mut snapshot_bytes[r],
-        };
-        let after_deliveries = t;
-        let done = reducers[r].finish(t, &mut env);
-        merge_dinc(reducers[r].dinc_stats());
-        if dbg_wave2 {
-            eprintln!(
-                "wave2 r={r}: start={start} deliveries={n_deliveries} bytes={bytes_total} after_deliv={after_deliveries} done={done}"
-            );
+        for ((rec, log), &r) in gather.wait(&pool).into_iter().zip(&wave1) {
+            let t0 = ready_at[r].max(map_finish);
+            let done = replay(log, t0, spec, target!(r));
+            merge_dinc(rec.dinc_stats());
+            node_wave1_finish[reducer_node(r)].push(done);
+            end = end.max(done);
+            reducers[r] = Some(rec);
         }
-        end = end.max(done);
-    }
 
-    // Assemble the outcome.
-    let output_bytes: u64 = output.iter().map(Pair::size).sum();
-    let total_reduce_cpu: SimDuration = reduce_cpu.iter().copied().sum();
-    let total_map_cpu: SimDuration = map_cpu.iter().copied().sum();
-    let metrics = JobMetrics {
-        framework: framework.label().to_string(),
-        job: job.name().to_string(),
-        running_time: end,
-        map_finish,
-        input_bytes: input.total_bytes(),
-        map_output_bytes,
-        map_spill_bytes: spill_written_map,
-        reduce_spill_bytes: spill_written_reduce.iter().sum(),
-        output_bytes,
-        snapshot_bytes: snapshot_bytes.iter().sum(),
-        output_records: output.len() as u64,
-        map_cpu_per_node: SimDuration(total_map_cpu.0 / n_nodes as u64),
-        reduce_cpu_per_node: SimDuration(total_reduce_cpu.0 / n_nodes as u64),
-        io: res.io.clone(),
-        dinc: dinc_total,
-    };
-    Ok(JobOutcome {
-        metrics,
-        progress: progress.finish(end, PROGRESS_POINTS),
-        timeline: std::mem::take(&mut res.timeline),
-        usage: res.usage,
-        output,
+        // Second-wave reducers: start when a first-wave reducer on their
+        // node finishes, re-reading their map output from the mappers'
+        // disks. This stays sequential by design — each arrival time
+        // depends on shared disk queues, which is a scheduling decision.
+        for node_times in node_wave1_finish.iter_mut() {
+            node_times.sort_unstable();
+        }
+        let mut wave_cursor = vec![0usize; n_nodes];
+        for r in 0..n_reducers {
+            if started[r] {
+                continue;
+            }
+            let node = reducer_node(r);
+            let slot_times = &node_wave1_finish[node];
+            let start = if slot_times.is_empty() {
+                map_finish
+            } else {
+                let i = wave_cursor[node].min(slot_times.len() - 1);
+                wave_cursor[node] += 1;
+                slot_times[i]
+            };
+            let mut t = start;
+            let deliveries = std::mem::take(&mut deferred[r]);
+            let dbg_wave2 = std::env::var_os("OPA_TRACE_WAVE2").is_some();
+            let n_deliveries = deliveries.len();
+            let bytes_total: u64 = deliveries.iter().map(|(_, p)| p.bytes()).sum();
+            // The mappers finished long ago: their output must come off
+            // disk. Fetches from distinct source nodes proceed in parallel
+            // (the shuffle's parallel fetch threads); each source disk
+            // serves its own reads sequentially.
+            let mut arrivals: Vec<(SimTime, Payload)> = deliveries
+                .into_iter()
+                .map(|(from_node, payload)| {
+                    let op = IoOp::read(payload.bytes());
+                    let read_done =
+                        res.spill_io(from_node, start, IoCategory::MapOutput, op, &spec.cost);
+                    (read_done + spec.cost.net_time(payload.bytes()), payload)
+                })
+                .collect();
+            arrivals.sort_by_key(|&(at, _)| at);
+            let mut rec = reducers[r].take().expect("reducer in place");
+            for (arrival, payload) in arrivals {
+                let t0 = t.max(arrival);
+                let mut env = ReduceEnv::new(spec);
+                rec.on_delivery(t0, payload, &mut env);
+                t = replay(env.into_log(), t0, spec, target!(r));
+            }
+            let after_deliveries = t;
+            let mut env = ReduceEnv::new(spec);
+            rec.finish(t, &mut env);
+            let done = replay(env.into_log(), t, spec, target!(r));
+            merge_dinc(rec.dinc_stats());
+            reducers[r] = Some(rec);
+            if dbg_wave2 {
+                eprintln!(
+                    "wave2 r={r}: start={start} deliveries={n_deliveries} bytes={bytes_total} after_deliv={after_deliveries} done={done}"
+                );
+            }
+            end = end.max(done);
+        }
+
+        // Assemble the outcome.
+        let output_bytes: u64 = output.iter().map(Pair::size).sum();
+        let total_reduce_cpu: SimDuration = reduce_cpu.iter().copied().sum();
+        let total_map_cpu: SimDuration = map_cpu.iter().copied().sum();
+        let metrics = JobMetrics {
+            framework: framework.label().to_string(),
+            job: job.name().to_string(),
+            running_time: end,
+            map_finish,
+            input_bytes: input.total_bytes(),
+            map_output_bytes,
+            map_spill_bytes: spill_written_map,
+            reduce_spill_bytes: spill_written_reduce.iter().sum(),
+            output_bytes,
+            snapshot_bytes: snapshot_bytes.iter().sum(),
+            output_records: output.len() as u64,
+            map_cpu_per_node: SimDuration(total_map_cpu.0 / n_nodes as u64),
+            reduce_cpu_per_node: SimDuration(total_reduce_cpu.0 / n_nodes as u64),
+            io: res.io.clone(),
+            dinc: dinc_total,
+        };
+        Ok(JobOutcome {
+            metrics,
+            progress: progress.finish(end, PROGRESS_POINTS),
+            timeline: std::mem::take(&mut res.timeline),
+            usage: res.usage,
+            output,
+        })
     })
 }
 
@@ -618,6 +784,52 @@ mod tests {
             .run(&data)
             .expect("job runs");
         assert_eq!(a.sorted_output(), b.sorted_output());
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        // The full determinism matrix lives in tests/determinism.rs; this
+        // is the smoke check closest to the scheduler.
+        let data = input(800);
+        let mut spec = crate::cluster::ClusterSpec::paper_scaled();
+        spec.system.chunk_size = 512;
+        let run = |threads: usize| {
+            JobBuilder::new(Echo)
+                .cluster(spec)
+                .framework(crate::cluster::Framework::SortMergePipelined)
+                .threads(threads)
+                .run(&data)
+                .expect("job runs")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn invalid_snapshot_points_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, -0.25, 1.5] {
+            let r = JobBuilder::new(Echo)
+                .cluster(crate::cluster::ClusterSpec::tiny())
+                .snapshot_points(&[0.5, bad])
+                .run(&input(10));
+            assert!(r.is_err(), "snapshot point {bad} must be rejected");
+        }
+        // Boundary values are fine.
+        JobBuilder::new(Echo)
+            .cluster(crate::cluster::ClusterSpec::tiny())
+            .snapshot_points(&[0.0, 1.0])
+            .run(&input(10))
+            .expect("boundary snapshot points are valid");
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let r = JobBuilder::new(Echo)
+            .cluster(crate::cluster::ClusterSpec::tiny())
+            .threads(0)
+            .run(&input(10));
+        assert!(r.is_err(), "threads = 0 is invalid");
     }
 
     #[test]

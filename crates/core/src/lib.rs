@@ -41,6 +41,7 @@
 pub mod api;
 pub mod cluster;
 pub mod cost;
+pub mod exec;
 pub mod job;
 pub mod map_phase;
 pub mod metrics;

@@ -15,6 +15,27 @@
 //! Under pipelining the task emits several *granules* (each independently
 //! sorted, like MapReduce Online's eager spills) at interpolated times;
 //! otherwise a single granule at task completion.
+//!
+//! ## Compute / accounting split
+//!
+//! Map-task work is split in two so the execution layer
+//! ([`crate::exec`]) can run the expensive part on worker threads:
+//!
+//! 1. [`compute_map_task`] does everything that touches *data* — the map
+//!    function, sorting, combining, partitioning — and records every
+//!    simulated-resource operation (CPU charge, HDFS read, spill write,
+//!    merge span) into a [`MapTaskPlan`]. It is a pure function of the
+//!    job, framework, records and hash function: no [`Resources`] access,
+//!    no simulated time.
+//! 2. [`finish_map_task`] replays the plan against the shared
+//!    [`Resources`] on the scheduling thread, which is where disk-queue
+//!    contention, usage accounting and the task timeline are resolved.
+//!
+//! Because the plan is independent of *when* and *where* it is replayed,
+//! plans may be computed speculatively and out of order while replay stays
+//! in strict event order — the engine's bit-identical determinism contract
+//! rests on this property. [`run_map_task`] composes the two for callers
+//! that do not care about the split.
 
 use crate::api::{Job, ReduceCtx, Site};
 use crate::cluster::{ClusterSpec, Framework};
@@ -86,7 +107,150 @@ pub struct MapTaskResult {
     pub early_output: Vec<Pair>,
 }
 
-/// Executes one map task starting at `start` on `node`.
+/// One recorded simulated-resource operation of a map task. Replayed in
+/// order by [`finish_map_task`].
+#[derive(Debug, Clone, Copy)]
+enum MapOp {
+    /// Advance the task-local clock without charging any resource
+    /// (task startup latency `c_start`).
+    Advance(SimDuration),
+    /// Charge CPU on the task's node.
+    Cpu(SimDuration),
+    /// An HDFS operation (chunk read, map-side early output).
+    Hdfs(IoCategory, IoOp),
+    /// A local-disk operation (map output, external-sort spills).
+    Spill(IoCategory, IoOp),
+    /// Open a background-merge timeline span at the current clock.
+    MergeStart,
+    /// Close the innermost open merge span.
+    MergeEnd,
+    /// Stamp the next granule with the current clock.
+    Granule,
+}
+
+/// The pure half of a map task: the data it produced plus the operation
+/// log needed to account for it. Produced by [`compute_map_task`] —
+/// possibly on a worker thread — and consumed by [`finish_map_task`] on
+/// the scheduling thread.
+#[derive(Debug)]
+pub struct MapTaskPlan {
+    ops: Vec<MapOp>,
+    /// Per-granule per-reducer payloads, in granule order; each entry is
+    /// stamped by the matching [`MapOp::Granule`] during replay.
+    granules: Vec<Vec<Payload>>,
+    cpu: SimDuration,
+    output_bytes: u64,
+    spill_bytes: u64,
+    early_output: Vec<Pair>,
+}
+
+impl MapTaskPlan {
+    fn new() -> Self {
+        MapTaskPlan {
+            ops: Vec::new(),
+            granules: Vec::new(),
+            cpu: SimDuration::ZERO,
+            output_bytes: 0,
+            spill_bytes: 0,
+            early_output: Vec::new(),
+        }
+    }
+
+    fn op_cpu(&mut self, dur: SimDuration) {
+        self.ops.push(MapOp::Cpu(dur));
+        self.cpu += dur;
+    }
+}
+
+/// Computes one map task without touching shared simulation state: runs
+/// the user map function and the framework collector, and records every
+/// resource operation into the returned plan. Pure — safe to run on any
+/// thread, in any order.
+pub fn compute_map_task(
+    job: &dyn Job,
+    framework: Framework,
+    records: &[Bytes],
+    chunk_bytes: u64,
+    spec: &ClusterSpec,
+    h1: HashFn,
+) -> MapTaskPlan {
+    let cost = &spec.cost;
+    let n_partitions = spec.total_reducers();
+    let mut plan = MapTaskPlan::new();
+
+    // Task startup, then read the input chunk from HDFS.
+    plan.ops
+        .push(MapOp::Advance(SimDuration::from_secs_f64(cost.c_start)));
+    plan.ops
+        .push(MapOp::Hdfs(IoCategory::MapInput, IoOp::read(chunk_bytes)));
+
+    // The map function, for real.
+    let mut pairs: Vec<Pair> = Vec::with_capacity(records.len());
+    for rec in records {
+        job.map(rec, &mut |k, v| pairs.push(Pair::new(k, v)));
+    }
+    plan.op_cpu(cost.map_time(records.len() as u64));
+
+    match framework {
+        Framework::SortMerge => plan_sort_merge(job, pairs, 1, spec, h1, &mut plan),
+        Framework::SortMergePipelined => {
+            // Pipelined granules interpolate between map-fn end and finish.
+            plan_sort_merge(job, pairs, spec.pipeline_granules, spec, h1, &mut plan)
+        }
+        Framework::MrHash => plan_mr_hash(job, pairs, n_partitions, spec, h1, &mut plan),
+        Framework::IncHash | Framework::DincHash => {
+            plan_incremental(job, pairs, n_partitions, chunk_bytes, spec, h1, &mut plan)
+        }
+    }
+    plan
+}
+
+/// Replays a map-task plan against the shared resources, resolving disk
+/// contention and stamping granule times. Must run on the scheduling
+/// thread, in event order.
+pub fn finish_map_task(
+    plan: MapTaskPlan,
+    node: usize,
+    start: SimTime,
+    spec: &ClusterSpec,
+    res: &mut Resources,
+) -> MapTaskResult {
+    let cost = &spec.cost;
+    let mut t = start;
+    let mut merge_starts: Vec<SimTime> = Vec::new();
+    let mut granule_times: Vec<SimTime> = Vec::with_capacity(plan.granules.len());
+    for op in &plan.ops {
+        match *op {
+            MapOp::Advance(d) => t += d,
+            MapOp::Cpu(d) => t = res.cpu(node, t, d),
+            MapOp::Hdfs(cat, io) => t = res.hdfs_io(node, t, cat, io, cost),
+            MapOp::Spill(cat, io) => t = res.spill_io(node, t, cat, io, cost),
+            MapOp::MergeStart => merge_starts.push(t),
+            MapOp::MergeEnd => {
+                let m0 = merge_starts.pop().expect("balanced merge markers");
+                res.span(OpKind::Merge, m0, t);
+            }
+            MapOp::Granule => granule_times.push(t),
+        }
+    }
+    res.span(OpKind::Map, start, t);
+    let granules = granule_times
+        .into_iter()
+        .zip(plan.granules)
+        .map(|(time, partitions)| Granule { time, partitions })
+        .collect();
+    MapTaskResult {
+        finish: t,
+        granules,
+        cpu: plan.cpu,
+        output_bytes: plan.output_bytes,
+        spill_bytes: plan.spill_bytes,
+        early_output: plan.early_output,
+    }
+}
+
+/// Executes one map task starting at `start` on `node` (compute followed
+/// immediately by accounting).
 #[allow(clippy::too_many_arguments)]
 pub fn run_map_task(
     job: &dyn Job,
@@ -99,147 +263,78 @@ pub fn run_map_task(
     h1: HashFn,
     res: &mut Resources,
 ) -> MapTaskResult {
-    let cost = &spec.cost;
-    let n_partitions = spec.total_reducers();
-    let mut cpu = SimDuration::ZERO;
-
-    // Task startup, then read the input chunk from HDFS.
-    let mut t = start + SimDuration::from_secs_f64(cost.c_start);
-    t = res.hdfs_io(node, t, IoCategory::MapInput, IoOp::read(chunk_bytes), cost);
-
-    // The map function, for real.
-    let mut pairs: Vec<Pair> = Vec::with_capacity(records.len());
-    for rec in records {
-        job.map(rec, &mut |k, v| pairs.push(Pair::new(k, v)));
-    }
-    let map_dur = cost.map_time(records.len() as u64);
-    t = res.cpu(node, t, map_dur);
-    cpu += map_dur;
-
-    let mut result = match framework {
-        Framework::SortMerge => collect_sort_merge(job, pairs, 1, node, t, spec, h1, res, &mut cpu),
-        Framework::SortMergePipelined => {
-            // Pipelined granules interpolate between map-fn end and finish.
-            collect_sort_merge(
-                job,
-                pairs,
-                spec.pipeline_granules,
-                node,
-                t,
-                spec,
-                h1,
-                res,
-                &mut cpu,
-            )
-        }
-        Framework::MrHash => {
-            collect_mr_hash(job, pairs, n_partitions, node, t, spec, h1, res, &mut cpu)
-        }
-        Framework::IncHash | Framework::DincHash => {
-            collect_incremental(job, pairs, n_partitions, node, t, spec, h1, res, &mut cpu)
-        }
-    };
-    result.cpu = cpu;
-    res.span(OpKind::Map, start, result.finish);
-    result
+    let plan = compute_map_task(job, framework, records, chunk_bytes, spec, h1);
+    finish_map_task(plan, node, start, spec, res)
 }
 
 /// Sort-merge collection, optionally split into `granules` pipelined
 /// pieces (each sorted and combined independently, like HOP's spills).
-#[allow(clippy::too_many_arguments)]
-fn collect_sort_merge(
+fn plan_sort_merge(
     job: &dyn Job,
     pairs: Vec<Pair>,
     granules: usize,
-    node: usize,
-    t0: SimTime,
     spec: &ClusterSpec,
     h1: HashFn,
-    res: &mut Resources,
-    cpu: &mut SimDuration,
-) -> MapTaskResult {
+    plan: &mut MapTaskPlan,
+) {
     let cost = &spec.cost;
     let n_partitions = spec.total_reducers();
     let n = pairs.len();
     let granules = granules.clamp(1, n.max(1));
-    let mut t = t0;
-    let mut out = Vec::with_capacity(granules);
-    let mut output_bytes = 0u64;
-    let mut spill_bytes = 0u64;
+    let mut iter = pairs.into_iter();
 
     for g in 0..granules {
         let lo = n * g / granules;
         let hi = n * (g + 1) / granules;
-        let mut part: Vec<(usize, Pair)> = pairs[lo..hi]
-            .iter()
-            .map(|p| (h1.bucket(p.key.bytes(), n_partitions), p.clone()))
+        // Tag each pair with its target partition; the pairs are moved out
+        // of the map buffer, not cloned.
+        let mut part: Vec<(usize, Pair)> = iter
+            .by_ref()
+            .take(hi - lo)
+            .map(|p| (h1.bucket(p.key.bytes(), n_partitions), p))
             .collect();
         // The compound ⟨partition, key⟩ sort of §2.2.
         part.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.key.cmp(&b.1.key)));
-        let sort_dur = cost.sort_time(part.len() as u64);
-        t = res.cpu(node, t, sort_dur);
-        *cpu += sort_dur;
+        plan.op_cpu(cost.sort_time(part.len() as u64));
 
         // Combiner on sorted groups, if the job has one.
         let part = if let Some(cb) = job.combiner() {
             let in_recs = part.len() as u64;
             let combined = combine_sorted(cb, part);
-            let dur = cost.cb_time(in_recs);
-            t = res.cpu(node, t, dur);
-            *cpu += dur;
+            plan.op_cpu(cost.cb_time(in_recs));
             combined
         } else {
             part
         };
 
         let g_bytes: u64 = part.iter().map(|(_, p)| p.size()).sum();
-        output_bytes += g_bytes;
+        plan.output_bytes += g_bytes;
 
         // External sort when this piece overflows the map buffer.
         if g_bytes > spec.hardware.map_buffer {
-            let (sp, end) = external_sort_io(
-                g_bytes,
-                part.len() as u64,
-                spec,
-                node,
-                t,
-                res,
-                cpu,
-            );
-            spill_bytes += sp;
-            t = end;
+            plan_external_sort(g_bytes, part.len() as u64, spec, plan);
         }
 
         // Write the (final) sorted map output for this granule.
-        t = res.spill_io(node, t, IoCategory::MapOutput, IoOp::write(g_bytes), cost);
+        plan.ops
+            .push(MapOp::Spill(IoCategory::MapOutput, IoOp::write(g_bytes)));
 
         // Scatter into per-reducer payloads, preserving sorted order.
-        let mut per_part: Vec<Vec<Pair>> = vec![Vec::new(); n_partitions];
+        let cap = part.len() / n_partitions + 1;
+        let mut per_part: Vec<Vec<Pair>> =
+            (0..n_partitions).map(|_| Vec::with_capacity(cap)).collect();
         for (p, pair) in part {
             per_part[p].push(pair);
         }
-        out.push(Granule {
-            time: t,
-            partitions: per_part.into_iter().map(Payload::Pairs).collect(),
-        });
-    }
-
-    MapTaskResult {
-        finish: t,
-        granules: out,
-        cpu: *cpu,
-        output_bytes,
-        spill_bytes,
-        early_output: Vec::new(),
+        plan.ops.push(MapOp::Granule);
+        plan.granules
+            .push(per_part.into_iter().map(Payload::Pairs).collect());
     }
 }
 
 /// Applies the combiner to consecutive same-⟨partition, key⟩ groups of a
 /// sorted run.
-fn combine_sorted(
-    cb: &dyn crate::api::Combiner,
-    sorted: Vec<(usize, Pair)>,
-) -> Vec<(usize, Pair)> {
+fn combine_sorted(cb: &dyn crate::api::Combiner, sorted: Vec<(usize, Pair)>) -> Vec<(usize, Pair)> {
     let mut out = Vec::new();
     let mut iter = sorted.into_iter().peekable();
     while let Some((p, first)) = iter.next() {
@@ -258,18 +353,14 @@ fn combine_sorted(
     out
 }
 
-/// Simulates the I/O and CPU of a map-side external sort: spill runs of
-/// `B_m`, background-merge per the `2F−1` policy, final read. Returns the
-/// spill bytes written and the completion time.
-fn external_sort_io(
+/// Plans the I/O and CPU of a map-side external sort: spill runs of
+/// `B_m`, background-merge per the `2F−1` policy, final read.
+fn plan_external_sort(
     out_bytes: u64,
     out_records: u64,
     spec: &ClusterSpec,
-    node: usize,
-    mut t: SimTime,
-    res: &mut Resources,
-    cpu: &mut SimDuration,
-) -> (u64, SimTime) {
+    plan: &mut MapTaskPlan,
+) {
     let cost = &spec.cost;
     let bm = spec.hardware.map_buffer;
     let f = spec.system.merge_factor;
@@ -278,11 +369,11 @@ fn external_sort_io(
     // Write initial runs.
     let mut files: Vec<u64> = Vec::new();
     let mut remaining = out_bytes;
-    let mut written = 0u64;
     while remaining > 0 {
         let run = remaining.min(bm);
-        t = res.spill_io(node, t, IoCategory::MapSpill, IoOp::write(run), cost);
-        written += run;
+        plan.ops
+            .push(MapOp::Spill(IoCategory::MapSpill, IoOp::write(run)));
+        plan.spill_bytes += run;
         remaining -= run;
         files.push(run);
         // Background merge at 2F−1 files.
@@ -294,13 +385,11 @@ fn external_sort_io(
             for sz in &tail {
                 op += IoOp::read(*sz);
             }
-            let m0 = t;
-            t = res.spill_io(node, t, IoCategory::MapSpill, op, cost);
-            let dur = cost.merge_time(merged / rec_size, f);
-            t = res.cpu(node, t, dur);
-            *cpu += dur;
-            res.span(OpKind::Merge, m0, t);
-            written += merged;
+            plan.ops.push(MapOp::MergeStart);
+            plan.ops.push(MapOp::Spill(IoCategory::MapSpill, op));
+            plan.op_cpu(cost.merge_time(merged / rec_size, f));
+            plan.ops.push(MapOp::MergeEnd);
+            plan.spill_bytes += merged;
             files.push(merged);
         }
     }
@@ -310,11 +399,8 @@ fn external_sort_io(
     for sz in &files {
         op += IoOp::read(*sz);
     }
-    t = res.spill_io(node, t, IoCategory::MapSpill, op, cost);
-    let dur = cost.merge_time(out_bytes / rec_size, files.len().max(2));
-    t = res.cpu(node, t, dur);
-    *cpu += dur;
-    (written, t)
+    plan.ops.push(MapOp::Spill(IoCategory::MapSpill, op));
+    plan.op_cpu(cost.merge_time(out_bytes / rec_size, files.len().max(2)));
 }
 
 /// MR-hash collection: one partitioning scan, no sort. When the job has a
@@ -322,25 +408,20 @@ fn external_sort_io(
 /// hash table and feeds each key's values through it — map-side partial
 /// aggregation works for every hash framework; what MR-hash lacks is only
 /// *reduce-side* incremental processing.
-#[allow(clippy::too_many_arguments)]
-fn collect_mr_hash(
+fn plan_mr_hash(
     job: &dyn Job,
     pairs: Vec<Pair>,
     n_partitions: usize,
-    node: usize,
-    t0: SimTime,
     spec: &ClusterSpec,
     h1: HashFn,
-    res: &mut Resources,
-    cpu: &mut SimDuration,
-) -> MapTaskResult {
+    plan: &mut MapTaskPlan,
+) {
     let cost = &spec.cost;
     let n = pairs.len() as u64;
-    let mut t = t0;
     let pairs = if let Some(cb) = job.combiner() {
         // Insertion-ordered hash table: key → collected values.
         let mut groups: Vec<(Key, Vec<Value>)> = Vec::new();
-        let mut index: HashMap<Key, usize> = HashMap::new();
+        let mut index: HashMap<Key, usize> = HashMap::with_capacity(pairs.len());
         for p in pairs {
             match index.get(&p.key) {
                 Some(&i) => groups[i].1.push(p.value),
@@ -356,69 +437,59 @@ fn collect_mr_hash(
                 combined.push(Pair::new(key.clone(), v));
             }
         }
-        let dur = cost.cb_time(n);
-        t = res.cpu(node, t, dur);
-        *cpu += dur;
+        plan.op_cpu(cost.cb_time(n));
         combined
     } else {
         pairs
     };
-    let mut per_part: Vec<Vec<Pair>> = vec![Vec::new(); n_partitions];
+    let cap = pairs.len() / n_partitions + 1;
+    let mut per_part: Vec<Vec<Pair>> = (0..n_partitions).map(|_| Vec::with_capacity(cap)).collect();
     for p in pairs {
         per_part[h1.bucket(p.key.bytes(), n_partitions)].push(p);
     }
-    let dur = cost.hash_time(n);
-    t = res.cpu(node, t, dur);
-    *cpu += dur;
+    plan.op_cpu(cost.hash_time(n));
 
     let output_bytes: u64 = per_part
         .iter()
         .map(|v| v.iter().map(Pair::size).sum::<u64>())
         .sum();
-    t = res.spill_io(
-        node,
-        t,
+    plan.output_bytes = output_bytes;
+    plan.ops.push(MapOp::Spill(
         IoCategory::MapOutput,
         IoOp::write(output_bytes),
-        cost,
-    );
-    MapTaskResult {
-        finish: t,
-        granules: vec![Granule {
-            time: t,
-            partitions: per_part.into_iter().map(Payload::Pairs).collect(),
-        }],
-        cpu: *cpu,
-        output_bytes,
-        spill_bytes: 0,
-        early_output: Vec::new(),
-    }
+    ));
+    plan.ops.push(MapOp::Granule);
+    plan.granules
+        .push(per_part.into_iter().map(Payload::Pairs).collect());
 }
 
 /// INC/DINC collection: `init()` per pair, then an insertion-ordered hash
-/// table collapses same-key states with `cb()` (map-side combine).
-#[allow(clippy::too_many_arguments)]
-fn collect_incremental(
+/// table collapses same-key states with `cb()` (map-side combine). The
+/// per-partition buffers are pre-sized from the job's `state_size_hint`
+/// so the hot path does not grow-and-copy per delivery.
+fn plan_incremental(
     job: &dyn Job,
     pairs: Vec<Pair>,
     n_partitions: usize,
-    node: usize,
-    t0: SimTime,
+    chunk_bytes: u64,
     spec: &ClusterSpec,
     h1: HashFn,
-    res: &mut Resources,
-    cpu: &mut SimDuration,
-) -> MapTaskResult {
+    plan: &mut MapTaskPlan,
+) {
     let cost = &spec.cost;
     let inc = job
         .incremental()
         .expect("validated: incremental frameworks require an IncrementalReducer");
     let n = pairs.len() as u64;
 
+    // Sizing hint: distinct states this chunk can plausibly produce.
+    let state_hint = job.state_size_hint().unwrap_or(64).max(1);
+    let distinct_hint = ((chunk_bytes / state_hint) as usize + 1).min(pairs.len().max(1));
+
     // init() immediately after map.
     let mut ctx = ReduceCtx::at_site(Site::Map);
-    let mut order: Vec<(usize, Key, Value)> = Vec::new();
-    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut order: Vec<(usize, Key, Value)> = Vec::with_capacity(distinct_hint);
+    let mut index: HashMap<Key, usize> = HashMap::with_capacity(distinct_hint);
     let mut cb_calls = 0u64;
     for p in pairs {
         let state = inc.init(&p.key, p.value);
@@ -435,11 +506,11 @@ fn collect_incremental(
             }
         }
     }
-    let dur = cost.init_time(n) + cost.hash_time(n) + cost.cb_time(cb_calls);
-    let mut t = res.cpu(node, t0, dur);
-    *cpu += dur;
+    plan.op_cpu(cost.init_time(n) + cost.hash_time(n) + cost.cb_time(cb_calls));
 
-    let mut per_part: Vec<Vec<StatePair>> = vec![Vec::new(); n_partitions];
+    let cap = order.len() / n_partitions + 1;
+    let mut per_part: Vec<Vec<StatePair>> =
+        (0..n_partitions).map(|_| Vec::with_capacity(cap)).collect();
     for (part, key, state) in order {
         per_part[part].push(StatePair::new(key, state));
     }
@@ -447,38 +518,26 @@ fn collect_incremental(
         .iter()
         .map(|v| v.iter().map(StatePair::size).sum::<u64>())
         .sum();
-    t = res.spill_io(
-        node,
-        t,
+    plan.output_bytes = output_bytes;
+    plan.ops.push(MapOp::Spill(
         IoCategory::MapOutput,
         IoOp::write(output_bytes),
-        cost,
-    );
+    ));
 
     // Any map-side early output (closed sessions) goes straight to HDFS.
     let early_output = ctx.drain();
     let early_bytes: u64 = early_output.iter().map(Pair::size).sum();
     if early_bytes > 0 {
-        t = res.hdfs_io(
-            node,
-            t,
+        plan.ops.push(MapOp::Hdfs(
             IoCategory::ReduceOutput,
             IoOp::write(early_bytes),
-            cost,
-        );
+        ));
     }
+    plan.early_output = early_output;
 
-    MapTaskResult {
-        finish: t,
-        granules: vec![Granule {
-            time: t,
-            partitions: per_part.into_iter().map(Payload::States).collect(),
-        }],
-        cpu: *cpu,
-        output_bytes,
-        spill_bytes: 0,
-        early_output,
-    }
+    plan.ops.push(MapOp::Granule);
+    plan.granules
+        .push(per_part.into_iter().map(Payload::States).collect());
 }
 
 #[cfg(test)]
@@ -661,10 +720,7 @@ mod tests {
                 panic!("incremental map emits states");
             };
             keys += states.len();
-            mass += states
-                .iter()
-                .filter_map(|s| s.state.as_u64())
-                .sum::<u64>();
+            mass += states.iter().filter_map(|s| s.state.as_u64()).sum::<u64>();
         }
         assert_eq!(keys, 6, "map-side cb must collapse to distinct keys");
         assert_eq!(mass, 120, "counts must be preserved by the collapse");
@@ -678,11 +734,65 @@ mod tests {
         };
         let recs = records(80, 7);
         let result = run(&job, Framework::MrHash, &recs, &spec);
-        let total: usize = result.granules[0]
-            .partitions
-            .iter()
-            .map(Payload::len)
-            .sum();
+        let total: usize = result.granules[0].partitions.iter().map(Payload::len).sum();
         assert_eq!(total, 80);
+    }
+
+    #[test]
+    fn plan_replay_matches_direct_execution_for_all_frameworks() {
+        // compute-then-finish must be indistinguishable from the fused
+        // path no matter which framework planned the ops, because the
+        // event loop interleaves plans computed on other threads.
+        let mut spec = ClusterSpec::tiny();
+        spec.pipeline_granules = 3;
+        for fw in [
+            Framework::SortMerge,
+            Framework::SortMergePipelined,
+            Framework::MrHash,
+            Framework::IncHash,
+            Framework::DincHash,
+        ] {
+            let job = FirstByte {
+                with_combiner: false,
+            };
+            let recs = records(90, 11);
+            let bytes: u64 = recs.iter().map(|r| r.len() as u64).sum();
+            let h1 = opa_common::HashFamily::new(spec.hash_seed).fn_at(0);
+            let mut res_a = Resources::new(spec.hardware.nodes, 4, false);
+            let direct = run_map_task(
+                &job,
+                fw,
+                &recs,
+                bytes,
+                0,
+                SimTime::ZERO,
+                &spec,
+                h1,
+                &mut res_a,
+            );
+            let plan = compute_map_task(&job, fw, &recs, bytes, &spec, h1);
+            let mut res_b = Resources::new(spec.hardware.nodes, 4, false);
+            let replayed = finish_map_task(plan, 0, SimTime::ZERO, &spec, &mut res_b);
+            assert_eq!(format!("{direct:?}"), format!("{replayed:?}"), "{fw:?}");
+            assert_eq!(
+                format!("{:?}", res_a.timeline),
+                format!("{:?}", res_b.timeline),
+                "{fw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        let spec = ClusterSpec::tiny();
+        let job = FirstByte {
+            with_combiner: true,
+        };
+        let recs = records(70, 8);
+        let bytes: u64 = recs.iter().map(|r| r.len() as u64).sum();
+        let h1 = opa_common::HashFamily::new(spec.hash_seed).fn_at(0);
+        let a = compute_map_task(&job, Framework::SortMerge, &recs, bytes, &spec, h1);
+        let b = compute_map_task(&job, Framework::SortMerge, &recs, bytes, &spec, h1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

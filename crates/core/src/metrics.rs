@@ -81,7 +81,11 @@ impl fmt::Display for JobMetrics {
             "  map output/shuffle  {}",
             ByteSize(self.map_output_bytes)
         )?;
-        writeln!(f, "  map spill           {}", ByteSize(self.map_spill_bytes))?;
+        writeln!(
+            f,
+            "  map spill           {}",
+            ByteSize(self.map_spill_bytes)
+        )?;
         writeln!(
             f,
             "  reduce spill        {}",

@@ -257,11 +257,7 @@ mod tests {
         tr.emitted(t(200.0), 500);
         let curve = tr.finish(t(200.0), 201);
         // At map finish (t=100) reduce should sit at ~33%.
-        let p = curve
-            .points
-            .iter()
-            .find(|p| p.t >= t(100.0))
-            .unwrap();
+        let p = curve.points.iter().find(|p| p.t >= t(100.0)).unwrap();
         assert!(
             (p.reduce_pct - 100.0 / 3.0).abs() < 2.0,
             "expected ~33%, got {}",

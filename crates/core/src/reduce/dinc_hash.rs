@@ -192,12 +192,17 @@ impl<'j> DincHashReducer<'j> {
 }
 
 impl ReduceSide for DincHashReducer<'_> {
-    fn on_delivery(&mut self, mut t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+    fn on_delivery(
+        &mut self,
+        mut t: SimTime,
+        payload: Payload,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
         let Payload::States(tuples) = payload else {
             unreachable!("DINC-hash receives key-state pairs");
         };
         let bytes: u64 = tuples.iter().map(StatePair::size).sum();
-        env.progress.shuffled(t, bytes);
+        env.shuffled(t, bytes);
         for sp in tuples {
             if let Some(ts) = self.inc.event_time(&sp.state) {
                 self.ctx.advance_watermark(ts);
@@ -215,7 +220,7 @@ impl ReduceSide for DincHashReducer<'_> {
             match outcome {
                 MgOutcome::Combined => {
                     t = env.cpu(t, env.cost().cb_time(1) + env.cost().hash_time(1));
-                    env.progress.worked(t, 1);
+                    env.worked(t, 1);
                     if self.ctx.pending() > 0 {
                         let out = self.ctx.drain();
                         t = self.sink.push(t, out, env);
@@ -223,7 +228,7 @@ impl ReduceSide for DincHashReducer<'_> {
                 }
                 MgOutcome::Installed { evicted } => {
                     t = env.cpu(t, env.cost().hash_time(1));
-                    env.progress.worked(t, 1);
+                    env.worked(t, 1);
                     if let Some(e) = evicted {
                         t = self.handle_eviction(t, e.key, e.state, env);
                     }
@@ -245,7 +250,7 @@ impl ReduceSide for DincHashReducer<'_> {
     }
 
     fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
-        let start = t;
+        env.span_open();
         self.stats.offered = self.monitor.offered();
         let offered = self.monitor.offered();
         let capacity = self.monitor.capacity();
@@ -269,7 +274,7 @@ impl ReduceSide for DincHashReducer<'_> {
             let out = self.ctx.drain();
             t = self.sink.push(t, out, env);
             t = self.sink.flush(t, env);
-            env.res.span(OpKind::Reduce, start, t);
+            env.span_close(OpKind::Reduce);
             return t;
         }
 
@@ -306,7 +311,7 @@ impl ReduceSide for DincHashReducer<'_> {
             }
         }
         t = self.sink.flush(t, env);
-        env.res.span(OpKind::Reduce, start, t);
+        env.span_close(OpKind::Reduce);
         t
     }
 }
@@ -364,8 +369,11 @@ pub(crate) fn process_bucket_inc(
             }
         }
         if batch >= WORK_BATCH {
-            t = env.cpu(t, env.cost().hash_time(batch) + env.cost().cb_time(batch / 2));
-            env.progress.worked(t, batch);
+            t = env.cpu(
+                t,
+                env.cost().hash_time(batch) + env.cost().cb_time(batch / 2),
+            );
+            env.worked(t, batch);
             batch = 0;
             if ctx.pending() > 0 {
                 let out = ctx.drain();
@@ -374,8 +382,11 @@ pub(crate) fn process_bucket_inc(
         }
     }
     if batch > 0 {
-        t = env.cpu(t, env.cost().hash_time(batch) + env.cost().cb_time(batch / 2));
-        env.progress.worked(t, batch);
+        t = env.cpu(
+            t,
+            env.cost().hash_time(batch) + env.cost().cb_time(batch / 2),
+        );
+        env.worked(t, batch);
     }
     let n = states.len() as u64;
     for (key, state) in states {

@@ -100,7 +100,7 @@ impl<'j> IncHashReducer<'j> {
                 self.mem_used = adjust(self.mem_used, before, after);
                 t = env.cpu(t, env.cost().cb_time(1) + env.cost().hash_time(1));
                 self.absorbed += 1;
-                env.progress.worked(t, 1);
+                env.worked(t, 1);
                 if self.ctx.pending() > 0 {
                     let out = self.ctx.drain();
                     t = self.sink.push(t, out, env);
@@ -114,7 +114,7 @@ impl<'j> IncHashReducer<'j> {
                     self.states.push((sp.key, sp.state));
                     t = env.cpu(t, env.cost().hash_time(1));
                     self.absorbed += 1;
-                    env.progress.worked(t, 1);
+                    env.worked(t, 1);
                 } else {
                     self.admissions_closed = true;
                     let b = self.h3.bucket(sp.key.bytes(), self.buckets.num_buckets());
@@ -163,7 +163,8 @@ impl<'j> IncHashReducer<'j> {
                     batch += 1;
                 }
                 None => {
-                    let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
+                    let sz =
+                        sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
                     if (!overflow_started && used + sz <= self.mem_budget) || depth >= MAX_DEPTH {
                         used += sz;
                         index.insert(sp.key.clone(), states.len());
@@ -180,7 +181,7 @@ impl<'j> IncHashReducer<'j> {
                     t,
                     env.cost().hash_time(batch) + env.cost().cb_time(batch / 2),
                 );
-                env.progress.worked(t, batch);
+                env.worked(t, batch);
                 batch = 0;
                 if self.ctx.pending() > 0 {
                     let out = self.ctx.drain();
@@ -193,7 +194,7 @@ impl<'j> IncHashReducer<'j> {
                 t,
                 env.cost().hash_time(batch) + env.cost().cb_time(batch / 2),
             );
-            env.progress.worked(t, batch);
+            env.worked(t, batch);
         }
         // Finalize this bucket's resident keys.
         for (key, state) in states {
@@ -239,12 +240,17 @@ fn adjust(used: u64, before: u64, after: u64) -> u64 {
 }
 
 impl ReduceSide for IncHashReducer<'_> {
-    fn on_delivery(&mut self, mut t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+    fn on_delivery(
+        &mut self,
+        mut t: SimTime,
+        payload: Payload,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
         let Payload::States(tuples) = payload else {
             unreachable!("INC-hash receives key-state pairs");
         };
         let bytes: u64 = tuples.iter().map(StatePair::size).sum();
-        env.progress.shuffled(t, bytes);
+        env.shuffled(t, bytes);
         for sp in tuples {
             t = self.absorb(t, sp, env);
         }
@@ -252,7 +258,7 @@ impl ReduceSide for IncHashReducer<'_> {
     }
 
     fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
-        let start = t;
+        env.span_open();
         // Finalize every memory-resident key (their data is complete —
         // see the module invariant).
         let states = std::mem::take(&mut self.states);
@@ -277,7 +283,7 @@ impl ReduceSide for IncHashReducer<'_> {
             }
         }
         t = self.sink.flush(t, env);
-        env.res.span(OpKind::Reduce, start, t);
+        env.span_close(OpKind::Reduce);
         t
     }
 }

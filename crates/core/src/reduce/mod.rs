@@ -5,6 +5,19 @@
 //! delivery has arrived. All five share [`ReduceEnv`] (the reducer's view
 //! of the simulated node) and [`OutputSink`] (batched HDFS output writes +
 //! progress accounting).
+//!
+//! ## Record / replay split
+//!
+//! [`ReduceEnv`] does **not** touch shared simulation state. It records
+//! every side effect a reducer requests — CPU charges, spills, shuffle
+//! and work progress, emitted output, snapshot writes, timeline spans —
+//! as an [`Effect`] log, advancing only a *local* clock estimate (which
+//! never influences any data decision; frameworks consume time linearly).
+//! The scheduling layer later applies the log to the shared
+//! [`Resources`]/[`ProgressTracker`] with [`replay`], in strict event
+//! order. This lets the execution layer ([`crate::exec`]) run reducer
+//! ingestion on worker threads while the observable [`crate::job::JobOutcome`]
+//! stays bit-identical to sequential execution.
 
 pub mod dinc_hash;
 pub mod inc_hash;
@@ -20,7 +33,7 @@ use crate::cluster::{ClusterSpec, Framework};
 use crate::cost::CostModel;
 use crate::map_phase::Payload;
 use crate::progress::ProgressTracker;
-use crate::sim::Resources;
+use crate::sim::{OpKind, Resources};
 use opa_common::units::{SimDuration, SimTime};
 use opa_common::{Error, HashFamily, Pair, Result};
 use opa_simio::{IoCategory, IoOp};
@@ -59,12 +72,119 @@ impl ReducerSizing {
     }
 }
 
-/// The reducer's handle on shared simulation state.
+/// One recorded reducer side effect, replayed against shared state by
+/// [`replay`].
+#[derive(Debug)]
+pub enum Effect {
+    /// CPU charged to the reducer's node.
+    Cpu(SimDuration),
+    /// A reduce-spill disk operation (category `U_4`).
+    Spill(IoOp),
+    /// Shuffle bytes acknowledged into Definition-1 progress.
+    Shuffled(u64),
+    /// Reduce-work units acknowledged into Definition-1 progress.
+    Worked(u64),
+    /// Output pairs written to HDFS (flushed sink batch).
+    Emit(Vec<Pair>),
+    /// A snapshot write of this many bytes (HOP periodic output; does not
+    /// count as final job output).
+    Snapshot(u64),
+    /// Open a timeline span at the replay clock.
+    SpanOpen,
+    /// Close the innermost open span as `kind`. An unmatched
+    /// [`Effect::SpanOpen`] (e.g. a snapshot that found nothing to merge)
+    /// is dropped, matching the sequential engine which never recorded a
+    /// span for it.
+    SpanClose(OpKind),
+}
+
+/// The reducer's recording handle on the simulated node. Collects an
+/// [`Effect`] log and estimates the local clock; owns no shared state, so
+/// it may live on any thread.
 pub struct ReduceEnv<'a> {
-    /// Node hosting this reducer.
-    pub node: usize,
     /// Cluster configuration.
     pub spec: &'a ClusterSpec,
+    log: Vec<Effect>,
+}
+
+impl<'a> ReduceEnv<'a> {
+    /// A fresh recorder.
+    pub fn new(spec: &'a ClusterSpec) -> Self {
+        ReduceEnv {
+            spec,
+            log: Vec::new(),
+        }
+    }
+
+    /// Shortcut: cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.spec.cost
+    }
+
+    /// Charges CPU to this reducer starting at `t`; returns the estimated
+    /// completion (exact under replay: CPU is uncontended).
+    pub fn cpu(&mut self, t: SimTime, dur: SimDuration) -> SimTime {
+        self.log.push(Effect::Cpu(dur));
+        t + dur
+    }
+
+    /// Performs a reduce-spill I/O (category `U_4`). The returned clock is
+    /// a contention-free estimate; replay resolves the real disk queue.
+    pub fn spill(&mut self, t: SimTime, op: IoOp) -> SimTime {
+        if op.is_none() {
+            return t;
+        }
+        let dur = self.spec.cost.spill_time(op);
+        self.log.push(Effect::Spill(op));
+        t + dur
+    }
+
+    /// Acknowledges shuffle bytes into progress.
+    pub fn shuffled(&mut self, _t: SimTime, bytes: u64) {
+        self.log.push(Effect::Shuffled(bytes));
+    }
+
+    /// Acknowledges reduce-work units into progress.
+    pub fn worked(&mut self, _t: SimTime, units: u64) {
+        self.log.push(Effect::Worked(units));
+    }
+
+    /// Writes output pairs to HDFS (used by [`OutputSink`]).
+    pub(crate) fn emit(&mut self, t: SimTime, pairs: Vec<Pair>) -> SimTime {
+        let bytes: u64 = pairs.iter().map(Pair::size).sum();
+        let dur = self.spec.cost.hdfs_time(IoOp::write(bytes));
+        self.log.push(Effect::Emit(pairs));
+        t + dur
+    }
+
+    /// Writes a snapshot (partial answer) of `bytes` to HDFS.
+    pub fn snapshot_write(&mut self, t: SimTime, bytes: u64) -> SimTime {
+        let dur = self.spec.cost.hdfs_time(IoOp::write(bytes));
+        self.log.push(Effect::Snapshot(bytes));
+        t + dur
+    }
+
+    /// Marks the start of a timeline span at the current clock.
+    pub fn span_open(&mut self) {
+        self.log.push(Effect::SpanOpen);
+    }
+
+    /// Closes the innermost open span as `kind`.
+    pub fn span_close(&mut self, kind: OpKind) {
+        self.log.push(Effect::SpanClose(kind));
+    }
+
+    /// Consumes the recorder, yielding the effect log for [`replay`].
+    pub fn into_log(self) -> Vec<Effect> {
+        self.log
+    }
+}
+
+/// Mutable borrows of the shared simulation state one replayed reducer
+/// writes into. Assembled by the scheduling layer per replay call.
+pub struct ReplayTarget<'a> {
+    /// Node hosting this reducer.
+    pub node: usize,
     /// Shared disks / usage / timeline / IoStats.
     pub res: &'a mut Resources,
     /// Job-wide progress tracker.
@@ -79,26 +199,64 @@ pub struct ReduceEnv<'a> {
     pub snapshot_bytes: &'a mut u64,
 }
 
-impl ReduceEnv<'_> {
-    /// Shortcut: cost model.
-    pub fn cost(&self) -> &CostModel {
-        &self.spec.cost
+/// Applies a recorded effect log to the shared simulation state starting
+/// at `t0`, resolving disk-queue contention and progress/timeline order.
+/// Returns the reducer's real completion time. Must be called on the
+/// scheduling thread, in event order — this is what makes parallel
+/// recording observationally identical to sequential execution.
+pub fn replay(
+    log: Vec<Effect>,
+    t0: SimTime,
+    spec: &ClusterSpec,
+    target: ReplayTarget<'_>,
+) -> SimTime {
+    let cost = spec.cost;
+    let mut t = t0;
+    let mut spans: Vec<SimTime> = Vec::new();
+    for effect in log {
+        match effect {
+            Effect::Cpu(dur) => {
+                *target.reduce_cpu += dur;
+                t = target.res.cpu(target.node, t, dur);
+            }
+            Effect::Spill(op) => {
+                *target.spill_written += op.written;
+                t = target
+                    .res
+                    .spill_io(target.node, t, IoCategory::ReduceSpill, op, &cost);
+            }
+            Effect::Shuffled(bytes) => target.progress.shuffled(t, bytes),
+            Effect::Worked(units) => target.progress.worked(t, units),
+            Effect::Emit(pairs) => {
+                let bytes: u64 = pairs.iter().map(Pair::size).sum();
+                t = target.res.hdfs_io(
+                    target.node,
+                    t,
+                    IoCategory::ReduceOutput,
+                    IoOp::write(bytes),
+                    &cost,
+                );
+                target.progress.emitted(t, bytes);
+                target.output.extend(pairs);
+            }
+            Effect::Snapshot(bytes) => {
+                *target.snapshot_bytes += bytes;
+                t = target.res.hdfs_io(
+                    target.node,
+                    t,
+                    IoCategory::ReduceOutput,
+                    IoOp::write(bytes),
+                    &cost,
+                );
+            }
+            Effect::SpanOpen => spans.push(t),
+            Effect::SpanClose(kind) => {
+                let start = spans.pop().expect("span_close without span_open");
+                target.res.span(kind, start, t);
+            }
+        }
     }
-
-    /// Charges CPU to this reducer starting at `t`; returns completion.
-    pub fn cpu(&mut self, t: SimTime, dur: SimDuration) -> SimTime {
-        *self.reduce_cpu += dur;
-        self.res.cpu(self.node, t, dur)
-    }
-
-    /// Performs a reduce-spill I/O (category `U_4`) and tracks written
-    /// bytes in the spill metric.
-    pub fn spill(&mut self, t: SimTime, op: IoOp) -> SimTime {
-        *self.spill_written += op.written;
-        let cost = self.spec.cost;
-        self.res
-            .spill_io(self.node, t, IoCategory::ReduceSpill, op, &cost)
-    }
+    t
 }
 
 /// Batches reducer output into 64 KB HDFS writes and keeps the output
@@ -141,15 +299,8 @@ impl OutputSink {
         if self.pending.is_empty() {
             return t;
         }
-        let bytes = self.pending_bytes;
-        let cost = env.spec.cost;
-        let t = env
-            .res
-            .hdfs_io(env.node, t, IoCategory::ReduceOutput, IoOp::write(bytes), &cost);
-        env.progress.emitted(t, bytes);
-        env.output.append(&mut self.pending);
         self.pending_bytes = 0;
-        t
+        env.emit(t, std::mem::take(&mut self.pending))
     }
 }
 
@@ -184,14 +335,15 @@ pub trait ReduceSide {
     }
 }
 
-/// Instantiates the reduce-side framework for one reduce task.
+/// Instantiates the reduce-side framework for one reduce task. The box is
+/// `Send` so the execution layer can record deliveries on worker threads.
 pub fn make_reducer<'j>(
     framework: Framework,
     job: &'j dyn Job,
     spec: &ClusterSpec,
     sizing: ReducerSizing,
     family: &HashFamily,
-) -> Result<Box<dyn ReduceSide + 'j>> {
+) -> Result<Box<dyn ReduceSide + Send + 'j>> {
     match framework {
         Framework::SortMerge | Framework::SortMergePipelined => {
             Ok(Box::new(sort_merge::SortMergeReducer::new(job, spec)))
@@ -258,5 +410,26 @@ mod tests {
             monitor: dinc_hash::MonitorKind::Frequent,
         };
         assert_eq!(s.bucket_count(1024, 512), 1);
+    }
+
+    #[test]
+    fn recording_env_estimates_time_and_logs_effects() {
+        // The paper cluster has real (nonzero) disk costs.
+        let spec = ClusterSpec::paper_scaled();
+        let mut env = ReduceEnv::new(&spec);
+        let t0 = SimTime::ZERO;
+        let t1 = env.cpu(t0, SimDuration::from_secs_f64(1.0));
+        assert!(t1 > t0, "cpu advances the local estimate");
+        let t2 = env.spill(t1, IoOp::write(4096));
+        assert!(t2 > t1, "spill advances the local estimate");
+        assert_eq!(env.spill(t2, IoOp::NONE), t2, "empty I/O is free");
+        env.shuffled(t2, 4096);
+        env.worked(t2, 7);
+        let log = env.into_log();
+        assert_eq!(log.len(), 4, "empty I/O must not be logged");
+        assert!(matches!(log[0], Effect::Cpu(_)));
+        assert!(matches!(log[1], Effect::Spill(_)));
+        assert!(matches!(log[2], Effect::Shuffled(4096)));
+        assert!(matches!(log[3], Effect::Worked(7)));
     }
 }

@@ -58,7 +58,9 @@ impl<'j> MrHashReducer<'j> {
         let disk_buckets = ((sizing.expected_input as f64 / per_bucket).ceil() as usize)
             .clamp(1, (mem / (2 * write_buffer)).max(1) as usize);
         let n_buckets = disk_buckets + 1;
-        let d1_budget = mem.saturating_sub(disk_buckets as u64 * write_buffer).max(1);
+        let d1_budget = mem
+            .saturating_sub(disk_buckets as u64 * write_buffer)
+            .max(1);
         MrHashReducer {
             job,
             family: family.clone(),
@@ -103,14 +105,14 @@ impl<'j> MrHashReducer<'j> {
             batch += n;
             if batch >= WORK_BATCH {
                 t = env.cpu(t, env.cost().reduce_time(batch));
-                env.progress.worked(t, batch);
+                env.worked(t, batch);
                 batch = 0;
                 t = self.sink.push(t, ctx.drain(), env);
             }
         }
         if batch > 0 {
             t = env.cpu(t, env.cost().reduce_time(batch));
-            env.progress.worked(t, batch);
+            env.worked(t, batch);
         }
         self.sink.push(t, ctx.drain(), env)
     }
@@ -166,12 +168,17 @@ impl<'j> MrHashReducer<'j> {
 }
 
 impl ReduceSide for MrHashReducer<'_> {
-    fn on_delivery(&mut self, mut t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
+    fn on_delivery(
+        &mut self,
+        mut t: SimTime,
+        payload: Payload,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
         let Payload::Pairs(pairs) = payload else {
             unreachable!("MR-hash receives key-value pairs");
         };
         let bytes: u64 = pairs.iter().map(Pair::size).sum();
-        env.progress.shuffled(t, bytes);
+        env.shuffled(t, bytes);
         t = env.cpu(t, env.cost().hash_time(pairs.len() as u64));
         for p in pairs {
             let b = self.h2.bucket(p.key.bytes(), self.n_buckets);
@@ -194,7 +201,7 @@ impl ReduceSide for MrHashReducer<'_> {
     }
 
     fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
-        let start = t;
+        env.span_open();
         let op = self.buckets.seal();
         t = env.spill(t, op);
         // Phase 1: the memory-resident bucket, joined with its overflow
@@ -220,7 +227,7 @@ impl ReduceSide for MrHashReducer<'_> {
             }
         }
         t = self.sink.flush(t, env);
-        env.res.span(OpKind::Reduce, start, t);
+        env.span_close(OpKind::Reduce);
         t
     }
 }

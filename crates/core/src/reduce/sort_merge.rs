@@ -66,7 +66,7 @@ impl<'j> SortMergeReducer<'j> {
             let dur = env.cost().cb_time(before);
             t = env.cpu(t, dur);
             // Combine calls are user work under Definition 1.
-            env.progress.worked(t, before);
+            env.worked(t, before);
         }
         let (_id, op) = self.spills.write_file(run);
         t = env.spill(t, op);
@@ -79,7 +79,7 @@ impl<'j> SortMergeReducer<'j> {
         while self.spills.live_count() >= 2 * f - 1 {
             let mut live: Vec<(usize, u64)> = self.spills.live_files().collect();
             live.sort_by_key(|&(_, bytes)| bytes);
-            let start = t;
+            env.span_open();
             let mut merged: Vec<Pair> = Vec::new();
             let mut read_op = IoOp::NONE;
             for &(id, _) in live.iter().take(f) {
@@ -93,7 +93,7 @@ impl<'j> SortMergeReducer<'j> {
             t = env.cpu(t, dur);
             let (_id, wop) = self.spills.write_file(merged);
             t = env.spill(t, wop);
-            env.res.span(OpKind::Merge, start, t);
+            env.span_close(OpKind::Merge);
         }
         t
     }
@@ -106,7 +106,7 @@ impl ReduceSide for SortMergeReducer<'_> {
     /// disk for the real final merge — which is the paper's point about
     /// snapshots being expensive.
     fn snapshot(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
-        let start = t;
+        env.span_open();
         let ids: Vec<usize> = self.spills.live_files().map(|(id, _)| id).collect();
         let mut all: Vec<Pair> = Vec::new();
         let mut read_op = IoOp::NONE;
@@ -115,11 +115,14 @@ impl ReduceSide for SortMergeReducer<'_> {
             read_op += op;
             all.extend(records);
         }
-        t = env.spill(t, IoOp {
-            read: read_op.read,
-            written: 0,
-            seeks: read_op.seeks,
-        });
+        t = env.spill(
+            t,
+            IoOp {
+                read: read_op.read,
+                written: 0,
+                seeks: read_op.seeks,
+            },
+        );
         for seg in &self.segments {
             all.extend(seg.iter().cloned());
         }
@@ -145,16 +148,8 @@ impl ReduceSide for SortMergeReducer<'_> {
         t = env.cpu(t, env.cost().reduce_time(reduced));
         let out = ctx.drain();
         let bytes: u64 = out.iter().map(Pair::size).sum();
-        *env.snapshot_bytes += bytes;
-        let cost = env.spec.cost;
-        t = env.res.hdfs_io(
-            env.node,
-            t,
-            opa_simio::IoCategory::ReduceOutput,
-            IoOp::write(bytes),
-            &cost,
-        );
-        env.res.span(crate::sim::OpKind::Reduce, start, t);
+        t = env.snapshot_write(t, bytes);
+        env.span_close(OpKind::Reduce);
         t
     }
 
@@ -163,7 +158,7 @@ impl ReduceSide for SortMergeReducer<'_> {
             unreachable!("sort-merge receives key-value pairs");
         };
         let bytes: u64 = pairs.iter().map(Pair::size).sum();
-        env.progress.shuffled(t, bytes);
+        env.shuffled(t, bytes);
         self.buffered_bytes += bytes;
         if !pairs.is_empty() {
             self.segments.push(pairs);
@@ -178,7 +173,7 @@ impl ReduceSide for SortMergeReducer<'_> {
     fn finish(&mut self, t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
         // Final merge: every on-disk run plus the in-memory tail, streamed
         // through the reduce function.
-        let start = t;
+        env.span_open();
         let mut t = t;
         let disk_files: Vec<usize> = self.spills.live_files().map(|(id, _)| id).collect();
         let fan_in = disk_files.len() + self.segments.len();
@@ -213,7 +208,7 @@ impl ReduceSide for SortMergeReducer<'_> {
             batch_work += n;
             if batch_work >= WORK_BATCH {
                 t = env.cpu(t, env.cost().reduce_time(batch_work));
-                env.progress.worked(t, batch_work);
+                env.worked(t, batch_work);
                 batch_work = 0;
                 t = self.sink.push(t, ctx.drain(), env);
             }
@@ -221,11 +216,11 @@ impl ReduceSide for SortMergeReducer<'_> {
         }
         if batch_work > 0 {
             t = env.cpu(t, env.cost().reduce_time(batch_work));
-            env.progress.worked(t, batch_work);
+            env.worked(t, batch_work);
         }
         t = self.sink.push(t, ctx.drain(), env);
         t = self.sink.flush(t, env);
-        env.res.span(OpKind::Reduce, start, t);
+        env.span_close(OpKind::Reduce);
         t
     }
 }

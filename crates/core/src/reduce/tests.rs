@@ -77,17 +77,40 @@ impl Harness {
         }
     }
 
-    fn env(&mut self) -> ReduceEnv<'_> {
-        ReduceEnv {
-            node: 0,
-            spec: &self.spec,
-            res: &mut self.res,
-            progress: &mut self.progress,
-            output: &mut self.output,
-            reduce_cpu: &mut self.reduce_cpu,
-            spill_written: &mut self.spill_written,
-            snapshot_bytes: &mut self.snapshot_bytes,
-        }
+    /// Applies a recorded effect log to the harness state, as the engine's
+    /// scheduling layer would.
+    fn apply(&mut self, log: Vec<Effect>, t0: SimTime) -> SimTime {
+        let spec = self.spec;
+        replay(
+            log,
+            t0,
+            &spec,
+            ReplayTarget {
+                node: 0,
+                res: &mut self.res,
+                progress: &mut self.progress,
+                output: &mut self.output,
+                reduce_cpu: &mut self.reduce_cpu,
+                spill_written: &mut self.spill_written,
+                snapshot_bytes: &mut self.snapshot_bytes,
+            },
+        )
+    }
+
+    /// Records one delivery and immediately replays it (sequential mode).
+    fn deliver(&mut self, r: &mut dyn ReduceSide, t: SimTime, payload: Payload) -> SimTime {
+        let spec = self.spec;
+        let mut env = ReduceEnv::new(&spec);
+        r.on_delivery(t, payload, &mut env);
+        self.apply(env.into_log(), t)
+    }
+
+    /// Records the finish phase and immediately replays it.
+    fn finish(&mut self, r: &mut dyn ReduceSide, t: SimTime) -> SimTime {
+        let spec = self.spec;
+        let mut env = ReduceEnv::new(&spec);
+        r.finish(t, &mut env);
+        self.apply(env.into_log(), t)
     }
 
     fn counts(&self) -> BTreeMap<u64, u64> {
@@ -132,11 +155,9 @@ fn sort_merge_counts_across_spills() {
     let mut t = SimTime::ZERO;
     for batch in 0..20u64 {
         let keys: Vec<u64> = (0..5).map(|i| (batch + i) % 7).collect();
-        let mut env = h.env();
-        t = r.on_delivery(t, Payload::Pairs(sorted_pairs(&keys)), &mut env);
+        t = h.deliver(&mut r, t, Payload::Pairs(sorted_pairs(&keys)));
     }
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     // With a combiner, spilled runs are pre-aggregated but totals survive.
     let total: u64 = h.counts().values().sum();
     assert_eq!(total, 100);
@@ -154,15 +175,13 @@ fn sort_merge_background_merge_bounds_files() {
     let mut r = sort_merge::SortMergeReducer::new(&job, &spec);
     let mut t = SimTime::ZERO;
     for batch in 0..40u64 {
-        let mut env = h.env();
-        t = r.on_delivery(
+        t = h.deliver(
+            &mut r,
             t,
             Payload::Pairs(sorted_pairs(&[batch % 11, (batch + 1) % 11])),
-            &mut env,
         );
     }
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     assert_eq!(h.counts().values().sum::<u64>(), 80);
 }
 
@@ -182,11 +201,9 @@ fn mr_hash_stages_and_recovers_everything() {
     let mut t = SimTime::ZERO;
     for batch in 0..50u64 {
         let keys: Vec<u64> = (0..8).map(|i| (batch * 3 + i) % 23).collect();
-        let mut env = h.env();
-        t = r.on_delivery(t, Payload::Pairs(sorted_pairs(&keys)), &mut env);
+        t = h.deliver(&mut r, t, Payload::Pairs(sorted_pairs(&keys)));
     }
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     assert_eq!(h.counts().values().sum::<u64>(), 400);
     assert_eq!(h.counts().len(), 23);
     assert!(h.spill_written > 0, "staged buckets must exist");
@@ -201,11 +218,9 @@ fn inc_hash_zero_spill_when_memory_suffices() {
     let mut r = inc_hash::IncHashReducer::new(&job, &spec, sizing(), &family);
     let mut t = SimTime::ZERO;
     for batch in 0..100u64 {
-        let mut env = h.env();
-        t = r.on_delivery(t, Payload::States(states(&[batch % 10])), &mut env);
+        t = h.deliver(&mut r, t, Payload::States(states(&[batch % 10])));
     }
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     assert_eq!(h.spill_written, 0);
     assert_eq!(h.counts().values().sum::<u64>(), 100);
     assert_eq!(h.counts().len(), 10);
@@ -223,11 +238,9 @@ fn inc_hash_bucket_path_is_exact() {
     let mut t = SimTime::ZERO;
     for round in 0..60u64 {
         let keys: Vec<u64> = (0..4).map(|i| (round + i * 17) % 50).collect();
-        let mut env = h.env();
-        t = r.on_delivery(t, Payload::States(states(&keys)), &mut env);
+        t = h.deliver(&mut r, t, Payload::States(states(&keys)));
     }
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     assert!(h.spill_written > 0, "memory pressure must stage tuples");
     assert_eq!(h.counts().values().sum::<u64>(), 240);
     assert_eq!(h.counts().len(), 50);
@@ -251,11 +264,9 @@ fn dinc_hash_counts_survive_eviction_churn() {
         for &k in &keys {
             *expect.entry(k).or_default() += 1;
         }
-        let mut env = h.env();
-        t = r.on_delivery(t, Payload::States(states(&keys)), &mut env);
+        t = h.deliver(&mut r, t, Payload::States(states(&keys)));
     }
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     assert_eq!(h.counts(), expect, "eviction churn must not lose counts");
 }
 
@@ -275,12 +286,10 @@ fn dinc_early_stop_reports_only_covered_keys() {
     let mut t = SimTime::ZERO;
     for round in 0..200u64 {
         let keys = [7u64, 2000 + (round % 80)];
-        let mut env = h.env();
-        t = r.on_delivery(t, Payload::States(states(&keys)), &mut env);
+        t = h.deliver(&mut r, t, Payload::States(states(&keys)));
     }
     let spilled_before = h.spill_written;
-    let mut env = h.env();
-    let _ = r.finish(t, &mut env);
+    let _ = h.finish(&mut r, t);
     // Early stop: no bucket is read back, so spill stays as-is and only
     // hot (covered) keys are reported.
     assert_eq!(h.spill_written, spilled_before);

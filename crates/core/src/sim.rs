@@ -99,7 +99,10 @@ impl Usage {
     /// paper's CPU-iowait curves (the disks are the blocking resource).
     pub fn disk_busy(&self) -> Vec<f64> {
         let cap = self.bucket_secs * self.nodes as f64;
-        self.disk.iter().map(|&b| (100.0 * b / cap).min(100.0)).collect()
+        self.disk
+            .iter()
+            .map(|&b| (100.0 * b / cap).min(100.0))
+            .collect()
     }
 }
 
@@ -251,10 +254,7 @@ impl<E> PartialOrd for QueueEntry<E> {
 impl<E> Ord for QueueEntry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -277,6 +277,13 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event (FIFO among ties).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The earliest event without removing it. The scheduler uses this to
+    /// detect runs of consecutive deliveries that can be recorded as one
+    /// batch on the worker pool.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
     }
 
     /// Whether the queue is empty.
@@ -313,6 +320,7 @@ mod tests {
         q.push(t(1.0), "second");
         q.push(t(0.5), "earliest");
         assert_eq!(q.len(), 4);
+        assert_eq!(q.peek(), Some((t(0.5), &"earliest")));
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["earliest", "first", "second", "late"]);
         assert!(q.is_empty());

@@ -423,7 +423,10 @@ mod tests {
             MgOutcome::Installed { evicted: None }
         ));
         // Key 2 arrives: counter of key 1 is 1 > 0 → reject + decrement.
-        assert!(matches!(mg.offer(2, 20, |_, a, b| *a += b), MgOutcome::Rejected { .. }));
+        assert!(matches!(
+            mg.offer(2, 20, |_, a, b| *a += b),
+            MgOutcome::Rejected { .. }
+        ));
         // Key 2 again: counter of key 1 is now 0 → evict key 1.
         match mg.offer(2, 20, |_, a, b| *a += b) {
             MgOutcome::Installed { evicted: Some(e) } => {
@@ -454,7 +457,11 @@ mod tests {
         let f42 = stream.iter().filter(|&&k| k == 42).count() as f64;
         let t = mg.get(&42).expect("hot key monitored").t as f64;
         let gamma = mg.coverage_lower_bound(&42);
-        assert!(gamma > 0.0 && gamma <= t / f42 + 1e-12, "γ={gamma}, true={}", t / f42);
+        assert!(
+            gamma > 0.0 && gamma <= t / f42 + 1e-12,
+            "γ={gamma}, true={}",
+            t / f42
+        );
         // Unmonitored keys have zero coverage.
         assert_eq!(mg.coverage_lower_bound(&999_999), 0.0);
     }
@@ -475,7 +482,10 @@ mod tests {
         let mut mg: MisraGries<u64, u64> = MisraGries::new(1);
         let _ = mg.offer(1, 10, |_, a, b| *a += b);
         // Drive key 1's counter to zero.
-        assert!(matches!(mg.offer(2, 20, |_, a, b| *a += b), MgOutcome::Rejected { .. }));
+        assert!(matches!(
+            mg.offer(2, 20, |_, a, b| *a += b),
+            MgOutcome::Rejected { .. }
+        ));
         assert_eq!(mg.estimate(&1), 0);
         // Guard protects key 1: offer is rejected, no decrement, occupant
         // stays.
@@ -499,7 +509,10 @@ mod tests {
         let _ = mg.offer(1, 0, |_, a, b| *a += b);
         let _ = mg.offer(2, 0, |_, a, b| *a += b);
         // Reject once to zero both counters.
-        assert!(matches!(mg.offer(3, 0, |_, a, b| *a += b), MgOutcome::Rejected { .. }));
+        assert!(matches!(
+            mg.offer(3, 0, |_, a, b| *a += b),
+            MgOutcome::Rejected { .. }
+        ));
         assert_eq!(mg.estimate(&1), 0);
         assert_eq!(mg.estimate(&2), 0);
         // Guard only allows evicting key 2.
@@ -569,9 +582,7 @@ impl<K: Clone + Eq + Hash, S> MisraGries<K, S> {
                 state: e.state,
             });
             merged.index.insert(e.key, i);
-            merged
-                .heap
-                .push(Reverse((merged.slots[i].stored, i)));
+            merged.heap.push(Reverse((merged.slots[i].stored, i)));
         }
         (merged, spilled)
     }

@@ -249,10 +249,8 @@ impl<K: Clone + Eq + std::hash::Hash, S> SpaceSavingMonitor<K, S> {
             Some(i) => {
                 let min_count = self.slots[i].1;
                 let old_t = self.slots[i].2;
-                let (old_key, _, _, old_state) = std::mem::replace(
-                    &mut self.slots[i],
-                    (key.clone(), min_count + 1, 1, state),
-                );
+                let (old_key, _, _, old_state) =
+                    std::mem::replace(&mut self.slots[i], (key.clone(), min_count + 1, 1, state));
                 self.index.remove(&old_key);
                 self.index.insert(key, i);
                 MgOutcome::Installed {

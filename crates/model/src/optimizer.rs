@@ -28,7 +28,11 @@ pub fn recommended_chunk(km: f64, map_buffer: u64) -> u64 {
 
 /// The smallest merge factor giving a one-pass merge: the number of initial
 /// sorted runs a reducer accumulates, `⌈β⌉` (at least 2).
-pub fn recommended_merge_factor(workload: &WorkloadSpec, hardware: &HardwareSpec, r: usize) -> usize {
+pub fn recommended_merge_factor(
+    workload: &WorkloadSpec,
+    hardware: &HardwareSpec,
+    r: usize,
+) -> usize {
     let beta = workload.input_size as f64 * workload.km
         / (hardware.nodes as f64 * r as f64 * hardware.reduce_buffer as f64);
     (beta.ceil() as usize).max(2)
@@ -77,7 +81,12 @@ impl Optimizer {
     }
 
     /// Evaluates Eq. 4 at one `(C, F)` point.
-    pub fn evaluate(&self, chunk_size: u64, merge_factor: usize, r: usize) -> opa_common::Result<GridPoint> {
+    pub fn evaluate(
+        &self,
+        chunk_size: u64,
+        merge_factor: usize,
+        r: usize,
+    ) -> opa_common::Result<GridPoint> {
         let input = ModelInput::new(
             SystemSettings {
                 reducers_per_node: r,

@@ -83,10 +83,7 @@ impl<T: Sized64> SpillStore<T> {
 
     /// Ids and sizes of all live files, in creation order.
     pub fn live_files(&self) -> impl Iterator<Item = (FileId, u64)> + '_ {
-        self.files
-            .iter()
-            .flatten()
-            .map(|f| (f.id, f.bytes))
+        self.files.iter().flatten().map(|f| (f.id, f.bytes))
     }
 
     /// Number of live (unconsumed) files — what the merge trigger compares

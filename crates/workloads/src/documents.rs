@@ -113,7 +113,11 @@ mod tests {
             }
         }
         let max = counts.values().copied().max().unwrap_or(0);
-        assert!(counts.len() > 500, "trigram space too small: {}", counts.len());
+        assert!(
+            counts.len() > 500,
+            "trigram space too small: {}",
+            counts.len()
+        );
         assert!(
             (max as f64) / (total as f64) < 0.05,
             "top trigram share too high: {}",

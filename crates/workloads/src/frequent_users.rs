@@ -180,11 +180,7 @@ mod tests {
             expected_users: 10,
         };
         let mut ctx = ReduceCtx::new();
-        job.reduce(
-            &Key::from_u64(1),
-            vec![Value::from_u64(2)],
-            &mut ctx,
-        );
+        job.reduce(&Key::from_u64(1), vec![Value::from_u64(2)], &mut ctx);
         assert_eq!(ctx.pending(), 0);
         job.reduce(
             &Key::from_u64(2),

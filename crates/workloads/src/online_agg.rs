@@ -146,7 +146,12 @@ mod tests {
         let mut ctx = ReduceCtx::new();
         let mut acc = j.init(&key, Value::from_u64(10));
         for i in 1..64u64 {
-            j.cb(&key, &mut acc, j.init(&key, Value::from_u64(10 + i % 3)), &mut ctx);
+            j.cb(
+                &key,
+                &mut acc,
+                j.init(&key, Value::from_u64(10 + i % 3)),
+                &mut ctx,
+            );
         }
         let refinements: Vec<(u64, u64)> = ctx
             .drain()

@@ -21,7 +21,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "support size must be positive");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {

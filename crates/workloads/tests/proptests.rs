@@ -7,8 +7,8 @@ use opa_core::api::{IncrementalReducer, Job, ReduceCtx};
 use opa_core::prelude::{Key, Value};
 use opa_workloads::sessionize::{decode_output, SessionizeJob};
 use opa_workloads::windowed_count::decode_window_output;
-use opa_workloads::WindowedCountJob;
 use opa_workloads::FrequentUsersJob;
+use opa_workloads::WindowedCountJob;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

@@ -104,11 +104,21 @@ fn main() {
         *per_country.entry(country.to_string()).or_default() += count;
         joined_clicks += count;
     }
-    assert_eq!(joined_clicks, clicks.len() as u64, "join must not lose clicks");
+    assert_eq!(
+        joined_clicks,
+        clicks.len() as u64,
+        "join must not lose clicks"
+    );
 
-    println!("clicks per country (join output, {} joined users):", outcome.output.len());
+    println!(
+        "clicks per country (join output, {} joined users):",
+        outcome.output.len()
+    );
     for (country, count) in &per_country {
-        println!("  {country}  {count:>8}  {}", "▪".repeat((count / 1500 + 1) as usize));
+        println!(
+            "  {country}  {count:>8}  {}",
+            "▪".repeat((count / 1500 + 1) as usize)
+        );
     }
     println!(
         "\njob: {:.0} virtual s on MR-hash, shuffle {:.1} MB, all {} clicks joined ✓",

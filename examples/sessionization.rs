@@ -29,7 +29,11 @@ fn session_set(outcome: &JobOutcome) -> BTreeSet<(u64, u64, u64)> {
 
 fn bar(pct: f64) -> String {
     let filled = (pct / 2.5) as usize;
-    format!("{}{} {pct:5.1}%", "█".repeat(filled), "░".repeat(40 - filled.min(40)))
+    format!(
+        "{}{} {pct:5.1}%",
+        "█".repeat(filled),
+        "░".repeat(40 - filled.min(40))
+    )
 }
 
 fn main() {
@@ -83,10 +87,12 @@ fn main() {
     // Progress at quartiles of the sort-merge job.
     println!("Definition-1 reduce progress while mappers run:");
     for (label, o) in [("sort-merge", &sm), ("INC-hash", &inc)] {
-        println!("\n  {label} (total {:.0}s):", o.metrics.running_time.as_secs_f64());
+        println!(
+            "\n  {label} (total {:.0}s):",
+            o.metrics.running_time.as_secs_f64()
+        );
         for frac in [0.25, 0.5, 0.75, 1.0] {
-            let idx =
-                ((o.progress.points.len() - 1) as f64 * frac) as usize;
+            let idx = ((o.progress.points.len() - 1) as f64 * frac) as usize;
             let p = o.progress.points[idx];
             println!(
                 "    t={:>6.0}s  map {}  reduce {}",

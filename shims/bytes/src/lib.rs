@@ -1,0 +1,210 @@
+//! Minimal stand-in for the `bytes` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! one type OPA uses — [`Bytes`] — with the same semantics the platform
+//! relies on: an immutable byte buffer whose clones share a single backing
+//! allocation (`Arc<[u8]>`), so shuffling and spilling never deep-copy
+//! payloads.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, shared, immutable slice of bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a fresh shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// A view of the bytes as a plain slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a new `Bytes` holding a copy of the given subrange.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Bytes::copy_from_slice(&self.data[range])
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let (abc, abd, ab) = (
+            Bytes::from(&b"abc"[..]),
+            Bytes::from(&b"abd"[..]),
+            Bytes::from(&b"ab"[..]),
+        );
+        assert!(abc < abd);
+        assert!(ab < abc);
+    }
+
+    #[test]
+    fn deref_and_indexing() {
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(b[0], b'h');
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[1..3], b"el");
+        assert_eq!(b.get(..2), Some(&b"he"[..]));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Bytes::default().is_empty());
+        assert_eq!(Bytes::new().len(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this shim keeps the
+//! `crates/bench` targets compiling and running: it implements the API
+//! surface those benches use (`criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function` / `benchmark_group`, group `throughput` /
+//! `sample_size` / `bench_with_input` / `bench_function` / `finish`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`) as a plain
+//! wall-clock timing harness. There is no statistical analysis, outlier
+//! rejection, or HTML report — each benchmark warms up briefly, runs for a
+//! fixed time budget, and prints the mean iteration time (plus throughput
+//! when configured).
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(100);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's time budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Units the mean iteration time is normalised against.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(label: &str, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up with single iterations until the warmup budget elapses, using
+    // the observed per-iteration cost to size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < WARMUP {
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let batch = ((0.05 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+    let measure_start = Instant::now();
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    while measure_start.elapsed() < MEASURE {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += batch;
+        total_time += b.elapsed;
+    }
+
+    let mean = total_time.as_secs_f64() / total_iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / mean),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>9.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {:>12}{rate}", format_time(mean));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_and_times() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("sort", 42).label(), "sort/42");
+        assert_eq!(BenchmarkId::from_parameter("1MiB").label(), "1MiB");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(0.0000025), "2.500 µs");
+        assert_eq!(format_time(0.0000000025), "2.5 ns");
+    }
+}

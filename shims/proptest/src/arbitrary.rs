@@ -1,0 +1,74 @@
+//! `any::<T>()` support: whole-domain sampling for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types that can be sampled across their whole domain.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — a strategy over `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u8_hits_full_domain_eventually() {
+        let mut rng = TestRng::new(21, 0);
+        let strat = any::<u8>();
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all byte values should appear");
+    }
+
+    #[test]
+    fn any_bool_varies() {
+        let mut rng = TestRng::new(22, 0);
+        let strat = any::<bool>();
+        let trues = (0..100).filter(|_| strat.sample(&mut rng)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+}

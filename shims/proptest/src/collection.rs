@@ -1,0 +1,52 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { elem, size }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_in_range_and_elements_sampled() {
+        let mut rng = TestRng::new(11, 0);
+        let strat = vec(1u8..4, 2..7);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&b| (1..4).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let mut rng = TestRng::new(12, 0);
+        let strat = vec(vec(0u64..5, 1..3), 1..4);
+        let v = strat.sample(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|inner| !inner.is_empty()));
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim reimplements
+//! the slice of proptest OPA's property tests use: the [`proptest!`] macro
+//! (both `pat in strategy` and `name: Type` argument forms, with an
+//! optional `#![proptest_config(...)]` header), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, integer/float range strategies,
+//! tuple strategies, `prop_map`, `Just`, `collection::vec`, and
+//! `any::<T>()`.
+//!
+//! Differences from real proptest, by design:
+//! - cases are sampled from a seed derived from the test's module path and
+//!   name, so runs are fully deterministic (no `PROPTEST_` env vars);
+//! - there is no shrinking — a failure reports the offending inputs
+//!   directly (they tend to be small because sizes are sampled uniformly);
+//! - the default case count is 64 rather than 256, keeping debug-profile
+//!   suite time reasonable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirrored from `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( config = ($cfg:expr); ) => {};
+    ( config = ($cfg:expr);
+      $(#[$meta:meta])*
+      fn $name:ident( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::new(__seed, __case as u64);
+                let mut __dbg = ::std::string::String::new();
+                $crate::__proptest_bind!(__rng, __dbg, $($params)*);
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __out {
+                    panic!(
+                        "property test failed at case {}/{}: {}\n  inputs: {}",
+                        __case + 1, __config.cases, __e, __dbg,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident, $dbg:ident $(,)?) => {};
+    ($rng:ident, $dbg:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let __tmp = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        {
+            use ::std::fmt::Write as _;
+            let _ = ::std::write!($dbg, "{} = {:?}; ", stringify!($pat), __tmp);
+        }
+        let $pat = __tmp;
+        $crate::__proptest_bind!($rng, $dbg, $($rest)*);
+    };
+    ($rng:ident, $dbg:ident, $pat:pat in $strat:expr) => {
+        $crate::__proptest_bind!($rng, $dbg, $pat in $strat,);
+    };
+    ($rng:ident, $dbg:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        {
+            use ::std::fmt::Write as _;
+            let _ = ::std::write!($dbg, "{} = {:?}; ", stringify!($name), $name);
+        }
+        $crate::__proptest_bind!($rng, $dbg, $($rest)*);
+    };
+    ($rng:ident, $dbg:ident, $name:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng, $dbg, $name : $ty,);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// its inputs reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: left == right\n  left: {:?}\n right: {:?}", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: left == right: {}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+), __l, __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: left != right\n  both: {:?}", __l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in 0usize..5, f in 1.5f64..2.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn typed_args_and_vecs(
+            seed: u64,
+            data in crate::collection::vec(any::<u8>(), 0..10),
+        ) {
+            let _ = seed;
+            prop_assert!(data.len() < 10);
+        }
+
+        #[test]
+        fn tuples_and_map((x, y) in (0u64..4, 0u64..4).prop_map(|(a, b)| (a * 10, b))) {
+            prop_assert!(x % 10 == 0);
+            prop_assert!(y < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_respected(v in 0u32..1000) {
+            prop_assert!(v < 1000);
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(v in 10u64..11) {
+                    prop_assert_eq!(v, 0, "expected failure");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("v = 10"), "{msg}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal stand-in for `serde`.
+//!
+//! Nothing in this repository serializes through serde yet (the derives
+//! exist so downstream tooling *could*), and the build environment has no
+//! registry access, so this shim keeps the `#[derive(Serialize,
+//! Deserialize)]` annotations compiling: the traits are markers satisfied
+//! by every type, and the derive macros (re-exported from the sibling
+//! `serde_derive` shim) expand to nothing. Replace with the real crates
+//! when a network-enabled build needs actual serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Stand-in for the `serde::de` module path.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}

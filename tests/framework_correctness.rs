@@ -21,11 +21,7 @@ const ALL: [Framework; 5] = [
     Framework::DincHash,
 ];
 
-fn run(
-    job: impl Job + Clone + 'static,
-    framework: Framework,
-    input: &JobInput,
-) -> JobOutcome {
+fn run(job: impl Job + Clone + 'static, framework: Framework, input: &JobInput) -> JobOutcome {
     JobBuilder::new(job)
         .framework(framework)
         .cluster(ClusterSpec::tiny())
@@ -57,7 +53,13 @@ fn click_count_exact_across_all_frameworks() {
     let input = ClickStreamSpec::small().generate(11);
     let oracle = oracle_user_counts(&input);
     for fw in ALL {
-        let outcome = run(ClickCountJob { expected_users: 100 }, fw, &input);
+        let outcome = run(
+            ClickCountJob {
+                expected_users: 100,
+            },
+            fw,
+            &input,
+        );
         assert_eq!(
             outcome_counts(&outcome),
             oracle,
@@ -274,7 +276,10 @@ fn sessionization_dinc_preserves_clicks_and_session_shape() {
         .filter(|x| oracle.contains(x))
         .count();
     let frac = matching as f64 / input.len() as f64;
-    assert!(frac >= 0.95, "only {frac:.3} of session labels match oracle");
+    assert!(
+        frac >= 0.95,
+        "only {frac:.3} of session labels match oracle"
+    );
 }
 
 // -------------------------------------------------------------- plumbing
@@ -283,7 +288,13 @@ fn sessionization_dinc_preserves_clicks_and_session_shape() {
 fn metrics_account_io_conservation() {
     let input = ClickStreamSpec::small().generate(17);
     for fw in ALL {
-        let outcome = run(ClickCountJob { expected_users: 100 }, fw, &input);
+        let outcome = run(
+            ClickCountJob {
+                expected_users: 100,
+            },
+            fw,
+            &input,
+        );
         let m = &outcome.metrics;
         assert_eq!(m.input_bytes, input.total_bytes());
         assert!(m.map_output_bytes > 0);

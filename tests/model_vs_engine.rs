@@ -104,8 +104,7 @@ fn optimizer_recommendation_beats_stock_in_engine() {
     tuned_spec.system.merge_factor = rec.merge_factor * 4;
     let tuned = run_sm(&input, tuned_spec, stats.distinct_users);
     assert!(
-        tuned.metrics.running_time.as_secs_f64()
-            <= stock.metrics.running_time.as_secs_f64() * 1.02,
+        tuned.metrics.running_time.as_secs_f64() <= stock.metrics.running_time.as_secs_f64() * 1.02,
         "model-tuned run ({}) should not lose to stock ({})",
         tuned.metrics.running_time,
         stock.metrics.running_time

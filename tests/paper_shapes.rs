@@ -3,10 +3,10 @@
 //! engine change breaks any of the qualitative results the reproduction
 //! stands on, these fail.
 
+use opa::common::units::MB;
 use opa::core::prelude::*;
 use opa::workloads::clickstream::ClickStreamSpec;
 use opa::workloads::SessionizeJob;
-use opa::common::units::MB;
 
 struct Shapes {
     sm: JobOutcome,
@@ -46,8 +46,18 @@ fn headline_shapes_hold() {
 
     // Table 3 ordering: SM slowest, MR-hash in between, INC fastest.
     let t = |o: &JobOutcome| o.metrics.running_time.as_secs_f64();
-    assert!(t(&s.sm) > t(&s.mr), "SM ({}) must outlast MR ({})", t(&s.sm), t(&s.mr));
-    assert!(t(&s.mr) > t(&s.inc), "MR ({}) must outlast INC ({})", t(&s.mr), t(&s.inc));
+    assert!(
+        t(&s.sm) > t(&s.mr),
+        "SM ({}) must outlast MR ({})",
+        t(&s.sm),
+        t(&s.mr)
+    );
+    assert!(
+        t(&s.mr) > t(&s.inc),
+        "MR ({}) must outlast INC ({})",
+        t(&s.mr),
+        t(&s.inc)
+    );
 
     // Map CPU: eliminating the sort cuts map-side CPU substantially.
     let mc = |o: &JobOutcome| o.metrics.map_cpu_per_node.as_secs_f64();
@@ -60,8 +70,16 @@ fn headline_shapes_hold() {
 
     // Definition-1 progress: SM and MR block at ~33%; INC/DINC keep up.
     let at_finish = |o: &JobOutcome| o.progress.reduce_pct_at_map_finish();
-    assert!((at_finish(&s.sm) - 33.3).abs() < 3.0, "SM at {}", at_finish(&s.sm));
-    assert!((at_finish(&s.mr) - 33.3).abs() < 3.0, "MR at {}", at_finish(&s.mr));
+    assert!(
+        (at_finish(&s.sm) - 33.3).abs() < 3.0,
+        "SM at {}",
+        at_finish(&s.sm)
+    );
+    assert!(
+        (at_finish(&s.mr) - 33.3).abs() < 3.0,
+        "MR at {}",
+        at_finish(&s.mr)
+    );
     assert!(at_finish(&s.inc) > 60.0, "INC at {}", at_finish(&s.inc));
     assert!(at_finish(&s.dinc) > 85.0, "DINC at {}", at_finish(&s.dinc));
 
