@@ -33,8 +33,13 @@ usage:
   opa generate documents   --bytes SIZE [--seed N] --out FILE
   opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
               [--km RATIO] [--threads N] [--progress-csv FILE] [--output FILE]
+              [--fault-rate P] [--fault-seed N]
       JOB: sessionize | click-count | frequent-users | page-freq | trigrams
       FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
+      --fault-rate P injects map/reduce failures, stragglers and spill-disk
+      errors, each with probability P in [0, 1); --fault-seed N (default 42)
+      makes the failure trace reproducible. Recovery never loses data;
+      count-style outputs are bit-identical to the fault-free run.
   opa model --d SIZE [--km R] [--kr R] [--chunk-mb N] [--merge-factor N] [--optimize]
 ";
 
@@ -163,6 +168,14 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         }
         None => opa_common::ExecConfig::available_parallelism(),
     };
+    // Deterministic fault injection: one uniform rate across all four
+    // fault classes, seeded so a failing run can be replayed exactly.
+    let fault_rate = args.get_or("fault-rate", 0.0f64);
+    let faults = if fault_rate > 0.0 {
+        opa_common::fault::FaultConfig::uniform(args.get_or("fault-seed", 42u64), fault_rate)
+    } else {
+        opa_common::fault::FaultConfig::disabled()
+    };
 
     let outcome: JobOutcome = match job {
         "sessionize" => JobBuilder::new(SessionizeJob {
@@ -176,6 +189,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .cluster(cluster)
         .km_hint(km)
         .exec(exec)
+        .faults(faults)
         .run(&input),
         "click-count" => JobBuilder::new(ClickCountJob {
             expected_users: args.get_or("expected-keys", 50_000u64),
@@ -184,6 +198,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .cluster(cluster)
         .km_hint(km)
         .exec(exec)
+        .faults(faults)
         .run(&input),
         "frequent-users" => JobBuilder::new(FrequentUsersJob {
             threshold: args.get_or("threshold", 50u64),
@@ -193,6 +208,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .cluster(cluster)
         .km_hint(km)
         .exec(exec)
+        .faults(faults)
         .run(&input),
         "page-freq" => JobBuilder::new(PageFreqJob {
             expected_pages: args.get_or("expected-keys", 10_000u64),
@@ -201,6 +217,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .cluster(cluster)
         .km_hint(km)
         .exec(exec)
+        .faults(faults)
         .run(&input),
         "trigrams" => JobBuilder::new(TrigramCountJob {
             threshold: args.get_or("threshold", 1000u64),
@@ -210,6 +227,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .cluster(cluster)
         .km_hint(km)
         .exec(exec)
+        .faults(faults)
         .run(&input),
         other => return Err(format!("unknown job '{other}'")),
     }
@@ -220,6 +238,12 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         "  reduce@mapfinish    {:.1}%",
         outcome.progress.reduce_pct_at_map_finish()
     );
+    if let Some(rep) = &outcome.metrics.faults {
+        println!(
+            "  fault breakdown     {} map / {} straggler / {} reduce / {} spill-io (seed {})",
+            rep.map_failures, rep.stragglers, rep.reduce_failures, rep.spill_io_errors, faults.seed
+        );
+    }
 
     if let Some(csv) = args.options.get("progress-csv") {
         use std::io::Write;

@@ -14,6 +14,8 @@
 //!   ([`config`]),
 //! - virtual-time and byte-size units ([`units`]),
 //! - deterministic seeded RNG helpers ([`rng`]),
+//! - the fault-injection vocabulary shared by the engine and the storage
+//!   substrate ([`fault`]),
 //! - the shared error type ([`error`]).
 
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod rng;
 pub mod types;
@@ -28,6 +31,7 @@ pub mod units;
 
 pub use config::{ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
 pub use error::{Error, Result};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 pub use hash::{HashFamily, HashFn};
 pub use types::{Key, Pair, StatePair, Value};
 pub use units::{ByteSize, SimDuration, SimTime, GB, KB, MB};

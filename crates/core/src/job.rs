@@ -27,17 +27,22 @@
 use crate::api::Job;
 use crate::cluster::{ClusterSpec, Framework};
 use crate::exec::{Gather, Planner, Pool};
-use crate::map_phase::{compute_map_task, finish_map_task, Payload};
+use crate::fault::{FaultPlan, MapFate};
+use crate::map_phase::{
+    abort_map_task, compute_map_task, finish_map_task, straggle_map_task, Payload,
+};
 use crate::metrics::JobMetrics;
 use crate::progress::{ProgressCurve, ProgressTracker};
 use crate::reduce::{
-    make_reducer, replay, Effect, ReduceEnv, ReduceSide, ReducerSizing, ReplayTarget,
+    make_reducer, replay, replay_recovery, Effect, ReduceEnv, ReduceSide, ReducerSizing,
+    ReplayTarget,
 };
 use crate::sim::{EventQueue, OpKind, Resources, Span, Usage};
 use bytes::Bytes;
+use opa_common::fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 use opa_common::units::{SimDuration, SimTime};
 use opa_common::{Error, ExecConfig, HashFamily, Pair, Result};
-use opa_simio::{BlockStore, IoCategory, IoOp};
+use opa_simio::{BlockStore, DiskFaultInjector, IoCategory, IoOp};
 use std::collections::VecDeque;
 
 /// Number of points progress curves are resampled to.
@@ -140,6 +145,7 @@ pub struct JobBuilder<J: Job> {
     early_stop_coverage: Option<f64>,
     snapshot_points: Vec<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
+    faults: FaultConfig,
 }
 
 impl<J: Job> JobBuilder<J> {
@@ -154,6 +160,7 @@ impl<J: Job> JobBuilder<J> {
             early_stop_coverage: None,
             snapshot_points: Vec::new(),
             dinc_monitor: crate::reduce::dinc_hash::MonitorKind::Frequent,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -213,6 +220,21 @@ impl<J: Job> JobBuilder<J> {
         self
     }
 
+    /// Enables deterministic fault injection: map/reduce failures,
+    /// stragglers and spill-disk errors per `cfg`, with full recovery.
+    /// Recovery never loses or duplicates data: order-independent
+    /// reductions produce output bit-identical to the fault-free run.
+    /// Jobs that emit early from a slack-bounded reorder buffer
+    /// (sessionization under INC/DINC) may re-anchor labels when a fault
+    /// delays a map task past the slack, exactly as in real Hadoop —
+    /// reduce-crash recovery alone is fully output-transparent. Timing,
+    /// I/O accounting and the [`JobMetrics::faults`] report change in
+    /// any case.
+    pub fn faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = cfg;
+        self
+    }
+
     /// Access to the wrapped job.
     pub fn job(&self) -> &J {
         &self.job
@@ -222,6 +244,14 @@ impl<J: Job> JobBuilder<J> {
     pub fn run(&self, input: &JobInput) -> Result<JobOutcome> {
         self.spec.validate()?;
         self.exec.validate()?;
+        self.faults.validate()?;
+        if let Some(phi) = self.early_stop_coverage {
+            if !phi.is_finite() || !(0.0..=1.0).contains(&phi) || phi == 0.0 {
+                return Err(Error::job(format!(
+                    "early-stop coverage φ must be a fraction in (0, 1], got {phi}"
+                )));
+            }
+        }
         if input.is_empty() {
             return Err(Error::job("job input is empty"));
         }
@@ -234,6 +264,7 @@ impl<J: Job> JobBuilder<J> {
             self.early_stop_coverage,
             self.dinc_monitor,
             &self.snapshot_points,
+            &self.faults,
             input,
         )
     }
@@ -242,6 +273,9 @@ impl<J: Job> JobBuilder<J> {
 enum Ev {
     StartMap {
         chunk: usize,
+        /// 0 for the first execution; retries and speculative backups
+        /// count up. Drives the fault plan's per-attempt decisions.
+        attempt: u32,
     },
     Deliver {
         reducer: usize,
@@ -292,6 +326,7 @@ fn run_job(
     early_stop: Option<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
     snapshot_points: &[f64],
+    faults: &FaultConfig,
     input: &JobInput,
 ) -> Result<JobOutcome> {
     let hw = &spec.hardware;
@@ -329,6 +364,34 @@ fn run_job(
         let mut res = Resources::new(n_nodes, hw.map_slots.max(hw.reduce_slots), separate_spill);
         let mut progress = ProgressTracker::new(store.num_chunks() as u64);
 
+        // Fault-injection state. All decisions and recovery charging run
+        // on this (scheduling) thread in event order, so the failure trace
+        // and the recovered outcome are thread-count invariant.
+        let fault_on = faults.enabled();
+        let fplan = if fault_on {
+            Some(FaultPlan::new(*faults))
+        } else {
+            None
+        };
+        let mut freport = FaultReport::default();
+        if faults.spill_error_rate > 0.0 {
+            res.set_disk_faults(DiskFaultInjector::new(
+                faults.seed,
+                faults.spill_error_rate,
+                faults.max_retries,
+            ));
+        }
+        // Pure map-task plans stashed by failed/straggling attempts for
+        // reuse by their retry (the plan is a function of the chunk alone).
+        let mut plan_stash: Vec<Option<crate::map_phase::MapTaskPlan>> =
+            (0..store.num_chunks()).map(|_| None).collect();
+        // Per-reducer crash bookkeeping and effect history for recovery
+        // re-replay (history is only kept when reduce crashes can fire).
+        let track_history = faults.reduce_failure_rate > 0.0;
+        let mut delivery_seq: Vec<u64> = vec![0; n_reducers];
+        let mut crash_count: Vec<u32> = vec![0; n_reducers];
+        let mut history: Vec<Vec<Effect>> = vec![Vec::new(); n_reducers];
+
         // Reducer sizing from job hints.
         let expected_input =
             ((input.total_bytes() as f64 * km_hint) / n_reducers as f64).ceil() as u64;
@@ -364,7 +427,7 @@ fn run_job(
         for node_pending in pending.iter_mut() {
             for _ in 0..hw.map_slots {
                 if let Some(chunk) = node_pending.pop_front() {
-                    queue.push(SimTime::ZERO, Ev::StartMap { chunk });
+                    queue.push(SimTime::ZERO, Ev::StartMap { chunk, attempt: 0 });
                 }
             }
         }
@@ -423,9 +486,79 @@ fn run_job(
         // Main event loop.
         while let Some((t, ev)) = queue.pop() {
             match ev {
-                Ev::StartMap { chunk } => {
+                Ev::StartMap { chunk, attempt } => {
                     let node = store.chunks()[chunk].node;
-                    let plan = planner.take(chunk, &pool, compute_plan);
+                    // Retries reuse the stashed pure plan; the planner only
+                    // hands out each chunk's first-execution plan.
+                    let plan = if attempt == 0 {
+                        planner.take(chunk, &pool, compute_plan)
+                    } else {
+                        plan_stash[chunk]
+                            .take()
+                            .unwrap_or_else(|| compute_plan(chunk))
+                    };
+                    match fplan
+                        .as_ref()
+                        .map_or(MapFate::Ok, |p| p.map_fate(chunk, attempt))
+                    {
+                        MapFate::Fail { frac } => {
+                            // The attempt dies partway: charge the prefix
+                            // as waste, back off, retry on the same slot.
+                            let waste = abort_map_task(&plan, frac, node, t, spec, &mut res);
+                            let backoff = faults.backoff(attempt + 1);
+                            freport.map_failures += 1;
+                            freport.map_retries += 1;
+                            freport.wasted_cpu += waste.wasted_cpu;
+                            freport.wasted_bytes += waste.wasted_bytes;
+                            freport.recovery_time += (waste.fail_time - t) + backoff;
+                            freport.trace.push(FaultEvent {
+                                time: waste.fail_time,
+                                kind: FaultKind::MapFailure,
+                                target: chunk as u64,
+                                attempt,
+                            });
+                            plan_stash[chunk] = Some(plan);
+                            queue.push(
+                                waste.fail_time + backoff,
+                                Ev::StartMap {
+                                    chunk,
+                                    attempt: attempt + 1,
+                                },
+                            );
+                            continue;
+                        }
+                        MapFate::Straggle { factor } => {
+                            // The attempt limps along at factor× CPU cost;
+                            // at the nominal-duration horizon the scheduler
+                            // launches a speculative backup whose output is
+                            // the one committed. Everything the straggler
+                            // did is waste.
+                            let nominal = plan.nominal_duration(spec);
+                            let waste = straggle_map_task(&plan, factor, node, t, spec, &mut res);
+                            let detect = t + nominal;
+                            freport.stragglers += 1;
+                            freport.speculative_wins += 1;
+                            freport.wasted_cpu += waste.wasted_cpu;
+                            freport.wasted_bytes += waste.wasted_bytes;
+                            freport.recovery_time += waste.fail_time.saturating_since(detect);
+                            freport.trace.push(FaultEvent {
+                                time: detect,
+                                kind: FaultKind::Straggler,
+                                target: chunk as u64,
+                                attempt,
+                            });
+                            plan_stash[chunk] = Some(plan);
+                            queue.push(
+                                detect,
+                                Ev::StartMap {
+                                    chunk,
+                                    attempt: attempt + 1,
+                                },
+                            );
+                            continue;
+                        }
+                        MapFate::Ok => {}
+                    }
                     let result = finish_map_task(plan, node, t, spec, &mut res);
                     map_cpu[node] += result.cpu;
                     spill_written_map += result.spill_bytes;
@@ -467,7 +600,13 @@ fn run_job(
                     }
                     // Free the slot: schedule the node's next chunk.
                     if let Some(next) = pending[node].pop_front() {
-                        queue.push(result.finish, Ev::StartMap { chunk: next });
+                        queue.push(
+                            result.finish,
+                            Ev::StartMap {
+                                chunk: next,
+                                attempt: 0,
+                            },
+                        );
                     }
                 }
                 Ev::Deliver {
@@ -556,7 +695,43 @@ fn run_job(
                     }
                     for (r, t_ev) in order {
                         let (dlog, slogs) = log_q[r].pop_front().expect("one log per delivery");
-                        let t0 = ready_at[r].max(t_ev);
+                        let mut t0 = ready_at[r].max(t_ev);
+                        // Reduce-task crash: the delivery finds the reducer
+                        // dead; a restart backs off, then re-replays the
+                        // recorded history in time-only mode to rebuild the
+                        // lost in-memory state before absorbing this
+                        // delivery.
+                        if let Some(fp) = &fplan {
+                            if fp.reduce_crashes(r, delivery_seq[r], crash_count[r]) {
+                                crash_count[r] += 1;
+                                freport.reduce_failures += 1;
+                                freport.trace.push(FaultEvent {
+                                    time: t0,
+                                    kind: FaultKind::ReduceFailure,
+                                    target: r as u64,
+                                    attempt: crash_count[r] - 1,
+                                });
+                                let backoff = faults.backoff(crash_count[r]);
+                                let recov = replay_recovery(
+                                    &history[r],
+                                    t0 + backoff,
+                                    spec,
+                                    reducer_node(r),
+                                    &mut res,
+                                );
+                                freport.wasted_bytes += recov.wasted_bytes;
+                                freport.wasted_cpu += recov.wasted_cpu;
+                                freport.recovery_time += recov.ready_at.saturating_since(t0);
+                                t0 = recov.ready_at;
+                            }
+                            delivery_seq[r] += 1;
+                        }
+                        if track_history {
+                            history[r].extend(dlog.iter().cloned());
+                            for slog in &slogs {
+                                history[r].extend(slog.iter().cloned());
+                            }
+                        }
                         ready_at[r] = replay(dlog, t0, spec, target!(r));
                         for slog in slogs {
                             snapshots_taken[r] += 1;
@@ -650,10 +825,36 @@ fn run_job(
             arrivals.sort_by_key(|&(at, _)| at);
             let mut rec = reducers[r].take().expect("reducer in place");
             for (arrival, payload) in arrivals {
-                let t0 = t.max(arrival);
+                let mut t0 = t.max(arrival);
+                // Second-wave reducers crash and recover the same way as
+                // wave one: backoff, then time-only history re-replay.
+                if let Some(fp) = &fplan {
+                    if fp.reduce_crashes(r, delivery_seq[r], crash_count[r]) {
+                        crash_count[r] += 1;
+                        freport.reduce_failures += 1;
+                        freport.trace.push(FaultEvent {
+                            time: t0,
+                            kind: FaultKind::ReduceFailure,
+                            target: r as u64,
+                            attempt: crash_count[r] - 1,
+                        });
+                        let backoff = faults.backoff(crash_count[r]);
+                        let recov =
+                            replay_recovery(&history[r], t0 + backoff, spec, node, &mut res);
+                        freport.wasted_bytes += recov.wasted_bytes;
+                        freport.wasted_cpu += recov.wasted_cpu;
+                        freport.recovery_time += recov.ready_at.saturating_since(t0);
+                        t0 = recov.ready_at;
+                    }
+                    delivery_seq[r] += 1;
+                }
                 let mut env = ReduceEnv::new(spec);
                 rec.on_delivery(t0, payload, &mut env);
-                t = replay(env.into_log(), t0, spec, target!(r));
+                let dlog = env.into_log();
+                if track_history {
+                    history[r].extend(dlog.iter().cloned());
+                }
+                t = replay(dlog, t0, spec, target!(r));
             }
             let after_deliveries = t;
             let mut env = ReduceEnv::new(spec);
@@ -670,6 +871,17 @@ fn run_job(
         }
 
         // Assemble the outcome.
+        let fault_report = if fault_on {
+            if let Some(inj) = res.take_disk_faults() {
+                freport.spill_io_errors = inj.errors();
+                freport.wasted_bytes += inj.wasted_bytes();
+                freport.trace.extend(inj.into_trace());
+            }
+            freport.sort_trace();
+            Some(freport)
+        } else {
+            None
+        };
         let output_bytes: u64 = output.iter().map(Pair::size).sum();
         let total_reduce_cpu: SimDuration = reduce_cpu.iter().copied().sum();
         let total_map_cpu: SimDuration = map_cpu.iter().copied().sum();
@@ -689,6 +901,7 @@ fn run_job(
             reduce_cpu_per_node: SimDuration(total_reduce_cpu.0 / n_nodes as u64),
             io: res.io.clone(),
             dinc: dinc_total,
+            faults: fault_report,
         };
         Ok(JobOutcome {
             metrics,

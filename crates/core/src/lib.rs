@@ -42,6 +42,7 @@ pub mod api;
 pub mod cluster;
 pub mod cost;
 pub mod exec;
+pub mod fault;
 pub mod job;
 pub mod map_phase;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::job::{JobBuilder, JobInput, JobOutcome};
     pub use crate::metrics::JobMetrics;
     pub use crate::progress::ProgressCurve;
+    pub use opa_common::fault::{FaultConfig, FaultReport};
     pub use opa_common::{Key, Pair, StatePair, Value};
 }
 

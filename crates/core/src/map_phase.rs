@@ -160,6 +160,129 @@ impl MapTaskPlan {
         self.ops.push(MapOp::Cpu(dur));
         self.cpu += dur;
     }
+
+    /// The task's contention-free duration: what it would take on an idle
+    /// node. The fault subsystem uses this as the straggler-detection
+    /// horizon — the instant a healthy attempt "should have" finished.
+    pub fn nominal_duration(&self, spec: &ClusterSpec) -> SimDuration {
+        let cost = &spec.cost;
+        let mut total = SimDuration::ZERO;
+        for op in &self.ops {
+            match *op {
+                MapOp::Advance(d) | MapOp::Cpu(d) => total += d,
+                MapOp::Hdfs(_, io) => total += cost.hdfs_time(io),
+                MapOp::Spill(_, io) => total += cost.spill_time(io),
+                MapOp::MergeStart | MapOp::MergeEnd | MapOp::Granule => {}
+            }
+        }
+        total
+    }
+}
+
+/// What a discarded map-task attempt cost: when it died (or was given up
+/// on) and the work it burned.
+#[derive(Debug, Clone, Copy)]
+pub struct MapAttemptWaste {
+    /// Virtual time at which the attempt ended (failure detected, or the
+    /// straggling copy finally stopped).
+    pub fail_time: SimTime,
+    /// CPU the attempt consumed before dying.
+    pub wasted_cpu: SimDuration,
+    /// Bytes the attempt wrote that nobody will read.
+    pub wasted_bytes: u64,
+}
+
+/// Replays the prefix of a map-task plan that a failing attempt completed
+/// before dying: `frac` of the plan's operations are charged against the
+/// shared resources (the work really happened — CPU burned, disk queues
+/// occupied), but no granules are produced and no early output escapes.
+/// Returns the waste accounting for the fault report.
+pub fn abort_map_task(
+    plan: &MapTaskPlan,
+    frac: f64,
+    node: usize,
+    start: SimTime,
+    spec: &ClusterSpec,
+    res: &mut Resources,
+) -> MapAttemptWaste {
+    let frac = frac.clamp(0.0, 1.0);
+    let upto = ((plan.ops.len() as f64 * frac).ceil() as usize).clamp(1, plan.ops.len());
+    replay_partial(plan, upto, 1.0, node, start, spec, res)
+}
+
+/// Replays a straggling map-task attempt in full, with `Advance`/`Cpu`
+/// durations scaled by `factor` (the node's CPU is degraded; its disk is
+/// not). The attempt's entire output is wasted: the engine launches a
+/// speculative backup at the nominal-duration horizon and always commits
+/// the backup's granules, treating the straggling node as blacklisted.
+pub fn straggle_map_task(
+    plan: &MapTaskPlan,
+    factor: f64,
+    node: usize,
+    start: SimTime,
+    spec: &ClusterSpec,
+    res: &mut Resources,
+) -> MapAttemptWaste {
+    replay_partial(
+        plan,
+        plan.ops.len(),
+        factor.max(1.0),
+        node,
+        start,
+        spec,
+        res,
+    )
+}
+
+/// Shared partial/scaled replay behind [`abort_map_task`] and
+/// [`straggle_map_task`]: charges the first `upto` operations, skipping
+/// granule stamping, and closes any merge span left open at the cut.
+fn replay_partial(
+    plan: &MapTaskPlan,
+    upto: usize,
+    factor: f64,
+    node: usize,
+    start: SimTime,
+    spec: &ClusterSpec,
+    res: &mut Resources,
+) -> MapAttemptWaste {
+    let cost = &spec.cost;
+    let scale = |d: SimDuration| SimDuration((d.0 as f64 * factor) as u64);
+    let mut t = start;
+    let mut merge_starts: Vec<SimTime> = Vec::new();
+    let mut wasted_cpu = SimDuration::ZERO;
+    let mut wasted_bytes = 0u64;
+    for op in &plan.ops[..upto] {
+        match *op {
+            MapOp::Advance(d) => t += scale(d),
+            MapOp::Cpu(d) => {
+                let d = scale(d);
+                wasted_cpu += d;
+                t = res.cpu(node, t, d);
+            }
+            MapOp::Hdfs(cat, io) => t = res.hdfs_io(node, t, cat, io, cost),
+            MapOp::Spill(cat, io) => {
+                wasted_bytes += io.written;
+                t = res.spill_io(node, t, cat, io, cost);
+            }
+            MapOp::MergeStart => merge_starts.push(t),
+            MapOp::MergeEnd => {
+                let m0 = merge_starts.pop().expect("balanced merge markers");
+                res.span(OpKind::Merge, m0, t);
+            }
+            MapOp::Granule => {}
+        }
+    }
+    // A merge interrupted by the failure still occupied the timeline.
+    while let Some(m0) = merge_starts.pop() {
+        res.span(OpKind::Merge, m0, t);
+    }
+    res.span(OpKind::Map, start, t);
+    MapAttemptWaste {
+        fail_time: t,
+        wasted_cpu,
+        wasted_bytes,
+    }
 }
 
 /// Computes one map task without touching shared simulation state: runs

@@ -56,6 +56,9 @@ pub struct JobMetrics {
     pub io: IoStats,
     /// DINC monitor statistics (only for `Framework::DincHash`).
     pub dinc: Option<DincStats>,
+    /// Fault-injection report: retries, wasted work, recovery time and the
+    /// full failure trace. `None` when fault injection was disabled.
+    pub faults: Option<opa_common::fault::FaultReport>,
 }
 
 impl JobMetrics {
@@ -98,7 +101,18 @@ impl fmt::Display for JobMetrics {
             self.output_records
         )?;
         writeln!(f, "  map CPU / node      {}", self.map_cpu_per_node)?;
-        write!(f, "  reduce CPU / node   {}", self.reduce_cpu_per_node)
+        write!(f, "  reduce CPU / node   {}", self.reduce_cpu_per_node)?;
+        if let Some(rep) = &self.faults {
+            write!(
+                f,
+                "\n  faults              {} fired / {} retries / {} wasted bytes / {} recovery",
+                rep.trace.len(),
+                rep.total_retries(),
+                rep.wasted_bytes,
+                rep.recovery_time
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -123,6 +137,7 @@ mod tests {
             reduce_cpu_per_node: SimDuration::from_secs_f64(1104.0),
             io: IoStats::new(),
             dinc: None,
+            faults: None,
         }
     }
 

@@ -259,8 +259,10 @@ impl ReduceSide for DincHashReducer<'_> {
 
         // Approximate early termination (§4.3): finalize monitored keys
         // whose coverage lower bound γ = t/(t + M/(s+1)) clears φ, skip
-        // the disk-resident remainder entirely.
-        if let Some(phi) = self.early_stop_coverage {
+        // the disk-resident remainder entirely. φ = 1.0 demands full
+        // coverage, which the bound can never certify while any slack
+        // remains — that request is exact processing, handled below.
+        if let Some(phi) = self.early_stop_coverage.filter(|&phi| phi < 1.0) {
             let slack = offered as f64 / (capacity as f64 + 1.0);
             let mut finalized = 0u64;
             for e in entries {

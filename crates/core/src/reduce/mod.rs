@@ -73,8 +73,9 @@ impl ReducerSizing {
 }
 
 /// One recorded reducer side effect, replayed against shared state by
-/// [`replay`].
-#[derive(Debug)]
+/// [`replay`]. `Clone` so the fault subsystem can keep each reducer's
+/// effect history for crash re-replay ([`replay_recovery`]).
+#[derive(Debug, Clone)]
 pub enum Effect {
     /// CPU charged to the reducer's node.
     Cpu(SimDuration),
@@ -257,6 +258,75 @@ pub fn replay(
         }
     }
     t
+}
+
+/// What one reduce-task recovery cost: when the restarted reducer caught
+/// back up, plus the work it had to redo.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryCost {
+    /// Time at which the reducer has re-absorbed its whole history.
+    pub ready_at: SimTime,
+    /// Bytes re-written (spills) or re-staged (output buffers) whose first
+    /// copy was lost with the crash.
+    pub wasted_bytes: u64,
+    /// CPU burned redoing already-done work.
+    pub wasted_cpu: SimDuration,
+}
+
+/// Re-replays a crashed reducer's recorded effect history in *time-only*
+/// mode: CPU and disk operations are charged against the shared resources
+/// again (a restarted reduce task re-fetches its deliveries and redoes its
+/// ingestion work), but output, snapshots and progress are **not**
+/// re-applied — the job's observable results must stay bit-identical to a
+/// fault-free run. Emit/Snapshot effects still pay their HDFS write time:
+/// the restarted task re-stages those buffers before its (idempotent)
+/// commit. Must run on the scheduling thread, like [`replay`].
+pub fn replay_recovery(
+    history: &[Effect],
+    t0: SimTime,
+    spec: &ClusterSpec,
+    node: usize,
+    res: &mut Resources,
+) -> RecoveryCost {
+    let cost = spec.cost;
+    let mut t = t0;
+    let mut wasted_bytes = 0u64;
+    let mut wasted_cpu = SimDuration::ZERO;
+    for effect in history {
+        match effect {
+            Effect::Cpu(dur) => {
+                wasted_cpu += *dur;
+                t = res.cpu(node, t, *dur);
+            }
+            Effect::Spill(op) => {
+                wasted_bytes += op.written;
+                t = res.spill_io(node, t, IoCategory::ReduceSpill, *op, &cost);
+            }
+            Effect::Emit(pairs) => {
+                let bytes: u64 = pairs.iter().map(Pair::size).sum();
+                wasted_bytes += bytes;
+                t = res.hdfs_io(node, t, IoCategory::ReduceOutput, IoOp::write(bytes), &cost);
+            }
+            Effect::Snapshot(bytes) => {
+                wasted_bytes += bytes;
+                t = res.hdfs_io(
+                    node,
+                    t,
+                    IoCategory::ReduceOutput,
+                    IoOp::write(*bytes),
+                    &cost,
+                );
+            }
+            // Progress was already acknowledged by the first execution and
+            // timeline spans must not duplicate.
+            Effect::Shuffled(_) | Effect::Worked(_) | Effect::SpanOpen | Effect::SpanClose(_) => {}
+        }
+    }
+    RecoveryCost {
+        ready_at: t,
+        wasted_bytes,
+        wasted_cpu,
+    }
 }
 
 /// Batches reducer output into 64 KB HDFS writes and keeps the output

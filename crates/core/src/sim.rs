@@ -129,6 +129,8 @@ pub struct Resources {
     pub timeline: Vec<Span>,
     /// Job-wide I/O statistics.
     pub io: IoStats,
+    /// Optional spill-disk error injector (fault-injection subsystem).
+    disk_faults: Option<opa_simio::DiskFaultInjector>,
 }
 
 impl Resources {
@@ -151,7 +153,20 @@ impl Resources {
             usage: Usage::new(10.0, nodes, cores_per_node),
             timeline: Vec::new(),
             io: IoStats::new(),
+            disk_faults: None,
         }
+    }
+
+    /// Arms spill-disk error injection. Disk operations keep their logical
+    /// byte accounting; injected errors only repeat the operation's busy
+    /// time and are reported through the injector.
+    pub fn set_disk_faults(&mut self, injector: opa_simio::DiskFaultInjector) {
+        self.disk_faults = Some(injector);
+    }
+
+    /// Disarms and returns the injector, with its accumulated error trace.
+    pub fn take_disk_faults(&mut self) -> Option<opa_simio::DiskFaultInjector> {
+        self.disk_faults.take()
     }
 
     /// Performs an I/O operation on a node's HDFS device starting no
@@ -199,7 +214,16 @@ impl Resources {
             &mut n.spill
         };
         let start = t.max(q.free_at);
-        let end = start + dur;
+        // Injected errors repeat the whole operation: a torn write (or a
+        // read that returned garbage) moves the same bytes again.
+        let failures = match self.disk_faults.as_mut() {
+            Some(inj) => inj.inject(start, op.read + op.written),
+            None => 0,
+        };
+        let mut end = start + dur;
+        for _ in 0..failures {
+            end += dur;
+        }
         q.free_at = end;
         self.usage.add_disk(start, end);
         end

@@ -1,0 +1,116 @@
+//! Edge cases around snapshot scheduling and DINC early stop: degenerate
+//! configurations must either be rejected up front or behave exactly like
+//! their well-formed equivalents — never panic, never drop output.
+
+mod common;
+
+use common::{seeded_input, spec, WordCount};
+use opa_core::cluster::Framework;
+use opa_core::job::{JobBuilder, JobInput, JobOutcome};
+
+fn run_snapshots(points: &[f64], input: &JobInput) -> JobOutcome {
+    JobBuilder::new(WordCount)
+        .framework(Framework::SortMergePipelined)
+        .cluster(spec())
+        .snapshot_points(points)
+        .run(input)
+        .expect("job runs")
+}
+
+#[test]
+fn empty_snapshot_points_equal_no_snapshots() {
+    let input = seeded_input(0xED01, 600);
+    let explicit = run_snapshots(&[], &input);
+    let default = JobBuilder::new(WordCount)
+        .framework(Framework::SortMergePipelined)
+        .cluster(spec())
+        .run(&input)
+        .expect("job runs");
+    assert_eq!(explicit.metrics.snapshot_bytes, 0);
+    assert_eq!(format!("{explicit:?}"), format!("{default:?}"));
+}
+
+#[test]
+fn duplicate_snapshot_points_do_not_drop_output() {
+    let input = seeded_input(0xED02, 600);
+    let plain = run_snapshots(&[], &input);
+    let single = run_snapshots(&[0.5], &input);
+    let dup = run_snapshots(&[0.5, 0.5], &input);
+    // Snapshots are extra output, never a replacement: the final answer
+    // is unchanged whether the point fires once, twice, or not at all.
+    assert_eq!(single.sorted_output(), plain.sorted_output());
+    assert_eq!(dup.sorted_output(), plain.sorted_output());
+    // And a duplicated point can only add snapshot work, not lose it.
+    assert!(dup.metrics.snapshot_bytes >= single.metrics.snapshot_bytes);
+    assert!(single.metrics.snapshot_bytes > 0);
+}
+
+#[test]
+fn boundary_snapshot_fractions_complete() {
+    let input = seeded_input(0xED03, 600);
+    let plain = run_snapshots(&[], &input);
+    // 0.0 fires before any map output exists; 1.0 coincides with the
+    // final merge. Both are legal fractions and must not panic.
+    let out = run_snapshots(&[0.0, 1.0], &input);
+    assert_eq!(out.sorted_output(), plain.sorted_output());
+}
+
+#[test]
+fn invalid_snapshot_points_are_rejected() {
+    let input = seeded_input(0xED04, 200);
+    for bad in [1.5, -0.25, f64::NAN, f64::INFINITY] {
+        let res = JobBuilder::new(WordCount)
+            .framework(Framework::SortMergePipelined)
+            .cluster(spec())
+            .snapshot_points(&[0.5, bad])
+            .run(&input);
+        assert!(res.is_err(), "snapshot point {bad} should be rejected");
+    }
+}
+
+#[test]
+fn phi_one_early_stop_matches_exact_dinc() {
+    // φ = 1.0 demands full coverage — i.e. no early answer at all. It
+    // must degrade to the exact DINC run, not emit an empty result.
+    let input = seeded_input(0xED05, 800);
+    let exact = JobBuilder::new(WordCount)
+        .framework(Framework::DincHash)
+        .cluster(spec())
+        .run(&input)
+        .expect("job runs");
+    let full_phi = JobBuilder::new(WordCount)
+        .framework(Framework::DincHash)
+        .cluster(spec())
+        .early_stop_coverage(1.0)
+        .run(&input)
+        .expect("job runs");
+    assert!(!full_phi.output.is_empty(), "φ=1.0 dropped all output");
+    assert_eq!(full_phi.sorted_output(), exact.sorted_output());
+}
+
+#[test]
+fn invalid_phi_is_rejected() {
+    let input = seeded_input(0xED06, 200);
+    for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+        let res = JobBuilder::new(WordCount)
+            .framework(Framework::DincHash)
+            .cluster(spec())
+            .early_stop_coverage(bad)
+            .run(&input);
+        assert!(res.is_err(), "φ={bad} should be rejected");
+    }
+}
+
+#[test]
+fn small_phi_still_produces_output() {
+    // An aggressive early stop may answer from partial coverage, but it
+    // must still terminate and emit a nonempty result.
+    let input = seeded_input(0xED07, 800);
+    let out = JobBuilder::new(WordCount)
+        .framework(Framework::DincHash)
+        .cluster(spec())
+        .early_stop_coverage(0.05)
+        .run(&input)
+        .expect("job runs");
+    assert!(!out.output.is_empty());
+}

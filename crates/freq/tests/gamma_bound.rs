@@ -1,0 +1,145 @@
+//! Property tests for the paper's coverage guarantee (§4.3): under
+//! Zipf-distributed streams, the monitor-reported coverage estimate
+//! `γ = t/(t + slack)` never exceeds the true coverage, where the slack is
+//! the algorithm's frequency-estimation error bound — `M/(s+1)` for
+//! Misra-Gries (FREQUENT), `M/s` for SpaceSaving.
+
+use opa_common::rng::SplitMix64;
+use opa_freq::{MisraGries, SpaceSaving};
+use opa_workloads::zipf::Zipf;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Draws a Zipf(exponent) stream of `len` ranks over `n_keys` keys.
+fn zipf_stream(seed: u64, n_keys: usize, exponent: f64, len: usize) -> Vec<u64> {
+    let zipf = Zipf::new(n_keys, exponent);
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| zipf.sample(&mut rng) as u64).collect()
+}
+
+fn true_counts(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &k in stream {
+        *m.entry(k).or_insert(0u64) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Misra-Gries: the frequency estimate under-counts by at most
+    /// `M/(s+1)`, and `coverage_lower_bound` is a genuine lower bound on
+    /// the true coverage `t/f_k` of every monitored key.
+    #[test]
+    fn misra_gries_gamma_is_a_lower_bound(
+        seed in 0u64..200,
+        n_keys in 40usize..300,
+        exponent in 0.6f64..1.6,
+        capacity in 4usize..40,
+        len in 1500usize..5000,
+    ) {
+        let stream = zipf_stream(seed, n_keys, exponent, len);
+        let truth = true_counts(&stream);
+
+        let mut mg: MisraGries<u64, ()> = MisraGries::new(capacity);
+        for &k in &stream {
+            mg.offer(k, (), |_, _, _| {});
+        }
+        prop_assert_eq!(mg.offered(), stream.len() as u64);
+
+        let slack = mg.offered() as f64 / (capacity as f64 + 1.0);
+        for entry in mg.iter() {
+            let f = truth[&entry.key] as f64;
+            // Frequency guarantee: f − M/(s+1) ≤ f̂ ≤ f.
+            let est = mg.estimate(&entry.key) as f64;
+            prop_assert!(est <= f + 1e-9, "MG over-estimated: {est} > {f}");
+            prop_assert!(
+                est >= f - slack - 1e-9,
+                "MG under-estimated beyond slack: {est} < {f} - {slack}"
+            );
+            // Coverage guarantee: γ = t/(t + M/(s+1)) ≤ t/f.
+            let gamma = mg.coverage_lower_bound(&entry.key);
+            let true_cov = entry.t as f64 / f;
+            prop_assert!(
+                gamma <= true_cov + 1e-9,
+                "γ={gamma} exceeds true coverage {true_cov} (t={}, f={f}, slack={slack})",
+                entry.t
+            );
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&gamma));
+        }
+        // Unmonitored keys report zero coverage, never a false promise.
+        let absent = n_keys as u64 + 1;
+        prop_assert_eq!(mg.coverage_lower_bound(&absent), 0.0);
+    }
+
+    /// SpaceSaving: the estimate *over*-counts by at most the per-key
+    /// error (itself ≤ M/s), so the guaranteed count `f̂ − err` is a lower
+    /// bound on the true frequency and the derived coverage
+    /// `γ = g/(g + M/s)` never exceeds `g/f ≤ 1`.
+    #[test]
+    fn space_saving_gamma_is_a_lower_bound(
+        seed in 0u64..200,
+        n_keys in 40usize..300,
+        exponent in 0.6f64..1.6,
+        capacity in 4usize..40,
+        len in 1500usize..5000,
+    ) {
+        let stream = zipf_stream(seed, n_keys, exponent, len);
+        let truth = true_counts(&stream);
+
+        let mut ss: SpaceSaving<u64> = SpaceSaving::new(capacity);
+        for &k in &stream {
+            ss.offer(k);
+        }
+        prop_assert_eq!(ss.offered(), stream.len() as u64);
+
+        let slack = ss.offered() as f64 / capacity as f64;
+        for (key, est, err) in ss.top() {
+            let f = truth[&key] as f64;
+            // Frequency guarantee: f ≤ f̂ ≤ f + M/s, and err ≤ M/s.
+            prop_assert!(est as f64 >= f - 1e-9, "SS under-estimated: {est} < {f}");
+            prop_assert!(
+                est as f64 <= f + slack + 1e-9,
+                "SS over-estimated beyond slack: {est} > {f} + {slack}"
+            );
+            prop_assert!(err as f64 <= slack + 1e-9);
+            // Guaranteed count never exceeds the truth...
+            let g = (est - err) as f64;
+            prop_assert!(g <= f + 1e-9, "guaranteed {g} exceeds true {f}");
+            // ... so γ = g/(g + M/s) lower-bounds the coverage g/f
+            // (f ≤ f̂ = g + err ≤ g + M/s).
+            let gamma = g / (g + slack);
+            prop_assert!(
+                gamma <= g / f + 1e-9,
+                "γ={gamma} exceeds g/f={} (g={g}, f={f}, slack={slack})",
+                g / f
+            );
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&gamma));
+        }
+    }
+
+    /// The two sketches agree on the head of a heavily skewed stream: the
+    /// true top key is monitored by both and both award it the largest
+    /// coverage/guarantee in their summaries.
+    #[test]
+    fn both_sketches_capture_the_zipf_head(
+        seed in 0u64..100,
+        n_keys in 100usize..300,
+        len in 3000usize..6000,
+    ) {
+        let stream = zipf_stream(seed, n_keys, 1.4, len);
+        let truth = true_counts(&stream);
+        let top_key = *truth.iter().max_by_key(|&(_, &c)| c).unwrap().0;
+
+        let mut mg: MisraGries<u64, ()> = MisraGries::new(24);
+        let mut ss: SpaceSaving<u64> = SpaceSaving::new(24);
+        for &k in &stream {
+            mg.offer(k, (), |_, _, _| {});
+            ss.offer(k);
+        }
+        prop_assert!(mg.estimate(&top_key) > 0, "MG lost the hottest key");
+        prop_assert!(ss.contains(&top_key), "SS lost the hottest key");
+        prop_assert!(mg.coverage_lower_bound(&top_key) > 0.0);
+    }
+}

@@ -79,6 +79,12 @@ pub fn decode_run(buf: &[u8]) -> Result<Vec<Pair>> {
     if crc32(body) != stored {
         return Err(Error::storage("run checksum mismatch"));
     }
+    // The count field sits outside the checksummed region, so it must be
+    // sanity-checked before it sizes an allocation: every record carries
+    // at least an 8-byte header.
+    if n > body.len() / 8 {
+        return Err(Error::storage("run record count exceeds body size"));
+    }
     let mut pairs = Vec::with_capacity(n);
     let mut pos = 0usize;
     for _ in 0..n {

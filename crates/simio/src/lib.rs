@@ -19,7 +19,10 @@
 //! - [`blockstore`] — an HDFS-like splitter assigning chunk-sized input
 //!   blocks to nodes ([`BlockStore`]);
 //! - [`codec`] — IFile-style record framing with CRC-32 checksums, for
-//!   persisting runs and job outputs to real files.
+//!   persisting runs and job outputs to real files;
+//! - [`fault`] — deterministic spill-disk error injection
+//!   ([`DiskFaultInjector`]), consulted by the engine's disk queues when a
+//!   fault plan is active.
 //!
 //! Data written to these "disks" is retained in memory so the engine can
 //! read it back and produce *correct* job output; only the accounting and
@@ -32,12 +35,14 @@ pub mod blockstore;
 pub mod bucket;
 pub mod codec;
 pub mod disk;
+pub mod fault;
 pub mod iostats;
 pub mod spill;
 
 pub use blockstore::{BlockStore, Chunk};
 pub use bucket::BucketManager;
 pub use disk::DiskProfile;
+pub use fault::DiskFaultInjector;
 pub use iostats::{IoCategory, IoOp, IoStats};
 pub use spill::{SpillFile, SpillStore};
 

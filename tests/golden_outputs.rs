@@ -1,0 +1,157 @@
+//! Golden-output pins for the paper's five evaluation workloads.
+//!
+//! Every (workload, framework) cell runs on a fixed seeded input and its
+//! canonically-sorted output is digested with the IFile CRC-32 over the
+//! [`encode_run`] serialization. The digests below are *pins*: any engine
+//! change that alters even one output byte of one cell fails loudly here,
+//! which is exactly what the fault-injection work needs as a tripwire.
+//!
+//! To re-pin after an *intentional* output change, run with
+//! `OPA_PRINT_GOLDEN=1 cargo test -q --test golden_outputs -- --nocapture`
+//! and paste the printed table.
+
+use opa::core::prelude::*;
+use opa::simio::codec::{crc32, encode_run};
+use opa::workloads::clickstream::ClickStreamSpec;
+use opa::workloads::documents::DocumentSpec;
+use opa::workloads::{
+    ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob,
+};
+
+const FRAMEWORKS: [Framework; 4] = [
+    Framework::SortMerge,
+    Framework::MrHash,
+    Framework::IncHash,
+    Framework::DincHash,
+];
+
+fn digest(job: impl Job + Clone + 'static, framework: Framework, input: &JobInput) -> u32 {
+    let outcome = JobBuilder::new(job)
+        .framework(framework)
+        .cluster(ClusterSpec::tiny())
+        .run(input)
+        .expect("job runs");
+    crc32(&encode_run(&outcome.sorted_output()))
+}
+
+fn row(job: impl Job + Clone + 'static, input: &JobInput) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (i, fw) in FRAMEWORKS.into_iter().enumerate() {
+        out[i] = digest(job.clone(), fw, input);
+    }
+    out
+}
+
+fn sessionize_job() -> SessionizeJob {
+    SessionizeJob {
+        gap_secs: 300,
+        slack_secs: 400,
+        state_capacity: 16384,
+        charge_fixed_footprint: false,
+        expected_users: 100,
+    }
+}
+
+fn computed() -> Vec<(&'static str, [u32; 4])> {
+    let clicks = ClickStreamSpec::small().generate(101);
+    let docs = DocumentSpec::small().generate(102);
+    vec![
+        ("sessionization", row(sessionize_job(), &clicks)),
+        (
+            "click-count",
+            row(
+                ClickCountJob {
+                    expected_users: 100,
+                },
+                &clicks,
+            ),
+        ),
+        (
+            "frequent-users",
+            row(
+                FrequentUsersJob {
+                    threshold: 20,
+                    expected_users: 100,
+                },
+                &clicks,
+            ),
+        ),
+        (
+            "page-freq",
+            row(
+                PageFreqJob {
+                    expected_pages: 1000,
+                },
+                &clicks,
+            ),
+        ),
+        (
+            "trigrams",
+            row(
+                TrigramCountJob {
+                    threshold: 10,
+                    expected_trigrams: 10_000,
+                },
+                &docs,
+            ),
+        ),
+    ]
+}
+
+/// (workload, [SortMerge, MrHash, IncHash, DincHash]) digest table,
+/// computed once from this revision of the engine and pinned.
+const GOLDEN: [(&str, [u32; 4]); 5] = [
+    (
+        "sessionization",
+        [0x398ad04a, 0x398ad04a, 0x398ad04a, 0x98cf5831],
+    ),
+    (
+        "click-count",
+        [0xadab7b67, 0xadab7b67, 0xadab7b67, 0xadab7b67],
+    ),
+    (
+        "frequent-users",
+        [0xb012ef27, 0xb012ef27, 0x2fbba150, 0x2fbba150],
+    ),
+    (
+        "page-freq",
+        [0x13a36f26, 0x13a36f26, 0x13a36f26, 0x13a36f26],
+    ),
+    ("trigrams", [0xd438209e, 0xd438209e, 0x0fb159c1, 0xd438209e]),
+];
+
+#[test]
+fn golden_digests_match() {
+    let got = computed();
+    if std::env::var("OPA_PRINT_GOLDEN").is_ok() {
+        for (name, r) in &got {
+            println!(
+                "    (\"{name}\", [{:#010x}, {:#010x}, {:#010x}, {:#010x}]),",
+                r[0], r[1], r[2], r[3]
+            );
+        }
+        return;
+    }
+    for ((name, want), (_, have)) in GOLDEN.iter().zip(&got) {
+        for (i, fw) in FRAMEWORKS.into_iter().enumerate() {
+            assert_eq!(
+                want[i], have[i],
+                "{name} / {fw:?}: output digest drifted (run with \
+                 OPA_PRINT_GOLDEN=1 to re-pin after an intentional change)"
+            );
+        }
+    }
+}
+
+#[test]
+fn digests_are_stable_across_repeat_runs() {
+    // The pin is only meaningful if a digest is a pure function of the
+    // input — spot-check one cell twice.
+    let clicks = ClickStreamSpec::small().generate(101);
+    let job = ClickCountJob {
+        expected_users: 100,
+    };
+    let a = digest(job.clone(), Framework::DincHash, &clicks);
+    let b = digest(job, Framework::DincHash, &clicks);
+    assert_eq!(a, b);
+}
