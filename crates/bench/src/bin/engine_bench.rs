@@ -73,10 +73,13 @@ fn main() {
     let cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    // On a single-CPU host the parallel run still exercises the worker
-    // machinery (2 threads time-slicing) but measures overhead, not
-    // speedup — the JSON records `host_cpus` so readers can tell.
-    let threads = cpus.max(2);
+    // The parallel run uses exactly the host's cores — never more. A
+    // 1-CPU host still runs 2 workers to exercise the scheduling
+    // machinery, but its threads just time-slice, so the result is
+    // flagged `oversubscribed` and the speedup reported as null rather
+    // than as a misleading ~1.0x.
+    let threads = if cpus >= 2 { cpus } else { 2 };
+    let oversubscribed = threads > cpus;
     let mut spec = ClusterSpec::paper_scaled();
     spec.system.chunk_size = 64 * 1024; // many map tasks to schedule
 
@@ -113,11 +116,20 @@ fn main() {
     });
 
     let rows = [trigram, sessionize];
-    let mut json = format!("{{\n  \"host_cpus\": {cpus},\n  \"benchmarks\": [\n");
+    let mut json = format!(
+        "{{\n  \"host_cpus\": {cpus},\n  \"oversubscribed\": {oversubscribed},\n  \"benchmarks\": [\n"
+    );
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
+        // An oversubscribed "speedup" is scheduling noise, not a
+        // measurement — report null so downstream tooling can't chart it.
+        let speedup = if oversubscribed {
+            "null".to_string()
+        } else {
+            format!("{:.2}", r.speedup())
+        };
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"records\": {}, \"seq_secs\": {:.4}, \"par_secs\": {:.4}, \"par_threads\": {}, \"seq_records_per_sec\": {:.0}, \"par_records_per_sec\": {:.0}, \"speedup\": {:.2}}}{sep}\n",
+            "    {{\"workload\": \"{}\", \"records\": {}, \"seq_secs\": {:.4}, \"par_secs\": {:.4}, \"par_threads\": {}, \"seq_records_per_sec\": {:.0}, \"par_records_per_sec\": {:.0}, \"speedup\": {speedup}}}{sep}\n",
             r.workload,
             r.records,
             r.seq_secs,
@@ -125,15 +137,18 @@ fn main() {
             r.par_threads,
             r.records as f64 / r.seq_secs,
             r.records as f64 / r.par_secs,
-            r.speedup(),
         ));
         println!(
-            "  {:<14} {:>8} records  seq {:>7.3}s  par {:>7.3}s  speedup {:.2}x",
+            "  {:<14} {:>8} records  seq {:>7.3}s  par {:>7.3}s  speedup {}",
             r.workload,
             r.records,
             r.seq_secs,
             r.par_secs,
-            r.speedup()
+            if oversubscribed {
+                "n/a (oversubscribed)".to_string()
+            } else {
+                format!("{:.2}x", r.speedup())
+            }
         );
     }
     json.push_str("  ]\n}\n");

@@ -1,0 +1,161 @@
+//! Wall-clock benchmark of the stream runtime: sustained ingest
+//! throughput versus the one-shot batch run, the cost of periodic
+//! checkpoints, and live query latency at the pause points. Results land
+//! in `BENCH_stream.json` so later changes have a perf trajectory to
+//! regress against.
+//!
+//! ```text
+//! cargo run -p opa-bench --release --bin stream_bench [-- OUT.json]
+//! ```
+
+use opa_common::Key;
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::JobBuilder;
+use opa_stream::StreamJobBuilder;
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::ClickCountJob;
+use std::time::Instant;
+
+const BATCHES: usize = 16;
+const CKPT_EVERY: usize = 4;
+const RUNS: usize = 3;
+
+/// Best-of-N wall time of `f`, plus a digest of the last outcome so
+/// run-to-run divergence is caught instead of averaged away.
+fn best_of<T>(f: impl Fn() -> (T, u64)) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut digest = 0u64;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let (_, d) = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        digest = d;
+    }
+    (best, digest)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_stream.json".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let threads = if cpus >= 2 { cpus } else { 2 };
+    let dir = std::env::temp_dir().join("opa-stream-bench");
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+
+    let job = || ClickCountJob {
+        expected_users: 50_000,
+    };
+    let data = ClickStreamSpec::counting_scaled(48 << 20).generate(42);
+    let records = data.len();
+    println!("stream_bench: {records} records, {BATCHES} batches, {threads} threads");
+
+    let mut spec = ClusterSpec::paper_scaled();
+    spec.system.chunk_size = 64 * 1024; // many map tasks per batch
+
+    let stream_builder = || {
+        StreamJobBuilder::new(job())
+            .framework(Framework::IncHash)
+            .cluster(spec)
+            .threads(threads)
+            .batches(BATCHES)
+    };
+
+    // Baseline: the one-shot batch run of the same job.
+    let (batch_secs, batch_digest) = best_of(|| {
+        let o = JobBuilder::new(job())
+            .framework(Framework::IncHash)
+            .cluster(spec)
+            .threads(threads)
+            .run(&data)
+            .expect("batch run");
+        (0, o.metrics.output_records ^ o.metrics.running_time.0)
+    });
+
+    // Streamed ingest, no checkpoints: the runtime's intrinsic overhead.
+    let (stream_secs, stream_digest) = best_of(|| {
+        let o = stream_builder()
+            .run_stream(&data, |_| {})
+            .expect("stream run");
+        (
+            0,
+            o.job.metrics.output_records ^ o.job.metrics.running_time.0,
+        )
+    });
+    assert_eq!(
+        batch_digest, stream_digest,
+        "streamed outcome diverged from the batch run"
+    );
+
+    // Streamed ingest with periodic checkpoints: the durability tax.
+    let n_ckpts = (BATCHES - 1) / CKPT_EVERY;
+    let (ckpt_secs, ckpt_digest) = best_of(|| {
+        let o = stream_builder()
+            .checkpoint_every(CKPT_EVERY)
+            .checkpoint_dir(&dir)
+            .run_stream(&data, |_| {})
+            .expect("checkpointing stream run");
+        assert_eq!(o.checkpoints_written, n_ckpts);
+        (
+            0,
+            o.job.metrics.output_records ^ o.job.metrics.running_time.0,
+        )
+    });
+    assert_eq!(
+        stream_digest, ckpt_digest,
+        "checkpointing perturbed the streamed outcome"
+    );
+    let ckpt_bytes = std::fs::read_dir(&dir)
+        .expect("read checkpoint dir")
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .map(|m| m.len())
+        .max()
+        .unwrap_or(0);
+
+    // Live query latency: point lookups and top-k at every pause point.
+    let mut lookup_ns = Vec::new();
+    let mut progress_ns = Vec::new();
+    stream_builder()
+        .run_stream(&data, |ctl| {
+            for probe in 0..64u64 {
+                let key = Key::from_u64(probe);
+                let start = Instant::now();
+                std::hint::black_box(ctl.lookup(&key));
+                lookup_ns.push(start.elapsed().as_nanos() as f64);
+            }
+            let start = Instant::now();
+            std::hint::black_box(ctl.progress());
+            progress_ns.push(start.elapsed().as_nanos() as f64);
+        })
+        .expect("query-latency run");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+
+    let ingest_rps = records as f64 / stream_secs;
+    let stream_overhead_pct = (stream_secs / batch_secs - 1.0) * 100.0;
+    let ckpt_overhead_pct = (ckpt_secs / stream_secs - 1.0) * 100.0;
+    let per_ckpt_ms = (ckpt_secs - stream_secs).max(0.0) * 1e3 / n_ckpts as f64;
+
+    println!("  batch run          {batch_secs:>8.3}s");
+    println!(
+        "  streamed ({BATCHES:>2} b)    {stream_secs:>8.3}s  ({ingest_rps:.0} records/s, {stream_overhead_pct:+.1}% vs batch)"
+    );
+    println!(
+        "  + {n_ckpts} checkpoints     {ckpt_secs:>8.3}s  ({ckpt_overhead_pct:+.1}%, ~{per_ckpt_ms:.1} ms each, {ckpt_bytes} B file)"
+    );
+    println!(
+        "  query latency      lookup {:.0} ns, progress {:.0} ns",
+        mean(&lookup_ns),
+        mean(&progress_ns)
+    );
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {cpus},\n  \"threads\": {threads},\n  \"records\": {records},\n  \"batches\": {BATCHES},\n  \"batch_secs\": {batch_secs:.4},\n  \"stream_secs\": {stream_secs:.4},\n  \"stream_records_per_sec\": {ingest_rps:.0},\n  \"stream_overhead_pct\": {stream_overhead_pct:.2},\n  \"checkpoints\": {n_ckpts},\n  \"checkpointed_secs\": {ckpt_secs:.4},\n  \"checkpoint_overhead_pct\": {ckpt_overhead_pct:.2},\n  \"checkpoint_cost_ms\": {per_ckpt_ms:.2},\n  \"checkpoint_file_bytes\": {ckpt_bytes},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0}\n}}\n",
+        mean(&lookup_ns),
+        mean(&progress_ns),
+    );
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,11 +16,13 @@
 mod args;
 
 use args::{parse_bytes, Args};
+use opa_common::Key;
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::{JobBuilder, JobInput, JobOutcome};
 use opa_model::io_model::ModelInput;
 use opa_model::optimizer::Optimizer;
 use opa_model::time_model::CostConstants;
+use opa_stream::{CheckpointView, StreamJobBuilder};
 use opa_workloads::clickstream::ClickStreamSpec;
 use opa_workloads::documents::DocumentSpec;
 use opa_workloads::{ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob};
@@ -40,6 +42,17 @@ usage:
       errors, each with probability P in [0, 1); --fault-seed N (default 42)
       makes the failure trace reproducible. Recovery never loses data;
       count-style outputs are bit-identical to the fault-free run.
+  opa stream JOB --input FILE [--batches K] [--framework FW] [--threads N]
+              [--checkpoint-every N --checkpoint-dir DIR] [--resume CKPT]
+              [--watch-key N] [--top-k N] [--output FILE]
+              [--fault-rate P] [--fault-seed N]
+      Feeds the input through the engine in K arrival-ordered micro-batches
+      (default 4), printing progress and the live incremental state at each
+      sealed batch. The streamed output is bit-identical to `opa run`'s.
+      --resume restarts from a checkpoint written by an earlier stream run.
+  opa query --checkpoint CKPT [--key N] [--top-k N]
+      Answers point-lookup / top-k / progress queries offline, straight from
+      a stream checkpoint file — no job re-execution.
   opa model --d SIZE [--km R] [--kr R] [--chunk-mb N] [--merge-factor N] [--optimize]
 ";
 
@@ -50,6 +63,8 @@ fn main() -> ExitCode {
         ["generate", "clickstream"] => generate_clickstream(&args),
         ["generate", "documents"] => generate_documents(&args),
         ["run", job] => run_job(job, &args),
+        ["stream", job] => stream_job(job, &args),
+        ["query"] => query_checkpoint(&args),
         ["model"] => model(&args),
         _ => {
             eprint!("{USAGE}");
@@ -139,16 +154,7 @@ fn parse_framework(s: &str) -> Result<Framework, String> {
 }
 
 fn run_job(job: &str, args: &Args) -> Result<(), String> {
-    let input_path = args
-        .options
-        .get("input")
-        .ok_or("--input FILE is required")?;
-    let text =
-        std::fs::read_to_string(input_path).map_err(|e| format!("read {input_path}: {e}"))?;
-    let input = JobInput::from_text(&text);
-    if input.is_empty() {
-        return Err(format!("{input_path} holds no records"));
-    }
+    let input = read_input(args)?;
     let framework = parse_framework(
         args.options
             .get("framework")
@@ -266,6 +272,215 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
             .write_output(std::path::Path::new(out))
             .map_err(|e| e.to_string())?;
         println!("  output file         {out}");
+    }
+    Ok(())
+}
+
+fn read_input(args: &Args) -> Result<JobInput, String> {
+    let input_path = args
+        .options
+        .get("input")
+        .ok_or("--input FILE is required")?;
+    let text =
+        std::fs::read_to_string(input_path).map_err(|e| format!("read {input_path}: {e}"))?;
+    let input = JobInput::from_text(&text);
+    if input.is_empty() {
+        return Err(format!("{input_path} holds no records"));
+    }
+    Ok(input)
+}
+
+fn stream_job(job: &str, args: &Args) -> Result<(), String> {
+    let input = read_input(args)?;
+    match job {
+        "sessionize" => stream_with(
+            SessionizeJob {
+                gap_secs: args.get_or("gap", 300u64),
+                slack_secs: args.get_or("slack", 400u64),
+                state_capacity: args.get_or("state", 512usize),
+                charge_fixed_footprint: true,
+                expected_users: args.get_or("expected-keys", 50_000u64),
+            },
+            args,
+            &input,
+        ),
+        "click-count" => stream_with(
+            ClickCountJob {
+                expected_users: args.get_or("expected-keys", 50_000u64),
+            },
+            args,
+            &input,
+        ),
+        "frequent-users" => stream_with(
+            FrequentUsersJob {
+                threshold: args.get_or("threshold", 50u64),
+                expected_users: args.get_or("expected-keys", 50_000u64),
+            },
+            args,
+            &input,
+        ),
+        "page-freq" => stream_with(
+            PageFreqJob {
+                expected_pages: args.get_or("expected-keys", 10_000u64),
+            },
+            args,
+            &input,
+        ),
+        "trigrams" => stream_with(
+            TrigramCountJob {
+                threshold: args.get_or("threshold", 1000u64),
+                expected_trigrams: args.get_or("expected-keys", 1_000_000u64),
+            },
+            args,
+            &input,
+        ),
+        other => Err(format!("unknown job '{other}'")),
+    }
+}
+
+fn stream_with<J: opa_core::api::Job>(job: J, args: &Args, input: &JobInput) -> Result<(), String> {
+    let framework = parse_framework(
+        args.options
+            .get("framework")
+            .map(String::as_str)
+            .unwrap_or("inc-hash"),
+    )?;
+    let exec = match args.options.get("threads") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--threads: cannot parse '{v}' as a thread count"))?;
+            opa_common::ExecConfig::with_threads(n)
+        }
+        None => opa_common::ExecConfig::available_parallelism(),
+    };
+    let fault_rate = args.get_or("fault-rate", 0.0f64);
+    let faults = if fault_rate > 0.0 {
+        opa_common::fault::FaultConfig::uniform(args.get_or("fault-seed", 42u64), fault_rate)
+    } else {
+        opa_common::fault::FaultConfig::disabled()
+    };
+    let mut builder = StreamJobBuilder::new(job)
+        .framework(framework)
+        .cluster(ClusterSpec::paper_scaled())
+        .km_hint(args.get_or("km", 1.0f64))
+        .exec(exec)
+        .faults(faults)
+        .batches(args.get_or("batches", 4usize));
+    if let Some(n) = args.get::<usize>("checkpoint-every") {
+        builder = builder.checkpoint_every(n);
+    }
+    if let Some(dir) = args.options.get("checkpoint-dir") {
+        builder = builder.checkpoint_dir(dir);
+    }
+
+    let watch = args.get::<u64>("watch-key").map(Key::from_u64);
+    let top_k = args.get::<usize>("top-k");
+    let on_batch = |ctl: &mut opa_stream::BatchCtl<'_, '_>| {
+        let p = ctl.progress();
+        print!(
+            "batch {:>3}/{}  records {:>9}/{}  maps {:>4}/{}  t={:.1}s",
+            p.batches_sealed,
+            p.batches,
+            p.records_sealed,
+            p.total_records,
+            p.maps_completed,
+            p.maps_total,
+            p.sim_time.as_secs_f64(),
+        );
+        if let Some(wm) = p.watermark {
+            print!("  watermark={wm}");
+        }
+        if let Some(key) = &watch {
+            match ctl.lookup(key).and_then(|v| v.as_u64()) {
+                Some(v) => print!("  key[{}]={v}", key.as_u64().unwrap_or(0)),
+                None => print!("  key[{}]=-", key.as_u64().unwrap_or(0)),
+            }
+        }
+        println!();
+        if let Some(k) = top_k {
+            if let Some((entries, gamma)) = ctl.top_k(k) {
+                println!("  top-{k} (γ ≥ {gamma:.4}): {}", fmt_top(&entries));
+            }
+        }
+    };
+
+    let outcome = match args.options.get("resume") {
+        Some(ck) => builder.resume_stream(input, std::path::Path::new(ck), on_batch),
+        None => builder.run_stream(input, on_batch),
+    }
+    .map_err(|e| e.to_string())?;
+
+    if let Some(b) = outcome.resumed_from_batch {
+        println!("resumed from batch {b}");
+    }
+    if let Some(ck) = &outcome.last_checkpoint {
+        println!(
+            "{} checkpoint(s) written, last: {}",
+            outcome.checkpoints_written,
+            ck.display()
+        );
+    }
+    println!("{}", outcome.job.metrics);
+    if let Some(rep) = &outcome.job.metrics.faults {
+        println!(
+            "  fault breakdown     {} map / {} straggler / {} reduce / {} spill-io",
+            rep.map_failures, rep.stragglers, rep.reduce_failures, rep.spill_io_errors
+        );
+    }
+    if let Some(out) = args.options.get("output") {
+        outcome
+            .job
+            .write_output(std::path::Path::new(out))
+            .map_err(|e| e.to_string())?;
+        println!("  output file         {out}");
+    }
+    Ok(())
+}
+
+fn fmt_top(entries: &[opa_core::reduce::TopEntry]) -> String {
+    entries
+        .iter()
+        .map(|e| match e.key.as_u64() {
+            Some(k) => format!("{k}:{}", e.count),
+            None => format!("{:?}:{}", e.key, e.count),
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+fn query_checkpoint(args: &Args) -> Result<(), String> {
+    let path = args
+        .options
+        .get("checkpoint")
+        .ok_or("--checkpoint FILE is required")?;
+    let view = CheckpointView::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let fw = view.framework().map_err(|e| e.to_string())?;
+    let p = view.progress();
+    println!("checkpoint          {path}");
+    println!("framework           {fw:?}");
+    println!(
+        "batches sealed      {}/{} ({} of {} records)",
+        p.batches_sealed, p.batches, p.records_sealed, p.total_records
+    );
+    println!("maps completed      {}/{}", p.maps_completed, p.maps_total);
+    println!("pause point         t={:.1}s", p.sim_time.as_secs_f64());
+    if let Some(wm) = p.watermark {
+        println!("event-time watermark {wm}");
+    }
+    if let Some(k) = args.get::<u64>("key") {
+        match view.lookup(&Key::from_u64(k)).and_then(|v| v.as_u64()) {
+            Some(v) => println!("key[{k}]             {v}"),
+            None => println!("key[{k}]             not resident"),
+        }
+    }
+    if let Some(k) = args.get::<usize>("top-k") {
+        match view.top_k(k) {
+            Some((entries, gamma)) => {
+                println!("top-{k} (γ ≥ {gamma:.4})   {}", fmt_top(&entries));
+            }
+            None => println!("top-k               unavailable (not a DINC-hash checkpoint)"),
+        }
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //!   ([`config`]),
 //! - virtual-time and byte-size units ([`units`]),
 //! - deterministic seeded RNG helpers ([`rng`]),
+//! - streaming-run shape and checkpoint cadence ([`stream`]),
 //! - the fault-injection vocabulary shared by the engine and the storage
 //!   substrate ([`fault`]),
 //! - the shared error type ([`error`]).
@@ -26,6 +27,7 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod rng;
+pub mod stream;
 pub mod types;
 pub mod units;
 
@@ -33,5 +35,6 @@ pub use config::{ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 pub use hash::{HashFamily, HashFn};
+pub use stream::StreamConfig;
 pub use types::{Key, Pair, StatePair, Value};
 pub use units::{ByteSize, SimDuration, SimTime, GB, KB, MB};

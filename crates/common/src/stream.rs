@@ -1,0 +1,139 @@
+//! Streaming-run configuration: micro-batch shape and checkpoint cadence.
+//!
+//! A stream run carves an arrival-ordered input into `batches` equal
+//! record-count micro-batches and pauses between them to serve queries
+//! and (optionally) write a checkpoint. All knobs are validated up front
+//! — at `StreamJobBuilder` / CLI-argument construction time — so an
+//! invalid cadence fails with an actionable message before any map work
+//! is scheduled.
+
+use crate::error::{Error, Result};
+
+/// Shape of a streaming run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Number of micro-batches the arrival-ordered input is split into.
+    /// Must be at least 1; batches beyond the record count are rejected at
+    /// run time (each batch must carry at least one record).
+    pub batches: usize,
+    /// Write a checkpoint every `n`-th batch boundary (1 = every batch).
+    /// `None` disables periodic checkpoints; explicit
+    /// `BatchCtl::checkpoint` calls still work.
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            batches: 4,
+            checkpoint_every: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validates the configuration shape (record-count-independent checks).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] naming the offending knob if
+    /// `batches == 0` or `checkpoint_every == Some(0)`.
+    pub fn validate(&self) -> Result<()> {
+        if self.batches == 0 {
+            return Err(Error::config(
+                "stream batches must be at least 1 (got 0); \
+                 use `--batches 1` for a single-batch run",
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(Error::config(
+                "checkpoint cadence must be at least 1 batch (got 0); \
+                 omit `--checkpoint-every` to disable periodic checkpoints",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration against a concrete input size: every
+    /// micro-batch must carry at least one record.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if [`StreamConfig::validate`] fails
+    /// or `batches > records`.
+    pub fn validate_for(&self, records: usize) -> Result<()> {
+        self.validate()?;
+        if self.batches > records {
+            return Err(Error::config(format!(
+                "stream batches ({}) exceed the input record count ({records}); \
+                 every micro-batch must carry at least one record — lower \
+                 `--batches` or generate a larger input",
+                self.batches
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether a checkpoint is due after completing 1-based batch `b`.
+    pub fn checkpoint_due(&self, b: usize) -> bool {
+        match self.checkpoint_every {
+            Some(n) => n > 0 && b.is_multiple_of(n),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        StreamConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_batches_rejected_with_actionable_message() {
+        let cfg = StreamConfig {
+            batches: 0,
+            checkpoint_every: None,
+        };
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("at least 1"), "{msg}");
+        assert!(msg.contains("--batches"), "{msg}");
+    }
+
+    #[test]
+    fn zero_cadence_rejected() {
+        let cfg = StreamConfig {
+            batches: 2,
+            checkpoint_every: Some(0),
+        };
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("cadence"), "{msg}");
+    }
+
+    #[test]
+    fn more_batches_than_records_rejected() {
+        let cfg = StreamConfig {
+            batches: 10,
+            checkpoint_every: None,
+        };
+        let msg = cfg.validate_for(3).unwrap_err().to_string();
+        assert!(msg.contains("exceed the input record count"), "{msg}");
+        cfg.validate_for(10).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cadence_schedule() {
+        let cfg = StreamConfig {
+            batches: 6,
+            checkpoint_every: Some(2),
+        };
+        let due: Vec<usize> = (1..=6).filter(|&b| cfg.checkpoint_due(b)).collect();
+        assert_eq!(due, vec![2, 4, 6]);
+        let off = StreamConfig {
+            batches: 6,
+            checkpoint_every: None,
+        };
+        assert!((1..=6).all(|b| !off.checkpoint_due(b)));
+    }
+}

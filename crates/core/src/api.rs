@@ -76,6 +76,17 @@ impl ReduceCtx {
         self.emitted.len()
     }
 
+    /// Copy of the pairs pending drain (checkpointing).
+    pub(crate) fn export_pending(&self) -> Vec<Pair> {
+        self.emitted.clone()
+    }
+
+    /// Refills the pending buffer of a fresh context (restore path).
+    pub(crate) fn restore_pending(&mut self, pairs: Vec<Pair>) {
+        debug_assert!(self.emitted.is_empty(), "restore into a non-empty ctx");
+        self.emitted = pairs;
+    }
+
     /// Raises the watermark to `t` if it is higher.
     pub fn advance_watermark(&mut self, t: u64) {
         self.watermark = Some(self.watermark.map_or(t, |w| w.max(t)));

@@ -220,6 +220,23 @@ impl<J: Job> JobBuilder<J> {
         self
     }
 
+    /// Validates the configured snapshot points: each must be a finite
+    /// map-progress fraction in `[0, 1]`. Shared by [`JobBuilder::run`] and
+    /// CLI argument parsing so a bad `--snapshots` list fails up front with
+    /// an actionable message instead of deep inside the run.
+    pub fn validate_snapshot_points(&self) -> Result<()> {
+        for &p in &self.snapshot_points {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(Error::job(format!(
+                    "snapshot point {p} is not a map-progress fraction in \
+                     [0, 1]; pass fractions of map completion such as \
+                     0.25,0.5,0.75"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Enables deterministic fault injection: map/reduce failures,
     /// stragglers and spill-disk errors per `cfg`, with full recovery.
     /// Recovery never loses or duplicates data: order-independent
@@ -245,6 +262,7 @@ impl<J: Job> JobBuilder<J> {
         self.spec.validate()?;
         self.exec.validate()?;
         self.faults.validate()?;
+        self.validate_snapshot_points()?;
         if let Some(phi) = self.early_stop_coverage {
             if !phi.is_finite() || !(0.0..=1.0).contains(&phi) || phi == 0.0 {
                 return Err(Error::job(format!(
@@ -335,16 +353,9 @@ fn run_job(
     let family = HashFamily::new(spec.hash_seed);
     let h1 = family.fn_at(0);
 
-    // Snapshot points are map-progress fractions; reject anything that is
-    // not a finite value in [0, 1] instead of panicking mid-sort.
+    // Snapshot points were validated by the builder (finite fractions in
+    // [0, 1] — see `JobBuilder::validate_snapshot_points`).
     let mut snapshots: Vec<f64> = snapshot_points.to_vec();
-    for &p in &snapshots {
-        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
-            return Err(Error::job(format!(
-                "snapshot point {p} is not a map-progress fraction in [0, 1]"
-            )));
-        }
-    }
     snapshots.sort_by(f64::total_cmp);
 
     // Split the input into chunks, HDFS-style.

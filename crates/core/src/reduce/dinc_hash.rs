@@ -22,16 +22,23 @@
 //! whose γ ≥ φ are finalized from their partial in-memory state and their
 //! buckets skipped (approximate answers, §4.3).
 
-use super::{OutputSink, ReduceEnv, ReduceSide, ReducerSizing, WORK_BATCH};
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerCkpt, ReducerSizing, TopEntry, WORK_BATCH};
 use crate::api::{IncrementalReducer, Job, ReduceCtx};
 use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{HashFamily, HashFn, Key, StatePair, Value};
+use opa_common::{Error, HashFamily, HashFn, Key, Result, StatePair, Value};
 use opa_freq::{MgEntry, MgOutcome, MisraGries, SpaceSavingMonitor};
 use opa_simio::BucketManager;
 use std::collections::HashMap;
+
+/// [`ReducerCkpt::tag`] of the DINC-hash framework.
+pub(crate) const CKPT_TAG: u8 = 4;
+
+/// [`ReducerCkpt::flags`] bit: the monitor runs SpaceSaving (unset =
+/// FREQUENT).
+const FLAG_SPACE_SAVING: u64 = 1;
 
 /// Monitor bookkeeping per slot (counter, t, indices) charged against the
 /// memory budget in addition to the key-state bytes.
@@ -95,6 +102,54 @@ impl Monitor {
         match self {
             Monitor::Frequent(m) => m.drain(),
             Monitor::SpaceSaving(m) => m.drain(),
+        }
+    }
+
+    fn kind(&self) -> MonitorKind {
+        match self {
+            Monitor::Frequent(_) => MonitorKind::Frequent,
+            Monitor::SpaceSaving(_) => MonitorKind::SpaceSaving,
+        }
+    }
+
+    fn get(&self, key: &Key) -> Option<MgEntry<Key, Value>> {
+        match self {
+            Monitor::Frequent(m) => m.get(key),
+            Monitor::SpaceSaving(m) => m.get(key),
+        }
+    }
+
+    /// Non-consuming snapshot of every monitored entry, in slot order —
+    /// restore must preserve this order for deterministic resumption.
+    fn entries(&self) -> Vec<MgEntry<Key, Value>> {
+        match self {
+            Monitor::Frequent(m) => m.iter().collect(),
+            Monitor::SpaceSaving(m) => m.iter().collect(),
+        }
+    }
+
+    fn restore(
+        kind: MonitorKind,
+        capacity: usize,
+        offered: u64,
+        entries: Vec<MgEntry<Key, Value>>,
+    ) -> Monitor {
+        match kind {
+            MonitorKind::Frequent => {
+                Monitor::Frequent(MisraGries::restore(capacity, offered, entries))
+            }
+            MonitorKind::SpaceSaving => {
+                Monitor::SpaceSaving(SpaceSavingMonitor::restore(capacity, offered, entries))
+            }
+        }
+    }
+
+    /// Per-key coverage slack `M/(s+1)` (FREQUENT) or `M/s` (SpaceSaving)
+    /// — the denominator term of the γ lower bound.
+    fn slack(&self) -> f64 {
+        match self {
+            Monitor::Frequent(m) => m.offered() as f64 / (m.capacity() as f64 + 1.0),
+            Monitor::SpaceSaving(m) => m.offered() as f64 / (m.capacity() as f64).max(1.0),
         }
     }
 }
@@ -315,6 +370,143 @@ impl ReduceSide for DincHashReducer<'_> {
         t = self.sink.flush(t, env);
         env.span_close(OpKind::Reduce);
         t
+    }
+
+    /// Sections: `states[0]` holds the monitor's (key, state) entries in
+    /// slot order, `states[1..]` the staged buckets; `nums` holds
+    /// `[offered]`, per-entry counts, per-entry true-frequencies `t`, and
+    /// the running [`crate::metrics::DincStats`]; `pairs` holds the pending
+    /// output buffer, then pending context emissions. Monitor capacity is
+    /// derived from the (identical) sizing on restore.
+    fn export_state(&self) -> Result<ReducerCkpt> {
+        let entries = self.monitor.entries();
+        let mut states = vec![entries
+            .iter()
+            .map(|e| StatePair::new(e.key.clone(), e.state.clone()))
+            .collect::<Vec<_>>()];
+        states.extend(self.buckets.export_contents());
+        Ok(ReducerCkpt {
+            tag: CKPT_TAG,
+            flags: match self.monitor.kind() {
+                MonitorKind::Frequent => 0,
+                MonitorKind::SpaceSaving => FLAG_SPACE_SAVING,
+            },
+            watermark: self.ctx.watermark,
+            nums: vec![
+                vec![self.monitor.offered()],
+                entries.iter().map(|e| e.count).collect(),
+                entries.iter().map(|e| e.t).collect(),
+                vec![
+                    self.stats.slots_per_reducer,
+                    self.stats.offered,
+                    self.stats.rejected,
+                    self.stats.evict_output,
+                    self.stats.evict_spilled,
+                ],
+            ],
+            pairs: vec![self.sink.export_pending(), self.ctx.export_pending()],
+            states,
+        })
+    }
+
+    fn import_state(&mut self, ckpt: ReducerCkpt) -> Result<()> {
+        if ckpt.tag != CKPT_TAG {
+            return Err(Error::job(format!(
+                "checkpoint tag {} is not DINC-hash ({CKPT_TAG})",
+                ckpt.tag
+            )));
+        }
+        let mut states = ckpt.states;
+        if states.len() != self.buckets.num_buckets() + 1 {
+            return Err(Error::job(
+                "DINC-hash checkpoint bucket count mismatch — restore requires \
+                 the same cluster spec and sizing hints as the original run",
+            ));
+        }
+        let monitor_entries = states.remove(0);
+        let [offered, counts, ts, stats] = <[Vec<u64>; 4]>::try_from(ckpt.nums)
+            .map_err(|_| Error::job("DINC-hash checkpoint missing numeric sections"))?;
+        if counts.len() != monitor_entries.len() || ts.len() != monitor_entries.len() {
+            return Err(Error::job("DINC-hash checkpoint monitor sections disagree"));
+        }
+        let [slots, st_offered, rejected, evict_output, evict_spilled] =
+            <[u64; 5]>::try_from(stats)
+                .map_err(|_| Error::job("DINC-hash checkpoint stats section malformed"))?;
+        let kind = if ckpt.flags & FLAG_SPACE_SAVING != 0 {
+            MonitorKind::SpaceSaving
+        } else {
+            MonitorKind::Frequent
+        };
+        let capacity = self.monitor.capacity();
+        if monitor_entries.len() > capacity {
+            return Err(Error::job(format!(
+                "DINC-hash checkpoint holds {} monitor entries but the \
+                 restored reducer has only {capacity} slots — restore \
+                 requires the same cluster spec and sizing hints",
+                monitor_entries.len()
+            )));
+        }
+        let entries = monitor_entries
+            .into_iter()
+            .zip(counts.iter().zip(&ts))
+            .map(|(sp, (&count, &t))| MgEntry {
+                key: sp.key,
+                count,
+                t,
+                state: sp.state,
+            })
+            .collect();
+        self.monitor = Monitor::restore(
+            kind,
+            capacity,
+            offered.first().copied().unwrap_or(0),
+            entries,
+        );
+        let [sink_pending, ctx_pending] = <[Vec<opa_common::Pair>; 2]>::try_from(ckpt.pairs)
+            .map_err(|_| Error::job("DINC-hash checkpoint missing output sections"))?;
+        self.buckets.restore_contents(states);
+        self.sink.restore_pending(sink_pending);
+        self.ctx.restore_pending(ctx_pending);
+        self.ctx.watermark = ckpt.watermark;
+        self.stats = crate::metrics::DincStats {
+            slots_per_reducer: slots,
+            offered: st_offered,
+            rejected,
+            evict_output,
+            evict_spilled,
+        };
+        Ok(())
+    }
+
+    fn query(&self, key: &Key) -> Option<Value> {
+        self.monitor.get(key).map(|e| e.state)
+    }
+
+    fn top_entries(&self, k: usize) -> Option<(Vec<TopEntry>, f64)> {
+        let mut entries = self.monitor.entries();
+        // Stable sort: ties keep slot order, so the answer is deterministic.
+        entries.sort_by_key(|e| std::cmp::Reverse(e.count));
+        entries.truncate(k);
+        let slack = self.monitor.slack();
+        let gamma = entries
+            .iter()
+            .map(|e| e.t as f64 / (e.t as f64 + slack))
+            .fold(1.0f64, f64::min);
+        Some((
+            entries
+                .into_iter()
+                .map(|e| TopEntry {
+                    key: e.key,
+                    count: e.count,
+                    state: e.state,
+                })
+                .collect(),
+            gamma,
+        ))
+    }
+
+    fn watermark(&self) -> Option<u64> {
+        self.ctx.watermark
     }
 }
 

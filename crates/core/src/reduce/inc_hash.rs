@@ -13,15 +13,21 @@
 //! `H` from its first appearance, or *all* of its tuples go to the same
 //! bucket — a key's data is never split between memory and disk.
 
-use super::{OutputSink, ReduceEnv, ReduceSide, ReducerSizing, WORK_BATCH};
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerCkpt, ReducerSizing, WORK_BATCH};
 use crate::api::{IncrementalReducer, Job, ReduceCtx};
 use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{HashFamily, HashFn, Key, StatePair, Value};
+use opa_common::{Error, HashFamily, HashFn, Key, Result, StatePair, Value};
 use opa_simio::BucketManager;
 use std::collections::HashMap;
+
+/// [`ReducerCkpt::tag`] of the INC-hash framework.
+pub(crate) const CKPT_TAG: u8 = 3;
+
+/// [`ReducerCkpt::flags`] bit: admissions were closed by a memory overflow.
+const FLAG_ADMISSIONS_CLOSED: u64 = 1;
 
 /// Per-entry bookkeeping overhead charged against the memory budget
 /// (hash-table slot, indices), mirroring the byte-array memory managers of
@@ -285,5 +291,78 @@ impl ReduceSide for IncHashReducer<'_> {
         t = self.sink.flush(t, env);
         env.span_close(OpKind::Reduce);
         t
+    }
+
+    /// Sections: `states` holds the resident table `H` (insertion order —
+    /// restore must preserve it, finalize order shapes the output), then
+    /// one section per staged bucket; `pairs` holds the pending output
+    /// buffer, then any pending context emissions; `nums[0] = [absorbed]`.
+    fn export_state(&self) -> Result<ReducerCkpt> {
+        let mut states = vec![self
+            .states
+            .iter()
+            .map(|(k, v)| StatePair::new(k.clone(), v.clone()))
+            .collect::<Vec<_>>()];
+        states.extend(self.buckets.export_contents());
+        Ok(ReducerCkpt {
+            tag: CKPT_TAG,
+            flags: if self.admissions_closed {
+                FLAG_ADMISSIONS_CLOSED
+            } else {
+                0
+            },
+            watermark: self.ctx.watermark,
+            nums: vec![vec![self.absorbed]],
+            pairs: vec![self.sink.export_pending(), self.ctx.export_pending()],
+            states,
+        })
+    }
+
+    fn import_state(&mut self, ckpt: ReducerCkpt) -> Result<()> {
+        if ckpt.tag != CKPT_TAG {
+            return Err(Error::job(format!(
+                "checkpoint tag {} is not INC-hash ({CKPT_TAG})",
+                ckpt.tag
+            )));
+        }
+        let mut sections = ckpt.states;
+        if sections.len() != self.buckets.num_buckets() + 1 {
+            return Err(Error::job(
+                "INC-hash checkpoint bucket count mismatch — restore requires \
+                 the same cluster spec and sizing hints as the original run",
+            ));
+        }
+        let resident = sections.remove(0);
+        let [sink_pending, ctx_pending] = <[Vec<opa_common::Pair>; 2]>::try_from(ckpt.pairs)
+            .map_err(|_| Error::job("INC-hash checkpoint missing output sections"))?;
+        self.states = Vec::with_capacity(resident.len());
+        self.index = HashMap::with_capacity(resident.len());
+        self.mem_used = 0;
+        for sp in resident {
+            self.mem_used +=
+                sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
+            self.index.insert(sp.key.clone(), self.states.len());
+            self.states.push((sp.key, sp.state));
+        }
+        self.buckets.restore_contents(sections);
+        self.sink.restore_pending(sink_pending);
+        self.ctx.restore_pending(ctx_pending);
+        self.ctx.watermark = ckpt.watermark;
+        self.absorbed = ckpt
+            .nums
+            .first()
+            .and_then(|n| n.first())
+            .copied()
+            .unwrap_or(0);
+        self.admissions_closed = ckpt.flags & FLAG_ADMISSIONS_CLOSED != 0;
+        Ok(())
+    }
+
+    fn query(&self, key: &Key) -> Option<Value> {
+        self.index.get(key).map(|&i| self.states[i].1.clone())
+    }
+
+    fn watermark(&self) -> Option<u64> {
+        self.ctx.watermark
     }
 }

@@ -35,7 +35,7 @@ use crate::map_phase::Payload;
 use crate::progress::ProgressTracker;
 use crate::sim::{OpKind, Resources};
 use opa_common::units::{SimDuration, SimTime};
-use opa_common::{Error, HashFamily, Pair, Result};
+use opa_common::{Error, HashFamily, Key, Pair, Result, StatePair, Value};
 use opa_simio::{IoCategory, IoOp};
 
 /// Advance-the-clock batch size: user-function work is priced per record
@@ -329,6 +329,55 @@ pub fn replay_recovery(
     }
 }
 
+/// A framework-neutral serialization of one reducer's resident state, the
+/// unit the stream runtime's checkpoints are built from.
+///
+/// Each framework packs its internals into flat typed sections — `u64`
+/// arrays, pair runs, state runs — that map 1:1 onto
+/// [`opa_simio::ckpt::Section`]s. The layout of the sections is private to
+/// the framework: only the matching framework (identified by `tag`) can
+/// re-import a checkpoint, and [`ReduceSide::import_state`] rejects a
+/// mismatched tag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReducerCkpt {
+    /// Framework discriminant: 1 = sort-merge (both variants), 2 = MR-hash,
+    /// 3 = INC-hash, 4 = DINC-hash.
+    pub tag: u8,
+    /// Framework-private boolean/enum flags, bit-packed.
+    pub flags: u64,
+    /// Event-time watermark at checkpoint, if the framework tracks one.
+    pub watermark: Option<u64>,
+    /// Numeric sections (counters, per-run lengths, monitor counts…).
+    pub nums: Vec<Vec<u64>>,
+    /// Pair-run sections (spill runs, pending output…).
+    pub pairs: Vec<Vec<Pair>>,
+    /// State-run sections (hash-table contents, bucket files…).
+    pub states: Vec<Vec<StatePair>>,
+}
+
+impl ReducerCkpt {
+    /// [`ReducerCkpt::tag`] of the sort-merge frameworks (both variants).
+    pub const TAG_SORT_MERGE: u8 = 1;
+    /// [`ReducerCkpt::tag`] of the MR-hash framework.
+    pub const TAG_MR_HASH: u8 = 2;
+    /// [`ReducerCkpt::tag`] of the INC-hash framework.
+    pub const TAG_INC_HASH: u8 = 3;
+    /// [`ReducerCkpt::tag`] of the DINC-hash framework.
+    pub const TAG_DINC_HASH: u8 = 4;
+}
+
+/// One entry of a DINC top-k answer: the key, its estimated frequency
+/// (a lower bound under FREQUENT), and its resident partial state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopEntry {
+    /// The monitored key.
+    pub key: Key,
+    /// Estimated occurrence count.
+    pub count: u64,
+    /// The key's current partial aggregate state.
+    pub state: Value,
+}
+
 /// Batches reducer output into 64 KB HDFS writes and keeps the output
 /// component of Definition-1 progress current.
 pub struct OutputSink {
@@ -372,6 +421,18 @@ impl OutputSink {
         self.pending_bytes = 0;
         env.emit(t, std::mem::take(&mut self.pending))
     }
+
+    /// Copy of the not-yet-flushed output buffer (checkpointing).
+    pub(crate) fn export_pending(&self) -> Vec<Pair> {
+        self.pending.clone()
+    }
+
+    /// Refills the output buffer of a fresh sink (restore path).
+    pub(crate) fn restore_pending(&mut self, pending: Vec<Pair>) {
+        debug_assert!(self.pending.is_empty(), "restore into a non-empty sink");
+        self.pending_bytes = pending.iter().map(Pair::size).sum();
+        self.pending = pending;
+    }
 }
 
 impl Default for OutputSink {
@@ -402,6 +463,48 @@ pub trait ReduceSide {
     /// snapshots expensive.
     fn snapshot(&mut self, t: SimTime, _env: &mut ReduceEnv<'_>) -> SimTime {
         t
+    }
+
+    /// Serializes this reducer's resident state for a stream checkpoint.
+    /// All built-in frameworks implement this; the default errors so
+    /// third-party reducers opt in explicitly.
+    fn export_state(&self) -> Result<ReducerCkpt> {
+        Err(Error::job(
+            "this reduce-side framework does not support checkpointing",
+        ))
+    }
+
+    /// Restores state exported by [`ReduceSide::export_state`] into a
+    /// freshly constructed reducer that has absorbed no deliveries.
+    /// Rejects a checkpoint whose `tag` names a different framework.
+    fn import_state(&mut self, _ckpt: ReducerCkpt) -> Result<()> {
+        Err(Error::job(
+            "this reduce-side framework does not support checkpointing",
+        ))
+    }
+
+    /// Point lookup of a key's *resident* partial aggregate, served between
+    /// micro-batches. `None` means this framework keeps no queryable
+    /// in-memory state for the key (sort-merge and MR-hash buffer raw runs;
+    /// INC/DINC answer from their hash table / monitor). Spilled partials
+    /// merge only at `finish`, so a hit is a partial answer over everything
+    /// absorbed into memory so far.
+    fn query(&self, _key: &Key) -> Option<Value> {
+        None
+    }
+
+    /// The top monitored keys by estimated frequency, with the monitor's
+    /// coverage lower bound γ (Theorem 1 of the paper). Only DINC-hash —
+    /// the framework that actually maintains a frequency monitor — answers;
+    /// others return `None`.
+    fn top_entries(&self, _k: usize) -> Option<(Vec<TopEntry>, f64)> {
+        None
+    }
+
+    /// Event-time watermark: the largest event time absorbed into state,
+    /// if the job extracts event times. `None` when untracked.
+    fn watermark(&self) -> Option<u64> {
+        None
     }
 }
 

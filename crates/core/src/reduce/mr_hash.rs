@@ -10,15 +10,18 @@
 //! progress blocks at 33% just like sort-merge — the difference is the CPU
 //! saved and the early answers possible for `D1`.
 
-use super::{OutputSink, ReduceEnv, ReduceSide, ReducerSizing, WORK_BATCH};
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerCkpt, ReducerSizing, WORK_BATCH};
 use crate::api::{Job, ReduceCtx};
 use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{HashFamily, HashFn, Key, Pair, Value};
+use opa_common::{Error, HashFamily, HashFn, Key, Pair, Result, Value};
 use opa_simio::BucketManager;
 use std::collections::HashMap;
+
+/// [`ReducerCkpt::tag`] of the MR-hash framework.
+pub(crate) const CKPT_TAG: u8 = 2;
 
 /// Recursive partitioning depth limit; `h2..h8` is far beyond anything a
 /// sane configuration needs (each level multiplies capacity by the fan-out).
@@ -229,5 +232,42 @@ impl ReduceSide for MrHashReducer<'_> {
         t = self.sink.flush(t, env);
         env.span_close(OpKind::Reduce);
         t
+    }
+
+    /// Sections: `pairs` holds `D1`, then one section per on-disk bucket
+    /// (arrival order), then the pending output buffer. The bucket count is
+    /// derivable from the (identical) config on restore, so no `nums`.
+    fn export_state(&self) -> Result<ReducerCkpt> {
+        let mut pairs = vec![self.d1.clone()];
+        pairs.extend(self.buckets.export_contents());
+        pairs.push(self.sink.export_pending());
+        Ok(ReducerCkpt {
+            tag: CKPT_TAG,
+            pairs,
+            ..ReducerCkpt::default()
+        })
+    }
+
+    fn import_state(&mut self, ckpt: ReducerCkpt) -> Result<()> {
+        if ckpt.tag != CKPT_TAG {
+            return Err(Error::job(format!(
+                "checkpoint tag {} is not MR-hash ({CKPT_TAG})",
+                ckpt.tag
+            )));
+        }
+        let mut sections = ckpt.pairs;
+        if sections.len() != self.buckets.num_buckets() + 2 {
+            return Err(Error::job(
+                "MR-hash checkpoint bucket count mismatch — restore requires \
+                 the same cluster spec and sizing hints as the original run",
+            ));
+        }
+        let pending = sections.pop().expect("length checked");
+        let d1 = sections.remove(0);
+        self.d1_bytes = d1.iter().map(Pair::size).sum();
+        self.d1 = d1;
+        self.buckets.restore_contents(sections);
+        self.sink.restore_pending(pending);
+        Ok(())
     }
 }

@@ -8,14 +8,17 @@
 //! run through the user's reduce function: this is the blocking behaviour
 //! that pins sort-merge reduce progress at 33% for non-combiner workloads.
 
-use super::{OutputSink, ReduceEnv, ReduceSide, WORK_BATCH};
+use super::{OutputSink, ReduceEnv, ReduceSide, ReducerCkpt, WORK_BATCH};
 use crate::api::{Job, ReduceCtx};
 use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Key, Pair, Value};
+use opa_common::{Error, Key, Pair, Result, Value};
 use opa_simio::{IoOp, SpillStore};
+
+/// [`ReducerCkpt::tag`] of the sort-merge framework (both variants).
+pub(crate) const CKPT_TAG: u8 = 1;
 
 /// One reduce task running the sort-merge framework.
 pub struct SortMergeReducer<'j> {
@@ -222,6 +225,49 @@ impl ReduceSide for SortMergeReducer<'_> {
         t = self.sink.flush(t, env);
         env.span_close(OpKind::Reduce);
         t
+    }
+
+    /// Sections: `nums[0] = [n_segments, n_spill_runs]`; `pairs` holds the
+    /// in-memory segments, then the live spill runs (creation order), then
+    /// the pending output buffer.
+    fn export_state(&self) -> Result<ReducerCkpt> {
+        let mut pairs: Vec<Vec<Pair>> = self.segments.clone();
+        let runs = self.spills.export_runs();
+        let counts = vec![self.segments.len() as u64, runs.len() as u64];
+        pairs.extend(runs);
+        pairs.push(self.sink.export_pending());
+        Ok(ReducerCkpt {
+            tag: CKPT_TAG,
+            nums: vec![counts],
+            pairs,
+            ..ReducerCkpt::default()
+        })
+    }
+
+    fn import_state(&mut self, ckpt: ReducerCkpt) -> Result<()> {
+        if ckpt.tag != CKPT_TAG {
+            return Err(Error::job(format!(
+                "checkpoint tag {} is not sort-merge ({CKPT_TAG})",
+                ckpt.tag
+            )));
+        }
+        let counts = ckpt
+            .nums
+            .first()
+            .filter(|c| c.len() == 2)
+            .ok_or_else(|| Error::job("sort-merge checkpoint missing section counts"))?;
+        let (n_seg, n_run) = (counts[0] as usize, counts[1] as usize);
+        let mut sections = ckpt.pairs;
+        if sections.len() != n_seg + n_run + 1 {
+            return Err(Error::job("sort-merge checkpoint section count mismatch"));
+        }
+        let pending = sections.pop().expect("length checked");
+        let runs = sections.split_off(n_seg);
+        self.segments = sections;
+        self.buffered_bytes = self.segments.iter().flatten().map(Pair::size).sum();
+        self.spills = SpillStore::restore(runs);
+        self.sink.restore_pending(pending);
+        Ok(())
     }
 }
 

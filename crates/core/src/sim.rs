@@ -248,6 +248,30 @@ impl Resources {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Per-node disk-queue availability `(hdfs_free_at, spill_free_at)` in
+    /// microseconds — checkpointed by the stream runtime because queue
+    /// occupancy feeds granule and delivery times, and therefore delivery
+    /// *order*, on resume.
+    pub fn export_disk_free(&self) -> Vec<(u64, u64)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.hdfs.free_at.0, n.spill.free_at.0))
+            .collect()
+    }
+
+    /// Restores per-node disk-queue availability from
+    /// [`Resources::export_disk_free`] output.
+    ///
+    /// # Panics
+    /// Panics if `free` does not have one entry per node.
+    pub fn restore_disk_free(&mut self, free: &[(u64, u64)]) {
+        assert_eq!(free.len(), self.nodes.len(), "node count mismatch");
+        for (n, &(h, s)) in self.nodes.iter_mut().zip(free) {
+            n.hdfs.free_at = SimTime(h);
+            n.spill.free_at = SimTime(s);
+        }
+    }
 }
 
 /// A time-ordered event queue with stable FIFO tie-breaking.

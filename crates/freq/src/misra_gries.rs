@@ -534,6 +534,37 @@ mod tests {
 }
 
 impl<K: Clone + Eq + Hash, S> MisraGries<K, S> {
+    /// Rebuilds a monitor from previously exported entries (the checkpoint
+    /// counterpart of [`MisraGries::iter`]). The restored monitor behaves
+    /// identically to the original from this point on: entries are
+    /// installed in the given order with `base = 0` and `stored = count`
+    /// exactly, so zero-count occupants remain immediate eviction
+    /// candidates and the `(counter, slot)` tie-break order is preserved.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or more than `capacity` entries are given.
+    pub fn restore(capacity: usize, offered: u64, entries: Vec<MgEntry<K, S>>) -> Self {
+        assert!(
+            entries.len() <= capacity,
+            "restore: {} entries exceed capacity {capacity}",
+            entries.len()
+        );
+        let mut mg = MisraGries::new(capacity);
+        mg.offered = offered;
+        for e in entries {
+            let i = mg.slots.len();
+            mg.slots.push(Slot {
+                key: e.key.clone(),
+                stored: e.count,
+                t: e.t,
+                state: e.state,
+            });
+            mg.index.insert(e.key, i);
+            mg.heap.push(Reverse((e.count, i)));
+        }
+        mg
+    }
+
     /// Merges two summaries (Agarwal et al., "Mergeable Summaries"):
     /// same-key counters add (states combine through `cb`), then the
     /// result is trimmed back to this summary's capacity by subtracting

@@ -266,6 +266,59 @@ impl<K: Clone + Eq + std::hash::Hash, S> SpaceSavingMonitor<K, S> {
         }
     }
 
+    /// Rebuilds a monitor from previously exported entries (the checkpoint
+    /// counterpart of [`SpaceSavingMonitor::iter`]). Entries are installed
+    /// in the given order, which preserves the stable minimum-scan
+    /// tie-break and therefore the monitor's future eviction choices.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or more than `capacity` entries are given.
+    pub fn restore(capacity: usize, offered: u64, entries: Vec<crate::MgEntry<K, S>>) -> Self {
+        assert!(
+            entries.len() <= capacity,
+            "restore: {} entries exceed capacity {capacity}",
+            entries.len()
+        );
+        let mut m = SpaceSavingMonitor::new(capacity);
+        m.offered = offered;
+        for e in entries {
+            let i = m.slots.len();
+            m.slots.push((e.key.clone(), e.count, e.t, e.state));
+            m.index.insert(e.key, i);
+        }
+        m
+    }
+
+    /// Looks up a monitored key.
+    pub fn get(&self, key: &K) -> Option<crate::MgEntry<K, S>>
+    where
+        S: Clone,
+    {
+        let &i = self.index.get(key)?;
+        let (ref k, count, t, ref state) = self.slots[i];
+        Some(crate::MgEntry {
+            key: k.clone(),
+            count,
+            t,
+            state: state.clone(),
+        })
+    }
+
+    /// Iterates over the monitored entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = crate::MgEntry<K, S>> + '_
+    where
+        S: Clone,
+    {
+        self.slots
+            .iter()
+            .map(|(k, count, t, state)| crate::MgEntry {
+                key: k.clone(),
+                count: *count,
+                t: *t,
+                state: state.clone(),
+            })
+    }
+
     /// Consumes the monitor, returning its entries.
     pub fn drain(self) -> Vec<crate::MgEntry<K, S>> {
         self.slots

@@ -119,6 +119,49 @@ impl<T: Sized64> BucketManager<T> {
         self.buckets.iter().map(|b| b.flushed_bytes).sum()
     }
 
+    /// Copies every bucket's contents in arrival order (flushed prefix,
+    /// then the buffered tail) — the checkpoint counterpart of
+    /// [`BucketManager::restore_contents`].
+    pub fn export_contents(&self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        self.buckets
+            .iter()
+            .map(|b| {
+                let mut v = b.flushed.clone();
+                v.extend(b.buffered.iter().cloned());
+                v
+            })
+            .collect()
+    }
+
+    /// Refills an empty, unsealed manager from exported contents. Each
+    /// bucket's records land as one flushed segment (`flush_count = 1`), so
+    /// read-back seek pricing may differ from the original's flush pattern;
+    /// record order and byte totals — everything the group-by semantics
+    /// depend on — are exact.
+    ///
+    /// # Panics
+    /// Panics if the manager is sealed, already holds data, or the content
+    /// count does not match the bucket count.
+    pub fn restore_contents(&mut self, contents: Vec<Vec<T>>) {
+        assert!(!self.sealed, "restore into a sealed manager");
+        assert!(
+            self.total_spilled() == 0,
+            "restore into a non-empty manager"
+        );
+        assert_eq!(contents.len(), self.buckets.len(), "bucket count mismatch");
+        for (b, recs) in self.buckets.iter_mut().zip(contents) {
+            if recs.is_empty() {
+                continue;
+            }
+            b.flushed_bytes = recs.iter().map(Sized64::size).sum();
+            b.flush_count = 1;
+            b.flushed = recs;
+        }
+    }
+
     /// Reads bucket `i` back from disk, consuming it. Must be sealed first.
     /// The read is priced as one request per flush that built the file
     /// (flushed segments are contiguous but a long-lived file interleaves

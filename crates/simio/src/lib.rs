@@ -20,6 +20,8 @@
 //!   blocks to nodes ([`BlockStore`]);
 //! - [`codec`] — IFile-style record framing with CRC-32 checksums, for
 //!   persisting runs and job outputs to real files;
+//! - [`ckpt`] — the CRC-guarded framed-section container used by stream
+//!   job checkpoints ([`ckpt::Section`]);
 //! - [`fault`] — deterministic spill-disk error injection
 //!   ([`DiskFaultInjector`]), consulted by the engine's disk queues when a
 //!   fault plan is active.
@@ -33,6 +35,7 @@
 
 pub mod blockstore;
 pub mod bucket;
+pub mod ckpt;
 pub mod codec;
 pub mod disk;
 pub mod fault;

@@ -102,6 +102,34 @@ impl<T: Sized64> SpillStore<T> {
     pub fn total_written(&self) -> u64 {
         self.written_bytes
     }
+
+    /// Copies of all live runs, in creation order — the checkpoint
+    /// counterpart of [`SpillStore::restore`]. Consumed files are not
+    /// exported (their contents were merged into later runs).
+    pub fn export_runs(&self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        self.files
+            .iter()
+            .flatten()
+            .map(|f| f.records.clone())
+            .collect()
+    }
+
+    /// Rebuilds a store holding the given runs as its live files, ids
+    /// compacted to `0..runs.len()`. Callers must not hold [`FileId`]s from
+    /// the original store across a restore; relative creation order (and
+    /// therefore merge-selection order) is preserved. `total_written`
+    /// restarts at the live volume — spill metrics cover the restored
+    /// portion of a run only.
+    pub fn restore(runs: Vec<Vec<T>>) -> Self {
+        let mut s = SpillStore::new();
+        for run in runs {
+            let _ = s.write_file(run);
+        }
+        s
+    }
 }
 
 impl<T: Sized64> Default for SpillStore<T> {

@@ -1,0 +1,256 @@
+//! # opa-stream — continuous ingestion over the one-pass engine
+//!
+//! The paper's motivation is analytics that keep up with data as it
+//! *arrives*; this crate turns the batch engine into that long-running
+//! service. A stream run feeds the input through the existing map plans
+//! and reduce-side frameworks in `k` arrival-ordered **micro-batches**,
+//! pausing after each batch once every shuffle delivery from that
+//! batch's own chunks has been absorbed (later chunks keep shuffling
+//! across the pause — the watermark is a lower bound). At each pause
+//! point:
+//!
+//! - the user callback observes the live incremental state through
+//!   [`BatchCtl`] — point lookups of resident partial aggregates, the
+//!   DINC top-k answer with its γ coverage bound, and progress /
+//!   watermark metadata;
+//! - a **checkpoint** of the complete engine state can be written (on a
+//!   cadence via [`StreamConfig::checkpoint_every`], or on demand from
+//!   the callback), CRC-protected through [`opa_simio::ckpt`];
+//! - a crashed run **resumes** from its last checkpoint with
+//!   [`StreamJobBuilder::resume_stream`], replaying only the remaining
+//!   input and emitting each output pair exactly once.
+//!
+//! Sealing batches only observes the engine between two events — it
+//! never reorders, drops or injects any — so a streamed run's output is
+//! **bit-identical** to the one-shot batch run's, at any thread count
+//! and any `k` (`tests/stream_equivalence.rs` pins this across all
+//! paper workloads and frameworks).
+//!
+//! ```
+//! use opa_stream::StreamJobBuilder;
+//! use opa_core::cluster::{ClusterSpec, Framework};
+//! use opa_workloads::click_count::ClickCountJob;
+//! use opa_workloads::clickstream::ClickStreamSpec;
+//!
+//! let data = ClickStreamSpec::small().generate(42);
+//! let outcome = StreamJobBuilder::new(ClickCountJob::default())
+//!     .framework(Framework::IncHash)
+//!     .cluster(ClusterSpec::tiny())
+//!     .batches(4)
+//!     .run_stream(&data, |ctl| {
+//!         let p = ctl.progress();
+//!         assert!(p.batches_sealed >= 1 && p.batches_sealed <= 4);
+//!     })
+//!     .expect("stream runs");
+//! assert_eq!(outcome.batches, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod driver;
+pub mod query;
+
+pub use checkpoint::{Fingerprint, QueuedEvent, SavedState};
+pub use driver::StreamOutcome;
+pub use query::{BatchCtl, CheckpointView, StreamProgress};
+
+use driver::DriverConfig;
+use opa_common::fault::FaultConfig;
+use opa_common::{Error, ExecConfig, Result, StreamConfig};
+use opa_core::api::Job;
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::JobInput;
+use opa_core::reduce::dinc_hash::MonitorKind;
+use std::path::{Path, PathBuf};
+
+/// Fluent builder for one stream run — the streaming counterpart of
+/// [`opa_core::job::JobBuilder`], sharing its configuration surface and
+/// adding the stream dimension: batch count, checkpoint cadence and
+/// checkpoint directory.
+pub struct StreamJobBuilder<J: Job> {
+    job: J,
+    framework: Framework,
+    spec: ClusterSpec,
+    exec: ExecConfig,
+    km_hint: f64,
+    early_stop_coverage: Option<f64>,
+    dinc_monitor: MonitorKind,
+    faults: FaultConfig,
+    stream: StreamConfig,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+impl<J: Job> StreamJobBuilder<J> {
+    /// Starts a builder with the sort-merge baseline on the paper cluster
+    /// and the default stream shape ([`StreamConfig::default`]).
+    pub fn new(job: J) -> Self {
+        StreamJobBuilder {
+            job,
+            framework: Framework::SortMerge,
+            spec: ClusterSpec::paper_scaled(),
+            exec: ExecConfig::sequential(),
+            km_hint: 1.0,
+            early_stop_coverage: None,
+            dinc_monitor: MonitorKind::Frequent,
+            faults: FaultConfig::disabled(),
+            stream: StreamConfig::default(),
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Selects the reduce-side framework.
+    pub fn framework(mut self, f: Framework) -> Self {
+        self.framework = f;
+        self
+    }
+
+    /// Selects the cluster configuration.
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the execution-layer thread count (see
+    /// [`opa_core::job::JobBuilder::threads`]). The outcome is
+    /// bit-identical at any value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.exec = ExecConfig::with_threads(threads);
+        self
+    }
+
+    /// Sets the full execution-layer configuration.
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Hints the map output/input ratio `K_m` (defaults to 1.0).
+    pub fn km_hint(mut self, km: f64) -> Self {
+        self.km_hint = km;
+        self
+    }
+
+    /// Enables DINC's approximate early termination at coverage φ.
+    pub fn early_stop_coverage(mut self, phi: f64) -> Self {
+        self.early_stop_coverage = Some(phi);
+        self
+    }
+
+    /// Selects the frequency algorithm behind DINC-hash's monitor.
+    pub fn dinc_monitor(mut self, kind: MonitorKind) -> Self {
+        self.dinc_monitor = kind;
+        self
+    }
+
+    /// Enables deterministic fault injection (see
+    /// [`opa_core::job::JobBuilder::faults`]). Checkpoint/resume
+    /// composes with the map- and reduce-failure classes: a resumed run
+    /// reproduces the uninterrupted run's output bit-for-bit.
+    pub fn faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = cfg;
+        self
+    }
+
+    /// Sets the full stream configuration.
+    pub fn stream(mut self, cfg: StreamConfig) -> Self {
+        self.stream = cfg;
+        self
+    }
+
+    /// Sets the micro-batch count `k`.
+    pub fn batches(mut self, k: usize) -> Self {
+        self.stream.batches = k;
+        self
+    }
+
+    /// Writes a checkpoint every `n` sealed batches (requires
+    /// [`StreamJobBuilder::checkpoint_dir`]).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.stream.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Directory periodic checkpoints are written to, as
+    /// `stream-ckpt-b<batch>.opac`.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Access to the wrapped job.
+    pub fn job(&self) -> &J {
+        &self.job
+    }
+
+    fn validate(&self, input: &JobInput) -> Result<()> {
+        self.spec.validate()?;
+        self.exec.validate()?;
+        self.faults.validate()?;
+        if let Some(phi) = self.early_stop_coverage {
+            if !phi.is_finite() || !(0.0..=1.0).contains(&phi) || phi == 0.0 {
+                return Err(Error::job(format!(
+                    "early-stop coverage φ must be a fraction in (0, 1], got {phi}"
+                )));
+            }
+        }
+        if input.is_empty() {
+            return Err(Error::job("stream input is empty"));
+        }
+        self.stream.validate_for(input.len())?;
+        if self.stream.checkpoint_every.is_some() && self.checkpoint_dir.is_none() {
+            return Err(Error::config(
+                "checkpoint cadence set without a checkpoint directory — \
+                 call checkpoint_dir(..) (CLI: --checkpoint-dir)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn driver_config(&self) -> DriverConfig<'_> {
+        DriverConfig {
+            framework: self.framework,
+            spec: &self.spec,
+            exec: self.exec,
+            km_hint: self.km_hint,
+            early_stop: self.early_stop_coverage,
+            dinc_monitor: self.dinc_monitor,
+            faults: &self.faults,
+            stream: &self.stream,
+            checkpoint_dir: self.checkpoint_dir.as_deref(),
+        }
+    }
+
+    /// Runs the stream job over `input`, invoking `on_batch` at each
+    /// sealed micro-batch (1-based, in order).
+    pub fn run_stream(
+        &self,
+        input: &JobInput,
+        mut on_batch: impl FnMut(&mut BatchCtl<'_, '_>),
+    ) -> Result<StreamOutcome> {
+        self.validate(input)?;
+        driver::drive(&self.job, &self.driver_config(), input, None, &mut on_batch)
+    }
+
+    /// Resumes a stream job from a checkpoint file written by a previous
+    /// run over the *same* input and configuration. Sealed batches are
+    /// not re-run (their callbacks do not fire again); the remaining
+    /// batches stream as usual and the final output is bit-identical to
+    /// the uninterrupted run's.
+    pub fn resume_stream(
+        &self,
+        input: &JobInput,
+        checkpoint: &Path,
+        mut on_batch: impl FnMut(&mut BatchCtl<'_, '_>),
+    ) -> Result<StreamOutcome> {
+        self.validate(input)?;
+        let saved = SavedState::read_from(checkpoint)?;
+        driver::drive(
+            &self.job,
+            &self.driver_config(),
+            input,
+            Some(saved),
+            &mut on_batch,
+        )
+    }
+}

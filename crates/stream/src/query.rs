@@ -1,0 +1,265 @@
+//! The live query surface served between micro-batches, plus the offline
+//! variant that answers the same queries straight from a checkpoint file.
+//!
+//! Both views expose the paper's incremental-state reads: a point lookup
+//! of a key's resident partial aggregate (INC/DINC hash tables, the DINC
+//! monitor) and the DINC top-k answer with its γ coverage lower bound
+//! (Theorem 1). Keys route to reducers with the same `h1` partitioning
+//! hash the map side uses, so a lookup lands on exactly the reducer that
+//! owns the key.
+
+use crate::checkpoint::{QueuedEvent, SavedState};
+use opa_common::units::SimTime;
+use opa_common::{Error, HashFamily, HashFn, Key, Result, Value};
+use opa_core::cluster::Framework;
+use opa_core::reduce::{ReduceSide, ReducerCkpt, TopEntry};
+use std::path::{Path, PathBuf};
+
+/// Progress metadata of a paused stream job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamProgress {
+    /// Micro-batches sealed so far (1-based; equals `batches` when done).
+    pub batches_sealed: usize,
+    /// Total micro-batch count `k`.
+    pub batches: usize,
+    /// Input records covered by the sealed batches — the stream's
+    /// arrival-order watermark position: every record below it has been
+    /// absorbed into reducer state (later records may also have been,
+    /// opportunistically).
+    pub records_sealed: usize,
+    /// Total input records.
+    pub total_records: usize,
+    /// Map tasks completed / total.
+    pub maps_completed: usize,
+    /// Total map-task count.
+    pub maps_total: usize,
+    /// Highest event-time watermark across reducers, if the job extracts
+    /// event times.
+    pub watermark: Option<u64>,
+    /// Virtual time of the pause point.
+    pub sim_time: SimTime,
+}
+
+/// The control handle passed to the per-batch callback of a stream run.
+///
+/// Queries answer from *resident* reducer state: partial aggregates over
+/// everything absorbed so far. Checkpoint requests are recorded here and
+/// performed by the driver immediately after the callback returns (the
+/// driver owns the full engine state).
+pub struct BatchCtl<'c, 'j> {
+    pub(crate) batch: usize,
+    pub(crate) batches: usize,
+    pub(crate) records_sealed: usize,
+    pub(crate) total_records: usize,
+    pub(crate) maps_completed: usize,
+    pub(crate) maps_total: usize,
+    pub(crate) sim_time: SimTime,
+    pub(crate) h1: HashFn,
+    pub(crate) reducers: &'c [Option<Box<dyn ReduceSide + Send + 'j>>],
+    pub(crate) checkpoint_request: Option<PathBuf>,
+}
+
+impl BatchCtl<'_, '_> {
+    /// The just-sealed micro-batch, 1-based.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Point lookup of `key`'s resident partial aggregate. Routes to the
+    /// owning reducer via the partitioning hash; `None` when the framework
+    /// keeps no queryable state for the key (sort-merge / MR-hash, an
+    /// unmonitored key under DINC, or a key spilled to disk).
+    pub fn lookup(&self, key: &Key) -> Option<Value> {
+        let r = self.h1.bucket(key.bytes(), self.reducers.len());
+        self.reducers[r].as_ref()?.query(key)
+    }
+
+    /// The top `k` keys by estimated frequency across all reducers, with
+    /// the minimum per-reducer coverage bound γ. `None` unless the job
+    /// runs DINC-hash (the only framework maintaining a monitor).
+    pub fn top_k(&self, k: usize) -> Option<(Vec<TopEntry>, f64)> {
+        merge_top_k(
+            k,
+            self.reducers
+                .iter()
+                .filter_map(|r| r.as_ref())
+                .filter_map(|r| r.top_entries(k)),
+        )
+    }
+
+    /// Progress and watermark metadata at this pause point.
+    pub fn progress(&self) -> StreamProgress {
+        StreamProgress {
+            batches_sealed: self.batch,
+            batches: self.batches,
+            records_sealed: self.records_sealed,
+            total_records: self.total_records,
+            maps_completed: self.maps_completed,
+            maps_total: self.maps_total,
+            watermark: self
+                .reducers
+                .iter()
+                .filter_map(|r| r.as_ref().and_then(|r| r.watermark()))
+                .max(),
+            sim_time: self.sim_time,
+        }
+    }
+
+    /// Requests a checkpoint at this pause point. The driver writes it to
+    /// `path` right after the callback returns; a later request in the
+    /// same callback replaces an earlier one.
+    pub fn checkpoint(&mut self, path: impl Into<PathBuf>) {
+        self.checkpoint_request = Some(path.into());
+    }
+}
+
+/// Merges per-reducer top-k answers into a global one: stable sort by
+/// count descending (ties keep reducer order — deterministic), truncate,
+/// and take the weakest per-reducer γ as the global bound.
+pub(crate) fn merge_top_k(
+    k: usize,
+    per_reducer: impl Iterator<Item = (Vec<TopEntry>, f64)>,
+) -> Option<(Vec<TopEntry>, f64)> {
+    let mut all: Vec<TopEntry> = Vec::new();
+    let mut gamma = f64::INFINITY;
+    let mut any = false;
+    for (entries, g) in per_reducer {
+        any = true;
+        all.extend(entries);
+        gamma = gamma.min(g);
+    }
+    if !any {
+        return None;
+    }
+    all.sort_by_key(|e| std::cmp::Reverse(e.count));
+    all.truncate(k);
+    Some((all, if gamma.is_finite() { gamma } else { 1.0 }))
+}
+
+/// An offline view over a checkpoint file: answers the same point-lookup
+/// / top-k / progress queries as [`BatchCtl`], without re-instantiating
+/// the job — `opa query` runs entirely from this.
+pub struct CheckpointView {
+    state: SavedState,
+    h1: HashFn,
+}
+
+impl CheckpointView {
+    /// Loads and verifies a checkpoint file.
+    pub fn open(path: &Path) -> Result<CheckpointView> {
+        let state = SavedState::read_from(path)?;
+        let family = HashFamily::new(state.fingerprint.hash_seed);
+        Ok(CheckpointView {
+            h1: family.fn_at(0),
+            state,
+        })
+    }
+
+    /// The decoded state (for inspection / tooling).
+    pub fn state(&self) -> &SavedState {
+        &self.state
+    }
+
+    /// The framework the checkpoint was taken under.
+    pub fn framework(&self) -> Result<Framework> {
+        Framework::ALL
+            .get(self.state.fingerprint.framework_idx as usize)
+            .copied()
+            .ok_or_else(|| Error::storage("checkpoint names an unknown framework"))
+    }
+
+    /// Point lookup of `key`'s checkpointed resident aggregate. Interprets
+    /// the framework-tagged section layout: INC-hash and DINC-hash store
+    /// their queryable table/monitor as the first state section.
+    pub fn lookup(&self, key: &Key) -> Option<Value> {
+        let r = self.h1.bucket(key.bytes(), self.state.reducers.len());
+        let ckpt = &self.state.reducers[r];
+        match ckpt.tag {
+            ReducerCkpt::TAG_INC_HASH | ReducerCkpt::TAG_DINC_HASH => ckpt
+                .states
+                .first()?
+                .iter()
+                .find(|sp| &sp.key == key)
+                .map(|sp| sp.state.clone()),
+            _ => None,
+        }
+    }
+
+    /// The checkpointed top-k answer with γ, DINC-hash checkpoints only.
+    /// Reconstructs each monitor's entries and slack from its sections:
+    /// `states[0]` holds (key, state) in slot order, `nums[0] = [offered]`,
+    /// `nums[1]` the per-entry counts, `nums[2]` the per-entry true
+    /// frequencies, `nums[3]` the running stats (whose first element is
+    /// the monitor slot count `s`).
+    pub fn top_k(&self, k: usize) -> Option<(Vec<TopEntry>, f64)> {
+        /// Bit 0 of a DINC checkpoint's flags selects SpaceSaving.
+        const FLAG_SPACE_SAVING: u64 = 1;
+        merge_top_k(
+            k,
+            self.state.reducers.iter().filter_map(|ckpt| {
+                if ckpt.tag != ReducerCkpt::TAG_DINC_HASH {
+                    return None;
+                }
+                let entries = ckpt.states.first()?;
+                let offered = *ckpt.nums.first()?.first()? as f64;
+                let counts = ckpt.nums.get(1)?;
+                let ts = ckpt.nums.get(2)?;
+                let slots = *ckpt.nums.get(3)?.first()? as f64;
+                if counts.len() != entries.len() || ts.len() != entries.len() {
+                    return None;
+                }
+                let slack = if ckpt.flags & FLAG_SPACE_SAVING != 0 {
+                    offered / slots.max(1.0)
+                } else {
+                    offered / (slots + 1.0)
+                };
+                let mut top: Vec<(u64, u64, usize)> = counts
+                    .iter()
+                    .zip(ts)
+                    .enumerate()
+                    .map(|(i, (&c, &t))| (c, t, i))
+                    .collect();
+                top.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.2.cmp(&b.2)));
+                top.truncate(k);
+                let gamma = top
+                    .iter()
+                    .map(|&(_, t, _)| t as f64 / (t as f64 + slack))
+                    .fold(1.0f64, f64::min);
+                let out = top
+                    .into_iter()
+                    .map(|(count, _, i)| TopEntry {
+                        key: entries[i].key.clone(),
+                        count,
+                        state: entries[i].state.clone(),
+                    })
+                    .collect();
+                Some((out, gamma))
+            }),
+        )
+    }
+
+    /// Progress metadata at the checkpointed pause point.
+    pub fn progress(&self) -> StreamProgress {
+        let fp = &self.state.fingerprint;
+        let sealed = self.state.next_batch as usize;
+        let k = fp.batches as usize;
+        let n = fp.records as usize;
+        StreamProgress {
+            batches_sealed: sealed,
+            batches: k,
+            records_sealed: sealed * n / k.max(1),
+            total_records: n,
+            maps_completed: self.state.maps_completed as usize,
+            maps_total: self.state.done.len()
+                + self
+                    .state
+                    .queue
+                    .iter()
+                    .filter(|e| matches!(e, QueuedEvent::StartMap { .. }))
+                    .count()
+                + self.state.pending.iter().map(Vec::len).sum::<usize>(),
+            watermark: self.state.reducers.iter().filter_map(|c| c.watermark).max(),
+            sim_time: SimTime(self.state.map_finish),
+        }
+    }
+}

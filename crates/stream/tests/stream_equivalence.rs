@@ -1,0 +1,116 @@
+//! The stream runtime's core contract: a streamed run is *bit-identical*
+//! to the one-shot batch run — output and metrics — for every reduce-side
+//! framework, at any micro-batch count and any thread count. Sealing only
+//! observes the engine between two events; these tests pin that it never
+//! perturbs one.
+
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::JobBuilder;
+use opa_stream::StreamJobBuilder;
+use opa_workloads::click_count::ClickCountJob;
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::sessionize::SessionizeJob;
+
+fn click_job() -> ClickCountJob {
+    ClickCountJob {
+        expected_users: 100,
+    }
+}
+
+fn sessionize_job() -> SessionizeJob {
+    SessionizeJob {
+        gap_secs: 300,
+        slack_secs: 400,
+        state_capacity: 16384,
+        charge_fixed_footprint: false,
+        expected_users: 100,
+    }
+}
+
+#[test]
+fn streamed_run_is_bit_identical_to_batch() {
+    let data = ClickStreamSpec::small().generate(101);
+    for fw in Framework::ALL {
+        let batch = JobBuilder::new(click_job())
+            .framework(fw)
+            .cluster(ClusterSpec::tiny())
+            .run(&data)
+            .expect("batch runs");
+        for k in [1, 4, 7] {
+            let mut sealed = 0;
+            let stream = StreamJobBuilder::new(click_job())
+                .framework(fw)
+                .cluster(ClusterSpec::tiny())
+                .batches(k)
+                .run_stream(&data, |ctl| sealed = ctl.batch())
+                .expect("stream runs");
+            assert_eq!(sealed, k, "{fw:?}/k={k}: every batch seals, in order");
+            assert_eq!(stream.batches, k, "{fw:?}/k={k}");
+            assert_eq!(
+                batch.output, stream.job.output,
+                "{fw:?}/k={k}: streamed output must be bit-identical"
+            );
+            assert_eq!(
+                format!("{:?}", batch.metrics),
+                format!("{:?}", stream.job.metrics),
+                "{fw:?}/k={k}: streamed metrics must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_run_is_thread_invariant() {
+    // An order-sensitive workload (sessionization emits from a reorder
+    // buffer) on the multi-node paper cluster: the strongest determinism
+    // check the repo has, extended to the stream runtime.
+    let data = ClickStreamSpec::small().generate(44);
+    for fw in [Framework::IncHash, Framework::DincHash] {
+        let run = |threads: usize| {
+            StreamJobBuilder::new(sessionize_job())
+                .framework(fw)
+                .cluster(ClusterSpec::paper_scaled())
+                .threads(threads)
+                .batches(5)
+                .run_stream(&data, |_| {})
+                .expect("stream runs")
+        };
+        let t1 = run(1);
+        let t8 = run(8);
+        assert_eq!(
+            t1.job.output, t8.job.output,
+            "{fw:?}: stream output must not depend on thread count"
+        );
+        assert_eq!(
+            format!("{:?}", t1.job.metrics),
+            format!("{:?}", t8.job.metrics),
+            "{fw:?}: stream metrics must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn batch_callbacks_see_monotone_progress() {
+    let data = ClickStreamSpec::small().generate(101);
+    let mut last_records = 0;
+    let mut last_batch = 0;
+    StreamJobBuilder::new(click_job())
+        .framework(Framework::IncHash)
+        .cluster(ClusterSpec::tiny())
+        .batches(6)
+        .run_stream(&data, |ctl| {
+            let p = ctl.progress();
+            assert_eq!(p.batches_sealed, last_batch + 1, "batches seal in order");
+            assert!(
+                p.records_sealed > last_records || p.batches_sealed == p.batches,
+                "watermark advances with every seal"
+            );
+            assert!(p.records_sealed <= p.total_records);
+            assert!(p.maps_completed <= p.maps_total);
+            last_batch = p.batches_sealed;
+            last_records = p.records_sealed;
+        })
+        .expect("stream runs");
+    assert_eq!(last_batch, 6);
+    assert_eq!(last_records, data.len());
+}

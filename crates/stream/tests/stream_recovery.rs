@@ -1,0 +1,265 @@
+//! Checkpoint / crash / resume semantics: a resumed run reproduces the
+//! uninterrupted run's output bit-for-bit, sealed batches never re-fire
+//! their callbacks, and every malformed input is rejected loudly before
+//! any state is touched.
+
+use opa_common::fault::FaultConfig;
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_stream::{CheckpointView, StreamJobBuilder};
+use opa_workloads::click_count::ClickCountJob;
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::frequent_users::FrequentUsersJob;
+
+fn click_job() -> ClickCountJob {
+    ClickCountJob {
+        expected_users: 100,
+    }
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn resume_matches_uninterrupted_for_every_framework() {
+    let data = ClickStreamSpec::small().generate(101);
+    let dir = tmp_dir("opa-stream-resume");
+    for fw in Framework::ALL {
+        let ck = dir.join(format!("{fw:?}.opac"));
+        let build = || {
+            StreamJobBuilder::new(click_job())
+                .framework(fw)
+                .cluster(ClusterSpec::tiny())
+                .batches(4)
+        };
+        let full = build().run_stream(&data, |_| {}).expect("full run");
+        let ckp = ck.clone();
+        build()
+            .run_stream(&data, |ctl| {
+                if ctl.batch() == 2 {
+                    ctl.checkpoint(ckp.clone());
+                }
+            })
+            .expect("checkpointed run");
+        let view = CheckpointView::open(&ck).expect("view opens");
+        assert_eq!(view.progress().batches_sealed, 2, "{fw:?}");
+        assert_eq!(view.framework().expect("framework"), fw);
+
+        let mut batches_seen = vec![];
+        let resumed = build()
+            .resume_stream(&data, &ck, |ctl| batches_seen.push(ctl.batch()))
+            .expect("resume runs");
+        assert_eq!(
+            batches_seen,
+            vec![3, 4],
+            "{fw:?}: sealed batches don't re-fire"
+        );
+        assert_eq!(resumed.resumed_from_batch, Some(2), "{fw:?}");
+        assert_eq!(
+            full.job.output, resumed.job.output,
+            "{fw:?}: resumed output must be bit-identical"
+        );
+        // Thread-count invariance extends across the crash/restore divide.
+        let resumed8 = build()
+            .threads(8)
+            .resume_stream(&data, &ck, |_| {})
+            .expect("resume at 8 threads");
+        assert_eq!(
+            full.job.output, resumed8.job.output,
+            "{fw:?}: resume at a different thread count must be bit-identical"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn periodic_checkpoints_follow_the_cadence() {
+    let data = ClickStreamSpec::small().generate(101);
+    let dir = tmp_dir("opa-stream-cadence");
+    let out = StreamJobBuilder::new(click_job())
+        .framework(Framework::IncHash)
+        .cluster(ClusterSpec::tiny())
+        .batches(6)
+        .checkpoint_every(2)
+        .checkpoint_dir(&dir)
+        .run_stream(&data, |_| {})
+        .expect("stream runs");
+    // Cadence 2 over 6 batches → b2 and b4 (the final batch never
+    // auto-checkpoints: there is nothing left to resume).
+    assert_eq!(out.checkpoints_written, 2);
+    assert!(dir.join("stream-ckpt-b2.opac").is_file());
+    assert!(dir.join("stream-ckpt-b4.opac").is_file());
+    assert!(!dir.join("stream-ckpt-b6.opac").exists());
+    assert_eq!(out.last_checkpoint, Some(dir.join("stream-ckpt-b4.opac")));
+
+    let resumed = StreamJobBuilder::new(click_job())
+        .framework(Framework::IncHash)
+        .cluster(ClusterSpec::tiny())
+        .batches(6)
+        .resume_stream(&data, &dir.join("stream-ckpt-b4.opac"), |_| {})
+        .expect("resume from periodic checkpoint");
+    assert_eq!(resumed.resumed_from_batch, Some(4));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_checkpoints_are_rejected() {
+    let data = ClickStreamSpec::small().generate(101);
+    let dir = tmp_dir("opa-stream-mismatch");
+    let ck = dir.join("inc.opac");
+    let ckp = ck.clone();
+    StreamJobBuilder::new(click_job())
+        .framework(Framework::IncHash)
+        .cluster(ClusterSpec::tiny())
+        .batches(4)
+        .run_stream(&data, |ctl| {
+            if ctl.batch() == 2 {
+                ctl.checkpoint(ckp.clone());
+            }
+        })
+        .expect("checkpointed run");
+
+    // Different framework → fingerprint mismatch.
+    let err = StreamJobBuilder::new(click_job())
+        .framework(Framework::DincHash)
+        .cluster(ClusterSpec::tiny())
+        .batches(4)
+        .resume_stream(&data, &ck, |_| {})
+        .expect_err("framework mismatch must be rejected");
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "unexpected error: {err}"
+    );
+
+    // Different job (same framework, same input) → job-name mismatch.
+    let err = StreamJobBuilder::new(FrequentUsersJob {
+        threshold: 20,
+        expected_users: 100,
+    })
+    .framework(Framework::IncHash)
+    .cluster(ClusterSpec::tiny())
+    .batches(4)
+    .resume_stream(&data, &ck, |_| {})
+    .expect_err("job mismatch must be rejected");
+    assert!(
+        err.to_string().contains("belongs to job"),
+        "unexpected error: {err}"
+    );
+
+    // Corrupted file → CRC failure, never a silent resume.
+    let mut bytes = std::fs::read(&ck).expect("read checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    let bad = dir.join("corrupt.opac");
+    std::fs::write(&bad, &bytes).expect("write corrupted");
+    assert!(StreamJobBuilder::new(click_job())
+        .framework(Framework::IncHash)
+        .cluster(ClusterSpec::tiny())
+        .batches(4)
+        .resume_stream(&data, &bad, |_| {})
+        .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_stream_configurations_are_rejected_up_front() {
+    let data = ClickStreamSpec::small().generate(101);
+    let build = || {
+        StreamJobBuilder::new(click_job())
+            .framework(Framework::IncHash)
+            .cluster(ClusterSpec::tiny())
+    };
+    assert!(build().batches(0).run_stream(&data, |_| {}).is_err());
+    // More batches than records: some batch would be empty.
+    assert!(build()
+        .batches(data.len() + 1)
+        .run_stream(&data, |_| {})
+        .is_err());
+    // A cadence with nowhere to write.
+    let err = build()
+        .batches(4)
+        .checkpoint_every(2)
+        .run_stream(&data, |_| {})
+        .expect_err("cadence without a directory must be rejected");
+    assert!(
+        err.to_string().contains("checkpoint"),
+        "unexpected error: {err}"
+    );
+    // Empty input.
+    let empty = opa_core::job::JobInput { records: vec![] };
+    assert!(build().batches(1).run_stream(&empty, |_| {}).is_err());
+}
+
+/// Long-haul soak: many batches, periodic checkpoints, injected reduce
+/// crashes, resume from the middle at two thread counts. Gated behind
+/// `OPA_SOAK=1` (CI runs it in the stream-soak job; it is too slow for
+/// the default `cargo test`).
+#[test]
+fn soak_stream_checkpoint_crash_resume() {
+    if std::env::var("OPA_SOAK").is_err() {
+        return;
+    }
+    let data = ClickStreamSpec::counting_scaled(3_000_000).generate(5);
+    // CI points OPA_SOAK_DIR somewhere uploadable, so the checkpoints of
+    // a failing soak land in the build artifacts (the cleanup below only
+    // runs when every assertion held).
+    let dir = match std::env::var_os("OPA_SOAK_DIR") {
+        Some(d) => {
+            let d = std::path::PathBuf::from(d);
+            std::fs::create_dir_all(&d).expect("mkdir");
+            d
+        }
+        None => tmp_dir("opa-stream-soak"),
+    };
+    let faults = FaultConfig {
+        seed: 11,
+        reduce_failure_rate: 0.1,
+        max_retries: 50,
+        ..FaultConfig::disabled()
+    };
+    for fw in [Framework::IncHash, Framework::DincHash] {
+        let sub = dir.join(format!("{fw:?}"));
+        std::fs::create_dir_all(&sub).expect("mkdir");
+        let build = || {
+            StreamJobBuilder::new(ClickCountJob {
+                expected_users: 1000,
+            })
+            .framework(fw)
+            .cluster(ClusterSpec::paper_scaled())
+            .faults(faults)
+            .batches(16)
+        };
+        let full = build().run_stream(&data, |_| {}).expect("full soak run");
+        assert!(
+            full.job
+                .metrics
+                .faults
+                .as_ref()
+                .expect("report")
+                .reduce_failures
+                > 0,
+            "{fw:?}: soak must exercise crash recovery"
+        );
+        let ckpt = build()
+            .checkpoint_every(8)
+            .checkpoint_dir(&sub)
+            .run_stream(&data, |_| {})
+            .expect("checkpointing soak run");
+        assert_eq!(ckpt.checkpoints_written, 1, "{fw:?}: b8 only");
+        let ck = sub.join("stream-ckpt-b8.opac");
+        for threads in [1, 8] {
+            let resumed = build()
+                .threads(threads)
+                .resume_stream(&data, &ck, |_| {})
+                .expect("soak resume");
+            assert_eq!(resumed.resumed_from_batch, Some(8));
+            assert_eq!(
+                full.job.output, resumed.job.output,
+                "{fw:?}@{threads}: soak resume must be bit-identical"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

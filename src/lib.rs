@@ -15,6 +15,9 @@
 //!   3.1/3.2, the Eq. 4 time measurement, and the `(C, F)` optimizer;
 //! - [`core`] — the MapReduce engine with all five reduce-side frameworks:
 //!   sort-merge, sort-merge + pipelining, MR-hash, INC-hash, DINC-hash;
+//! - [`stream`] — the continuous-ingestion runtime: micro-batch streaming
+//!   over the engine with checkpointed incremental state, crash/resume,
+//!   and a live query surface (point lookup, DINC top-k, watermarks);
 //! - [`workloads`] — synthetic click-stream / document generators and the
 //!   paper's five evaluation workloads.
 //!
@@ -41,4 +44,5 @@ pub use opa_core as core;
 pub use opa_freq as freq;
 pub use opa_model as model;
 pub use opa_simio as simio;
+pub use opa_stream as stream;
 pub use opa_workloads as workloads;

@@ -120,6 +120,73 @@ fn delivery_reordering_preserves_count_outputs_exactly() {
 }
 
 #[test]
+fn stream_checkpoint_resume_is_output_equivalent_under_reduce_crashes() {
+    // The streaming kill/resume contract: checkpoint mid-stream while
+    // reduce crashes are firing, restore into fresh reducers, and the
+    // resumed run must produce the same output multiset as the
+    // uninterrupted faulted run — every pair exactly once, nothing
+    // double-emitted from the restored pending buffers. (Raw emission
+    // *order* may differ: post-resume crash recovery re-replays an empty
+    // history, which re-times — never re-writes — subsequent work.)
+    use opa::stream::StreamJobBuilder;
+    let input = ClickStreamSpec::counting_scaled(1_500_000).generate(8);
+    let job = ClickCountJob {
+        expected_users: 1000,
+    };
+    // A high retry budget keeps crashes firing across the whole run, so
+    // the resumed half genuinely exercises post-restore crash recovery.
+    let cfg = FaultConfig {
+        seed: SEED,
+        reduce_failure_rate: RATE,
+        max_retries: 50,
+        ..FaultConfig::disabled()
+    };
+    let dir = std::env::temp_dir().join("opa-stream-crash-resume");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for fw in [Framework::IncHash, Framework::DincHash] {
+        let build = || {
+            StreamJobBuilder::new(job.clone())
+                .framework(fw)
+                .cluster(ClusterSpec::paper_scaled())
+                .faults(cfg)
+                .batches(5)
+        };
+        let full = build().run_stream(&input, |_| {}).expect("full stream");
+        let frep = full.job.metrics.faults.as_ref().expect("report");
+        assert!(frep.reduce_failures > 0, "{fw:?}: no crash fired at {RATE}");
+
+        let ck = dir.join(format!("{fw:?}.opac"));
+        let ckp = ck.clone();
+        build()
+            .run_stream(&input, |ctl| {
+                if ctl.batch() == 2 {
+                    ctl.checkpoint(ckp.clone());
+                }
+            })
+            .expect("checkpointing stream");
+        let resumed = build()
+            .resume_stream(&input, &ck, |_| {})
+            .expect("resumed stream");
+        let rrep = resumed.job.metrics.faults.as_ref().expect("report");
+        assert!(
+            rrep.reduce_failures > 0,
+            "{fw:?}: resume must still face post-restore crashes"
+        );
+        assert_eq!(
+            resumed.job.output.len(),
+            full.job.output.len(),
+            "{fw:?}: resume lost or double-emitted output"
+        );
+        assert_eq!(
+            resumed.job.sorted_output(),
+            full.job.sorted_output(),
+            "{fw:?}: resumed output differs from the uninterrupted run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn delivery_reordering_preserves_the_click_multiset_under_sessionization() {
     // Map retries delay deliveries past the reorder slack, so session
     // labels may re-anchor — but every click must appear exactly once,

@@ -34,10 +34,36 @@ fn digest(job: impl Job + Clone + 'static, framework: Framework, input: &JobInpu
     crc32(&encode_run(&outcome.sorted_output()))
 }
 
+/// Same cell, but streamed through `opa-stream` in `batches` micro-batches
+/// instead of one shot. The stream runtime promises bit-identical output,
+/// so this digest must equal the batch pin.
+fn stream_digest(
+    job: impl Job + Clone + 'static,
+    framework: Framework,
+    input: &JobInput,
+    batches: usize,
+) -> u32 {
+    let outcome = opa::stream::StreamJobBuilder::new(job)
+        .framework(framework)
+        .cluster(ClusterSpec::tiny())
+        .batches(batches)
+        .run_stream(input, |_| {})
+        .expect("stream runs");
+    crc32(&encode_run(&outcome.job.sorted_output()))
+}
+
 fn row(job: impl Job + Clone + 'static, input: &JobInput) -> [u32; 4] {
     let mut out = [0u32; 4];
     for (i, fw) in FRAMEWORKS.into_iter().enumerate() {
         out[i] = digest(job.clone(), fw, input);
+    }
+    out
+}
+
+fn stream_row(job: impl Job + Clone + 'static, input: &JobInput, batches: usize) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (i, fw) in FRAMEWORKS.into_iter().enumerate() {
+        out[i] = stream_digest(job.clone(), fw, input, batches);
     }
     out
 }
@@ -138,6 +164,70 @@ fn golden_digests_match() {
                 want[i], have[i],
                 "{name} / {fw:?}: output digest drifted (run with \
                  OPA_PRINT_GOLDEN=1 to re-pin after an intentional change)"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_runs_match_golden_digests() {
+    // The stream runtime seals micro-batches by *observing* the engine
+    // between events, so every (workload, framework) cell streamed in 4
+    // arrival-ordered batches must hit the exact same CRC pin as the
+    // one-shot batch run.
+    let clicks = ClickStreamSpec::small().generate(101);
+    let docs = DocumentSpec::small().generate(102);
+    let streamed: Vec<(&str, [u32; 4])> = vec![
+        ("sessionization", stream_row(sessionize_job(), &clicks, 4)),
+        (
+            "click-count",
+            stream_row(
+                ClickCountJob {
+                    expected_users: 100,
+                },
+                &clicks,
+                4,
+            ),
+        ),
+        (
+            "frequent-users",
+            stream_row(
+                FrequentUsersJob {
+                    threshold: 20,
+                    expected_users: 100,
+                },
+                &clicks,
+                4,
+            ),
+        ),
+        (
+            "page-freq",
+            stream_row(
+                PageFreqJob {
+                    expected_pages: 1000,
+                },
+                &clicks,
+                4,
+            ),
+        ),
+        (
+            "trigrams",
+            stream_row(
+                TrigramCountJob {
+                    threshold: 10,
+                    expected_trigrams: 10_000,
+                },
+                &docs,
+                4,
+            ),
+        ),
+    ];
+    for ((name, want), (_, have)) in GOLDEN.iter().zip(&streamed) {
+        for (i, fw) in FRAMEWORKS.into_iter().enumerate() {
+            assert_eq!(
+                want[i], have[i],
+                "{name} / {fw:?}: streamed output diverges from the \
+                 one-shot batch pin"
             );
         }
     }
