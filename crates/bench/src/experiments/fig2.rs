@@ -20,7 +20,8 @@ pub fn run(cfg: &ExpConfig) {
     let (input, info) = session_input(cfg, WORLDCUP_TABLE1);
 
     // (a,b,c) stock sort-merge on a single shared disk.
-    let stock = run_job(
+    let stock = run_job_traced(
+        cfg,
         "fig2/stock-SM",
         session_job(&info, 512),
         Framework::SortMerge,
@@ -32,7 +33,8 @@ pub fn run(cfg: &ExpConfig) {
     // (d) intermediate data on SSD.
     let mut ssd_cluster = stock_cluster(cfg);
     ssd_cluster.cost = CostModel::paper_scaled_ssd_spill();
-    let ssd = run_job(
+    let ssd = run_job_traced(
+        cfg,
         "fig2/stock-SM-ssd-spill",
         session_job(&info, 512),
         Framework::SortMerge,
@@ -42,7 +44,8 @@ pub fn run(cfg: &ExpConfig) {
     );
 
     // (e,f) pipelining (HOP-style).
-    let hop = run_job(
+    let hop = run_job_traced(
+        cfg,
         "fig2/pipelined-SM",
         session_job(&info, 512),
         Framework::SortMergePipelined,

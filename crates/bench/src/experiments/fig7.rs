@@ -34,7 +34,8 @@ pub fn run_a(cfg: &ExpConfig) {
     let (input, info) = session_input(cfg, WORLDCUP_EVAL);
     let cluster = one_pass_cluster(cfg, input.total_bytes(), 1.0);
     let job = || session_job(&info, 512);
-    let sm = run_job(
+    let sm = run_job_traced(
+        cfg,
         "fig7a/SM",
         job(),
         Framework::SortMerge,
@@ -42,8 +43,24 @@ pub fn run_a(cfg: &ExpConfig) {
         &input,
         1.0,
     );
-    let mr = run_job("fig7a/MR", job(), Framework::MrHash, cluster, &input, 1.0);
-    let inc = run_job("fig7a/INC", job(), Framework::IncHash, cluster, &input, 1.0);
+    let mr = run_job_traced(
+        cfg,
+        "fig7a/MR",
+        job(),
+        Framework::MrHash,
+        cluster,
+        &input,
+        1.0,
+    );
+    let inc = run_job_traced(
+        cfg,
+        "fig7a/INC",
+        job(),
+        Framework::IncHash,
+        cluster,
+        &input,
+        1.0,
+    );
     for (l, o) in [("SM", &sm), ("MR-hash", &mr), ("INC-hash", &inc)] {
         println!(
             "  {l}: {} (paper: SM/MR blocked at 33%, INC keeps up until memory fills)",

@@ -121,6 +121,46 @@ pub fn run_job(
     outcome
 }
 
+/// Runs one job with structured tracing on and writes the trace alongside
+/// the experiment's CSVs: `<outdir>/traces/<label>.jsonl` (the JSONL
+/// vocabulary of `OBSERVABILITY.md`) plus a ready-to-load Perfetto view
+/// `<label>.chrome.json`. Timeline figures regenerate from these files via
+/// `opa trace --format chrome` without re-running the experiment.
+pub fn run_job_traced(
+    cfg: &ExpConfig,
+    label: &str,
+    job: impl opa_core::api::Job + 'static,
+    framework: Framework,
+    cluster: ClusterSpec,
+    input: &JobInput,
+    km_hint: f64,
+) -> JobOutcome {
+    let wall = std::time::Instant::now();
+    let outcome = JobBuilder::new(job)
+        .framework(framework)
+        .cluster(cluster)
+        .km_hint(km_hint)
+        .trace(true)
+        .run(input)
+        .expect("experiment job must run");
+    let dir = cfg.outdir.join("traces");
+    std::fs::create_dir_all(&dir).expect("mkdir traces");
+    let stem = label.replace('/', "-");
+    let log = outcome.trace.as_ref().expect("trace was enabled");
+    log.write_jsonl(&dir.join(format!("{stem}.jsonl")))
+        .expect("write trace jsonl");
+    std::fs::write(dir.join(format!("{stem}.chrome.json")), log.to_chrome())
+        .expect("write chrome trace");
+    eprintln!(
+        "  [{label}] virtual {:.0}s, wall {:.1?}, trace {} events → {}",
+        outcome.metrics.running_time.as_secs_f64(),
+        wall.elapsed(),
+        log.events.len(),
+        dir.join(format!("{stem}.jsonl")).display()
+    );
+    outcome
+}
+
 /// Formats run bytes as paper-scale gigabytes.
 pub fn gb(cfg: &ExpConfig, run_bytes: u64) -> String {
     format!("{:.1}", cfg.to_paper_gb(run_bytes))

@@ -35,21 +35,28 @@ usage:
   opa generate documents   --bytes SIZE [--seed N] --out FILE
   opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
               [--km RATIO] [--threads N] [--progress-csv FILE] [--output FILE]
-              [--fault-rate P] [--fault-seed N]
+              [--fault-rate P] [--fault-seed N] [--trace-out FILE] [--drift]
       JOB: sessionize | click-count | frequent-users | page-freq | trigrams
       FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
       --fault-rate P injects map/reduce failures, stragglers and spill-disk
       errors, each with probability P in [0, 1); --fault-seed N (default 42)
       makes the failure trace reproducible. Recovery never loses data;
       count-style outputs are bit-identical to the fault-free run.
+      --trace-out FILE captures every simulation event as structured JSONL
+      (see OBSERVABILITY.md); --drift additionally evaluates the Prop 3.1/3.2
+      model for this run's configuration and reports per-term relative error.
   opa stream JOB --input FILE [--batches K] [--framework FW] [--threads N]
               [--checkpoint-every N --checkpoint-dir DIR] [--resume CKPT]
               [--watch-key N] [--top-k N] [--output FILE]
-              [--fault-rate P] [--fault-seed N]
+              [--fault-rate P] [--fault-seed N] [--trace-out FILE]
       Feeds the input through the engine in K arrival-ordered micro-batches
       (default 4), printing progress and the live incremental state at each
       sealed batch. The streamed output is bit-identical to `opa run`'s.
       --resume restarts from a checkpoint written by an earlier stream run.
+  opa trace FILE [--format chrome|summary] [--out FILE]
+      Post-processes a JSONL trace written by --trace-out: `chrome` exports
+      a Chrome/Perfetto trace (load at ui.perfetto.dev), `summary` (default)
+      prints per-phase rollups.
   opa query --checkpoint CKPT [--key N] [--top-k N]
       Answers point-lookup / top-k / progress queries offline, straight from
       a stream checkpoint file — no job re-execution.
@@ -64,6 +71,7 @@ fn main() -> ExitCode {
         ["generate", "documents"] => generate_documents(&args),
         ["run", job] => run_job(job, &args),
         ["stream", job] => stream_job(job, &args),
+        ["trace", file] => trace_file(file, &args),
         ["query"] => query_checkpoint(&args),
         ["model"] => model(&args),
         _ => {
@@ -182,6 +190,8 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
     } else {
         opa_common::fault::FaultConfig::disabled()
     };
+    let want_drift = args.has_flag("drift") || args.options.contains_key("drift");
+    let trace_on = args.options.contains_key("trace-out") || want_drift;
 
     let outcome: JobOutcome = match job {
         "sessionize" => JobBuilder::new(SessionizeJob {
@@ -196,6 +206,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .trace(trace_on)
         .run(&input),
         "click-count" => JobBuilder::new(ClickCountJob {
             expected_users: args.get_or("expected-keys", 50_000u64),
@@ -205,6 +216,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .trace(trace_on)
         .run(&input),
         "frequent-users" => JobBuilder::new(FrequentUsersJob {
             threshold: args.get_or("threshold", 50u64),
@@ -215,6 +227,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .trace(trace_on)
         .run(&input),
         "page-freq" => JobBuilder::new(PageFreqJob {
             expected_pages: args.get_or("expected-keys", 10_000u64),
@@ -224,6 +237,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .trace(trace_on)
         .run(&input),
         "trigrams" => JobBuilder::new(TrigramCountJob {
             threshold: args.get_or("threshold", 1000u64),
@@ -234,6 +248,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .trace(trace_on)
         .run(&input),
         other => return Err(format!("unknown job '{other}'")),
     }
@@ -251,6 +266,24 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         );
     }
 
+    if trace_on {
+        let log = outcome
+            .trace
+            .as_ref()
+            .ok_or("trace was requested but the engine returned none")?;
+        if let Some(path) = args.options.get("trace-out") {
+            log.write_jsonl(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            println!("  trace               {path} ({} events)", log.events.len());
+        }
+        if want_drift {
+            let rollup = log.rollup();
+            let report = opa_trace::drift::check(cluster.system, cluster.hardware, &rollup)
+                .map_err(|e| e.to_string())?;
+            println!("model drift (predicted vs measured, first-pass I/O):");
+            print!("{}", report.render());
+        }
+    }
     if let Some(csv) = args.options.get("progress-csv") {
         use std::io::Write;
         let mut f = std::fs::File::create(csv).map_err(|e| format!("create {csv}: {e}"))?;
@@ -366,6 +399,7 @@ fn stream_with<J: opa_core::api::Job>(job: J, args: &Args, input: &JobInput) -> 
         .km_hint(args.get_or("km", 1.0f64))
         .exec(exec)
         .faults(faults)
+        .trace(args.options.contains_key("trace-out"))
         .batches(args.get_or("batches", 4usize));
     if let Some(n) = args.get::<usize>("checkpoint-every") {
         builder = builder.checkpoint_every(n);
@@ -428,12 +462,48 @@ fn stream_with<J: opa_core::api::Job>(job: J, args: &Args, input: &JobInput) -> 
             rep.map_failures, rep.stragglers, rep.reduce_failures, rep.spill_io_errors
         );
     }
+    if let Some(path) = args.options.get("trace-out") {
+        let log = outcome
+            .job
+            .trace
+            .as_ref()
+            .ok_or("trace was requested but the engine returned none")?;
+        log.write_jsonl(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("  trace               {path} ({} events)", log.events.len());
+    }
     if let Some(out) = args.options.get("output") {
         outcome
             .job
             .write_output(std::path::Path::new(out))
             .map_err(|e| e.to_string())?;
         println!("  output file         {out}");
+    }
+    Ok(())
+}
+
+fn trace_file(file: &str, args: &Args) -> Result<(), String> {
+    let log =
+        opa_trace::TraceLog::read_jsonl(std::path::Path::new(file)).map_err(|e| e.to_string())?;
+    let format = args
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("summary");
+    let rendered = match format {
+        "chrome" => log.to_chrome(),
+        "summary" => log.rollup().render(),
+        other => return Err(format!("unknown format '{other}' (chrome | summary)")),
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "wrote {format} view of {} events to {path}",
+                log.events.len()
+            );
+        }
+        None => print!("{rendered}"),
     }
     Ok(())
 }

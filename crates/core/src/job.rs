@@ -43,6 +43,7 @@ use opa_common::fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 use opa_common::units::{SimDuration, SimTime};
 use opa_common::{Error, ExecConfig, HashFamily, Pair, Result};
 use opa_simio::{BlockStore, DiskFaultInjector, IoCategory, IoOp};
+use opa_trace::{TraceEvent, TraceLog};
 use std::collections::VecDeque;
 
 /// Number of points progress curves are resampled to.
@@ -103,6 +104,10 @@ pub struct JobOutcome {
     pub usage: Usage,
     /// The job's actual output pairs (order unspecified across reducers).
     pub output: Vec<Pair>,
+    /// The structured event trace, when the run was started with
+    /// [`JobBuilder::trace`]. Bit-identical at any thread count; see the
+    /// `opa-trace` crate for the JSONL format, rollups and exporters.
+    pub trace: Option<TraceLog>,
 }
 
 impl JobOutcome {
@@ -146,6 +151,7 @@ pub struct JobBuilder<J: Job> {
     snapshot_points: Vec<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
     faults: FaultConfig,
+    trace: bool,
 }
 
 impl<J: Job> JobBuilder<J> {
@@ -161,7 +167,17 @@ impl<J: Job> JobBuilder<J> {
             snapshot_points: Vec::new(),
             dinc_monitor: crate::reduce::dinc_hash::MonitorKind::Frequent,
             faults: FaultConfig::disabled(),
+            trace: false,
         }
+    }
+
+    /// Turns on structured event tracing. The run then carries a
+    /// [`TraceLog`] in [`JobOutcome::trace`] — one record per simulation
+    /// event, deterministic and bit-identical at any thread count. Off by
+    /// default (tracing is zero-cost when off).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
     }
 
     /// Selects the reduce-side framework.
@@ -283,6 +299,7 @@ impl<J: Job> JobBuilder<J> {
             self.dinc_monitor,
             &self.snapshot_points,
             &self.faults,
+            self.trace,
             input,
         )
     }
@@ -345,6 +362,7 @@ fn run_job(
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
     snapshot_points: &[f64],
     faults: &FaultConfig,
+    trace: bool,
     input: &JobInput,
 ) -> Result<JobOutcome> {
     let hw = &spec.hardware;
@@ -373,6 +391,9 @@ fn run_job(
 
         let separate_spill = spec.cost.spill_disk != spec.cost.hdfs_disk;
         let mut res = Resources::new(n_nodes, hw.map_slots.max(hw.reduce_slots), separate_spill);
+        if trace {
+            res.enable_trace();
+        }
         let mut progress = ProgressTracker::new(store.num_chunks() as u64);
 
         // Fault-injection state. All decisions and recovery charging run
@@ -499,6 +520,12 @@ fn run_job(
             match ev {
                 Ev::StartMap { chunk, attempt } => {
                     let node = store.chunks()[chunk].node;
+                    res.emit(TraceEvent::MapStart {
+                        t: t.0,
+                        chunk: chunk as u32,
+                        attempt,
+                        node: node as u32,
+                    });
                     // Retries reuse the stashed pure plan; the planner only
                     // hands out each chunk's first-execution plan.
                     let plan = if attempt == 0 {
@@ -527,6 +554,18 @@ fn run_job(
                                 kind: FaultKind::MapFailure,
                                 target: chunk as u64,
                                 attempt,
+                            });
+                            res.emit(TraceEvent::Fault {
+                                t: waste.fail_time.0,
+                                kind: FaultKind::MapFailure,
+                                target: chunk as u64,
+                                attempt,
+                            });
+                            res.emit(TraceEvent::Retry {
+                                t: (waste.fail_time + backoff).0,
+                                kind: FaultKind::MapFailure,
+                                target: chunk as u64,
+                                attempt: attempt + 1,
                             });
                             plan_stash[chunk] = Some(plan);
                             queue.push(
@@ -558,6 +597,18 @@ fn run_job(
                                 target: chunk as u64,
                                 attempt,
                             });
+                            res.emit(TraceEvent::Fault {
+                                t: detect.0,
+                                kind: FaultKind::Straggler,
+                                target: chunk as u64,
+                                attempt,
+                            });
+                            res.emit(TraceEvent::Retry {
+                                t: detect.0,
+                                kind: FaultKind::Straggler,
+                                target: chunk as u64,
+                                attempt: attempt + 1,
+                            });
                             plan_stash[chunk] = Some(plan);
                             queue.push(
                                 detect,
@@ -571,6 +622,15 @@ fn run_job(
                         MapFate::Ok => {}
                     }
                     let result = finish_map_task(plan, node, t, spec, &mut res);
+                    res.emit(TraceEvent::MapFinish {
+                        t0: t.0,
+                        t: result.finish.0,
+                        chunk: chunk as u32,
+                        node: node as u32,
+                        cpu: result.cpu.0,
+                        output_bytes: result.output_bytes,
+                        spill_bytes: result.spill_bytes,
+                    });
                     map_cpu[node] += result.cpu;
                     spill_written_map += result.spill_bytes;
                     map_output_bytes += result.output_bytes;
@@ -598,7 +658,14 @@ fn run_job(
                                 continue;
                             }
                             let arrival = granule.time + spec.cost.net_time(payload.bytes());
-                            res.span(OpKind::Shuffle, granule.time, arrival);
+                            res.span(node, OpKind::Shuffle, granule.time, arrival);
+                            res.emit(TraceEvent::Shuffle {
+                                t0: granule.time.0,
+                                t: arrival.0,
+                                from_node: node as u32,
+                                reducer: r as u32,
+                                bytes: payload.bytes(),
+                            });
                             queue.push(
                                 arrival,
                                 Ev::Deliver {
@@ -723,6 +790,18 @@ fn run_job(
                                     attempt: crash_count[r] - 1,
                                 });
                                 let backoff = faults.backoff(crash_count[r]);
+                                res.emit(TraceEvent::Fault {
+                                    t: t0.0,
+                                    kind: FaultKind::ReduceFailure,
+                                    target: r as u64,
+                                    attempt: crash_count[r] - 1,
+                                });
+                                res.emit(TraceEvent::Retry {
+                                    t: (t0 + backoff).0,
+                                    kind: FaultKind::ReduceFailure,
+                                    target: r as u64,
+                                    attempt: crash_count[r],
+                                });
                                 let recov = replay_recovery(
                                     &history[r],
                                     t0 + backoff,
@@ -792,6 +871,11 @@ fn run_job(
             node_wave1_finish[reducer_node(r)].push(done);
             end = end.max(done);
             reducers[r] = Some(rec);
+            res.emit(TraceEvent::ReduceFinish {
+                t: done.0,
+                reducer: r as u32,
+                node: reducer_node(r) as u32,
+            });
         }
 
         // Second-wave reducers: start when a first-wave reducer on their
@@ -815,6 +899,11 @@ fn run_job(
                 wave_cursor[node] += 1;
                 slot_times[i]
             };
+            res.emit(TraceEvent::ReduceStart {
+                t: start.0,
+                reducer: r as u32,
+                node: node as u32,
+            });
             let mut t = start;
             let deliveries = std::mem::take(&mut deferred[r]);
             let dbg_wave2 = std::env::var_os("OPA_TRACE_WAVE2").is_some();
@@ -850,6 +939,18 @@ fn run_job(
                             attempt: crash_count[r] - 1,
                         });
                         let backoff = faults.backoff(crash_count[r]);
+                        res.emit(TraceEvent::Fault {
+                            t: t0.0,
+                            kind: FaultKind::ReduceFailure,
+                            target: r as u64,
+                            attempt: crash_count[r] - 1,
+                        });
+                        res.emit(TraceEvent::Retry {
+                            t: (t0 + backoff).0,
+                            kind: FaultKind::ReduceFailure,
+                            target: r as u64,
+                            attempt: crash_count[r],
+                        });
                         let recov =
                             replay_recovery(&history[r], t0 + backoff, spec, node, &mut res);
                         freport.wasted_bytes += recov.wasted_bytes;
@@ -871,6 +972,11 @@ fn run_job(
             let mut env = ReduceEnv::new(spec);
             rec.finish(t, &mut env);
             let done = replay(env.into_log(), t, spec, target!(r));
+            res.emit(TraceEvent::ReduceFinish {
+                t: done.0,
+                reducer: r as u32,
+                node: node as u32,
+            });
             merge_dinc(rec.dinc_stats());
             reducers[r] = Some(rec);
             if dbg_wave2 {
@@ -911,15 +1017,18 @@ fn run_job(
             map_cpu_per_node: SimDuration(total_map_cpu.0 / n_nodes as u64),
             reduce_cpu_per_node: SimDuration(total_reduce_cpu.0 / n_nodes as u64),
             io: res.io.clone(),
+            io_recovery: res.io_recovery.clone(),
             dinc: dinc_total,
             faults: fault_report,
         };
+        let trace_log = res.take_trace();
         Ok(JobOutcome {
             metrics,
             progress: progress.finish(end, PROGRESS_POINTS),
             timeline: std::mem::take(&mut res.timeline),
             usage: res.usage,
             output,
+            trace: trace_log,
         })
     })
 }

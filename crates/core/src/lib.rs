@@ -34,6 +34,46 @@
 //! [`job::JobInput`]. The returned [`job::JobOutcome`] carries the real
 //! output, the five-category I/O statistics, Definition-1 progress curves
 //! and the task timeline used to regenerate the paper's figures.
+//!
+//! ```
+//! use opa_common::{Key, Value};
+//! use opa_core::prelude::*;
+//!
+//! // The classic example: word count under the stock sort-merge baseline.
+//! struct WordCount;
+//!
+//! impl Job for WordCount {
+//!     fn name(&self) -> &str {
+//!         "word-count"
+//!     }
+//!     fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+//!         for w in record.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+//!             emit(Key::new(w.to_vec()), Value::from_u64(1));
+//!         }
+//!     }
+//!     fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+//!         let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+//!         ctx.emit(key.clone(), Value::from_u64(sum));
+//!     }
+//! }
+//!
+//! let input = JobInput::from_text("to be or not\nto be\n");
+//! let outcome = JobBuilder::new(WordCount)
+//!     .framework(Framework::SortMerge)
+//!     .cluster(ClusterSpec::tiny())
+//!     .run(&input)
+//!     .expect("job runs");
+//!
+//! let counts = outcome.sorted_output();
+//! assert_eq!(counts.len(), 4); // "be", "not", "or", "to"
+//! assert_eq!(counts[3].key.bytes(), b"to");
+//! assert_eq!(counts[3].value.as_u64(), Some(2));
+//! assert!(outcome.metrics.io.total_bytes() > 0); // the run was priced
+//! ```
+//!
+//! Add `.trace(true)` to the builder and the outcome carries a
+//! deterministic [`opa_trace::TraceLog`] of every scheduling decision —
+//! see `OBSERVABILITY.md` at the repository root for the event glossary.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

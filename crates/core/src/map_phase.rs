@@ -268,16 +268,16 @@ fn replay_partial(
             MapOp::MergeStart => merge_starts.push(t),
             MapOp::MergeEnd => {
                 let m0 = merge_starts.pop().expect("balanced merge markers");
-                res.span(OpKind::Merge, m0, t);
+                res.span(node, OpKind::Merge, m0, t);
             }
             MapOp::Granule => {}
         }
     }
     // A merge interrupted by the failure still occupied the timeline.
     while let Some(m0) = merge_starts.pop() {
-        res.span(OpKind::Merge, m0, t);
+        res.span(node, OpKind::Merge, m0, t);
     }
-    res.span(OpKind::Map, start, t);
+    res.span(node, OpKind::Map, start, t);
     MapAttemptWaste {
         fail_time: t,
         wasted_cpu,
@@ -351,12 +351,12 @@ pub fn finish_map_task(
             MapOp::MergeStart => merge_starts.push(t),
             MapOp::MergeEnd => {
                 let m0 = merge_starts.pop().expect("balanced merge markers");
-                res.span(OpKind::Merge, m0, t);
+                res.span(node, OpKind::Merge, m0, t);
             }
             MapOp::Granule => granule_times.push(t),
         }
     }
-    res.span(OpKind::Map, start, t);
+    res.span(node, OpKind::Map, start, t);
     let granules = granule_times
         .into_iter()
         .zip(plan.granules)

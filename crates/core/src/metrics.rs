@@ -52,8 +52,14 @@ pub struct JobMetrics {
     pub map_cpu_per_node: SimDuration,
     /// CPU time consumed by reduce tasks, averaged per node.
     pub reduce_cpu_per_node: SimDuration,
-    /// Five-category I/O statistics (cluster-wide).
+    /// Five-category I/O statistics (cluster-wide), covering everything
+    /// the simulated devices served — including I/O re-done while
+    /// recovering from injected faults.
     pub io: IoStats,
+    /// The recovery-only share of [`JobMetrics::io`]: bytes and requests
+    /// re-done by reduce-task re-replays after injected crashes. Always
+    /// zero without fault injection. See [`JobMetrics::io_first_pass`].
+    pub io_recovery: IoStats,
     /// DINC monitor statistics (only for `Framework::DincHash`).
     pub dinc: Option<DincStats>,
     /// Fault-injection report: retries, wasted work, recovery time and the
@@ -70,6 +76,17 @@ impl JobMetrics {
             return f64::INFINITY;
         }
         other.reduce_spill_bytes as f64 / self.reduce_spill_bytes as f64
+    }
+
+    /// Fault-free first-pass I/O: [`JobMetrics::io`] with the recovery
+    /// re-replay traffic stripped back out. This is the quantity the §3
+    /// model (Props. 3.1/3.2) predicts and the one the drift checker
+    /// treats as authoritative — under fault injection, `io` alone
+    /// double-counts recovered reduce-task work relative to the
+    /// `reduce_spill_bytes`/`output_bytes` rows, which only ever count
+    /// first-pass bytes (pinned in `tests/fault_recovery_semantics.rs`).
+    pub fn io_first_pass(&self) -> IoStats {
+        self.io.minus(&self.io_recovery)
     }
 }
 
@@ -136,6 +153,7 @@ mod tests {
             map_cpu_per_node: SimDuration::from_secs_f64(936.0),
             reduce_cpu_per_node: SimDuration::from_secs_f64(1104.0),
             io: IoStats::new(),
+            io_recovery: IoStats::new(),
             dinc: None,
             faults: None,
         }

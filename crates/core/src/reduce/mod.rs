@@ -253,7 +253,7 @@ pub fn replay(
             Effect::SpanOpen => spans.push(t),
             Effect::SpanClose(kind) => {
                 let start = spans.pop().expect("span_close without span_open");
-                target.res.span(kind, start, t);
+                target.res.span(target.node, kind, start, t);
             }
         }
     }
@@ -292,6 +292,9 @@ pub fn replay_recovery(
     let mut t = t0;
     let mut wasted_bytes = 0u64;
     let mut wasted_cpu = SimDuration::ZERO;
+    // Everything charged below is re-done work: segregate it so
+    // first-pass metrics (what the §3 model predicts) stay clean.
+    res.begin_recovery();
     for effect in history {
         match effect {
             Effect::Cpu(dur) => {
@@ -322,6 +325,7 @@ pub fn replay_recovery(
             Effect::Shuffled(_) | Effect::Worked(_) | Effect::SpanOpen | Effect::SpanClose(_) => {}
         }
     }
+    res.end_recovery();
     RecoveryCost {
         ready_at: t,
         wasted_bytes,

@@ -11,6 +11,7 @@
 use crate::cost::CostModel;
 use opa_common::units::{SimDuration, SimTime};
 use opa_simio::{IoCategory, IoOp, IoStats};
+use opa_trace::{SpanKind, TraceEvent, TraceLog, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Operation classes shown on the paper's task timelines.
@@ -24,6 +25,19 @@ pub enum OpKind {
     Merge,
     /// Final-merge + reduce-function work, or hash-side reduce work.
     Reduce,
+}
+
+impl OpKind {
+    /// The corresponding trace-layer span kind (`opa-trace` has no
+    /// dependency on this crate, so the vocabulary is mirrored there).
+    pub fn trace_kind(self) -> SpanKind {
+        match self {
+            OpKind::Map => SpanKind::Map,
+            OpKind::Shuffle => SpanKind::Shuffle,
+            OpKind::Merge => SpanKind::Merge,
+            OpKind::Reduce => SpanKind::Reduce,
+        }
+    }
 }
 
 /// One timeline interval.
@@ -127,10 +141,21 @@ pub struct Resources {
     pub usage: Usage,
     /// Task timeline spans.
     pub timeline: Vec<Span>,
-    /// Job-wide I/O statistics.
+    /// Job-wide I/O statistics (first pass and recovery combined — what
+    /// the devices actually served).
     pub io: IoStats,
+    /// The recovery-only share of [`Resources::io`]: I/O re-done while
+    /// re-replaying reduce work lost to an injected crash. Subtracting it
+    /// recovers the fault-free first pass the §3 model predicts
+    /// (`JobMetrics::io_first_pass`).
+    pub io_recovery: IoStats,
     /// Optional spill-disk error injector (fault-injection subsystem).
     disk_faults: Option<opa_simio::DiskFaultInjector>,
+    /// Structured event collector; `None` (the default) keeps tracing
+    /// zero-cost.
+    trace: Option<Box<Tracer>>,
+    /// Whether I/O charged right now is fault-recovery re-replay.
+    in_recovery: bool,
 }
 
 impl Resources {
@@ -153,8 +178,48 @@ impl Resources {
             usage: Usage::new(10.0, nodes, cores_per_node),
             timeline: Vec::new(),
             io: IoStats::new(),
+            io_recovery: IoStats::new(),
             disk_faults: None,
+            trace: None,
+            in_recovery: false,
         }
+    }
+
+    /// Turns on structured event collection for this run. All emission
+    /// happens scheduler-side in event order, so the resulting trace is
+    /// bit-identical at any execution-thread count.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Box::new(Tracer::new()));
+    }
+
+    /// Whether event collection is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Appends one event to the trace, if tracing is on.
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ev);
+        }
+    }
+
+    /// Detaches the collected trace (if tracing was on).
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take().map(|t| t.into_log())
+    }
+
+    /// Marks subsequent I/O as fault-recovery re-replay: it still hits
+    /// [`Resources::io`] (the device really served it) but is mirrored
+    /// into [`Resources::io_recovery`] and flagged in the trace.
+    pub fn begin_recovery(&mut self) {
+        self.in_recovery = true;
+    }
+
+    /// Ends the recovery window opened by [`Resources::begin_recovery`].
+    pub fn end_recovery(&mut self) {
+        self.in_recovery = false;
     }
 
     /// Arms spill-disk error injection. Disk operations keep their logical
@@ -183,12 +248,16 @@ impl Resources {
             return t;
         }
         self.io.record(cat, op);
+        if self.in_recovery {
+            self.io_recovery.record(cat, op);
+        }
         let dur = cost.hdfs_time(op);
         let q = &mut self.nodes[node].hdfs;
         let start = t.max(q.free_at);
         let end = start + dur;
         q.free_at = end;
         self.usage.add_disk(start, end);
+        self.emit_io(node, start, end, cat, op);
         end
     }
 
@@ -206,6 +275,9 @@ impl Resources {
             return t;
         }
         self.io.record(cat, op);
+        if self.in_recovery {
+            self.io_recovery.record(cat, op);
+        }
         let dur = cost.spill_time(op);
         let n = &mut self.nodes[node];
         let q = if self.shared_device {
@@ -226,7 +298,24 @@ impl Resources {
         }
         q.free_at = end;
         self.usage.add_disk(start, end);
+        self.emit_io(node, start, end, cat, op);
         end
+    }
+
+    #[inline]
+    fn emit_io(&mut self, node: usize, start: SimTime, end: SimTime, cat: IoCategory, op: IoOp) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceEvent::Io {
+                t0: start.0,
+                t: end.0,
+                node: node as u32,
+                cat,
+                read: op.read,
+                written: op.written,
+                seeks: op.seeks,
+                recovery: self.in_recovery,
+            });
+        }
     }
 
     /// Charges `dur` of CPU time starting at `t` (slots, not this method,
@@ -237,10 +326,18 @@ impl Resources {
         end
     }
 
-    /// Records a timeline span.
-    pub fn span(&mut self, kind: OpKind, start: SimTime, end: SimTime) {
+    /// Records a timeline span on `node`.
+    pub fn span(&mut self, node: usize, kind: OpKind, start: SimTime, end: SimTime) {
         if end > start {
             self.timeline.push(Span { kind, start, end });
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(TraceEvent::Span {
+                    t0: start.0,
+                    t: end.0,
+                    node: node as u32,
+                    kind: kind.trace_kind(),
+                });
+            }
         }
     }
 
@@ -434,8 +531,8 @@ mod tests {
     #[test]
     fn spans_drop_empty_intervals() {
         let mut res = Resources::new(1, 4, false);
-        res.span(OpKind::Map, t(1.0), t(1.0));
-        res.span(OpKind::Map, t(1.0), t(2.0));
+        res.span(0, OpKind::Map, t(1.0), t(1.0));
+        res.span(0, OpKind::Map, t(1.0), t(2.0));
         assert_eq!(res.timeline.len(), 1);
     }
 

@@ -1,0 +1,146 @@
+//! The trace layer's determinism contract: with tracing on, the JSONL
+//! trace must be **byte-identical at any execution-layer thread count**
+//! (emission happens only on the scheduling side, so worker threads can
+//! never reorder or reword events), and turning tracing on must not
+//! perturb the simulation itself — same metrics, output, progress and
+//! timeline as the untraced run.
+
+mod common;
+
+use common::{seeded_input, spec, WordCount};
+use opa_common::fault::FaultConfig;
+use opa_core::cluster::Framework;
+use opa_core::job::{JobBuilder, JobOutcome};
+use opa_simio::codec::crc32;
+
+fn run_traced(framework: Framework, threads: usize, faults: Option<FaultConfig>) -> JobOutcome {
+    let input = seeded_input(0xC0FFEE, 1500);
+    let mut b = JobBuilder::new(WordCount)
+        .framework(framework)
+        .cluster(spec())
+        .threads(threads)
+        .trace(true);
+    if let Some(cfg) = faults {
+        b = b.faults(cfg);
+    }
+    b.run(&input).expect("job runs")
+}
+
+fn jsonl(outcome: &JobOutcome) -> String {
+    outcome.trace.as_ref().expect("trace enabled").to_jsonl()
+}
+
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    for framework in [
+        Framework::SortMerge,
+        Framework::SortMergePipelined,
+        Framework::MrHash,
+        Framework::IncHash,
+        Framework::DincHash,
+    ] {
+        let seq = jsonl(&run_traced(framework, 1, None));
+        assert!(!seq.is_empty(), "{framework:?}: trace must not be empty");
+        for threads in [2, 8] {
+            let par = jsonl(&run_traced(framework, threads, None));
+            assert_eq!(
+                seq, par,
+                "{framework:?} trace diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_event_traces_are_byte_identical_across_thread_counts() {
+    // Fault and retry events ride the same scheduler-side path; the
+    // injected failure plan is seeded, so the full fault vocabulary must
+    // reproduce byte-for-byte too.
+    let cfg = FaultConfig {
+        seed: 9,
+        map_failure_rate: 0.1,
+        reduce_failure_rate: 0.1,
+        straggler_rate: 0.05,
+        ..FaultConfig::disabled()
+    };
+    let seq = jsonl(&run_traced(Framework::IncHash, 1, Some(cfg)));
+    assert!(
+        seq.contains("\"ev\":\"fault\"") && seq.contains("\"ev\":\"retry\""),
+        "fault plan must actually fire for this pin to mean anything"
+    );
+    for threads in [2, 8] {
+        let par = jsonl(&run_traced(Framework::IncHash, threads, Some(cfg)));
+        assert_eq!(seq, par, "faulted trace diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // Everything except the trace itself must be bit-identical between a
+    // traced and an untraced run: tracing is observation, not behavior.
+    let input = seeded_input(0xC0FFEE, 1500);
+    let run = |trace: bool| {
+        let o = JobBuilder::new(WordCount)
+            .framework(Framework::SortMerge)
+            .cluster(spec())
+            .trace(trace)
+            .run(&input)
+            .expect("job runs");
+        (
+            format!(
+                "{:?} {:?} {:?} {:?}",
+                o.metrics, o.progress, o.timeline, o.usage
+            ),
+            o.sorted_output(),
+            o.trace.is_some(),
+        )
+    };
+    let (off_state, off_out, off_has) = run(false);
+    let (on_state, on_out, on_has) = run(true);
+    assert!(!off_has && on_has);
+    assert_eq!(off_state, on_state, "tracing changed the simulation");
+    assert_eq!(off_out, on_out, "tracing changed the output");
+}
+
+#[test]
+fn rollup_agrees_with_job_metrics() {
+    // The trace is a complete account: folding it back into a rollup must
+    // reproduce the engine's own counters exactly.
+    let outcome = run_traced(Framework::SortMerge, 4, None);
+    let log = outcome.trace.as_ref().expect("trace enabled");
+    let rollup = log.rollup();
+    assert_eq!(rollup.first_pass, outcome.metrics.io_first_pass());
+    assert_eq!(rollup.recovery, outcome.metrics.io_recovery);
+    assert_eq!(rollup.map_output_bytes, outcome.metrics.map_output_bytes);
+    assert_eq!(rollup.map_spill_bytes, outcome.metrics.map_spill_bytes);
+    assert_eq!(rollup.t_end.max(1), rollup.t_end, "virtual end is set");
+    assert_eq!(rollup.faults, 0);
+    assert_eq!(rollup.batch_seals, 0);
+}
+
+#[test]
+fn golden_trace_pin() {
+    // CRC-32 pin over the canonical JSONL of one small workload. This is
+    // the strictest regression guard the format has: any change to event
+    // ordering, field order, numeric formatting or the event vocabulary
+    // shows up here. If you changed the trace format *on purpose*, rerun
+    // with `--nocapture`, verify the diff is intended, and update the pin.
+    let outcome = run_traced(Framework::SortMerge, 1, None);
+    let text = jsonl(&outcome);
+    let crc = crc32(text.as_bytes());
+    println!("golden trace: {} bytes, crc32 0x{crc:08X}", text.len());
+    assert_eq!(
+        crc, 0xF4AA_E046,
+        "trace format drifted from the golden pin (see test comment)"
+    );
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_every_event() {
+    let outcome = run_traced(Framework::DincHash, 2, None);
+    let log = outcome.trace.as_ref().expect("trace enabled");
+    let text = log.to_jsonl();
+    let back = opa_trace::TraceLog::from_jsonl(&text).expect("parse back");
+    assert_eq!(back.events.len(), log.events.len());
+    assert_eq!(back.to_jsonl(), text, "roundtrip must be lossless");
+}

@@ -22,6 +22,34 @@
 //! running time: the paper validates it by showing matching **trends** as
 //! `C` and `F` vary (Fig. 4(a)), which is exactly what `repro fig4a`
 //! reproduces against the OPA engine.
+//!
+//! ```
+//! use opa_common::{HardwareSpec, SystemSettings, WorkloadSpec, MB};
+//! use opa_model::{lambda_f, ModelInput};
+//!
+//! // Table 2's three parameter groups: (R, C, F), (D, K_m, K_r), (N, B_m, B_r).
+//! let input = ModelInput::new(
+//!     SystemSettings::stock_scaled(),            // Hadoop defaults, 1/1024 scale
+//!     WorkloadSpec::new(24 * MB, 1.0, 1.0),      // sessionization-like
+//!     HardwareSpec::paper_cluster_scaled(),      // the 10-node cluster
+//! )
+//! .expect("valid model input");
+//!
+//! // Proposition 3.1: per-node bytes, decomposed into U_1..U_5.
+//! let bytes = input.io_bytes();
+//! assert!(bytes.total() >= bytes.u1 + bytes.u5);
+//!
+//! // Proposition 3.2: per-node I/O request count.
+//! assert!(input.io_requests() > 0.0);
+//!
+//! // Eq. 2: the merge cost λ_F grows superlinearly in the run count.
+//! assert!(lambda_f(40.0, 1.0, 10) > 2.0 * lambda_f(20.0, 1.0, 10));
+//! ```
+//!
+//! To check these predictions against a *measured* run, enable tracing on
+//! a job and hand the rollup to `opa-trace`'s drift checker
+//! (`opa run … --drift` from the CLI); `OBSERVABILITY.md` maps every
+//! model term to its measured counterpart.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

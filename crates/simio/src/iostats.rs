@@ -175,6 +175,18 @@ impl IoStats {
         }
         self.seeks += other.seeks;
     }
+
+    /// Per-field saturating subtraction, used to strip recovery re-replay
+    /// traffic back out of a total (`JobMetrics::io_first_pass`).
+    pub fn minus(&self, other: &IoStats) -> IoStats {
+        let mut out = IoStats::new();
+        for i in 0..5 {
+            out.read[i] = self.read[i].saturating_sub(other.read[i]);
+            out.written[i] = self.written[i].saturating_sub(other.written[i]);
+        }
+        out.seeks = self.seeks.saturating_sub(other.seeks);
+        out
+    }
 }
 
 impl fmt::Display for IoStats {

@@ -42,6 +42,7 @@ use opa_core::reduce::{
 };
 use opa_core::sim::{EventQueue, OpKind, Resources};
 use opa_simio::{BlockStore, DiskFaultInjector, IoCategory, IoOp};
+use opa_trace::TraceEvent;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
@@ -77,6 +78,7 @@ pub(crate) struct DriverConfig<'a> {
     pub faults: &'a FaultConfig,
     pub stream: &'a StreamConfig,
     pub checkpoint_dir: Option<&'a Path>,
+    pub trace: bool,
 }
 
 enum Ev {
@@ -235,6 +237,9 @@ pub(crate) fn drive<'j>(
 
         let separate_spill = spec.cost.spill_disk != spec.cost.hdfs_disk;
         let mut res = Resources::new(n_nodes, hw.map_slots.max(hw.reduce_slots), separate_spill);
+        if cfg.trace {
+            res.enable_trace();
+        }
         let mut progress = ProgressTracker::new(num_chunks as u64);
 
         let fault_on = faults.enabled();
@@ -456,6 +461,12 @@ pub(crate) fn drive<'j>(
         loop {
             while next_batch < k && inflight_sealing == 0 && done_prefix >= quota[next_batch] {
                 let sealed = next_batch + 1;
+                res.emit(TraceEvent::BatchSeal {
+                    t: now.0,
+                    batch: sealed as u32,
+                    batches: k as u32,
+                    records: boundaries[next_batch] as u64,
+                });
                 let mut ctl = BatchCtl {
                     batch: sealed,
                     batches: k,
@@ -565,6 +576,14 @@ pub(crate) fn drive<'j>(
                     for p in &paths {
                         saved.write_to(p)?;
                         checkpoints_written += 1;
+                        if res.trace_enabled() {
+                            let bytes = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+                            res.emit(TraceEvent::Checkpoint {
+                                t: now.0,
+                                batch: sealed as u32,
+                                bytes,
+                            });
+                        }
                     }
                     last_checkpoint = paths.pop();
                 }
@@ -575,6 +594,12 @@ pub(crate) fn drive<'j>(
             match ev {
                 Ev::StartMap { chunk, attempt } => {
                     let node = store.chunks()[chunk].node;
+                    res.emit(TraceEvent::MapStart {
+                        t: t.0,
+                        chunk: chunk as u32,
+                        attempt,
+                        node: node as u32,
+                    });
                     let plan = if attempt == 0 {
                         let pos = plan_pos[chunk].expect("first attempt of an undone chunk");
                         planner.take(pos, &pool, compute_plan_at)
@@ -601,6 +626,18 @@ pub(crate) fn drive<'j>(
                                 target: chunk as u64,
                                 attempt,
                             });
+                            res.emit(TraceEvent::Fault {
+                                t: waste.fail_time.0,
+                                kind: FaultKind::MapFailure,
+                                target: chunk as u64,
+                                attempt,
+                            });
+                            res.emit(TraceEvent::Retry {
+                                t: (waste.fail_time + backoff).0,
+                                kind: FaultKind::MapFailure,
+                                target: chunk as u64,
+                                attempt: attempt + 1,
+                            });
                             plan_stash[chunk] = Some(plan);
                             queue.push(
                                 waste.fail_time + backoff,
@@ -626,6 +663,18 @@ pub(crate) fn drive<'j>(
                                 target: chunk as u64,
                                 attempt,
                             });
+                            res.emit(TraceEvent::Fault {
+                                t: detect.0,
+                                kind: FaultKind::Straggler,
+                                target: chunk as u64,
+                                attempt,
+                            });
+                            res.emit(TraceEvent::Retry {
+                                t: detect.0,
+                                kind: FaultKind::Straggler,
+                                target: chunk as u64,
+                                attempt: attempt + 1,
+                            });
                             plan_stash[chunk] = Some(plan);
                             queue.push(
                                 detect,
@@ -639,6 +688,15 @@ pub(crate) fn drive<'j>(
                         MapFate::Ok => {}
                     }
                     let result = finish_map_task(plan, node, t, spec, &mut res);
+                    res.emit(TraceEvent::MapFinish {
+                        t0: t.0,
+                        t: result.finish.0,
+                        chunk: chunk as u32,
+                        node: node as u32,
+                        cpu: result.cpu.0,
+                        output_bytes: result.output_bytes,
+                        spill_bytes: result.spill_bytes,
+                    });
                     map_cpu[node] += result.cpu;
                     spill_written_map += result.spill_bytes;
                     map_output_bytes += result.output_bytes;
@@ -660,7 +718,14 @@ pub(crate) fn drive<'j>(
                                 continue;
                             }
                             let arrival = granule.time + spec.cost.net_time(payload.bytes());
-                            res.span(OpKind::Shuffle, granule.time, arrival);
+                            res.span(node, OpKind::Shuffle, granule.time, arrival);
+                            res.emit(TraceEvent::Shuffle {
+                                t0: granule.time.0,
+                                t: arrival.0,
+                                from_node: node as u32,
+                                reducer: r as u32,
+                                bytes: payload.bytes(),
+                            });
                             inflight_by_chunk[chunk] += 1;
                             if next_batch < k && chunk < quota[next_batch] {
                                 inflight_sealing += 1;
@@ -789,6 +854,18 @@ pub(crate) fn drive<'j>(
                                     attempt: crash_count[r] - 1,
                                 });
                                 let backoff = faults.backoff(crash_count[r]);
+                                res.emit(TraceEvent::Fault {
+                                    t: t0.0,
+                                    kind: FaultKind::ReduceFailure,
+                                    target: r as u64,
+                                    attempt: crash_count[r] - 1,
+                                });
+                                res.emit(TraceEvent::Retry {
+                                    t: (t0 + backoff).0,
+                                    kind: FaultKind::ReduceFailure,
+                                    target: r as u64,
+                                    attempt: crash_count[r],
+                                });
                                 let recov = replay_recovery(
                                     &history[r],
                                     t0 + backoff,
@@ -852,6 +929,11 @@ pub(crate) fn drive<'j>(
             node_wave1_finish[reducer_node(r)].push(done_at);
             end = end.max(done_at);
             reducers[r] = Some(rec);
+            res.emit(TraceEvent::ReduceFinish {
+                t: done_at.0,
+                reducer: r as u32,
+                node: reducer_node(r) as u32,
+            });
         }
 
         for node_times in node_wave1_finish.iter_mut() {
@@ -871,6 +953,11 @@ pub(crate) fn drive<'j>(
                 wave_cursor[node] += 1;
                 slot_times[i]
             };
+            res.emit(TraceEvent::ReduceStart {
+                t: start.0,
+                reducer: r as u32,
+                node: node as u32,
+            });
             let mut t = start;
             let deliveries = std::mem::take(&mut deferred[r]);
             let mut arrivals: Vec<(SimTime, Payload)> = deliveries
@@ -897,6 +984,18 @@ pub(crate) fn drive<'j>(
                             attempt: crash_count[r] - 1,
                         });
                         let backoff = faults.backoff(crash_count[r]);
+                        res.emit(TraceEvent::Fault {
+                            t: t0.0,
+                            kind: FaultKind::ReduceFailure,
+                            target: r as u64,
+                            attempt: crash_count[r] - 1,
+                        });
+                        res.emit(TraceEvent::Retry {
+                            t: (t0 + backoff).0,
+                            kind: FaultKind::ReduceFailure,
+                            target: r as u64,
+                            attempt: crash_count[r],
+                        });
                         let recov =
                             replay_recovery(&history[r], t0 + backoff, spec, node, &mut res);
                         freport.wasted_bytes += recov.wasted_bytes;
@@ -917,6 +1016,11 @@ pub(crate) fn drive<'j>(
             let mut env = ReduceEnv::new(spec);
             rec.finish(t, &mut env);
             let done_at = replay(env.into_log(), t, spec, target!(r));
+            res.emit(TraceEvent::ReduceFinish {
+                t: done_at.0,
+                reducer: r as u32,
+                node: node as u32,
+            });
             merge_dinc(rec.dinc_stats());
             reducers[r] = Some(rec);
             end = end.max(done_at);
@@ -951,9 +1055,11 @@ pub(crate) fn drive<'j>(
             map_cpu_per_node: SimDuration(total_map_cpu.0 / n_nodes as u64),
             reduce_cpu_per_node: SimDuration(total_reduce_cpu.0 / n_nodes as u64),
             io: res.io.clone(),
+            io_recovery: res.io_recovery.clone(),
             dinc: dinc_total,
             faults: fault_report,
         };
+        let trace_log = res.take_trace();
         Ok(StreamOutcome {
             job: JobOutcome {
                 metrics,
@@ -961,6 +1067,7 @@ pub(crate) fn drive<'j>(
                 timeline: std::mem::take(&mut res.timeline),
                 usage: res.usage,
                 output,
+                trace: trace_log,
             },
             batches: k,
             checkpoints_written,

@@ -79,6 +79,7 @@ pub struct StreamJobBuilder<J: Job> {
     faults: FaultConfig,
     stream: StreamConfig,
     checkpoint_dir: Option<PathBuf>,
+    trace: bool,
 }
 
 impl<J: Job> StreamJobBuilder<J> {
@@ -96,6 +97,7 @@ impl<J: Job> StreamJobBuilder<J> {
             faults: FaultConfig::disabled(),
             stream: StreamConfig::default(),
             checkpoint_dir: None,
+            trace: false,
         }
     }
 
@@ -178,6 +180,18 @@ impl<J: Job> StreamJobBuilder<J> {
         self
     }
 
+    /// Enables structured trace capture (see
+    /// [`opa_core::job::JobBuilder::trace`]). The resulting
+    /// [`opa_trace::TraceLog`] rides on the outcome's
+    /// [`opa_core::job::JobOutcome::trace`] field and additionally carries
+    /// `batch_seal`/`checkpoint` events at every pause point. Traces are
+    /// bit-identical across thread counts; across different batch counts
+    /// `k` they differ only in those seal/checkpoint lines.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Access to the wrapped job.
     pub fn job(&self) -> &J {
         &self.job
@@ -218,6 +232,7 @@ impl<J: Job> StreamJobBuilder<J> {
             faults: &self.faults,
             stream: &self.stream,
             checkpoint_dir: self.checkpoint_dir.as_deref(),
+            trace: self.trace,
         }
     }
 

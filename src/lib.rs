@@ -13,6 +13,9 @@
 //!   SpaceSaving, coverage estimation;
 //! - [`model`] — the analytical model of Hadoop (§3): `λ_F`, Propositions
 //!   3.1/3.2, the Eq. 4 time measurement, and the `(C, F)` optimizer;
+//! - [`trace`] — structured observability: deterministic JSONL event
+//!   traces, per-phase rollups, Chrome/Perfetto export, and the
+//!   model-vs-measured drift checker (see `OBSERVABILITY.md`);
 //! - [`core`] — the MapReduce engine with all five reduce-side frameworks:
 //!   sort-merge, sort-merge + pipelining, MR-hash, INC-hash, DINC-hash;
 //! - [`stream`] — the continuous-ingestion runtime: micro-batch streaming
@@ -45,4 +48,5 @@ pub use opa_freq as freq;
 pub use opa_model as model;
 pub use opa_simio as simio;
 pub use opa_stream as stream;
+pub use opa_trace as trace;
 pub use opa_workloads as workloads;

@@ -96,6 +96,43 @@ fn time_only_recovery_is_output_transparent_even_for_order_sensitive_jobs() {
 }
 
 #[test]
+fn recovered_reduce_replays_do_not_double_count_first_pass_io() {
+    // Reduce-crash recovery re-replays the crashed reducer's effect
+    // mailbox, re-charging its I/O into `JobMetrics::io` (the devices
+    // really served it twice). That re-done share must land in
+    // `io_recovery` so `io_first_pass()` — the quantity the §3 model
+    // predicts and the drift checker treats as authoritative — matches
+    // the fault-free run exactly, per category, byte for byte.
+    let input = ClickStreamSpec::counting_scaled(1_500_000).generate(8);
+    let job = ClickCountJob {
+        expected_users: 1000,
+    };
+    for fw in [Framework::SortMerge, Framework::IncHash] {
+        let clean = run(job.clone(), fw, None, &input);
+        assert_eq!(
+            clean.metrics.io_recovery.total_bytes() + clean.metrics.io_recovery.total_seeks(),
+            0,
+            "{fw:?}: a fault-free run must charge no recovery I/O"
+        );
+        for cfg in time_only_faults() {
+            let faulted = run(job.clone(), fw, Some(cfg), &input);
+            let rep = faulted.metrics.faults.as_ref().expect("report");
+            assert!(rep.reduce_failures > 0, "{fw:?}: no crash fired at {RATE}");
+            assert_eq!(
+                faulted.metrics.io_first_pass(),
+                clean.metrics.io,
+                "{fw:?}: first-pass I/O must equal the fault-free run's"
+            );
+            assert_eq!(
+                faulted.metrics.io.total_bytes(),
+                clean.metrics.io.total_bytes() + faulted.metrics.io_recovery.total_bytes(),
+                "{fw:?}: io must decompose as first-pass + recovery"
+            );
+        }
+    }
+}
+
+#[test]
 fn delivery_reordering_preserves_count_outputs_exactly() {
     let input = ClickStreamSpec::counting_scaled(1_500_000).generate(8);
     let job = ClickCountJob {

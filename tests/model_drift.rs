@@ -1,0 +1,168 @@
+//! End-to-end drift checking: run a job with tracing on, fold the trace
+//! into a rollup, and let `opa_trace::drift::check` evaluate the §3 model
+//! (Props. 3.1/3.2) for the *same* `(C, F, R)` against the measured
+//! first-pass I/O — the automated version of the paper's "within 10%"
+//! model-validation claim, plus Perfetto-export validity for every
+//! workload × framework cell of the evaluation matrix.
+
+use opa::common::units::{KB, MB};
+use opa::core::prelude::*;
+use opa::trace::drift;
+use opa::trace::json::JsonValue;
+use opa::workloads::clickstream::ClickStreamSpec;
+use opa::workloads::documents::DocumentSpec;
+use opa::workloads::{
+    ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob,
+};
+
+fn multi_pass_cluster(chunk_kb: u64, f: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::paper_scaled();
+    spec.system.chunk_size = chunk_kb * KB;
+    spec.system.merge_factor = f;
+    // Small shuffle buffers put the reducers firmly in the multi-pass
+    // regime (β ≈ 9) even at test-sized inputs (as in model_vs_engine).
+    spec.hardware.reduce_buffer = 128 * KB;
+    spec
+}
+
+#[test]
+fn drift_report_stays_within_ten_percent_for_sort_merge_sessionization() {
+    let spec = ClickStreamSpec::paper_scaled(24 * MB);
+    let (input, stats) = spec.generate_with_stats(33);
+    for (ckb, f) in [(64u64, 10usize), (32, 16)] {
+        let c = multi_pass_cluster(ckb, f);
+        let outcome = JobBuilder::new(SessionizeJob {
+            gap_secs: 300,
+            slack_secs: 400,
+            state_capacity: 512,
+            charge_fixed_footprint: true,
+            expected_users: stats.distinct_users,
+        })
+        .framework(Framework::SortMerge)
+        .cluster(c)
+        .trace(true)
+        .run(&input)
+        .expect("job runs");
+
+        let rollup = outcome.trace.as_ref().expect("trace enabled").rollup();
+        let report = drift::check(c.system, c.hardware, &rollup).expect("drift check");
+
+        // The workload the checker derives from the trace must match the
+        // ground truth the engine saw.
+        assert_eq!(report.workload.input_bytes, input.total_bytes());
+
+        let total = &report.bytes_total;
+        assert!(
+            total.rel_err() < 0.10,
+            "Prop 3.1 total off by {:.1}% at C={ckb}KB F={f} (paper promises <10%)\n{}",
+            total.rel_err() * 100.0,
+            report.render()
+        );
+        // The exact terms: map input, map output and job output have no
+        // modeling slack at all — they are data sizes, not λ_F estimates.
+        for t in &report.bytes {
+            if matches!(t.name, "u1" | "u3" | "u5") {
+                assert!(
+                    t.rel_err() < 0.01,
+                    "{}: exact term off by {:.2}%\n{}",
+                    t.name,
+                    t.rel_err() * 100.0,
+                    report.render()
+                );
+            }
+        }
+        // Dominant terms (≥5% of measured bytes) individually stay near
+        // tolerance too — the total must not hide a cancellation. The
+        // spill terms (u2/u4) ride the λ_F pass-count estimate, which
+        // carries ~10% slack of its own at test scale, so their bound is
+        // looser than the 10% the total gets.
+        assert!(
+            report.max_bytes_rel_err(0.05) < 0.15,
+            "a dominant Prop 3.1 term drifted ≥15% at C={ckb}KB F={f}\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn chrome_export_is_valid_for_every_workload_framework_cell() {
+    // All 5 paper workloads × 4 frameworks: the exported Chrome trace
+    // must be well-formed JSON of the Trace Event Format shape Perfetto
+    // loads — a `traceEvents` array whose entries all carry `ph` and
+    // `pid`, with at least one complete ("X") span per run.
+    let clicks = ClickStreamSpec::small().generate(101);
+    let docs = DocumentSpec::paper_scaled(512 * KB).generate(7);
+    let frameworks = [
+        Framework::SortMerge,
+        Framework::MrHash,
+        Framework::IncHash,
+        Framework::DincHash,
+    ];
+    let mut cells = 0usize;
+    for fw in frameworks {
+        let outcomes = [
+            JobBuilder::new(SessionizeJob {
+                gap_secs: 300,
+                slack_secs: 400,
+                state_capacity: 512,
+                charge_fixed_footprint: false,
+                expected_users: 100,
+            })
+            .framework(fw)
+            .cluster(ClusterSpec::tiny())
+            .trace(true)
+            .run(&clicks),
+            JobBuilder::new(ClickCountJob {
+                expected_users: 100,
+            })
+            .framework(fw)
+            .cluster(ClusterSpec::tiny())
+            .trace(true)
+            .run(&clicks),
+            JobBuilder::new(FrequentUsersJob {
+                threshold: 5,
+                expected_users: 100,
+            })
+            .framework(fw)
+            .cluster(ClusterSpec::tiny())
+            .trace(true)
+            .run(&clicks),
+            JobBuilder::new(PageFreqJob {
+                expected_pages: 100,
+            })
+            .framework(fw)
+            .cluster(ClusterSpec::tiny())
+            .trace(true)
+            .run(&clicks),
+            JobBuilder::new(TrigramCountJob {
+                threshold: 2,
+                expected_trigrams: 5000,
+            })
+            .framework(fw)
+            .cluster(ClusterSpec::tiny())
+            .trace(true)
+            .run(&docs),
+        ];
+        for outcome in outcomes {
+            let outcome = outcome.expect("job runs");
+            let chrome = outcome.trace.as_ref().expect("trace enabled").to_chrome();
+            let doc = JsonValue::parse(&chrome).expect("chrome export parses as JSON");
+            let events = match doc.get("traceEvents") {
+                Some(JsonValue::Arr(items)) => items,
+                other => panic!("traceEvents must be an array, got {other:?}"),
+            };
+            let mut spans = 0usize;
+            for ev in events {
+                let ph = ev.str_field("ph").expect("every event has ph");
+                assert!(ev.u64_field("pid").is_ok(), "every event has pid");
+                if ph == "X" {
+                    spans += 1;
+                    assert!(ev.u64_field("dur").is_ok(), "X events carry dur");
+                }
+            }
+            assert!(spans > 0, "{fw:?}: no complete spans in chrome export");
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 20, "5 workloads x 4 frameworks");
+}
