@@ -1,19 +1,82 @@
 //! Wall-clock benchmark of the engine's execution layer: sequential
-//! (`threads = 1`) versus parallel (machine parallelism) on the trigram
-//! and sessionization workloads. Results — host-records-per-second and
-//! the parallel speedup — land in `BENCH_engine.json` so later changes
-//! have a perf trajectory to regress against.
+//! (`threads = 1`) versus parallel (machine parallelism) on all five
+//! canonical workloads (§2.3/§6 of the paper). Results —
+//! host-records-per-second, the parallel speedup and (with
+//! `--features alloc-stats`) heap allocations per record — land in
+//! `BENCH_engine.json` so later changes have a perf trajectory to regress
+//! against.
 //!
 //! ```text
 //! cargo run -p opa-bench --release --bin engine_bench [-- OUT.json]
+//! cargo run -p opa-bench --release --features alloc-stats --bin engine_bench
 //! ```
 
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::{JobBuilder, JobInput};
 use opa_workloads::clickstream::ClickStreamSpec;
 use opa_workloads::documents::DocumentSpec;
-use opa_workloads::{SessionizeJob, TrigramCountJob};
+use opa_workloads::{ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob};
 use std::time::Instant;
+
+/// Counting global allocator: every heap allocation (and reallocation) on
+/// any thread bumps two relaxed counters. Zero-cost when the feature is
+/// off — the default system allocator is used untouched.
+#[cfg(feature = "alloc-stats")]
+mod alloc_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: defers every operation to `System`; the counters are plain
+    // relaxed atomics with no allocation of their own.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// Current (allocation count, bytes requested) totals.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Allocation deltas of one closure invocation, when counting is compiled
+/// in.
+fn count_allocs(f: impl Fn() -> opa_core::job::JobOutcome) -> Option<(u64, u64)> {
+    #[cfg(feature = "alloc-stats")]
+    {
+        let (a0, b0) = alloc_stats::snapshot();
+        let _ = f();
+        let (a1, b1) = alloc_stats::snapshot();
+        return Some((a1 - a0, b1 - b0));
+    }
+    #[cfg(not(feature = "alloc-stats"))]
+    {
+        let _ = &f;
+        None
+    }
+}
 
 /// Best-of-N timing of one engine run; returns (seconds, outcome digest).
 fn time_run(runs: usize, f: impl Fn() -> opa_core::job::JobOutcome) -> (f64, u64) {
@@ -32,10 +95,13 @@ fn time_run(runs: usize, f: impl Fn() -> opa_core::job::JobOutcome) -> (f64, u64
 
 struct Row {
     workload: &'static str,
+    framework: &'static str,
     records: usize,
     seq_secs: f64,
     par_secs: f64,
     par_threads: usize,
+    /// (allocations, bytes) of one sequential run, with `alloc-stats`.
+    allocs: Option<(u64, u64)>,
 }
 
 impl Row {
@@ -46,6 +112,7 @@ impl Row {
 
 fn bench_workload(
     name: &'static str,
+    framework: &'static str,
     input: &JobInput,
     threads: usize,
     run: impl Fn(usize) -> opa_core::job::JobOutcome,
@@ -57,12 +124,17 @@ fn bench_workload(
         seq_digest, par_digest,
         "{name}: parallel outcome diverged from sequential"
     );
+    // Allocation accounting runs outside the timed loop so the atomic
+    // bumps never skew the wall-clock numbers.
+    let allocs = count_allocs(|| run(1));
     Row {
         workload: name,
+        framework,
         records: input.len(),
         seq_secs,
         par_secs,
         par_threads: threads,
+        allocs,
     }
 }
 
@@ -86,36 +158,71 @@ fn main() {
     println!("engine_bench: {threads} threads vs sequential ({cpus} host CPUs)");
 
     let docs = DocumentSpec::paper_scaled(12 << 20).generate(42);
-    let trigram = bench_workload("trigram", &docs, threads, |t| {
-        JobBuilder::new(TrigramCountJob {
-            threshold: 1000,
-            expected_trigrams: 1 << 20,
-        })
-        .framework(Framework::IncHash)
-        .cluster(spec)
-        .km_hint(8.0)
-        .threads(t)
-        .run(&docs)
-        .expect("trigram job runs")
-    });
-
     let clicks = ClickStreamSpec::paper_scaled(12 << 20).generate(42);
-    let sessionize = bench_workload("sessionization", &clicks, threads, |t| {
-        JobBuilder::new(SessionizeJob {
-            gap_secs: 300,
-            slack_secs: 400,
-            state_capacity: 512,
-            charge_fixed_footprint: true,
-            expected_users: 50_000,
-        })
-        .framework(Framework::DincHash)
-        .cluster(spec)
-        .threads(t)
-        .run(&clicks)
-        .expect("sessionize job runs")
-    });
 
-    let rows = [trigram, sessionize];
+    // All five workloads of §2.3, spread across the frameworks so the
+    // sort-merge, MR-hash, INC-hash and DINC-hash data paths all get a
+    // trajectory: trigram is the headline large-key-space run.
+    let rows = [
+        bench_workload("trigram", "inc_hash", &docs, threads, |t| {
+            JobBuilder::new(TrigramCountJob {
+                threshold: 1000,
+                expected_trigrams: 1 << 20,
+            })
+            .framework(Framework::IncHash)
+            .cluster(spec)
+            .km_hint(8.0)
+            .threads(t)
+            .run(&docs)
+            .expect("trigram job runs")
+        }),
+        bench_workload("sessionization", "dinc_hash", &clicks, threads, |t| {
+            JobBuilder::new(SessionizeJob {
+                gap_secs: 300,
+                slack_secs: 400,
+                state_capacity: 512,
+                charge_fixed_footprint: true,
+                expected_users: 50_000,
+            })
+            .framework(Framework::DincHash)
+            .cluster(spec)
+            .threads(t)
+            .run(&clicks)
+            .expect("sessionize job runs")
+        }),
+        bench_workload("click_count", "inc_hash", &clicks, threads, |t| {
+            JobBuilder::new(ClickCountJob {
+                expected_users: 50_000,
+            })
+            .framework(Framework::IncHash)
+            .cluster(spec)
+            .threads(t)
+            .run(&clicks)
+            .expect("click count job runs")
+        }),
+        bench_workload("frequent_users", "dinc_hash", &clicks, threads, |t| {
+            JobBuilder::new(FrequentUsersJob {
+                threshold: 50,
+                expected_users: 50_000,
+            })
+            .framework(Framework::DincHash)
+            .cluster(spec)
+            .threads(t)
+            .run(&clicks)
+            .expect("frequent users job runs")
+        }),
+        bench_workload("page_freq", "mr_hash", &clicks, threads, |t| {
+            JobBuilder::new(PageFreqJob {
+                expected_pages: 100_000,
+            })
+            .framework(Framework::MrHash)
+            .cluster(spec)
+            .threads(t)
+            .run(&clicks)
+            .expect("page frequency job runs")
+        }),
+    ];
+
     let mut json = format!(
         "{{\n  \"host_cpus\": {cpus},\n  \"oversubscribed\": {oversubscribed},\n  \"benchmarks\": [\n"
     );
@@ -128,9 +235,17 @@ fn main() {
         } else {
             format!("{:.2}", r.speedup())
         };
+        let (apr, bpr) = match r.allocs {
+            Some((a, b)) => (
+                format!("{:.2}", a as f64 / r.records as f64),
+                format!("{:.1}", b as f64 / r.records as f64),
+            ),
+            None => ("null".to_string(), "null".to_string()),
+        };
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"records\": {}, \"seq_secs\": {:.4}, \"par_secs\": {:.4}, \"par_threads\": {}, \"seq_records_per_sec\": {:.0}, \"par_records_per_sec\": {:.0}, \"speedup\": {speedup}}}{sep}\n",
+            "    {{\"workload\": \"{}\", \"framework\": \"{}\", \"records\": {}, \"seq_secs\": {:.4}, \"par_secs\": {:.4}, \"par_threads\": {}, \"seq_records_per_sec\": {:.0}, \"par_records_per_sec\": {:.0}, \"speedup\": {speedup}, \"allocs_per_record\": {apr}, \"alloc_bytes_per_record\": {bpr}}}{sep}\n",
             r.workload,
+            r.framework,
             r.records,
             r.seq_secs,
             r.par_secs,
@@ -138,8 +253,12 @@ fn main() {
             r.records as f64 / r.seq_secs,
             r.records as f64 / r.par_secs,
         ));
+        let alloc_note = match r.allocs {
+            Some((a, _)) => format!("  allocs/rec {:.2}", a as f64 / r.records as f64),
+            None => String::new(),
+        };
         println!(
-            "  {:<14} {:>8} records  seq {:>7.3}s  par {:>7.3}s  speedup {}",
+            "  {:<14} {:>8} records  seq {:>7.3}s  par {:>7.3}s  speedup {}{alloc_note}",
             r.workload,
             r.records,
             r.seq_secs,

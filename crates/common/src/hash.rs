@@ -52,11 +52,20 @@ impl HashFn {
     /// Hashes bytes into one of `m` buckets (`m > 0`).
     #[inline]
     pub fn bucket(&self, data: &[u8], m: usize) -> usize {
-        debug_assert!(m > 0, "bucket count must be positive");
-        // Multiply-high maps the uniform u64 to [0, m) with less bias than
-        // a modulo and no division.
-        (((self.hash(data) as u128) * (m as u128)) >> 64) as usize
+        bucket_of(self.hash(data), m)
     }
+}
+
+/// Maps a precomputed 64-bit fingerprint into one of `m` buckets — the
+/// multiply-high mapping behind [`HashFn::bucket`], split out so the hash
+/// can be computed once and reused for both partitioning and group-table
+/// probes. `bucket_of(h.hash(k), m) == h.bucket(k, m)` bit-identically.
+#[inline]
+pub fn bucket_of(hash: u64, m: usize) -> usize {
+    debug_assert!(m > 0, "bucket count must be positive");
+    // Multiply-high maps the uniform u64 to [0, m) with less bias than
+    // a modulo and no division.
+    (((hash as u128) * (m as u128)) >> 64) as usize
 }
 
 /// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
@@ -99,6 +108,217 @@ impl HashFamily {
         let add = sm.next();
         let mask = sm.next();
         HashFn { mul, add, mask }
+    }
+}
+
+/// A deterministic seeded [`std::hash::BuildHasher`] drawn from the same
+/// Carter–Wegman family as [`HashFn`], replacing `RandomState` in every
+/// group-by `HashMap`. Two wins over SipHash-with-random-keys: the
+/// polynomial+SplitMix pipeline is markedly cheaper per probe, and the
+/// seed is fixed, so any incidental iteration over such a map is
+/// reproducible across runs and platforms. Output determinism never rests
+/// on this — every group-by table in the engine pairs the map with an
+/// insertion-ordered `Vec` — but reproducible iteration removes a whole
+/// class of latent nondeterminism.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededState {
+    f: HashFn,
+}
+
+impl SeededState {
+    /// A build-hasher derived from an explicit hash function.
+    pub fn from_fn(f: HashFn) -> Self {
+        SeededState { f }
+    }
+
+    /// The fixed engine-wide instance used for group-by tables whose
+    /// call sites have no `HashFamily` in scope. The seed is arbitrary
+    /// but pinned; it is deliberately distinct from the partitioning
+    /// functions `h1..h4` (family index 63) so table layout cannot
+    /// correlate with partitioning.
+    pub fn fixed() -> Self {
+        SeededState {
+            f: HashFamily::new(0x6f70_615f_6873_6831).fn_at(63),
+        }
+    }
+}
+
+impl Default for SeededState {
+    fn default() -> Self {
+        SeededState::fixed()
+    }
+}
+
+impl std::hash::BuildHasher for SeededState {
+    type Hasher = SeededHasher;
+    #[inline]
+    fn build_hasher(&self) -> SeededHasher {
+        SeededHasher {
+            acc: self.f.add,
+            mul: self.f.mul,
+            mask: self.f.mask,
+        }
+    }
+}
+
+/// Streaming hasher behind [`SeededState`]: the same byte-polynomial
+/// compression as [`HashFn::hash`], folded word-at-a-time over whatever
+/// the `Hash` impl writes, finished with the SplitMix64 bijection.
+#[derive(Debug, Clone)]
+pub struct SeededHasher {
+    acc: u64,
+    mul: u64,
+    mask: u64,
+}
+
+impl std::hash::Hasher for SeededHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for w in &mut chunks {
+            let v = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
+            self.acc = self.acc.wrapping_mul(self.mul).wrapping_add(v);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.acc = self
+                .acc
+                .wrapping_mul(self.mul)
+                .wrapping_add(u64::from_le_bytes(tail))
+                .wrapping_add(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.acc = self.acc.wrapping_mul(self.mul).wrapping_add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64 ^ 0x9e37);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        finalize(self.acc ^ self.mask)
+    }
+}
+
+/// Sentinel marking an empty [`GroupIndex`] slot.
+const EMPTY: u32 = u32::MAX;
+
+/// A minimal open-addressing index from a precomputed 64-bit fingerprint
+/// to a dense row id — the probe side of the engine's insertion-ordered
+/// group-by pattern (`Vec<(Key, V)>` plus an index).
+///
+/// Unlike `HashMap<Key, usize>` it stores **no keys at all**: callers keep
+/// their rows in the companion `Vec` and supply an equality closure that
+/// compares against `rows[candidate]`. That removes the per-distinct-key
+/// `Key` clone the old pattern paid, and — because the caller passes the
+/// fingerprint — lets the partition-time `h1` hash be computed once and
+/// carried all the way into the reduce-table probe. The table never
+/// iterates, so its layout cannot influence output order.
+#[derive(Debug, Clone, Default)]
+pub struct GroupIndex {
+    /// Parallel arrays: fingerprint and row id per slot (`EMPTY` = free).
+    fps: Vec<u64>,
+    rows: Vec<u32>,
+    /// Slot mask (`slots.len() - 1`, capacity is a power of two).
+    mask: usize,
+    len: usize,
+}
+
+impl GroupIndex {
+    /// An index expecting roughly `cap` distinct rows.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(4) * 8 / 7).next_power_of_two();
+        GroupIndex {
+            fps: vec![0; slots],
+            rows: vec![EMPTY; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of rows indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the row whose fingerprint is `fp` and for which `eq`
+    /// confirms a true key match (guarding against fingerprint
+    /// collisions).
+    #[inline]
+    pub fn get(&self, fp: u64, mut eq: impl FnMut(usize) -> bool) -> Option<usize> {
+        if self.rows.is_empty() {
+            // A `Default` index has no slots yet; `insert` grows it lazily.
+            return None;
+        }
+        let mut slot = (fp as usize) & self.mask;
+        loop {
+            let row = self.rows[slot];
+            if row == EMPTY {
+                return None;
+            }
+            if self.fps[slot] == fp && eq(row as usize) {
+                return Some(row as usize);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a fingerprint → row mapping. The caller has already
+    /// established via [`GroupIndex::get`] that the key is absent.
+    #[inline]
+    pub fn insert(&mut self, fp: u64, row: usize) {
+        debug_assert!(row < EMPTY as usize);
+        if (self.len + 1) * 8 > (self.mask + 1) * 7 {
+            self.grow();
+        }
+        self.insert_slot(fp, row as u32);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn insert_slot(&mut self, fp: u64, row: u32) {
+        let mut slot = (fp as usize) & self.mask;
+        while self.rows[slot] != EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.fps[slot] = fp;
+        self.rows[slot] = row;
+    }
+
+    fn grow(&mut self) {
+        let new_slots = (self.mask + 1) * 2;
+        let old_fps = std::mem::replace(&mut self.fps, vec![0; new_slots]);
+        let old_rows = std::mem::replace(&mut self.rows, vec![EMPTY; new_slots]);
+        self.mask = new_slots - 1;
+        for (fp, row) in old_fps.into_iter().zip(old_rows) {
+            if row != EMPTY {
+                self.insert_slot(fp, row);
+            }
+        }
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.fps.fill(0);
+        self.rows.fill(EMPTY);
+        self.len = 0;
     }
 }
 
@@ -175,6 +395,51 @@ mod tests {
         }
         // Birthday bound: expected collisions ~ n^2/2^65 ≈ 0.
         assert!(seen.len() >= 99_998);
+    }
+
+    #[test]
+    fn seeded_state_is_deterministic_and_spreads() {
+        use std::hash::BuildHasher;
+        let s = SeededState::fixed();
+        let mut seen = HashSet::new();
+        for k in 0..50_000u64 {
+            let h = s.hash_one(k.to_be_bytes());
+            assert_eq!(h, SeededState::fixed().hash_one(k.to_be_bytes()));
+            seen.insert(h);
+        }
+        assert!(seen.len() >= 49_998, "near-perfect spread expected");
+    }
+
+    #[test]
+    fn group_index_probes_by_fingerprint() {
+        let keys: Vec<u64> = (0..10_000).map(|k| k * 3 + 1).collect();
+        let h = HashFamily::new(11).fn_at(0);
+        let mut rows: Vec<u64> = Vec::new();
+        let mut idx = GroupIndex::with_capacity(16);
+        for &k in &keys {
+            let fp = h.hash(&k.to_be_bytes());
+            match idx.get(fp, |r| rows[r] == k) {
+                Some(_) => panic!("duplicate insert"),
+                None => {
+                    idx.insert(fp, rows.len());
+                    rows.push(k);
+                }
+            }
+        }
+        assert_eq!(idx.len(), keys.len());
+        for &k in &keys {
+            let fp = h.hash(&k.to_be_bytes());
+            let r = idx.get(fp, |r| rows[r] == k).expect("present");
+            assert_eq!(rows[r], k);
+        }
+        // Absent keys miss even when their fingerprint slot is occupied.
+        for k in 100_000..100_100u64 {
+            let fp = h.hash(&k.to_be_bytes());
+            assert!(idx.get(fp, |r| rows[r] == k).is_none());
+        }
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(h.hash(&3u64.to_be_bytes()), |_| true), None);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod units;
 pub use config::{ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
-pub use hash::{HashFamily, HashFn};
+pub use hash::{GroupIndex, HashFamily, HashFn, SeededState};
 pub use stream::StreamConfig;
-pub use types::{Key, Pair, StatePair, Value};
+pub use types::{BatchBuilder, Key, Pair, RecordBatch, StateBatch, StatePair, Value, INLINE_CAP};
 pub use units::{ByteSize, SimDuration, SimTime, GB, KB, MB};

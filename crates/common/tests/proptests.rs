@@ -56,3 +56,92 @@ proptest! {
         prop_assert!((t.as_secs_f64() - s).abs() < 1e-6 + s * 1e-12);
     }
 }
+
+/// Sizes that straddle every representation boundary: empty, one under
+/// the inline cap, the cap itself, first heap size, and a big payload.
+const BOUNDARY_SIZES: [usize; 5] = [0, 21, 22, 23, 1024];
+
+fn std_hash<T: std::hash::Hash>(t: &T) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// The inline and heap representations of the same bytes are
+    /// indistinguishable: equal, equal-ordered, equal-hashed, and either
+    /// one against any other payload orders exactly as the raw slices do.
+    #[test]
+    fn key_repr_is_invisible(a in proptest::collection::vec(any::<u8>(), 0..64),
+                             b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let ia = Key::from_slice(&a);
+        let ha = Key::forced_heap(a.clone());
+        prop_assert_eq!(&ia, &ha);
+        prop_assert_eq!(ia.cmp(&ha), std::cmp::Ordering::Equal);
+        prop_assert_eq!(std_hash(&ia), std_hash(&ha));
+        prop_assert_eq!(ia.as_u64(), ha.as_u64());
+        prop_assert_eq!(ia.len(), ha.len());
+
+        let ib = Key::from_slice(&b);
+        let hb = Key::forced_heap(b.clone());
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+        prop_assert_eq!(ia.cmp(&hb), a.cmp(&b));
+        prop_assert_eq!(ha.cmp(&ib), a.cmp(&b));
+        prop_assert_eq!(ha.cmp(&hb), a.cmp(&b));
+    }
+
+    /// Same property for values.
+    #[test]
+    fn value_repr_is_invisible(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let iv = Value::from_slice(&a);
+        let hv = Value::forced_heap(a.clone());
+        prop_assert_eq!(&iv, &hv);
+        prop_assert_eq!(std_hash(&iv), std_hash(&hv));
+        prop_assert_eq!(iv.as_u64(), hv.as_u64());
+        prop_assert_eq!(iv.bytes(), hv.bytes());
+    }
+
+    /// Every seeded hash function agrees across representations: the
+    /// group-by probe path may receive either variant for the same key.
+    #[test]
+    fn seeded_hash_ignores_repr(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                seed: u64) {
+        let h = HashFamily::new(seed).fn_at(0);
+        let i = Key::from_slice(&a);
+        let p = Key::forced_heap(a.clone());
+        prop_assert_eq!(h.hash(i.bytes()), h.hash(p.bytes()));
+    }
+
+    /// `from_u64` keys are always inline-capable and round-trip through
+    /// `as_u64` regardless of which constructor produced the bytes.
+    #[test]
+    fn u64_roundtrip_across_reprs(v: u64) {
+        let i = Key::from_u64(v);
+        let p = Key::forced_heap(v.to_be_bytes().to_vec());
+        prop_assert_eq!(i.as_u64(), Some(v));
+        prop_assert_eq!(p.as_u64(), Some(v));
+        prop_assert_eq!(i, p);
+    }
+}
+
+/// Deterministic boundary sweep: equality, ordering adjacency and hashes
+/// at exactly the sizes where the representation flips (0, 21, 22 inline;
+/// 23, 1024 heap).
+#[test]
+fn boundary_sizes_cross_repr_semantics() {
+    for &n in &BOUNDARY_SIZES {
+        let bytes = vec![0x5A; n];
+        let inline_or_heap = Key::from_slice(&bytes);
+        let heap = Key::forced_heap(bytes.clone());
+        assert_eq!(inline_or_heap, heap, "size {n}");
+        assert_eq!(std_hash(&inline_or_heap), std_hash(&heap), "size {n}");
+        assert_eq!(inline_or_heap.bytes(), &bytes[..], "size {n}");
+        // One byte longer always orders strictly greater (prefix rule),
+        // whichever side of the inline cap each length lands on.
+        let mut longer = bytes.clone();
+        longer.push(0x5A);
+        assert!(Key::from_slice(&longer) > inline_or_heap, "size {n}");
+        assert!(Key::forced_heap(longer) > heap, "size {n}");
+    }
+}

@@ -166,8 +166,13 @@ pub trait Job: Send + Sync {
     /// Human-readable job name for reports.
     fn name(&self) -> &str;
 
-    /// The map function: parse one input record, emit ⟨key, value⟩ pairs.
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value));
+    /// The map function: parse one input record, emit ⟨key, value⟩ pairs
+    /// as borrowed byte slices. The engine copies each payload into its
+    /// arena-batched collector (small payloads become inline
+    /// representations, large ones append-only arena views), so map
+    /// functions should emit from stack buffers or record subslices and
+    /// never allocate per pair.
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8]));
 
     /// The classic reduce function over a key's complete value list. Used
     /// by the sort-merge and MR-hash frameworks.
@@ -208,8 +213,8 @@ mod tests {
         fn name(&self) -> &str {
             "count"
         }
-        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-            emit(Key::new(record.to_vec()), Value::from_u64(1));
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+            emit(record, &1u64.to_be_bytes());
         }
         fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
             let sum: u64 = values.iter().filter_map(Value::as_u64).sum();

@@ -115,7 +115,7 @@ impl JobOutcome {
     /// correctness comparisons.
     pub fn sorted_output(&self) -> Vec<Pair> {
         let mut out = self.output.clone();
-        out.sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.0.cmp(&b.value.0)));
+        out.sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
         out
     }
 
@@ -1044,8 +1044,8 @@ mod tests {
         fn name(&self) -> &str {
             "echo"
         }
-        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-            emit(Key::new(vec![record[0]]), Value::new(record.to_vec()));
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+            emit(&record[..1], record);
         }
         fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
             ctx.emit(key.clone(), Value::from_u64(values.len() as u64));
@@ -1174,8 +1174,8 @@ mod tests {
             fn name(&self) -> &str {
                 "count"
             }
-            fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-                emit(Key::new(vec![record[0]]), Value::from_u64(1));
+            fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+                emit(&record[..1], &1u64.to_be_bytes());
             }
             fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
                 ctx.emit(key.clone(), Value::from_u64(values.len() as u64));

@@ -41,34 +41,38 @@ use crate::api::{Job, ReduceCtx, Site};
 use crate::cluster::{ClusterSpec, Framework};
 use crate::sim::{OpKind, Resources};
 use bytes::Bytes;
+use opa_common::hash::bucket_of;
 use opa_common::units::{SimDuration, SimTime};
-use opa_common::{HashFn, Key, Pair, StatePair, Value};
+use opa_common::{
+    BatchBuilder, GroupIndex, HashFn, Key, Pair, RecordBatch, StateBatch, StatePair, Value,
+};
 use opa_simio::{IoCategory, IoOp};
-use std::collections::HashMap;
 
-/// Data delivered from a mapper to one reducer.
+/// Data delivered from a mapper to one reducer: a batch of rows sharing
+/// the mapper's arena, carrying each row's partition-time `h1` fingerprint
+/// so reduce-side group tables never re-hash.
 #[derive(Debug, Clone)]
 pub enum Payload {
     /// Key-value pairs; sorted by key when produced by sort-merge.
-    Pairs(Vec<Pair>),
+    Pairs(RecordBatch),
     /// Key-state pairs (incremental frameworks).
-    States(Vec<StatePair>),
+    States(StateBatch),
 }
 
 impl Payload {
     /// Serialized size in bytes.
     pub fn bytes(&self) -> u64 {
         match self {
-            Payload::Pairs(v) => v.iter().map(Pair::size).sum(),
-            Payload::States(v) => v.iter().map(StatePair::size).sum(),
+            Payload::Pairs(b) => b.bytes(),
+            Payload::States(b) => b.bytes(),
         }
     }
 
     /// Record count.
     pub fn len(&self) -> usize {
         match self {
-            Payload::Pairs(v) => v.len(),
-            Payload::States(v) => v.len(),
+            Payload::Pairs(b) => b.len(),
+            Payload::States(b) => b.len(),
         }
     }
 
@@ -307,11 +311,15 @@ pub fn compute_map_task(
     plan.ops
         .push(MapOp::Hdfs(IoCategory::MapInput, IoOp::read(chunk_bytes)));
 
-    // The map function, for real.
-    let mut pairs: Vec<Pair> = Vec::with_capacity(records.len());
+    // The map function, for real: emissions land in the arena-batched
+    // collector (inline representations for small payloads, one shared
+    // append-only arena for large ones), so the per-record path allocates
+    // nothing.
+    let mut builder = BatchBuilder::with_capacity(records.len());
     for rec in records {
-        job.map(rec, &mut |k, v| pairs.push(Pair::new(k, v)));
+        job.map(rec, &mut |k, v| builder.push(k, v));
     }
+    let pairs = builder.seal();
     plan.op_cpu(cost.map_time(records.len() as u64));
 
     match framework {
@@ -406,48 +414,56 @@ fn plan_sort_merge(
     let granules = granules.clamp(1, n.max(1));
     let mut iter = pairs.into_iter();
 
+    // Scratch run buffer; the combiner path drains it in place so
+    // pipelined tasks reuse its capacity across granules, the
+    // combiner-less path moves it out wholesale (no element copies).
+    let mut part: Vec<(usize, u64, Pair)> = Vec::with_capacity(n / granules + 1);
     for g in 0..granules {
         let lo = n * g / granules;
         let hi = n * (g + 1) / granules;
-        // Tag each pair with its target partition; the pairs are moved out
-        // of the map buffer, not cloned.
-        let mut part: Vec<(usize, Pair)> = iter
-            .by_ref()
-            .take(hi - lo)
-            .map(|p| (h1.bucket(p.key.bytes(), n_partitions), p))
-            .collect();
+        // Tag each pair with its h1 fingerprint (hashed once — the same
+        // fingerprint partitions here and probes reduce-side tables) and
+        // its target partition; the pairs are moved out of the map
+        // buffer, not cloned.
+        part.clear();
+        part.extend(iter.by_ref().take(hi - lo).map(|p| {
+            let h = h1.hash(p.key.bytes());
+            (bucket_of(h, n_partitions), h, p)
+        }));
         // The compound ⟨partition, key⟩ sort of §2.2.
-        part.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.key.cmp(&b.1.key)));
+        part.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.key.cmp(&b.2.key)));
         plan.op_cpu(cost.sort_time(part.len() as u64));
 
         // Combiner on sorted groups, if the job has one.
-        let part = if let Some(cb) = job.combiner() {
+        let run: Vec<(usize, u64, Pair)> = if let Some(cb) = job.combiner() {
             let in_recs = part.len() as u64;
-            let combined = combine_sorted(cb, part);
+            let combined = combine_sorted(cb, part.drain(..));
             plan.op_cpu(cost.cb_time(in_recs));
             combined
         } else {
-            part
+            std::mem::take(&mut part)
         };
 
-        let g_bytes: u64 = part.iter().map(|(_, p)| p.size()).sum();
+        let g_bytes: u64 = run.iter().map(|(_, _, p)| p.size()).sum();
         plan.output_bytes += g_bytes;
 
         // External sort when this piece overflows the map buffer.
         if g_bytes > spec.hardware.map_buffer {
-            plan_external_sort(g_bytes, part.len() as u64, spec, plan);
+            plan_external_sort(g_bytes, run.len() as u64, spec, plan);
         }
 
         // Write the (final) sorted map output for this granule.
         plan.ops
             .push(MapOp::Spill(IoCategory::MapOutput, IoOp::write(g_bytes)));
 
-        // Scatter into per-reducer payloads, preserving sorted order.
-        let cap = part.len() / n_partitions + 1;
-        let mut per_part: Vec<Vec<Pair>> =
-            (0..n_partitions).map(|_| Vec::with_capacity(cap)).collect();
-        for (p, pair) in part {
-            per_part[p].push(pair);
+        // Scatter into per-reducer batches, preserving sorted order and
+        // carrying the fingerprints.
+        let cap = run.len() / n_partitions + 1;
+        let mut per_part: Vec<RecordBatch> = (0..n_partitions)
+            .map(|_| RecordBatch::with_capacity(cap))
+            .collect();
+        for (p, h, pair) in run {
+            per_part[p].push_hashed(pair, h);
         }
         plan.ops.push(MapOp::Granule);
         plan.granules
@@ -456,21 +472,26 @@ fn plan_sort_merge(
 }
 
 /// Applies the combiner to consecutive same-⟨partition, key⟩ groups of a
-/// sorted run.
-fn combine_sorted(cb: &dyn crate::api::Combiner, sorted: Vec<(usize, Pair)>) -> Vec<(usize, Pair)> {
+/// sorted run, keeping each group's fingerprint. Key handles are shared,
+/// not deep-copied.
+fn combine_sorted(
+    cb: &dyn crate::api::Combiner,
+    sorted: impl Iterator<Item = (usize, u64, Pair)>,
+) -> Vec<(usize, u64, Pair)> {
     let mut out = Vec::new();
-    let mut iter = sorted.into_iter().peekable();
-    while let Some((p, first)) = iter.next() {
-        let key = first.key.clone();
-        let mut values = vec![first.value];
+    let mut iter = sorted.peekable();
+    let mut values: Vec<Value> = Vec::new();
+    while let Some((p, h, first)) = iter.next() {
+        let key = first.key;
+        values.push(first.value);
         while iter
             .peek()
-            .is_some_and(|(q, pair)| *q == p && pair.key == key)
+            .is_some_and(|(q, _, pair)| *q == p && pair.key == key)
         {
-            values.push(iter.next().expect("peeked").1.value);
+            values.push(iter.next().expect("peeked").2.value);
         }
-        for v in cb.combine(&key, values) {
-            out.push((p, Pair::new(key.clone(), v)));
+        for v in cb.combine(&key, std::mem::take(&mut values)) {
+            out.push((p, h, Pair::new(key.clone(), v)));
         }
     }
     out
@@ -541,41 +562,47 @@ fn plan_mr_hash(
 ) {
     let cost = &spec.cost;
     let n = pairs.len() as u64;
-    let pairs = if let Some(cb) = job.combiner() {
-        // Insertion-ordered hash table: key → collected values.
-        let mut groups: Vec<(Key, Vec<Value>)> = Vec::new();
-        let mut index: HashMap<Key, usize> = HashMap::with_capacity(pairs.len());
+    // Hash each key once; the fingerprint drives the group-by probe, the
+    // partition choice, and rides the batch to the reduce side.
+    let hashed: Vec<(u64, Pair)> = if let Some(cb) = job.combiner() {
+        // Insertion-ordered hash table: key → collected values. The
+        // index stores only fingerprints and row ids — no key clones.
+        let mut groups: Vec<(u64, Key, Vec<Value>)> = Vec::new();
+        let mut index = GroupIndex::with_capacity(pairs.len() / 4 + 1);
         for p in pairs {
-            match index.get(&p.key) {
-                Some(&i) => groups[i].1.push(p.value),
+            let h = h1.hash(p.key.bytes());
+            match index.get(h, |r| groups[r].1 == p.key) {
+                Some(i) => groups[i].2.push(p.value),
                 None => {
-                    index.insert(p.key.clone(), groups.len());
-                    groups.push((p.key, vec![p.value]));
+                    index.insert(h, groups.len());
+                    groups.push((h, p.key, vec![p.value]));
                 }
             }
         }
         let mut combined = Vec::with_capacity(groups.len());
-        for (key, values) in groups {
+        for (h, key, values) in groups {
             for v in cb.combine(&key, values) {
-                combined.push(Pair::new(key.clone(), v));
+                combined.push((h, Pair::new(key.clone(), v)));
             }
         }
         plan.op_cpu(cost.cb_time(n));
         combined
     } else {
         pairs
+            .into_iter()
+            .map(|p| (h1.hash(p.key.bytes()), p))
+            .collect()
     };
-    let cap = pairs.len() / n_partitions + 1;
-    let mut per_part: Vec<Vec<Pair>> = (0..n_partitions).map(|_| Vec::with_capacity(cap)).collect();
-    for p in pairs {
-        per_part[h1.bucket(p.key.bytes(), n_partitions)].push(p);
+    let cap = hashed.len() / n_partitions + 1;
+    let mut per_part: Vec<RecordBatch> = (0..n_partitions)
+        .map(|_| RecordBatch::with_capacity(cap))
+        .collect();
+    for (h, p) in hashed {
+        per_part[bucket_of(h, n_partitions)].push_hashed(p, h);
     }
     plan.op_cpu(cost.hash_time(n));
 
-    let output_bytes: u64 = per_part
-        .iter()
-        .map(|v| v.iter().map(Pair::size).sum::<u64>())
-        .sum();
+    let output_bytes: u64 = per_part.iter().map(RecordBatch::bytes).sum();
     plan.output_bytes = output_bytes;
     plan.ops.push(MapOp::Spill(
         IoCategory::MapOutput,
@@ -609,38 +636,39 @@ fn plan_incremental(
     let state_hint = job.state_size_hint().unwrap_or(64).max(1);
     let distinct_hint = ((chunk_bytes / state_hint) as usize + 1).min(pairs.len().max(1));
 
-    // init() immediately after map.
+    // init() immediately after map. Each key is hashed exactly once: the
+    // fingerprint probes the insertion-ordered group table, picks the
+    // partition on first sight, and is carried in the outgoing batch.
     let mut ctx = ReduceCtx::at_site(Site::Map);
-    let mut order: Vec<(usize, Key, Value)> = Vec::with_capacity(distinct_hint);
-    let mut index: HashMap<Key, usize> = HashMap::with_capacity(distinct_hint);
+    let mut order: Vec<(usize, u64, Key, Value)> = Vec::with_capacity(distinct_hint);
+    let mut index = GroupIndex::with_capacity(distinct_hint);
     let mut cb_calls = 0u64;
     for p in pairs {
         let state = inc.init(&p.key, p.value);
-        match index.get(&p.key) {
-            Some(&i) => {
-                let (_, ref key, ref mut acc) = order[i];
+        let h = h1.hash(p.key.bytes());
+        match index.get(h, |r| order[r].2 == p.key) {
+            Some(i) => {
+                let (_, _, ref key, ref mut acc) = order[i];
                 inc.cb(key, acc, state, &mut ctx);
                 cb_calls += 1;
             }
             None => {
-                let part = h1.bucket(p.key.bytes(), n_partitions);
-                index.insert(p.key.clone(), order.len());
-                order.push((part, p.key, state));
+                let part = bucket_of(h, n_partitions);
+                index.insert(h, order.len());
+                order.push((part, h, p.key, state));
             }
         }
     }
     plan.op_cpu(cost.init_time(n) + cost.hash_time(n) + cost.cb_time(cb_calls));
 
     let cap = order.len() / n_partitions + 1;
-    let mut per_part: Vec<Vec<StatePair>> =
-        (0..n_partitions).map(|_| Vec::with_capacity(cap)).collect();
-    for (part, key, state) in order {
-        per_part[part].push(StatePair::new(key, state));
+    let mut per_part: Vec<StateBatch> = (0..n_partitions)
+        .map(|_| StateBatch::with_capacity(cap))
+        .collect();
+    for (part, h, key, state) in order {
+        per_part[part].push_hashed(StatePair::new(key, state), h);
     }
-    let output_bytes: u64 = per_part
-        .iter()
-        .map(|v| v.iter().map(StatePair::size).sum::<u64>())
-        .sum();
+    let output_bytes: u64 = per_part.iter().map(StateBatch::bytes).sum();
     plan.output_bytes = output_bytes;
     plan.ops.push(MapOp::Spill(
         IoCategory::MapOutput,
@@ -678,8 +706,8 @@ mod tests {
         fn name(&self) -> &str {
             "first byte"
         }
-        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-            emit(Key::new(vec![record[0]]), Value::from_u64(1));
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+            emit(&record[..1], &1u64.to_be_bytes());
         }
         fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
             let sum: u64 = values.iter().filter_map(Value::as_u64).sum();

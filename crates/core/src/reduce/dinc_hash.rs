@@ -28,10 +28,9 @@ use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, HashFamily, HashFn, Key, Result, StatePair, Value};
+use opa_common::{Error, GroupIndex, HashFamily, HashFn, Key, Result, StatePair, Value};
 use opa_freq::{MgEntry, MgOutcome, MisraGries, SpaceSavingMonitor};
 use opa_simio::BucketManager;
-use std::collections::HashMap;
 
 /// [`ReducerCkpt::tag`] of the DINC-hash framework.
 pub(crate) const CKPT_TAG: u8 = 4;
@@ -253,12 +252,11 @@ impl ReduceSide for DincHashReducer<'_> {
         payload: Payload,
         env: &mut ReduceEnv<'_>,
     ) -> SimTime {
-        let Payload::States(tuples) = payload else {
+        let Payload::States(batch) = payload else {
             unreachable!("DINC-hash receives key-state pairs");
         };
-        let bytes: u64 = tuples.iter().map(StatePair::size).sum();
-        env.shuffled(t, bytes);
-        for sp in tuples {
+        env.shuffled(t, batch.bytes());
+        for sp in batch {
             if let Some(ts) = self.inc.event_time(&sp.state) {
                 self.ctx.advance_watermark(ts);
             }
@@ -530,8 +528,9 @@ pub(crate) fn process_bucket_inc(
     // order-sensitive jobs keeps working during completion.
     let saved_watermark = ctx.watermark;
     ctx.watermark = None;
+    let h1 = family.fn_at(0);
     let mut states: Vec<(Key, Value)> = Vec::new();
-    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut index = GroupIndex::with_capacity(tuples.len() / 4 + 1);
     let mut used = 0u64;
     let mut overflow: Vec<StatePair> = Vec::new();
     let mut overflow_started = false;
@@ -540,8 +539,9 @@ pub(crate) fn process_bucket_inc(
         if let Some(ts) = inc.event_time(&sp.state) {
             ctx.advance_watermark(ts);
         }
-        match index.get(&sp.key) {
-            Some(&i) => {
+        let h = h1.hash(sp.key.bytes());
+        match index.get(h, |r| states[r].0 == sp.key) {
+            Some(i) => {
                 let (ref key, ref mut acc) = states[i];
                 let before = inc.state_mem_size(acc);
                 inc.cb(key, acc, sp.state, ctx);
@@ -553,7 +553,7 @@ pub(crate) fn process_bucket_inc(
                 let sz = sp.key.len() as u64 + inc.state_mem_size(&sp.state) + 16;
                 if (!overflow_started && used + sz <= mem_budget) || depth >= MAX_DEPTH {
                     used += sz;
-                    index.insert(sp.key.clone(), states.len());
+                    index.insert(h, states.len());
                     states.push((sp.key, sp.state));
                     batch += 1;
                 } else {

@@ -19,9 +19,8 @@ use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, HashFamily, HashFn, Key, Result, StatePair, Value};
+use opa_common::{Error, GroupIndex, HashFamily, HashFn, Key, Result, StatePair, Value};
 use opa_simio::BucketManager;
-use std::collections::HashMap;
 
 /// [`ReducerCkpt::tag`] of the INC-hash framework.
 pub(crate) const CKPT_TAG: u8 = 3;
@@ -41,10 +40,13 @@ const MAX_DEPTH: usize = 6;
 pub struct IncHashReducer<'j> {
     inc: &'j dyn IncrementalReducer,
     family: HashFamily,
+    /// Partitioning function — its fingerprints arrive cached in every
+    /// delivered batch and double as the table-probe hash.
+    h1: HashFn,
     h3: HashFn,
     /// Insertion-ordered key→state table (`H`).
     states: Vec<(Key, Value)>,
-    index: HashMap<Key, usize>,
+    index: GroupIndex,
     mem_used: u64,
     mem_budget: u64,
     write_buffer: u64,
@@ -78,9 +80,10 @@ impl<'j> IncHashReducer<'j> {
         IncHashReducer {
             inc,
             family: family.clone(),
+            h1: family.fn_at(0),
             h3: family.fn_at(2),
             states: Vec::new(),
-            index: HashMap::new(),
+            index: GroupIndex::default(),
             mem_used: 0,
             mem_budget,
             write_buffer,
@@ -92,13 +95,23 @@ impl<'j> IncHashReducer<'j> {
         }
     }
 
-    /// Streams one tuple through the table. Returns the advanced clock.
-    fn absorb(&mut self, mut t: SimTime, sp: StatePair, env: &mut ReduceEnv<'_>) -> SimTime {
+    /// Streams one tuple through the table, probing with the batch-carried
+    /// `h1` fingerprint when the shuffle delivered one (re-hashing only
+    /// for restored tuples whose cache was dropped). Returns the advanced
+    /// clock.
+    fn absorb(
+        &mut self,
+        mut t: SimTime,
+        sp: StatePair,
+        hash: Option<u64>,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
         if let Some(ts) = self.inc.event_time(&sp.state) {
             self.ctx.advance_watermark(ts);
         }
-        match self.index.get(&sp.key) {
-            Some(&i) => {
+        let h = hash.unwrap_or_else(|| self.h1.hash(sp.key.bytes()));
+        match self.index.get(h, |r| self.states[r].0 == sp.key) {
+            Some(i) => {
                 let (ref key, ref mut acc) = self.states[i];
                 let before = self.inc.state_mem_size(acc);
                 self.inc.cb(key, acc, sp.state, &mut self.ctx);
@@ -116,7 +129,7 @@ impl<'j> IncHashReducer<'j> {
                 let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
                 if !self.admissions_closed && self.mem_used + sz <= self.mem_budget {
                     self.mem_used += sz;
-                    self.index.insert(sp.key.clone(), self.states.len());
+                    self.index.insert(h, self.states.len());
                     self.states.push((sp.key, sp.state));
                     t = env.cpu(t, env.cost().hash_time(1));
                     self.absorbed += 1;
@@ -150,7 +163,7 @@ impl<'j> IncHashReducer<'j> {
         let saved_watermark = self.ctx.watermark;
         self.ctx.watermark = None;
         let mut states: Vec<(Key, Value)> = Vec::new();
-        let mut index: HashMap<Key, usize> = HashMap::new();
+        let mut index = GroupIndex::with_capacity(tuples.len() / 4 + 1);
         let mut used = 0u64;
         let mut overflow: Vec<StatePair> = Vec::new();
         let mut overflow_started = false;
@@ -159,8 +172,9 @@ impl<'j> IncHashReducer<'j> {
             if let Some(ts) = self.inc.event_time(&sp.state) {
                 self.ctx.advance_watermark(ts);
             }
-            match index.get(&sp.key) {
-                Some(&i) => {
+            let h = self.h1.hash(sp.key.bytes());
+            match index.get(h, |r| states[r].0 == sp.key) {
+                Some(i) => {
                     let (ref key, ref mut acc) = states[i];
                     let before = self.inc.state_mem_size(acc);
                     self.inc.cb(key, acc, sp.state, &mut self.ctx);
@@ -173,7 +187,7 @@ impl<'j> IncHashReducer<'j> {
                         sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
                     if (!overflow_started && used + sz <= self.mem_budget) || depth >= MAX_DEPTH {
                         used += sz;
-                        index.insert(sp.key.clone(), states.len());
+                        index.insert(h, states.len());
                         states.push((sp.key, sp.state));
                         batch += 1;
                     } else {
@@ -203,10 +217,11 @@ impl<'j> IncHashReducer<'j> {
             env.worked(t, batch);
         }
         // Finalize this bucket's resident keys.
+        let resident = states.len() as u64;
         for (key, state) in states {
             self.inc.finalize(&key, state, &mut self.ctx);
         }
-        t = env.cpu(t, env.cost().reduce_time(index.len() as u64));
+        t = env.cpu(t, env.cost().reduce_time(resident));
         let out = self.ctx.drain();
         t = self.sink.push(t, out, env);
 
@@ -252,13 +267,15 @@ impl ReduceSide for IncHashReducer<'_> {
         payload: Payload,
         env: &mut ReduceEnv<'_>,
     ) -> SimTime {
-        let Payload::States(tuples) = payload else {
+        let Payload::States(batch) = payload else {
             unreachable!("INC-hash receives key-state pairs");
         };
-        let bytes: u64 = tuples.iter().map(StatePair::size).sum();
-        env.shuffled(t, bytes);
+        env.shuffled(t, batch.bytes());
+        let (tuples, hashes) = batch.into_parts();
+        let mut hashes = hashes.into_iter();
         for sp in tuples {
-            t = self.absorb(t, sp, env);
+            let h = hashes.next();
+            t = self.absorb(t, sp, h, env);
         }
         t
     }
@@ -336,12 +353,13 @@ impl ReduceSide for IncHashReducer<'_> {
         let [sink_pending, ctx_pending] = <[Vec<opa_common::Pair>; 2]>::try_from(ckpt.pairs)
             .map_err(|_| Error::job("INC-hash checkpoint missing output sections"))?;
         self.states = Vec::with_capacity(resident.len());
-        self.index = HashMap::with_capacity(resident.len());
+        self.index = GroupIndex::with_capacity(resident.len());
         self.mem_used = 0;
         for sp in resident {
             self.mem_used +=
                 sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
-            self.index.insert(sp.key.clone(), self.states.len());
+            self.index
+                .insert(self.h1.hash(sp.key.bytes()), self.states.len());
             self.states.push((sp.key, sp.state));
         }
         self.buckets.restore_contents(sections);
@@ -359,7 +377,10 @@ impl ReduceSide for IncHashReducer<'_> {
     }
 
     fn query(&self, key: &Key) -> Option<Value> {
-        self.index.get(key).map(|&i| self.states[i].1.clone())
+        let h = self.h1.hash(key.bytes());
+        self.index
+            .get(h, |r| self.states[r].0 == *key)
+            .map(|i| self.states[i].1.clone())
     }
 
     fn watermark(&self) -> Option<u64> {

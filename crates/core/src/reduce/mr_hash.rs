@@ -16,7 +16,7 @@ use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, HashFamily, HashFn, Key, Pair, Result, Value};
+use opa_common::{Error, GroupIndex, HashFamily, HashFn, Key, Pair, Result, SeededState, Value};
 use opa_simio::BucketManager;
 use std::collections::HashMap;
 
@@ -31,6 +31,7 @@ const MAX_DEPTH: usize = 6;
 pub struct MrHashReducer<'j> {
     job: &'j dyn Job,
     family: HashFamily,
+    h1: HashFn,
     h2: HashFn,
     mem_budget: u64,
     write_buffer: u64,
@@ -67,6 +68,7 @@ impl<'j> MrHashReducer<'j> {
         MrHashReducer {
             job,
             family: family.clone(),
+            h1: family.fn_at(0),
             h2: family.fn_at(1),
             mem_budget: mem,
             write_buffer,
@@ -89,13 +91,17 @@ impl<'j> MrHashReducer<'j> {
     ) -> SimTime {
         let n = pairs.len() as u64;
         t = env.cpu(t, env.cost().hash_time(n));
+        // Insertion-ordered group-by: the index stores fingerprints and
+        // row ids only (no key clones), probed with the same `h1`
+        // fingerprint the map side partitions with — hashed once per pair.
         let mut groups: Vec<(Key, Vec<Value>)> = Vec::new();
-        let mut index: HashMap<Key, usize> = HashMap::new();
+        let mut index = GroupIndex::with_capacity(pairs.len() / 4 + 1);
         for p in pairs {
-            match index.get(&p.key) {
-                Some(&i) => groups[i].1.push(p.value),
+            let h = self.h1.hash(p.key.bytes());
+            match index.get(h, |r| groups[r].0 == p.key) {
+                Some(i) => groups[i].1.push(p.value),
                 None => {
-                    index.insert(p.key.clone(), groups.len());
+                    index.insert(h, groups.len());
                     groups.push((p.key, vec![p.value]));
                 }
             }
@@ -139,7 +145,8 @@ impl<'j> MrHashReducer<'j> {
         // partitioning only rewrites bytes — fall back to in-memory
         // processing (what the paper's skew-aware hash customization in §5
         // exists to avoid).
-        let mut per_key: HashMap<&Key, u64> = HashMap::new();
+        let mut per_key: HashMap<&Key, u64, SeededState> =
+            HashMap::with_hasher(SeededState::fixed());
         for p in &pairs {
             *per_key.entry(&p.key).or_default() += p.size();
         }

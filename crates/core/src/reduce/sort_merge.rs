@@ -14,7 +14,7 @@ use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, Key, Pair, Result, Value};
+use opa_common::{Error, Pair, Result, Value};
 use opa_simio::{IoOp, SpillStore};
 
 /// [`ReducerCkpt::tag`] of the sort-merge framework (both variants).
@@ -142,10 +142,9 @@ impl ReduceSide for SortMergeReducer<'_> {
             while j < all.len() && all[j].key == all[i].key {
                 j += 1;
             }
-            let key = all[i].key.clone();
             let values: Vec<Value> = all[i..j].iter().map(|p| p.value.clone()).collect();
             reduced += values.len() as u64;
-            self.job.reduce(&key, values, &mut ctx);
+            self.job.reduce(&all[i].key, values, &mut ctx);
             i = j;
         }
         t = env.cpu(t, env.cost().reduce_time(reduced));
@@ -157,14 +156,14 @@ impl ReduceSide for SortMergeReducer<'_> {
     }
 
     fn on_delivery(&mut self, t: SimTime, payload: Payload, env: &mut ReduceEnv<'_>) -> SimTime {
-        let Payload::Pairs(pairs) = payload else {
+        let Payload::Pairs(batch) = payload else {
             unreachable!("sort-merge receives key-value pairs");
         };
-        let bytes: u64 = pairs.iter().map(Pair::size).sum();
+        let bytes = batch.bytes();
         env.shuffled(t, bytes);
         self.buffered_bytes += bytes;
-        if !pairs.is_empty() {
-            self.segments.push(pairs);
+        if !batch.is_empty() {
+            self.segments.push(batch.into_pairs());
         }
         if self.buffered_bytes >= self.buffer_cap {
             self.spill_buffer(t, env)
@@ -204,10 +203,11 @@ impl ReduceSide for SortMergeReducer<'_> {
             while j < all.len() && all[j].key == all[i].key {
                 j += 1;
             }
-            let key: Key = all[i].key.clone();
+            // The group's key is borrowed straight from the run — no
+            // per-group handle clone.
             let values: Vec<Value> = all[i..j].iter().map(|p| p.value.clone()).collect();
             let n = values.len() as u64;
-            self.job.reduce(&key, values, &mut ctx);
+            self.job.reduce(&all[i].key, values, &mut ctx);
             batch_work += n;
             if batch_work >= WORK_BATCH {
                 t = env.cpu(t, env.cost().reduce_time(batch_work));
@@ -276,7 +276,7 @@ fn combine_run(cb: &dyn crate::api::Combiner, run: Vec<Pair>) -> Vec<Pair> {
     let mut out = Vec::new();
     let mut iter = run.into_iter().peekable();
     while let Some(first) = iter.next() {
-        let key = first.key.clone();
+        let key = first.key;
         let mut values = vec![first.value];
         while iter.peek().is_some_and(|p| p.key == key) {
             values.push(iter.next().expect("peeked").value);

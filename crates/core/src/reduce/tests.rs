@@ -9,7 +9,7 @@ use crate::map_phase::Payload;
 use crate::progress::ProgressTracker;
 use crate::sim::Resources;
 use opa_common::units::{SimDuration, SimTime};
-use opa_common::{HashFamily, Key, Pair, StatePair, Value};
+use opa_common::{HashFamily, Key, Pair, RecordBatch, StateBatch, StatePair, Value};
 use std::collections::BTreeMap;
 
 /// Counting job used across these tests.
@@ -19,7 +19,7 @@ impl Job for Count {
     fn name(&self) -> &str {
         "count"
     }
-    fn map(&self, _record: &[u8], _emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, _record: &[u8], _emit: &mut dyn FnMut(&[u8], &[u8])) {
         unreachable!("reduce-side tests never map");
     }
     fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
@@ -121,18 +121,24 @@ impl Harness {
     }
 }
 
-fn sorted_pairs(keys: &[u64]) -> Vec<Pair> {
+// Hash-free batches: the reducers must fall back to recomputing `h1`
+// when the shuffle's cached fingerprints are absent (restore path).
+fn sorted_pairs(keys: &[u64]) -> RecordBatch {
     let mut keys = keys.to_vec();
     keys.sort_unstable();
-    keys.into_iter()
-        .map(|k| Pair::new(Key::from_u64(k), Value::from_u64(1)))
-        .collect()
+    RecordBatch::from_pairs(
+        keys.into_iter()
+            .map(|k| Pair::new(Key::from_u64(k), Value::from_u64(1)))
+            .collect(),
+    )
 }
 
-fn states(keys: &[u64]) -> Vec<StatePair> {
-    keys.iter()
-        .map(|&k| StatePair::new(Key::from_u64(k), Value::from_u64(1)))
-        .collect()
+fn states(keys: &[u64]) -> StateBatch {
+    StateBatch::from_states(
+        keys.iter()
+            .map(|&k| StatePair::new(Key::from_u64(k), Value::from_u64(1)))
+            .collect(),
+    )
 }
 
 fn sizing() -> ReducerSizing {

@@ -18,9 +18,9 @@ impl Job for WordCount {
     fn name(&self) -> &str {
         "word-count"
     }
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         for word in record.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
-            emit(Key::new(word.to_vec()), Value::from_u64(1));
+            emit(word, &1u64.to_be_bytes());
         }
     }
     fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {

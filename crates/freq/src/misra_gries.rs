@@ -12,6 +12,7 @@
 //! is `base += 1`. Zero-counter slots are found through a lazy min-heap of
 //! `(stored, slot)` entries.
 
+use opa_common::SeededState;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
@@ -68,7 +69,7 @@ struct Slot<K, S> {
 #[derive(Debug)]
 pub struct MisraGries<K, S> {
     slots: Vec<Slot<K, S>>,
-    index: HashMap<K, usize>,
+    index: HashMap<K, usize, SeededState>,
     /// Lazy min-heap over stored counters for zero-slot discovery.
     heap: BinaryHeap<Reverse<(u64, usize)>>,
     base: u64,
@@ -85,7 +86,7 @@ impl<K: Clone + Eq + Hash, S> MisraGries<K, S> {
         assert!(s > 0, "slot count must be positive");
         MisraGries {
             slots: Vec::with_capacity(s.min(1 << 20)),
-            index: HashMap::with_capacity(s.min(1 << 20)),
+            index: HashMap::with_capacity_and_hasher(s.min(1 << 20), SeededState::fixed()),
             heap: BinaryHeap::new(),
             base: 0,
             capacity: s,
@@ -579,7 +580,8 @@ impl<K: Clone + Eq + Hash, S> MisraGries<K, S> {
     ) -> (MisraGries<K, S>, Vec<MgEntry<K, S>>) {
         let capacity = self.capacity;
         let offered = self.offered + other.offered;
-        let mut combined: HashMap<K, MgEntry<K, S>> = HashMap::new();
+        let mut combined: HashMap<K, MgEntry<K, S>, SeededState> =
+            HashMap::with_hasher(SeededState::fixed());
         for e in self.drain().into_iter().chain(other.drain()) {
             match combined.entry(e.key.clone()) {
                 std::collections::hash_map::Entry::Occupied(mut o) => {

@@ -7,14 +7,17 @@
 //! requirement for DINC (§4.3); OPA ships it as an ablation comparator
 //! (bench `ablation_monitor`).
 
+use opa_common::SeededState;
 use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A SpaceSaving summary over keys of type `K`.
 #[derive(Debug)]
 pub struct SpaceSaving<K> {
-    /// key → (count, overestimation error).
-    counts: HashMap<K, (u64, u64)>,
+    /// key → (count, overestimation error). Seeded hasher: the min-scan in
+    /// [`SpaceSaving::offer`] iterates this map, so tie-breaks must not
+    /// depend on a per-process random hash seed.
+    counts: HashMap<K, (u64, u64), SeededState>,
     capacity: usize,
     offered: u64,
 }
@@ -27,7 +30,7 @@ impl<K: Clone + Eq + Hash> SpaceSaving<K> {
     pub fn new(s: usize) -> Self {
         assert!(s > 0, "slot count must be positive");
         SpaceSaving {
-            counts: HashMap::with_capacity(s.min(1 << 20)),
+            counts: HashMap::with_capacity_and_hasher(s.min(1 << 20), SeededState::fixed()),
             capacity: s,
             offered: 0,
         }
@@ -172,7 +175,7 @@ mod tests {
 #[derive(Debug)]
 pub struct SpaceSavingMonitor<K, S> {
     slots: Vec<(K, u64, u64, S)>, // key, count, t, state
-    index: std::collections::HashMap<K, usize>,
+    index: std::collections::HashMap<K, usize, SeededState>,
     capacity: usize,
     offered: u64,
 }
@@ -190,7 +193,10 @@ impl<K: Clone + Eq + std::hash::Hash, S> SpaceSavingMonitor<K, S> {
         assert!(s > 0, "slot count must be positive");
         SpaceSavingMonitor {
             slots: Vec::with_capacity(s.min(1 << 20)),
-            index: std::collections::HashMap::with_capacity(s.min(1 << 20)),
+            index: std::collections::HashMap::with_capacity_and_hasher(
+                s.min(1 << 20),
+                SeededState::fixed(),
+            ),
             capacity: s,
             offered: 0,
         }

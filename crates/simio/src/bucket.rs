@@ -11,11 +11,14 @@ use crate::iostats::IoOp;
 use crate::Sized64;
 
 /// State of one bucket: its buffered tail plus everything already flushed.
+/// Flushed data is kept as one segment per flush — segments are moved, not
+/// copied, so a large bucket never re-copies its prefix — and concatenated
+/// exactly once when the bucket is read back.
 #[derive(Debug)]
 struct Bucket<T> {
     buffered: Vec<T>,
     buffered_bytes: u64,
-    flushed: Vec<T>,
+    flushed: Vec<Vec<T>>,
     flushed_bytes: u64,
     flush_count: u64,
 }
@@ -90,7 +93,9 @@ impl<T: Sized64> BucketManager<T> {
             return IoOp::NONE;
         }
         let bytes = b.buffered_bytes;
-        b.flushed.append(&mut b.buffered);
+        let cap = b.buffered.len();
+        b.flushed
+            .push(std::mem::replace(&mut b.buffered, Vec::with_capacity(cap)));
         b.flushed_bytes += bytes;
         b.buffered_bytes = 0;
         b.flush_count += 1;
@@ -129,7 +134,11 @@ impl<T: Sized64> BucketManager<T> {
         self.buckets
             .iter()
             .map(|b| {
-                let mut v = b.flushed.clone();
+                let total: usize = b.flushed.iter().map(Vec::len).sum();
+                let mut v = Vec::with_capacity(total + b.buffered.len());
+                for seg in &b.flushed {
+                    v.extend(seg.iter().cloned());
+                }
                 v.extend(b.buffered.iter().cloned());
                 v
             })
@@ -158,7 +167,7 @@ impl<T: Sized64> BucketManager<T> {
             }
             b.flushed_bytes = recs.iter().map(Sized64::size).sum();
             b.flush_count = 1;
-            b.flushed = recs;
+            b.flushed = vec![recs];
         }
     }
 
@@ -176,8 +185,19 @@ impl<T: Sized64> BucketManager<T> {
         let seeks = b.flush_count.max(if bytes > 0 { 1 } else { 0 });
         b.flushed_bytes = 0;
         b.flush_count = 0;
+        let recs = match b.flushed.len() {
+            0 | 1 => b.flushed.pop().unwrap_or_default(),
+            _ => {
+                let total: usize = b.flushed.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(total);
+                for seg in b.flushed.drain(..) {
+                    out.extend(seg);
+                }
+                out
+            }
+        };
         (
-            std::mem::take(&mut b.flushed),
+            recs,
             IoOp {
                 read: bytes,
                 written: 0,

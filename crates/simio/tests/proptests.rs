@@ -102,3 +102,88 @@ proptest! {
         prop_assert_eq!(p.clone().size(), p.size());
     }
 }
+
+/// Payload sizes straddling the inline/heap boundary of `Key`/`Value`
+/// (0, 21, 22 inline; 23, 1024 heap) — every serialization surface must
+/// round-trip all of them bit-exactly.
+const BOUNDARY_SIZES: [usize; 5] = [0, 21, 22, 23, 1024];
+
+fn boundary_pairs() -> Vec<Pair> {
+    let mut out = Vec::new();
+    for (i, &kn) in BOUNDARY_SIZES.iter().enumerate() {
+        for (j, &vn) in BOUNDARY_SIZES.iter().enumerate() {
+            // Mix constructors so both representations hit the codec.
+            let key = if (i + j) % 2 == 0 {
+                Key::from_slice(&vec![i as u8 + 1; kn])
+            } else {
+                Key::forced_heap(vec![i as u8 + 1; kn])
+            };
+            let value = Value::from_slice(&vec![j as u8; vn]);
+            out.push(Pair::new(key, value));
+        }
+    }
+    out
+}
+
+/// The spill codec round-trips every boundary payload size, and decoded
+/// records compare equal whichever representation encoded them.
+#[test]
+fn codec_roundtrips_boundary_sizes() {
+    use opa_simio::codec::{decode_run, decode_state_run, encode_run, encode_state_run};
+    let pairs = boundary_pairs();
+    let back = decode_run(&encode_run(&pairs)).expect("run decodes");
+    assert_eq!(back, pairs);
+    let states: Vec<StatePair> = pairs
+        .iter()
+        .map(|p| StatePair::new(p.key.clone(), p.value.clone()))
+        .collect();
+    let back = decode_state_run(&encode_state_run(&states)).expect("state run decodes");
+    assert_eq!(back, states);
+}
+
+/// Checkpoint sections round-trip boundary-size pair and state runs.
+#[test]
+fn checkpoint_sections_roundtrip_boundary_sizes() {
+    use opa_simio::ckpt::{decode_sections, encode_sections, Section};
+    let pairs = boundary_pairs();
+    let states: Vec<StatePair> = pairs
+        .iter()
+        .map(|p| StatePair::new(p.key.clone(), p.value.clone()))
+        .collect();
+    let sections = vec![
+        Section::Bytes(vec![7; 3]),
+        Section::Nums(vec![0, u64::MAX, 42]),
+        Section::Pairs(pairs),
+        Section::States(states),
+    ];
+    let back = decode_sections(&encode_sections(&sections)).expect("sections decode");
+    assert_eq!(back, sections);
+}
+
+proptest! {
+    /// Arbitrary payloads (lengths biased around the inline cap) survive
+    /// the spill codec bit-exactly, in order.
+    #[test]
+    fn codec_roundtrips_arbitrary_payloads(
+        recs in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..48),
+             proptest::collection::vec(any::<u8>(), 0..48),
+             any::<bool>()),
+            0..40),
+    ) {
+        use opa_simio::codec::{decode_run, encode_run};
+        let pairs: Vec<Pair> = recs
+            .iter()
+            .map(|(k, v, heap)| {
+                let key = if *heap {
+                    Key::forced_heap(k.clone())
+                } else {
+                    Key::from_slice(k)
+                };
+                Pair::new(key, Value::from_slice(v))
+            })
+            .collect();
+        let back = decode_run(&encode_run(&pairs)).expect("run decodes");
+        prop_assert_eq!(back, pairs);
+    }
+}

@@ -22,7 +22,7 @@
 //! functions of their inputs, the resumed run's output is bit-identical
 //! to the uninterrupted run's for the map/reduce fault classes.
 
-use opa_common::{Error, Pair, Result, StatePair};
+use opa_common::{Error, Pair, RecordBatch, Result, StateBatch, StatePair};
 use opa_core::map_phase::Payload;
 use opa_core::reduce::ReducerCkpt;
 use opa_simio::ckpt::{decode_sections, encode_sections, Section};
@@ -203,8 +203,8 @@ impl SavedState {
                 } => {
                     sections.push(Section::Nums(vec![*time, *reducer, *from_node, *chunk]));
                     sections.push(match payload {
-                        Payload::Pairs(v) => Section::Pairs(v.clone()),
-                        Payload::States(v) => Section::States(v.clone()),
+                        Payload::Pairs(v) => Section::Pairs(v.pairs().to_vec()),
+                        Payload::States(v) => Section::States(v.states().to_vec()),
                     });
                 }
             }
@@ -244,8 +244,8 @@ impl SavedState {
             sections.push(Section::Nums(header));
             for d in defs {
                 sections.push(match &d.payload {
-                    Payload::Pairs(v) => Section::Pairs(v.clone()),
-                    Payload::States(v) => Section::States(v.clone()),
+                    Payload::Pairs(v) => Section::Pairs(v.pairs().to_vec()),
+                    Payload::States(v) => Section::States(v.states().to_vec()),
                 });
             }
             sections.push(Section::Nums(vec![
@@ -327,9 +327,9 @@ impl SavedState {
                             Error::storage("stream checkpoint delivery event malformed")
                         })?;
                     let payload = if tag == QEV_DELIVER_PAIRS {
-                        Payload::Pairs(cur.pairs("delivery payload")?)
+                        Payload::Pairs(RecordBatch::from_pairs(cur.pairs("delivery payload")?))
                     } else {
-                        Payload::States(cur.states("delivery payload")?)
+                        Payload::States(StateBatch::from_states(cur.states("delivery payload")?))
                     };
                     QueuedEvent::Deliver {
                         time,
@@ -405,8 +405,12 @@ impl SavedState {
             for i in 0..n {
                 let from_node = header[1 + 2 * i];
                 let payload = match header[2 + 2 * i] {
-                    PAYLOAD_PAIRS => Payload::Pairs(cur.pairs("deferred payload")?),
-                    PAYLOAD_STATES => Payload::States(cur.states("deferred payload")?),
+                    PAYLOAD_PAIRS => {
+                        Payload::Pairs(RecordBatch::from_pairs(cur.pairs("deferred payload")?))
+                    }
+                    PAYLOAD_STATES => {
+                        Payload::States(StateBatch::from_states(cur.states("deferred payload")?))
+                    }
                     other => {
                         return Err(Error::storage(format!(
                             "reducer {r} deferred payload kind {other} unknown"
@@ -577,7 +581,10 @@ mod tests {
                     reducer: 1,
                     from_node: 0,
                     chunk: 4,
-                    payload: Payload::Pairs(vec![Pair::new(Key::from("q"), Value::from_u64(5))]),
+                    payload: Payload::Pairs(RecordBatch::from_pairs(vec![Pair::new(
+                        Key::from("q"),
+                        Value::from_u64(5),
+                    )])),
                 },
                 QueuedEvent::StartMap {
                     time: 14,
@@ -602,7 +609,10 @@ mod tests {
             deferred: vec![
                 vec![DeferredDelivery {
                     from_node: 1,
-                    payload: Payload::Pairs(vec![Pair::new(Key::from("d"), Value::from_u64(2))]),
+                    payload: Payload::Pairs(RecordBatch::from_pairs(vec![Pair::new(
+                        Key::from("d"),
+                        Value::from_u64(2),
+                    )])),
                 }],
                 vec![],
             ],

@@ -51,9 +51,9 @@ impl Job for ClickCountJob {
         "user click counting"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some((_, user, _)) = parse_click(record) {
-            emit(Key::from_u64(user), Value::from_u64(1));
+            emit(&user.to_be_bytes(), &1u64.to_be_bytes());
         }
     }
 
@@ -89,7 +89,9 @@ mod tests {
         let job = ClickCountJob::default();
         let rec = format_click(123, 42, 7);
         let mut out = Vec::new();
-        job.map(&rec, &mut |k, v| out.push((k, v)));
+        job.map(&rec, &mut |k, v| {
+            out.push((Key::from_slice(k), Value::from_slice(v)))
+        });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0.as_u64(), Some(42));
         assert_eq!(out[0].1.as_u64(), Some(1));
@@ -98,8 +100,8 @@ mod tests {
     #[test]
     fn malformed_records_are_skipped() {
         let job = ClickCountJob::default();
-        let mut out = Vec::new();
-        job.map(b"garbage", &mut |k, v| out.push((k, v)));
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        job.map(b"garbage", &mut |k, v| out.push((k.to_vec(), v.to_vec())));
         assert!(out.is_empty());
     }
 

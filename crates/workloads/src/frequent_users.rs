@@ -38,10 +38,10 @@ impl Default for FrequentUsersJob {
 
 // State layout: [count u64][emitted u8].
 fn encode_state(count: u64, emitted: bool) -> Value {
-    let mut v = Vec::with_capacity(9);
-    v.extend_from_slice(&count.to_be_bytes());
-    v.push(emitted as u8);
-    Value::new(v)
+    let mut buf = [0u8; 9];
+    buf[..8].copy_from_slice(&count.to_be_bytes());
+    buf[8] = emitted as u8;
+    Value::from_slice(&buf)
 }
 
 fn decode_state(v: &Value) -> (u64, bool) {
@@ -87,9 +87,9 @@ impl Job for FrequentUsersJob {
         "frequent user identification"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some((_, user, _)) = parse_click(record) {
-            emit(Key::from_u64(user), Value::from_u64(1));
+            emit(&user.to_be_bytes(), &1u64.to_be_bytes());
         }
     }
 

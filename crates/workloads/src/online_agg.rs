@@ -99,17 +99,18 @@ impl Job for OnlineAvgJob {
         "online average"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some((_, _, tail)) = parse_click(record) {
-            // Measure: the page id embedded in the URL.
-            let digits: Vec<u8> = tail
-                .iter()
-                .copied()
-                .filter(u8::is_ascii_digit)
-                .take(5)
-                .collect();
-            if let Ok(page) = std::str::from_utf8(&digits).unwrap_or("").parse::<u64>() {
-                emit(Key::from("avg-page"), Value::from_u64(page));
+            // Measure: the page id embedded in the URL — parsed from a
+            // stack array, no per-record Vec or str detour.
+            let mut page = 0u64;
+            let mut n = 0usize;
+            for &b in tail.iter().filter(|b| b.is_ascii_digit()).take(5) {
+                page = page * 10 + u64::from(b - b'0');
+                n += 1;
+            }
+            if n > 0 {
+                emit(b"avg-page", &page.to_be_bytes());
             }
         }
     }
@@ -177,7 +178,9 @@ mod tests {
         let j = OnlineAvgJob::default();
         let rec = crate::clickstream::format_click(5, 9, 1234);
         let mut out = Vec::new();
-        j.map(&rec, &mut |k, v| out.push((k, v)));
+        j.map(&rec, &mut |k, v| {
+            out.push((k.to_vec(), Value::from_slice(v)))
+        });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.as_u64(), Some(1234));
     }

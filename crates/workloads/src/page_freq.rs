@@ -50,11 +50,11 @@ impl Job for PageFreqJob {
         "page frequency"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some((_, _, tail)) = parse_click(record) {
             // The URL is the first whitespace-delimited token of the tail.
             let url = tail.split(|&b| b == b' ').next().unwrap_or(tail);
-            emit(Key::new(url.to_vec()), Value::from_u64(1));
+            emit(url, &1u64.to_be_bytes());
         }
     }
 
@@ -90,9 +90,11 @@ mod tests {
         let job = PageFreqJob::default();
         let rec = format_click(5, 9, 123);
         let mut out = Vec::new();
-        job.map(&rec, &mut |k, v| out.push((k, v)));
+        job.map(&rec, &mut |k, v| {
+            out.push((k.to_vec(), Value::from_slice(v)))
+        });
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].0.bytes(), b"/en/page00123.html");
+        assert_eq!(out[0].0, b"/en/page00123.html");
         assert_eq!(out[0].1.as_u64(), Some(1));
     }
 
@@ -102,7 +104,7 @@ mod tests {
         let mut keys = Vec::new();
         for user in [1u64, 2, 3] {
             let rec = format_click(user * 10, user, 777);
-            job.map(&rec, &mut |k, _| keys.push(k));
+            job.map(&rec, &mut |k, _| keys.push(k.to_vec()));
         }
         assert!(keys.windows(2).all(|w| w[0] == w[1]));
     }

@@ -324,9 +324,18 @@ impl Job for SessionizeJob {
         "sessionization"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some((ts, user, tail)) = parse_click(record) {
-            emit(Key::from_u64(user), click_value(ts, tail));
+            // [ts u64][tail…] assembled in a stack-backed scratch buffer
+            // (tails are short click URLs; spill to heap only if not).
+            let mut scratch = [0u8; 64];
+            if 8 + tail.len() <= scratch.len() {
+                scratch[..8].copy_from_slice(&ts.to_be_bytes());
+                scratch[8..8 + tail.len()].copy_from_slice(tail);
+                emit(&user.to_be_bytes(), &scratch[..8 + tail.len()]);
+            } else {
+                emit(&user.to_be_bytes(), click_value(ts, tail).bytes());
+            }
         }
     }
 

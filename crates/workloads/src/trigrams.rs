@@ -32,10 +32,10 @@ impl Default for TrigramCountJob {
 
 // State layout: [count u64][emitted u8] — same as frequent users.
 fn encode_state(count: u64, emitted: bool) -> Value {
-    let mut v = Vec::with_capacity(9);
-    v.extend_from_slice(&count.to_be_bytes());
-    v.push(emitted as u8);
-    Value::new(v)
+    let mut buf = [0u8; 9];
+    buf[..8].copy_from_slice(&count.to_be_bytes());
+    buf[8] = emitted as u8;
+    Value::from_slice(&buf)
 }
 
 fn decode_state(v: &Value) -> (u64, bool) {
@@ -82,19 +82,24 @@ impl Job for TrigramCountJob {
         "trigram counting"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-        let words: Vec<&[u8]> = record
-            .split(|&b| b == b' ')
-            .filter(|w| !w.is_empty())
-            .collect();
-        for w in words.windows(3) {
-            let mut key = Vec::with_capacity(w[0].len() + w[1].len() + w[2].len() + 2);
-            key.extend_from_slice(w[0]);
-            key.push(b' ');
-            key.extend_from_slice(w[1]);
-            key.push(b' ');
-            key.extend_from_slice(w[2]);
-            emit(Key::new(key), Value::from_u64(1));
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        // Slide a 3-word window with one reused scratch buffer: the only
+        // allocation is the buffer's initial growth, regardless of how many
+        // trigrams the record yields.
+        let mut words = record.split(|&b| b == b' ').filter(|w| !w.is_empty());
+        let (Some(mut w0), Some(mut w1)) = (words.next(), words.next()) else {
+            return;
+        };
+        let mut scratch: Vec<u8> = Vec::new();
+        for w2 in words {
+            scratch.clear();
+            scratch.extend_from_slice(w0);
+            scratch.push(b' ');
+            scratch.extend_from_slice(w1);
+            scratch.push(b' ');
+            scratch.extend_from_slice(w2);
+            emit(&scratch, &1u64.to_be_bytes());
+            (w0, w1) = (w1, w2);
         }
     }
 
@@ -130,17 +135,16 @@ mod tests {
     fn map_emits_sliding_trigrams() {
         let job = TrigramCountJob::default();
         let mut out = Vec::new();
-        job.map(b"a b c d", &mut |k, _| out.push(k));
-        let keys: Vec<&[u8]> = out.iter().map(Key::bytes).collect();
-        assert_eq!(keys, vec![b"a b c".as_ref(), b"b c d".as_ref()]);
+        job.map(b"a b c d", &mut |k, _| out.push(k.to_vec()));
+        assert_eq!(out, vec![b"a b c".to_vec(), b"b c d".to_vec()]);
     }
 
     #[test]
     fn short_documents_emit_nothing() {
         let job = TrigramCountJob::default();
         let mut out = Vec::new();
-        job.map(b"a b", &mut |k, _| out.push(k));
-        job.map(b"", &mut |k, _| out.push(k));
+        job.map(b"a b", &mut |k, _| out.push(k.to_vec()));
+        job.map(b"", &mut |k, _| out.push(k.to_vec()));
         assert!(out.is_empty());
     }
 

@@ -179,9 +179,9 @@ impl Job for WindowedCountJob {
         "windowed click counting"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some((ts, user, _)) = parse_click(record) {
-            emit(Key::from_u64(user), Value::from_u64(ts));
+            emit(&user.to_be_bytes(), &ts.to_be_bytes());
         }
     }
 

@@ -28,7 +28,7 @@ impl Job for ProfileClickJoin {
         "profile-click join"
     }
 
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         if let Some(rest) = record.strip_prefix(b"P=".as_ref()) {
             // Profile record: "P=<user> <country>".
             let mut parts = rest.split(|&b| b == b' ');
@@ -36,11 +36,11 @@ impl Job for ProfileClickJoin {
                 if let Ok(user) = std::str::from_utf8(user).unwrap_or("").parse::<u64>() {
                     let mut v = vec![b'P'];
                     v.extend_from_slice(country);
-                    emit(Key::from_u64(user), Value::new(v));
+                    emit(&user.to_be_bytes(), &v);
                 }
             }
         } else if let Some((_, user, _)) = parse_click(record) {
-            emit(Key::from_u64(user), Value::new(vec![b'C']));
+            emit(&user.to_be_bytes(), b"C");
         }
     }
 

@@ -4,7 +4,9 @@
 //! one type OPA uses — [`Bytes`] — with the same semantics the platform
 //! relies on: an immutable byte buffer whose clones share a single backing
 //! allocation (`Arc<[u8]>`), so shuffling and spilling never deep-copy
-//! payloads.
+//! payloads. [`Bytes::slice`] is zero-copy: the sub-view keeps a reference
+//! to the parent allocation and narrows its window, which is what lets the
+//! data plane hand out offset/len views over one shared arena.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -16,6 +18,8 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -28,30 +32,44 @@ impl Bytes {
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
             data: Arc::from(data),
+            off: 0,
+            len: data.len(),
         }
     }
 
     /// A view of the bytes as a plain slice.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 
     /// Length in bytes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a new `Bytes` holding a copy of the given subrange.
+    /// Returns a `Bytes` viewing the given subrange of this buffer.
+    /// Zero-copy: the result shares the backing allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Bytes::copy_from_slice(&self.data[range])
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of bounds of buffer of length {}",
+            range.start,
+            range.end,
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
     }
 }
 
@@ -59,6 +77,8 @@ impl Default for Bytes {
     fn default() -> Self {
         Bytes {
             data: Arc::from(&[][..]),
+            off: 0,
+            len: 0,
         }
     }
 }
@@ -67,33 +87,43 @@ impl Deref for Bytes {
     type Target = [u8];
     #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     #[inline]
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            off: 0,
+            len,
+        }
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -123,14 +153,14 @@ impl<const N: usize> From<[u8; N]> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
@@ -142,20 +172,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice().iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -206,5 +236,38 @@ mod tests {
     fn default_is_empty() {
         assert!(Bytes::default().is_empty());
         assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(&b"hello world"[..]);
+        let s = a.slice(6..11);
+        assert_eq!(&s[..], b"world");
+        // The sub-view points into the parent allocation.
+        assert_eq!(s.as_ptr(), unsafe { a.as_ptr().add(6) });
+        // Slicing a slice composes offsets.
+        let t = s.slice(1..3);
+        assert_eq!(&t[..], b"or");
+        assert_eq!(t.as_ptr(), unsafe { a.as_ptr().add(7) });
+    }
+
+    #[test]
+    fn slice_bounds_and_equality() {
+        let a = Bytes::from(&b"abcabc"[..]);
+        assert_eq!(a.slice(0..3), a.slice(3..6));
+        assert_eq!(a.slice(3..3).len(), 0);
+        let h1 = {
+            use std::collections::hash_map::DefaultHasher;
+            let mut h = DefaultHasher::new();
+            a.slice(0..3).hash(&mut h);
+            h.finish()
+        };
+        let h2 = {
+            use std::collections::hash_map::DefaultHasher;
+            let mut h = DefaultHasher::new();
+            Bytes::from(&b"abc"[..]).hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h1, h2, "hash must depend on the view, not the backing");
     }
 }

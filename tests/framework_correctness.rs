@@ -316,8 +316,8 @@ fn incremental_framework_requires_incremental_job() {
         fn name(&self) -> &str {
             "plain"
         }
-        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-            emit(Key::new(record.to_vec()), Value::from_u64(1));
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+            emit(record, &1u64.to_be_bytes());
         }
         fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
             ctx.emit(key.clone(), Value::from_u64(values.len() as u64));

@@ -53,11 +53,11 @@ fn hostile_bytes_survive_write_and_read_output() {
         fn name(&self) -> &str {
             "identity"
         }
-        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
             // Key = record, value = record reversed: both sides hostile.
             let mut rev = record.to_vec();
             rev.reverse();
-            emit(Key::new(record.to_vec()), Value::new(rev));
+            emit(record, &rev);
         }
         fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
             for v in values {
@@ -86,7 +86,7 @@ fn hostile_bytes_survive_write_and_read_output() {
     let path = dir.join("hostile.opa");
     outcome.write_output(&path).expect("write output file");
     let mut back = JobOutcome::read_output(&path).expect("read output file");
-    back.sort_by(|x, y| x.key.cmp(&y.key).then_with(|| x.value.0.cmp(&y.value.0)));
+    back.sort_by(|x, y| x.key.cmp(&y.key).then_with(|| x.value.cmp(&y.value)));
     assert_eq!(back, outcome.sorted_output());
     let _ = std::fs::remove_dir_all(&dir);
 }

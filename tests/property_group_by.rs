@@ -16,9 +16,9 @@ impl Job for ByteCount {
     fn name(&self) -> &str {
         "byte count"
     }
-    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Key, Value)) {
-        if let Some(&b) = record.first() {
-            emit(Key::new(vec![b]), Value::from_u64(1));
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        if !record.is_empty() {
+            emit(&record[..1], &1u64.to_be_bytes());
         }
     }
     fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
