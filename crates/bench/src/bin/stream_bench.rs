@@ -1,14 +1,14 @@
 //! Wall-clock benchmark of the stream runtime: sustained ingest
-//! throughput versus the one-shot batch run, the cost of periodic
-//! checkpoints, and live query latency at the pause points. Results land
-//! in `BENCH_stream.json` so later changes have a perf trajectory to
-//! regress against.
+//! throughput versus the one-shot batch run, a {1,2,4,8}-thread ingest
+//! sweep, the cost of periodic checkpoints, and live query latency at
+//! the pause points. Results land in `BENCH_stream.json` so later
+//! changes have a perf trajectory to regress against.
 //!
 //! ```text
 //! cargo run -p opa-bench --release --bin stream_bench [-- OUT.json]
 //! ```
 
-use opa_common::Key;
+use opa_common::{ExecConfig, Key};
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::JobBuilder;
 use opa_stream::StreamJobBuilder;
@@ -41,7 +41,10 @@ fn main() {
     let cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let threads = if cpus >= 2 { cpus } else { 2 };
+    // Same policy as engine_bench: min(host CPUs, 8), floor 2 so the
+    // parallel machinery always runs; the explicit oversubscribed exec
+    // below lifts the engine's host-core cap on a 1-CPU host.
+    let threads = cpus.clamp(2, 8);
     let dir = std::env::temp_dir().join("opa-stream-bench");
     std::fs::create_dir_all(&dir).expect("checkpoint dir");
 
@@ -59,7 +62,7 @@ fn main() {
         StreamJobBuilder::new(job())
             .framework(Framework::IncHash)
             .cluster(spec)
-            .threads(threads)
+            .exec(ExecConfig::oversubscribed(threads))
             .batches(BATCHES)
     };
 
@@ -68,7 +71,7 @@ fn main() {
         let o = JobBuilder::new(job())
             .framework(Framework::IncHash)
             .cluster(spec)
-            .threads(threads)
+            .exec(ExecConfig::oversubscribed(threads))
             .run(&data)
             .expect("batch run");
         (0, o.metrics.output_records ^ o.metrics.running_time.0)
@@ -88,6 +91,35 @@ fn main() {
         batch_digest, stream_digest,
         "streamed outcome diverged from the batch run"
     );
+
+    // Ingest throughput across the thread matrix. `oversubscribed` lifts
+    // the engine's host-core cap so every row runs its nominal thread
+    // count even on small hosts; rows where that exceeds the host's CPUs
+    // are flagged — their threads only time-slice, so the numbers chart
+    // scheduling overhead, not scaling.
+    let mut sweep_rows = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        let (secs, digest) = best_of(|| {
+            let o = stream_builder()
+                .exec(ExecConfig::oversubscribed(t))
+                .run_stream(&data, |_| {})
+                .expect("sweep run");
+            (
+                0,
+                o.job.metrics.output_records ^ o.job.metrics.running_time.0,
+            )
+        });
+        assert_eq!(batch_digest, digest, "sweep at {t} threads diverged");
+        let rps = records as f64 / secs;
+        let over = t > cpus;
+        println!(
+            "  sweep {t:>2} threads    {secs:>8.3}s  ({rps:.0} records/s{})",
+            if over { ", oversubscribed" } else { "" }
+        );
+        sweep_rows.push(format!(
+            "    {{\"threads\": {t}, \"oversubscribed\": {over}, \"secs\": {secs:.4}, \"records_per_sec\": {rps:.0}}}"
+        ));
+    }
 
     // Streamed ingest with periodic checkpoints: the durability tax.
     let n_ckpts = (BATCHES - 1) / CKPT_EVERY;
@@ -150,8 +182,9 @@ fn main() {
         mean(&progress_ns)
     );
 
+    let sweep_json = sweep_rows.join(",\n");
     let json = format!(
-        "{{\n  \"host_cpus\": {cpus},\n  \"threads\": {threads},\n  \"records\": {records},\n  \"batches\": {BATCHES},\n  \"batch_secs\": {batch_secs:.4},\n  \"stream_secs\": {stream_secs:.4},\n  \"stream_records_per_sec\": {ingest_rps:.0},\n  \"stream_overhead_pct\": {stream_overhead_pct:.2},\n  \"checkpoints\": {n_ckpts},\n  \"checkpointed_secs\": {ckpt_secs:.4},\n  \"checkpoint_overhead_pct\": {ckpt_overhead_pct:.2},\n  \"checkpoint_cost_ms\": {per_ckpt_ms:.2},\n  \"checkpoint_file_bytes\": {ckpt_bytes},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0}\n}}\n",
+        "{{\n  \"host_cpus\": {cpus},\n  \"threads\": {threads},\n  \"records\": {records},\n  \"batches\": {BATCHES},\n  \"batch_secs\": {batch_secs:.4},\n  \"stream_secs\": {stream_secs:.4},\n  \"stream_records_per_sec\": {ingest_rps:.0},\n  \"stream_overhead_pct\": {stream_overhead_pct:.2},\n  \"threads_sweep\": [\n{sweep_json}\n  ],\n  \"checkpoints\": {n_ckpts},\n  \"checkpointed_secs\": {ckpt_secs:.4},\n  \"checkpoint_overhead_pct\": {ckpt_overhead_pct:.2},\n  \"checkpoint_cost_ms\": {per_ckpt_ms:.2},\n  \"checkpoint_file_bytes\": {ckpt_bytes},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0}\n}}\n",
         mean(&lookup_ns),
         mean(&progress_ns),
     );

@@ -160,6 +160,13 @@ pub struct ExecConfig {
     /// Total threads the engine may occupy, including the caller's
     /// thread. `1` means fully sequential execution.
     pub threads: usize,
+    /// Allow more threads than the host has cores. Off by default:
+    /// oversubscribed workers only time-slice against each other, so the
+    /// engine silently degrades toward sequential execution instead of
+    /// context-thrashing (results are bit-identical either way). Tests
+    /// exercising the parallel machinery on small hosts turn this on via
+    /// [`ExecConfig::oversubscribed`].
+    pub oversubscribe: bool,
 }
 
 impl Default for ExecConfig {
@@ -171,22 +178,51 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// Single-threaded execution (the default).
     pub fn sequential() -> Self {
-        ExecConfig { threads: 1 }
+        ExecConfig {
+            threads: 1,
+            oversubscribe: false,
+        }
     }
 
     /// One thread per available hardware core (falls back to sequential
     /// when the host refuses to say).
     pub fn available_parallelism() -> Self {
         ExecConfig {
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+            threads: host_parallelism(),
+            oversubscribe: false,
         }
     }
 
-    /// Explicit thread count.
+    /// Explicit thread count, capped at the host's core count when the
+    /// job actually runs (see [`ExecConfig::effective_threads`]).
     pub fn with_threads(threads: usize) -> Self {
-        ExecConfig { threads }
+        ExecConfig {
+            threads,
+            oversubscribe: false,
+        }
+    }
+
+    /// Explicit thread count with the host-core cap disabled: exactly
+    /// `threads` threads run even on a smaller host. Determinism tests
+    /// use this so a 1-CPU CI runner still drives the real work-stealing
+    /// machinery.
+    pub fn oversubscribed(threads: usize) -> Self {
+        ExecConfig {
+            threads,
+            oversubscribe: true,
+        }
+    }
+
+    /// The thread count the engine will actually use: `threads`, capped
+    /// at the host's available parallelism unless oversubscription was
+    /// requested explicitly. Never below 1.
+    pub fn effective_threads(&self) -> usize {
+        let t = self.threads.max(1);
+        if self.oversubscribe {
+            t
+        } else {
+            t.min(host_parallelism())
+        }
     }
 
     /// Validates the configuration.
@@ -196,6 +232,13 @@ impl ExecConfig {
         }
         Ok(())
     }
+}
+
+/// The host's core count as reported by the OS (1 when unknown).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -209,9 +252,32 @@ mod tests {
         assert!(ExecConfig::available_parallelism().threads >= 1);
         assert!(ExecConfig::with_threads(8).validate().is_ok());
         assert!(matches!(
-            ExecConfig { threads: 0 }.validate(),
+            ExecConfig {
+                threads: 0,
+                oversubscribe: false
+            }
+            .validate(),
             Err(Error::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn effective_threads_caps_to_host_unless_oversubscribed() {
+        let host = host_parallelism();
+        // An absurd request degrades to the host's real parallelism…
+        assert_eq!(
+            ExecConfig::with_threads(4096).effective_threads(),
+            host,
+            "capped request must land on the host core count"
+        );
+        // …unless oversubscription is explicit.
+        assert_eq!(ExecConfig::oversubscribed(4096).effective_threads(), 4096);
+        // Requests at or below the host pass through untouched.
+        assert_eq!(ExecConfig::with_threads(1).effective_threads(), 1);
+        assert_eq!(
+            ExecConfig::with_threads(host).effective_threads(),
+            host.min(host_parallelism())
+        );
     }
 
     #[test]

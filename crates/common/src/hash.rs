@@ -25,14 +25,77 @@ pub struct HashFn {
     add: u64,
     /// Post-compression xor mask, distinct per function.
     mask: u64,
+    /// Cached powers `mul²..mul⁴` (mod 2⁶⁴) for the 4-word unrolled
+    /// polynomial step. Pure functions of `mul`, precomputed at
+    /// construction so the hot loop carries no serial multiply chain.
+    mul2: u64,
+    mul3: u64,
+    mul4: u64,
 }
 
 impl HashFn {
+    fn from_params(mul: u64, add: u64, mask: u64) -> Self {
+        let mul2 = mul.wrapping_mul(mul);
+        HashFn {
+            mul,
+            add,
+            mask,
+            mul2,
+            mul3: mul2.wrapping_mul(mul),
+            mul4: mul2.wrapping_mul(mul2),
+        }
+    }
+
     /// Hashes raw bytes to a 64-bit fingerprint.
+    ///
+    /// SWAR-style 4-lane unroll of the byte polynomial: by Horner's rule,
+    /// four steps of `acc ← acc·m + vᵢ` equal
+    /// `acc·m⁴ + v₀·m³ + v₁·m² + v₂·m + v₃`, exactly, in the wrapping
+    /// arithmetic of `Z/2⁶⁴` — so the four word multiplies become
+    /// independent and the serial dependency chain shrinks from four
+    /// multiplies per 32 bytes to one. Bit-identical to
+    /// [`HashFn::hash_reference`] (property-tested in
+    /// `tests/swar_equivalence.rs`).
     #[inline]
     pub fn hash(&self, data: &[u8]) -> u64 {
         let mut acc = self.add ^ (data.len() as u64).wrapping_mul(self.mul);
-        // Consume 8-byte words, then the tail.
+        let mut blocks = data.chunks_exact(32);
+        for b in &mut blocks {
+            let v0 = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+            let v1 = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
+            let v2 = u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"));
+            let v3 = u64::from_le_bytes(b[24..].try_into().expect("8 bytes"));
+            acc = acc
+                .wrapping_mul(self.mul4)
+                .wrapping_add(v0.wrapping_mul(self.mul3))
+                .wrapping_add(v1.wrapping_mul(self.mul2))
+                .wrapping_add(v2.wrapping_mul(self.mul))
+                .wrapping_add(v3);
+        }
+        // Consume remaining 8-byte words, then the tail.
+        let mut chunks = blocks.remainder().chunks_exact(8);
+        for w in &mut chunks {
+            let v = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
+            acc = acc.wrapping_mul(self.mul).wrapping_add(v);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            acc = acc
+                .wrapping_mul(self.mul)
+                .wrapping_add(u64::from_le_bytes(tail));
+        }
+        finalize(acc ^ self.mask)
+    }
+
+    /// The scalar reference implementation of [`HashFn::hash`]: one
+    /// 8-byte word per polynomial step, no unrolling. This is the
+    /// specification the fast path must match bit-for-bit; it exists so
+    /// equivalence tests compare against an independent implementation
+    /// rather than the optimized code against itself.
+    pub fn hash_reference(&self, data: &[u8]) -> u64 {
+        let mut acc = self.add ^ (data.len() as u64).wrapping_mul(self.mul);
         let mut chunks = data.chunks_exact(8);
         for w in &mut chunks {
             let v = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
@@ -107,7 +170,7 @@ impl HashFamily {
         let mul = sm.next() | 1; // multiplier must be odd
         let add = sm.next();
         let mask = sm.next();
-        HashFn { mul, add, mask }
+        HashFn::from_params(mul, add, mask)
     }
 }
 
@@ -322,6 +385,90 @@ impl GroupIndex {
     }
 }
 
+/// Number of shards in a [`ShardedGroupIndex`] (power of two).
+pub const GROUP_SHARDS: usize = 8;
+
+/// Which shard a fingerprint belongs to.
+///
+/// The shard selector reads the *middle* bits of the fingerprint: the top
+/// bits are already spoken for by the multiply-high partitioning
+/// ([`bucket_of`] — within one reducer they are constrained to that
+/// reducer's interval, so they would collapse every key into one shard),
+/// and the low bits index [`GroupIndex`] slots. Bits 29..32 are
+/// independent of both for every table size the engine builds.
+#[inline]
+fn shard_of(fp: u64) -> usize {
+    ((fp >> 29) as usize) & (GROUP_SHARDS - 1)
+}
+
+/// A [`GroupIndex`] partitioned into [`GROUP_SHARDS`] independent shards
+/// by the carried h1 fingerprint.
+///
+/// Same contract as `GroupIndex` — fingerprint → dense row id, rows live
+/// in the caller's insertion-ordered `Vec` — but the probe structure is
+/// split so each shard stays small: growth rehashes one shard (1/8 of the
+/// keys) instead of stalling on the whole table, `clear` touches only the
+/// slots of shards that were used, and distinct shards never share cache
+/// lines, so concurrent read-only probes from different worker threads
+/// cannot false-share.
+///
+/// Determinism: the shard of a key is a pure function of its fingerprint
+/// (data, not schedule), row ids are assigned by the caller in arrival
+/// order, and neither shards nor slots are ever iterated — the "merge" of
+/// the shards at seal time is simply the caller walking its global
+/// arrival-ordered row `Vec`. No steal order or thread interleaving can
+/// reach the output through this structure.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedGroupIndex {
+    shards: [GroupIndex; GROUP_SHARDS],
+    len: usize,
+}
+
+impl ShardedGroupIndex {
+    /// An index expecting roughly `cap` distinct rows across all shards.
+    pub fn with_capacity(cap: usize) -> Self {
+        ShardedGroupIndex {
+            shards: std::array::from_fn(|_| GroupIndex::with_capacity(cap / GROUP_SHARDS + 1)),
+            len: 0,
+        }
+    }
+
+    /// Number of rows indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the row whose fingerprint is `fp` and for which `eq`
+    /// confirms a true key match.
+    #[inline]
+    pub fn get(&self, fp: u64, eq: impl FnMut(usize) -> bool) -> Option<usize> {
+        self.shards[shard_of(fp)].get(fp, eq)
+    }
+
+    /// Inserts a fingerprint → row mapping. The caller has already
+    /// established via [`ShardedGroupIndex::get`] that the key is absent.
+    #[inline]
+    pub fn insert(&mut self, fp: u64, row: usize) {
+        self.shards[shard_of(fp)].insert(fp, row);
+        self.len += 1;
+    }
+
+    /// Drops every entry, keeping the allocations.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            if !shard.is_empty() {
+                shard.clear();
+            }
+        }
+        self.len = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +587,71 @@ mod tests {
         idx.clear();
         assert!(idx.is_empty());
         assert_eq!(idx.get(h.hash(&3u64.to_be_bytes()), |_| true), None);
+    }
+
+    #[test]
+    fn sharded_index_agrees_with_flat_index() {
+        // The sharded index must behave exactly like a flat GroupIndex:
+        // same hits, same misses, same row ids — shard selection is an
+        // internal restructuring only.
+        let h = HashFamily::new(21).fn_at(0);
+        let keys: Vec<u64> = (0..20_000).map(|k| k * 7 + 3).collect();
+        let mut rows: Vec<u64> = Vec::new();
+        let mut flat = GroupIndex::with_capacity(8);
+        let mut sharded = ShardedGroupIndex::with_capacity(8);
+        for &k in &keys {
+            let fp = h.hash(&k.to_be_bytes());
+            let a = flat.get(fp, |r| rows[r] == k);
+            let b = sharded.get(fp, |r| rows[r] == k);
+            assert_eq!(a, b, "lookup diverged for key {k}");
+            if a.is_none() {
+                flat.insert(fp, rows.len());
+                sharded.insert(fp, rows.len());
+                rows.push(k);
+            }
+        }
+        assert_eq!(flat.len(), sharded.len());
+        assert_eq!(sharded.len(), keys.len());
+        for &k in &keys {
+            let fp = h.hash(&k.to_be_bytes());
+            assert_eq!(
+                flat.get(fp, |r| rows[r] == k),
+                sharded.get(fp, |r| rows[r] == k)
+            );
+        }
+        for k in 500_000..500_200u64 {
+            let fp = h.hash(&k.to_be_bytes());
+            assert!(sharded.get(fp, |r| rows[r] == k).is_none());
+        }
+        sharded.clear();
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.get(h.hash(&3u64.to_be_bytes()), |_| true), None);
+    }
+
+    #[test]
+    fn shard_selector_spreads_reducer_local_fingerprints() {
+        // Within one reducer, fingerprints share a multiply-high interval
+        // (their top bits are correlated); the shard selector must still
+        // spread them. Simulate reducer 0 of 40 and count shard usage.
+        let h = HashFamily::new(4).fn_at(0);
+        let m = 40;
+        let mut counts = [0usize; GROUP_SHARDS];
+        let mut total = 0;
+        for k in 0..200_000u64 {
+            let fp = h.hash(&k.to_be_bytes());
+            if bucket_of(fp, m) == 0 {
+                counts[shard_of(fp)] += 1;
+                total += 1;
+            }
+        }
+        assert!(total > 3000, "sample too small: {total}");
+        let expect = total / GROUP_SHARDS;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < expect as f64 * 0.2,
+                "shard {i} holds {c}, expected ~{expect}"
+            );
+        }
     }
 
     #[test]

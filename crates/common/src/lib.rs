@@ -14,6 +14,7 @@
 //!   ([`config`]),
 //! - virtual-time and byte-size units ([`units`]),
 //! - deterministic seeded RNG helpers ([`rng`]),
+//! - SWAR/SIMD byte scanning for tokenizer hot loops ([`scan`]),
 //! - streaming-run shape and checkpoint cadence ([`stream`]),
 //! - the fault-injection vocabulary shared by the engine and the storage
 //!   substrate ([`fault`]),
@@ -27,6 +28,7 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod rng;
+pub mod scan;
 pub mod stream;
 pub mod types;
 pub mod units;
@@ -34,7 +36,8 @@ pub mod units;
 pub use config::{ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
-pub use hash::{GroupIndex, HashFamily, HashFn, SeededState};
+pub use hash::{GroupIndex, HashFamily, HashFn, SeededState, ShardedGroupIndex};
+pub use scan::{find_byte, tokens};
 pub use stream::StreamConfig;
 pub use types::{BatchBuilder, Key, Pair, RecordBatch, StateBatch, StatePair, Value, INLINE_CAP};
 pub use units::{ByteSize, SimDuration, SimTime, GB, KB, MB};

@@ -1,0 +1,106 @@
+//! Bit-equality of the SWAR/SIMD fast paths against their scalar
+//! references.
+//!
+//! The engine's determinism guarantees (golden output CRCs, trace CRCs,
+//! thread-count invariance) all assume `HashFn::hash` and the token
+//! scanner compute *exactly* what their scalar specifications compute —
+//! not merely "a good hash" or "roughly the same tokens". These tests pin
+//! that equivalence at the byte level, over the boundary lengths the
+//! unrolled loops can mishandle (around the 8-byte SWAR stride, the
+//! 16-byte SIMD stride, the 32-byte hash unroll, and the engine's 22/23
+//! inline-key sizes) and over arbitrary inputs.
+//!
+//! Run with and without `--features simd`: the same assertions then cover
+//! the SSE2/NEON specializations.
+
+use opa_common::hash::HashFamily;
+use opa_common::scan::{find_byte, find_byte_swar, tokens};
+use proptest::prelude::*;
+
+/// Lengths that straddle every stride the fast paths use.
+const BOUNDARY_LENS: &[usize] = &[
+    0, 1, 7, 8, 9, 15, 16, 17, 22, 23, 24, 31, 32, 33, 63, 64, 1024, 1031,
+];
+
+/// Deterministic non-trivial filler for fixed-length cases.
+fn filler(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(167).wrapping_add(salt) ^ 0x3C)
+        .collect()
+}
+
+#[test]
+fn hash_matches_reference_at_boundary_lengths() {
+    // h1..h3 are fn_at(0..3); also probe a deep family index and a second
+    // seed so the cached mul^2..mul^4 powers are exercised for several
+    // multipliers.
+    for seed in [0u64, 0x9E37_79B9_7F4A_7C15] {
+        let fam = HashFamily::new(seed);
+        for idx in [0usize, 1, 2, 7] {
+            let h = fam.fn_at(idx);
+            for &len in BOUNDARY_LENS {
+                let data = filler(len, idx as u8);
+                assert_eq!(
+                    h.hash(&data),
+                    h.hash_reference(&data),
+                    "h{} diverged at length {len} (seed {seed:#x})",
+                    idx + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tokens_matches_split_filter_at_boundary_lengths() {
+    for &len in BOUNDARY_LENS {
+        // Sprinkle delimiters at a stride that hits both sides of each
+        // chunk boundary as len varies.
+        let mut data = filler(len, 11);
+        for b in &mut data {
+            if *b % 5 == 0 {
+                *b = b' ';
+            }
+        }
+        let got: Vec<&[u8]> = tokens(&data, b' ').collect();
+        let want: Vec<&[u8]> = data
+            .split(|&b| b == b' ')
+            .filter(|t| !t.is_empty())
+            .collect();
+        assert_eq!(got, want, "token stream diverged at length {len}");
+    }
+}
+
+proptest! {
+    /// The unrolled 4-lane hash equals the scalar Horner reference for
+    /// arbitrary bytes, family indices, and seeds.
+    #[test]
+    fn hash_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..200),
+                              seed: u64, idx in 0usize..4) {
+        let h = HashFamily::new(seed).fn_at(idx);
+        prop_assert_eq!(h.hash(&data), h.hash_reference(&data));
+    }
+
+    /// The token scanner yields exactly the split-on-delim/skip-empty
+    /// sequence for arbitrary bytes. Restricting bytes to 0..8 makes
+    /// delimiter hits dense, so runs, leading/trailing delimiters, and
+    /// chunk-straddling tokens all occur constantly.
+    #[test]
+    fn tokens_match_split_filter(data in proptest::collection::vec(0u8..8, 0..120),
+                                 delim in 0u8..8) {
+        let got: Vec<&[u8]> = tokens(&data, delim).collect();
+        let want: Vec<&[u8]> =
+            data.split(|&b| b == delim).filter(|t| !t.is_empty()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `find_byte` (whatever path the feature set selects) agrees with the
+    /// scalar position search and the portable SWAR path.
+    #[test]
+    fn find_byte_matches_position(data in proptest::collection::vec(any::<u8>(), 0..100),
+                                  needle: u8) {
+        let want = data.iter().position(|&b| b == needle);
+        prop_assert_eq!(find_byte(&data, needle), want);
+        prop_assert_eq!(find_byte_swar(&data, needle), want);
+    }
+}

@@ -48,14 +48,23 @@ impl<T: Send> Gather<T> {
 
     /// Deposits the result for `slot`. Each slot must be filled exactly
     /// once.
+    ///
+    /// Only the put that completes the batch notifies the waiter: the
+    /// waiter cannot return before `remaining == 0` anyway, and while
+    /// results are still outstanding it is busy helping the pool drain,
+    /// not blocked. This amortizes a delivery burst's wakeups to one
+    /// notify per batch instead of one per message.
     pub fn put(&self, slot: usize, value: T) {
-        {
+        let remaining = {
             let mut st = self.shared.state.lock().expect("gather lock");
             assert!(st.slots[slot].is_none(), "gather slot {slot} filled twice");
             st.slots[slot] = Some(value);
             st.remaining -= 1;
+            st.remaining
+        };
+        if remaining == 0 {
+            self.shared.cv.notify_all();
         }
-        self.shared.cv.notify_all();
     }
 
     /// Blocks until all slots are filled, returning them in slot order.

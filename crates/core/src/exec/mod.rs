@@ -18,14 +18,19 @@
 //!
 //! Three primitives:
 //!
-//! - [`Pool`] — a scoped worker pool over `std::thread` (the sanctioned
-//!   dependency set has no crossbeam); tasks may borrow the job and input.
+//! - [`Pool`] — a scoped work-stealing pool over `std::thread` (the
+//!   sanctioned dependency set has no crossbeam); tasks may borrow the
+//!   job and input. Each worker owns a deque, submissions deal
+//!   round-robin, and an idle worker steals the oldest half of a victim's
+//!   backlog so one straggling task cannot serialize a wave.
 //! - [`Planner`] — speculative execution of indexed pure tasks (map-task
 //!   plans): a bounded window of upcoming tasks runs ahead on the pool,
 //!   and the scheduler claims results by index, stealing unstarted work
 //!   inline so it never idles.
-//! - [`Gather`] — a fan-out/fan-in cell: submit N tasks, then collect all
-//!   N results while helping the pool drain.
+//! - [`Gather`] — a fan-out/fan-in cell: submit N tasks (a delivery burst
+//!   goes up as one [`Pool::submit_batch`]), then collect all N results
+//!   while helping the pool drain; only the completing task wakes the
+//!   waiter.
 
 mod gather;
 mod planner;
@@ -33,4 +38,4 @@ mod pool;
 
 pub use gather::Gather;
 pub use planner::Planner;
-pub use pool::Pool;
+pub use pool::{Pool, Task};

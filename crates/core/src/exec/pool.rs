@@ -1,4 +1,4 @@
-//! A scoped worker pool built on `std::thread::scope`.
+//! A scoped work-stealing worker pool built on `std::thread::scope`.
 //!
 //! Tasks are `FnOnce` closures that may borrow from the enclosing job run
 //! (the job, the cluster spec, the input records): the pool's lifetime
@@ -6,27 +6,64 @@
 //! With zero workers the pool degrades to immediate inline execution on
 //! the submitting thread, which is what makes the `threads = 1`
 //! configuration share the exact code path of the parallel one.
+//!
+//! # Scheduling
+//!
+//! Each worker owns a deque; submissions are dealt round-robin across the
+//! deques so a burst of tasks lands spread out instead of funneling
+//! through one contended queue. A worker drains its own deque first and,
+//! when that runs dry, *steals half* of the oldest tasks from the first
+//! non-empty victim (scanning from its own index so thieves fan out).
+//! Stealing in halves means one expensive task queued behind cheap ones
+//! cannot serialize a wave: the straggler's backlog migrates to idle
+//! workers in O(log n) steals.
+//!
+//! Steal order never influences results: tasks communicate only through
+//! [`super::Gather`]/[`super::Planner`] slots, and the scheduling layer
+//! replays their effect logs in event order regardless of which thread
+//! produced them.
+//!
+//! # Parking
+//!
+//! Idle workers park on a condvar behind a sleeper count; submitters skip
+//! the notify syscall entirely while every worker is busy (the common
+//! case mid-wave). [`Pool::submit_batch`] enqueues a whole delivery burst
+//! with one wake decision instead of one notify per task.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::Scope;
 use std::time::Duration;
 
-type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
-
-struct State<'env> {
-    queue: VecDeque<Task<'env>>,
-    shutdown: bool,
-}
+/// A unit of pool work: a boxed closure tied to the job-run scope.
+pub type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
 
 struct Shared<'env> {
-    state: Mutex<State<'env>>,
+    /// One deque per worker. Round-robin submission targets, steal-half
+    /// victims. Tasks never need a particular queue: any thread may run
+    /// any task.
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    /// Tasks currently queued (in any deque). Checked by parking workers
+    /// under `park` so a submit between "queues looked empty" and "wait"
+    /// cannot be lost.
+    pending: AtomicUsize,
+    /// Round-robin cursors: submission target and steal scan start.
+    submit_cursor: AtomicUsize,
+    steal_cursor: AtomicUsize,
+    /// Workers currently parked (or committing to park) on `cv`.
+    sleepers: AtomicUsize,
+    park: Mutex<ParkState>,
     cv: Condvar,
     panicked: AtomicBool,
 }
 
-/// A fixed-size pool of scoped worker threads draining a FIFO task queue.
+struct ParkState {
+    shutdown: bool,
+}
+
+/// A fixed-size pool of scoped worker threads with per-worker deques and
+/// steal-half work stealing.
 pub struct Pool<'env> {
     shared: Arc<Shared<'env>>,
     workers: usize,
@@ -37,16 +74,18 @@ impl<'env> Pool<'env> {
     /// then run inline at submission.
     pub fn new<'scope>(scope: &'scope Scope<'scope, 'env>, workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            submit_cursor: AtomicUsize::new(0),
+            steal_cursor: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(ParkState { shutdown: false }),
             cv: Condvar::new(),
             panicked: AtomicBool::new(false),
         });
-        for _ in 0..workers {
+        for i in 0..workers {
             let sh = Arc::clone(&shared);
-            scope.spawn(move || worker_loop(&sh));
+            scope.spawn(move || worker_loop(&sh, i));
         }
         Pool { shared, workers }
     }
@@ -63,27 +102,74 @@ impl<'env> Pool<'env> {
             task();
             return;
         }
-        {
-            let mut st = self.shared.state.lock().expect("pool lock");
-            st.queue.push_back(Box::new(task));
+        self.enqueue(Box::new(task));
+        self.wake(1);
+    }
+
+    /// Enqueues a whole batch with a single wake decision. Order within
+    /// the batch is preserved per deque (round-robin deal), which keeps
+    /// the oldest tasks globally near every deque front.
+    pub fn submit_batch(&self, tasks: Vec<Task<'env>>) {
+        if self.workers == 0 {
+            for task in tasks {
+                task();
+            }
+            return;
         }
-        self.shared.cv.notify_one();
+        let n = tasks.len();
+        for task in tasks {
+            self.enqueue(task);
+        }
+        self.wake(n);
+    }
+
+    fn enqueue(&self, task: Task<'env>) {
+        let q = self.shared.submit_cursor.fetch_add(1, Ordering::Relaxed) % self.workers;
+        self.shared.queues[q]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(task);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Wakes up to `n` parked workers — and skips the syscall entirely
+    /// when nobody is parked, which is the common case mid-wave.
+    fn wake(&self, n: usize) {
+        if self.shared.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Take the park lock so the notify cannot slip between a worker's
+        // final pending check and its wait.
+        let _st = self.shared.park.lock().expect("pool park lock");
+        if n == 1 {
+            self.shared.cv.notify_one();
+        } else {
+            self.shared.cv.notify_all();
+        }
     }
 
     /// Runs one queued task on the calling thread, if any is pending.
-    /// Waiters use this to help drain the pool instead of blocking.
+    /// Waiters use this to help drain the pool instead of blocking. The
+    /// helper steals a single task (not half): it is about to re-check
+    /// its own wait condition, not build a backlog.
     pub fn try_run_one(&self) -> bool {
-        let task = {
-            let mut st = self.shared.state.lock().expect("pool lock");
-            st.queue.pop_front()
-        };
-        match task {
-            Some(t) => {
-                t();
-                true
-            }
-            None => false,
+        if self.workers == 0 || self.shared.pending.load(Ordering::SeqCst) == 0 {
+            return false;
         }
+        let start = self.shared.steal_cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..self.workers {
+            let q = (start + k) % self.workers;
+            let task = self.shared.queues[q]
+                .lock()
+                .expect("pool queue lock")
+                .pop_front();
+            if let Some(task) = task {
+                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                task();
+                return true;
+            }
+        }
+        false
     }
 
     /// Propagates a worker-thread panic to the caller. Waiters call this
@@ -103,31 +189,80 @@ impl<'env> Pool<'env> {
 
 impl Drop for Pool<'_> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.park.lock().expect("pool park lock");
         st.shutdown = true;
         drop(st);
         self.shared.cv.notify_all();
     }
 }
 
-fn worker_loop(sh: &Shared<'_>) {
-    loop {
-        let task = {
-            let mut st = sh.state.lock().expect("pool lock");
-            loop {
-                if let Some(t) = st.queue.pop_front() {
-                    break Some(t);
-                }
-                if st.shutdown {
-                    break None;
-                }
-                st = sh.cv.wait(st).expect("pool cv");
+/// Pops from the worker's own deque, or steals the oldest half of the
+/// first non-empty victim's deque. Returns the task to run now; surplus
+/// stolen tasks are re-queued on the worker's own deque.
+fn grab<'env>(sh: &Shared<'env>, me: usize) -> Option<Task<'env>> {
+    if sh.pending.load(Ordering::SeqCst) == 0 {
+        return None;
+    }
+    if let Some(task) = sh.queues[me].lock().expect("pool queue lock").pop_front() {
+        sh.pending.fetch_sub(1, Ordering::SeqCst);
+        return Some(task);
+    }
+    let n = sh.queues.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        // Move the stolen half out under the victim's lock alone — never
+        // hold two queue locks at once (symmetric steals would deadlock).
+        let mut stolen: VecDeque<Task<'env>> = {
+            let mut vq = sh.queues[victim].lock().expect("pool queue lock");
+            let len = vq.len();
+            if len == 0 {
+                continue;
             }
+            vq.drain(..len.div_ceil(2)).collect()
         };
-        let Some(task) = task else { return };
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
-            sh.panicked.store(true, Ordering::Release);
+        let first = stolen.pop_front().expect("stole at least one task");
+        sh.pending.fetch_sub(1, Ordering::SeqCst);
+        if !stolen.is_empty() {
+            sh.queues[me]
+                .lock()
+                .expect("pool queue lock")
+                .extend(stolen.drain(..));
+            // The surplus is stealable in turn; offer it to a parked
+            // worker (no-op syscall-free when none are parked).
+            if sh.sleepers.load(Ordering::SeqCst) > 0 {
+                let _st = sh.park.lock().expect("pool park lock");
+                sh.cv.notify_one();
+            }
         }
+        return Some(first);
+    }
+    None
+}
+
+fn worker_loop(sh: &Shared<'_>, me: usize) {
+    loop {
+        if let Some(task) = grab(sh, me) {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+                sh.panicked.store(true, Ordering::Release);
+            }
+            continue;
+        }
+        // Park. The sleeper count is registered and `pending` re-checked
+        // under the park lock; a submitter bumps `pending` before reading
+        // `sleepers` and notifies under the same lock, so the wakeup
+        // cannot be lost. The timed wait is a safety beat, not a poll.
+        let st = sh.park.lock().expect("pool park lock");
+        if st.shutdown {
+            return;
+        }
+        sh.sleepers.fetch_add(1, Ordering::SeqCst);
+        if sh.pending.load(Ordering::SeqCst) == 0 {
+            let _ = sh
+                .cv
+                .wait_timeout(st, Pool::wait_beat())
+                .expect("pool park cv");
+        }
+        sh.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -167,6 +302,67 @@ mod tests {
             }
         });
         assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn batch_submission_completes_every_task() {
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let pool = Pool::new(s, 2);
+            let tasks: Vec<Task<'_>> = (0..100)
+                .map(|_| {
+                    Box::new(|| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.submit_batch(tasks);
+            while hits.load(Ordering::SeqCst) < 100 {
+                if !pool.try_run_one() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_lopsided_backlog() {
+        // One slow task occupies its worker while many quick tasks queue
+        // up round-robin behind it; idle workers must steal the backlog
+        // rather than wait for the straggler. The assertion is progress
+        // with the submitter refusing to help: only stealing can finish.
+        let done = AtomicUsize::new(0);
+        let gate = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let pool = Pool::new(s, 4);
+            pool.submit(|| {
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+            for _ in 0..63 {
+                pool.submit(|| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Every quick task finishes while the straggler still holds
+            // its worker hostage.
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while done.load(Ordering::SeqCst) < 63 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "steal-half failed to drain a straggler's backlog"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            gate.store(1, Ordering::SeqCst);
+            while done.load(Ordering::SeqCst) < 64 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 64);
     }
 
     #[test]

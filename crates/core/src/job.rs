@@ -194,8 +194,10 @@ impl<J: Job> JobBuilder<J> {
 
     /// Sets the execution-layer thread count. `1` (the default) runs the
     /// engine fully sequentially on the calling thread; `n > 1` adds
-    /// `n − 1` worker threads. The [`JobOutcome`] is bit-identical at any
-    /// value — threads only change wall-clock time.
+    /// `n − 1` worker threads, capped at the host's core count (pass
+    /// [`ExecConfig::oversubscribed`] to [`JobBuilder::exec`] to lift the
+    /// cap). The [`JobOutcome`] is bit-identical at any value — threads
+    /// only change wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
         self.exec = ExecConfig::with_threads(threads);
         self
@@ -383,8 +385,11 @@ fn run_job(
         n_nodes,
     );
 
-    // The scheduler thread doubles as a worker, so `threads` total.
-    let workers = exec.threads.saturating_sub(1);
+    // The scheduler thread doubles as a worker, so `threads` total. The
+    // effective count is capped at the host's cores unless the config
+    // explicitly oversubscribes: surplus threads would only time-slice,
+    // and the outcome is bit-identical at any count anyway.
+    let workers = exec.effective_threads().saturating_sub(1);
 
     std::thread::scope(|scope| -> Result<JobOutcome> {
         let pool = Pool::new(scope, workers);
@@ -746,27 +751,35 @@ fn run_job(
                     }
 
                     // Record every mailbox on the pool (inline when the
-                    // pool has no workers), then replay in pop order.
+                    // pool has no workers), then replay in pop order. The
+                    // burst goes up as one batch — a single wake decision
+                    // for the whole delivery run instead of one notify
+                    // per mailbox.
                     let n_mail = mailboxes.len();
                     let gather = Gather::new(n_mail);
                     let mut mail_reducers: Vec<usize> = Vec::with_capacity(n_mail);
+                    let mut batch: Vec<crate::exec::Task<'_>> = Vec::with_capacity(n_mail - 1);
+                    let mut last: Option<crate::exec::Task<'_>> = None;
                     for (slot, (r, items)) in mailboxes.into_iter().enumerate() {
                         mail_reducers.push(r);
                         mail_of[r] = None;
                         let rec = reducers[r].take().expect("reducer in place");
                         let est = ready_at[r];
                         let g = gather.clone();
+                        let task: crate::exec::Task<'_> = Box::new(move || {
+                            g.put(slot, record_mailbox(rec, items, est, spec));
+                        });
                         if slot + 1 == n_mail {
                             // The scheduler records the last mailbox itself:
                             // no handoff for single-mailbox bursts, and the
                             // main thread stays busy instead of waiting.
-                            g.put(slot, record_mailbox(rec, items, est, spec));
+                            last = Some(task);
                         } else {
-                            pool.submit(move || {
-                                g.put(slot, record_mailbox(rec, items, est, spec));
-                            });
+                            batch.push(task);
                         }
                     }
+                    pool.submit_batch(batch);
+                    last.expect("burst has at least one mailbox")();
                     for ((rec, logs), &r) in gather.wait(&pool).into_iter().zip(&mail_reducers) {
                         reducers[r] = Some(rec);
                         log_q[r] = logs;
@@ -849,20 +862,26 @@ fn run_job(
         let mut node_wave1_finish: Vec<Vec<SimTime>> = vec![Vec::new(); n_nodes];
         let wave1: Vec<usize> = (0..n_reducers).filter(|&r| started[r]).collect();
         let gather = Gather::new(wave1.len());
+        let mut finish_batch: Vec<crate::exec::Task<'_>> = Vec::new();
+        let mut finish_last: Option<crate::exec::Task<'_>> = None;
         for (slot, &r) in wave1.iter().enumerate() {
             let mut rec = reducers[r].take().expect("reducer in place");
             let est = ready_at[r].max(map_finish);
             let g = gather.clone();
-            let record = move || {
+            let record: crate::exec::Task<'_> = Box::new(move || {
                 let mut env = ReduceEnv::new(spec);
                 rec.finish(est, &mut env);
                 g.put(slot, (rec, env.into_log()));
-            };
+            });
             if slot + 1 == wave1.len() {
-                record();
+                finish_last = Some(record);
             } else {
-                pool.submit(record);
+                finish_batch.push(record);
             }
+        }
+        pool.submit_batch(finish_batch);
+        if let Some(record) = finish_last {
+            record();
         }
         for ((rec, log), &r) in gather.wait(&pool).into_iter().zip(&wave1) {
             let t0 = ready_at[r].max(map_finish);
@@ -1130,7 +1149,7 @@ mod tests {
             JobBuilder::new(Echo)
                 .cluster(spec)
                 .framework(crate::cluster::Framework::SortMergePipelined)
-                .threads(threads)
+                .exec(opa_common::ExecConfig::oversubscribed(threads))
                 .run(&data)
                 .expect("job runs")
         };

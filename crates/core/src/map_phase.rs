@@ -44,7 +44,7 @@ use bytes::Bytes;
 use opa_common::hash::bucket_of;
 use opa_common::units::{SimDuration, SimTime};
 use opa_common::{
-    BatchBuilder, GroupIndex, HashFn, Key, Pair, RecordBatch, StateBatch, StatePair, Value,
+    BatchBuilder, HashFn, Key, Pair, RecordBatch, ShardedGroupIndex, StateBatch, StatePair, Value,
 };
 use opa_simio::{IoCategory, IoOp};
 
@@ -568,7 +568,7 @@ fn plan_mr_hash(
         // Insertion-ordered hash table: key → collected values. The
         // index stores only fingerprints and row ids — no key clones.
         let mut groups: Vec<(u64, Key, Vec<Value>)> = Vec::new();
-        let mut index = GroupIndex::with_capacity(pairs.len() / 4 + 1);
+        let mut index = ShardedGroupIndex::with_capacity(pairs.len() / 4 + 1);
         for p in pairs {
             let h = h1.hash(p.key.bytes());
             match index.get(h, |r| groups[r].1 == p.key) {
@@ -641,7 +641,7 @@ fn plan_incremental(
     // partition on first sight, and is carried in the outgoing batch.
     let mut ctx = ReduceCtx::at_site(Site::Map);
     let mut order: Vec<(usize, u64, Key, Value)> = Vec::with_capacity(distinct_hint);
-    let mut index = GroupIndex::with_capacity(distinct_hint);
+    let mut index = ShardedGroupIndex::with_capacity(distinct_hint);
     let mut cb_calls = 0u64;
     for p in pairs {
         let state = inc.init(&p.key, p.value);

@@ -28,7 +28,7 @@ use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, GroupIndex, HashFamily, HashFn, Key, Result, StatePair, Value};
+use opa_common::{Error, HashFamily, HashFn, Key, Result, ShardedGroupIndex, StatePair, Value};
 use opa_freq::{MgEntry, MgOutcome, MisraGries, SpaceSavingMonitor};
 use opa_simio::BucketManager;
 
@@ -530,7 +530,7 @@ pub(crate) fn process_bucket_inc(
     ctx.watermark = None;
     let h1 = family.fn_at(0);
     let mut states: Vec<(Key, Value)> = Vec::new();
-    let mut index = GroupIndex::with_capacity(tuples.len() / 4 + 1);
+    let mut index = ShardedGroupIndex::with_capacity(tuples.len() / 4 + 1);
     let mut used = 0u64;
     let mut overflow: Vec<StatePair> = Vec::new();
     let mut overflow_started = false;

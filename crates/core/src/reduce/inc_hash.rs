@@ -19,7 +19,7 @@ use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, GroupIndex, HashFamily, HashFn, Key, Result, StatePair, Value};
+use opa_common::{Error, HashFamily, HashFn, Key, Result, ShardedGroupIndex, StatePair, Value};
 use opa_simio::BucketManager;
 
 /// [`ReducerCkpt::tag`] of the INC-hash framework.
@@ -46,7 +46,7 @@ pub struct IncHashReducer<'j> {
     h3: HashFn,
     /// Insertion-ordered key→state table (`H`).
     states: Vec<(Key, Value)>,
-    index: GroupIndex,
+    index: ShardedGroupIndex,
     mem_used: u64,
     mem_budget: u64,
     write_buffer: u64,
@@ -83,7 +83,7 @@ impl<'j> IncHashReducer<'j> {
             h1: family.fn_at(0),
             h3: family.fn_at(2),
             states: Vec::new(),
-            index: GroupIndex::default(),
+            index: ShardedGroupIndex::default(),
             mem_used: 0,
             mem_budget,
             write_buffer,
@@ -163,7 +163,7 @@ impl<'j> IncHashReducer<'j> {
         let saved_watermark = self.ctx.watermark;
         self.ctx.watermark = None;
         let mut states: Vec<(Key, Value)> = Vec::new();
-        let mut index = GroupIndex::with_capacity(tuples.len() / 4 + 1);
+        let mut index = ShardedGroupIndex::with_capacity(tuples.len() / 4 + 1);
         let mut used = 0u64;
         let mut overflow: Vec<StatePair> = Vec::new();
         let mut overflow_started = false;
@@ -353,7 +353,7 @@ impl ReduceSide for IncHashReducer<'_> {
         let [sink_pending, ctx_pending] = <[Vec<opa_common::Pair>; 2]>::try_from(ckpt.pairs)
             .map_err(|_| Error::job("INC-hash checkpoint missing output sections"))?;
         self.states = Vec::with_capacity(resident.len());
-        self.index = GroupIndex::with_capacity(resident.len());
+        self.index = ShardedGroupIndex::with_capacity(resident.len());
         self.mem_used = 0;
         for sp in resident {
             self.mem_used +=

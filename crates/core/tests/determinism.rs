@@ -4,7 +4,9 @@
 //! only change wall-clock time — never metrics, output, progress curves,
 //! timelines or disk-queue interactions.
 
+use opa_common::fault::FaultConfig;
 use opa_common::rng::SplitMix64;
+use opa_common::ExecConfig;
 use opa_common::{Key, Value};
 use opa_core::api::{Combiner, IncrementalReducer, Job, ReduceCtx};
 use opa_core::cluster::{ClusterSpec, Framework};
@@ -94,7 +96,7 @@ fn run(framework: Framework, threads: usize, input: &JobInput) -> String {
     let outcome = JobBuilder::new(WordCount)
         .framework(framework)
         .cluster(spec())
-        .threads(threads)
+        .exec(ExecConfig::oversubscribed(threads))
         .run(input)
         .expect("job runs");
     // JobMetrics has no PartialEq; the Debug form covers every field of
@@ -112,7 +114,7 @@ fn outcome_is_bit_identical_across_thread_counts() {
         Framework::DincHash,
     ] {
         let seq = run(framework, 1, &input);
-        for threads in [2, 8] {
+        for threads in [2, 4, 8] {
             let par = run(framework, threads, &input);
             assert_eq!(
                 seq, par,
@@ -132,14 +134,19 @@ fn pipelined_snapshots_are_bit_identical_across_thread_counts() {
             .framework(Framework::SortMergePipelined)
             .cluster(spec())
             .snapshot_points(&[0.25, 0.5, 0.75])
-            .threads(threads)
+            .exec(ExecConfig::oversubscribed(threads))
             .run(&input)
             .expect("job runs");
         format!("{outcome:?}")
     };
     let seq = run_snap(1);
-    assert_eq!(seq, run_snap(2), "snapshots diverged at 2 threads");
-    assert_eq!(seq, run_snap(8), "snapshots diverged at 8 threads");
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            seq,
+            run_snap(threads),
+            "snapshots diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
@@ -153,12 +160,41 @@ fn two_wave_jobs_are_bit_identical_across_thread_counts() {
         let outcome = JobBuilder::new(WordCount)
             .framework(Framework::SortMerge)
             .cluster(s)
-            .threads(threads)
+            .exec(ExecConfig::oversubscribed(threads))
             .run(&input)
             .expect("job runs");
         format!("{outcome:?}")
     };
     let seq = run_waves(1);
-    assert_eq!(seq, run_waves(2));
-    assert_eq!(seq, run_waves(8));
+    for threads in [2, 4, 8] {
+        assert_eq!(seq, run_waves(threads), "diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fault_injection_is_bit_identical_across_thread_counts() {
+    // Injected faults force retries and recovery reads, which reshuffle
+    // the work-stealing pool's task mix mid-job — steal order still must
+    // not leak into the outcome, including the recorded fault trace.
+    let input = seeded_input(0xFA17, 1200);
+    let run_faulty = |framework: Framework, threads: usize| {
+        let outcome = JobBuilder::new(WordCount)
+            .framework(framework)
+            .cluster(spec())
+            .faults(FaultConfig::uniform(0xD15C, 0.02))
+            .exec(ExecConfig::oversubscribed(threads))
+            .run(&input)
+            .expect("job terminates under injected faults");
+        format!("{outcome:?}")
+    };
+    for framework in [Framework::SortMerge, Framework::IncHash] {
+        let seq = run_faulty(framework, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                seq,
+                run_faulty(framework, threads),
+                "{framework:?} fault run diverged at {threads} threads"
+            );
+        }
+    }
 }

@@ -14,6 +14,7 @@ mod common;
 
 use common::{seeded_input, spec, WordCount};
 use opa_common::fault::FaultConfig;
+use opa_common::ExecConfig;
 use opa_core::cluster::Framework;
 use opa_core::job::{JobBuilder, JobInput, JobOutcome};
 use std::path::PathBuf;
@@ -42,7 +43,7 @@ fn run(
     let mut b = JobBuilder::new(WordCount)
         .framework(framework)
         .cluster(spec())
-        .threads(threads);
+        .exec(ExecConfig::oversubscribed(threads));
     if let Some(cfg) = faults {
         b = b.faults(cfg);
     }

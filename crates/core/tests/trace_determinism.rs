@@ -9,6 +9,7 @@ mod common;
 
 use common::{seeded_input, spec, WordCount};
 use opa_common::fault::FaultConfig;
+use opa_common::ExecConfig;
 use opa_core::cluster::Framework;
 use opa_core::job::{JobBuilder, JobOutcome};
 use opa_simio::codec::crc32;
@@ -18,7 +19,7 @@ fn run_traced(framework: Framework, threads: usize, faults: Option<FaultConfig>)
     let mut b = JobBuilder::new(WordCount)
         .framework(framework)
         .cluster(spec())
-        .threads(threads)
+        .exec(ExecConfig::oversubscribed(threads))
         .trace(true);
     if let Some(cfg) = faults {
         b = b.faults(cfg);

@@ -4,6 +4,7 @@
 //! observes the engine between two events; these tests pin that it never
 //! perturbs one.
 
+use opa_common::ExecConfig;
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::JobBuilder;
 use opa_stream::StreamJobBuilder;
@@ -70,7 +71,7 @@ fn streamed_run_is_thread_invariant() {
             StreamJobBuilder::new(sessionize_job())
                 .framework(fw)
                 .cluster(ClusterSpec::paper_scaled())
-                .threads(threads)
+                .exec(ExecConfig::oversubscribed(threads))
                 .batches(5)
                 .run_stream(&data, |_| {})
                 .expect("stream runs")

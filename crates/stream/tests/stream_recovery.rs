@@ -4,6 +4,7 @@
 //! any state is touched.
 
 use opa_common::fault::FaultConfig;
+use opa_common::ExecConfig;
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_stream::{CheckpointView, StreamJobBuilder};
 use opa_workloads::click_count::ClickCountJob;
@@ -63,7 +64,7 @@ fn resume_matches_uninterrupted_for_every_framework() {
         );
         // Thread-count invariance extends across the crash/restore divide.
         let resumed8 = build()
-            .threads(8)
+            .exec(ExecConfig::oversubscribed(8))
             .resume_stream(&data, &ck, |_| {})
             .expect("resume at 8 threads");
         assert_eq!(
@@ -251,7 +252,7 @@ fn soak_stream_checkpoint_crash_resume() {
         let ck = sub.join("stream-ckpt-b8.opac");
         for threads in [1, 8] {
             let resumed = build()
-                .threads(threads)
+                .exec(ExecConfig::oversubscribed(threads))
                 .resume_stream(&data, &ck, |_| {})
                 .expect("soak resume");
             assert_eq!(resumed.resumed_from_batch, Some(8));

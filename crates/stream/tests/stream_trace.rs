@@ -4,6 +4,7 @@
 //! same run (the underlying event sequence is literally the batch
 //! engine's; pause points only add observations).
 
+use opa_common::ExecConfig;
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_stream::StreamJobBuilder;
 use opa_trace::{TraceEvent, TraceLog};
@@ -21,7 +22,7 @@ fn traced(k: usize, threads: usize) -> TraceLog {
     let out = StreamJobBuilder::new(job())
         .framework(Framework::IncHash)
         .cluster(ClusterSpec::tiny())
-        .threads(threads)
+        .exec(ExecConfig::oversubscribed(threads))
         .batches(k)
         .trace(true)
         .run_stream(&data, |_| {})

@@ -85,8 +85,10 @@ impl Job for TrigramCountJob {
     fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
         // Slide a 3-word window with one reused scratch buffer: the only
         // allocation is the buffer's initial growth, regardless of how many
-        // trigrams the record yields.
-        let mut words = record.split(|&b| b == b' ').filter(|w| !w.is_empty());
+        // trigrams the record yields. `tokens` finds word boundaries a
+        // machine word (or SIMD vector) at a time and yields exactly the
+        // split-on-space/skip-empty sequence, so output is unchanged.
+        let mut words = opa_common::scan::tokens(record, b' ');
         let (Some(mut w0), Some(mut w1)) = (words.next(), words.next()) else {
             return;
         };
