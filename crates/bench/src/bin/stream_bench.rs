@@ -8,7 +8,8 @@
 //! cargo run -p opa-bench --release --bin stream_bench [-- OUT.json]
 //! ```
 
-use opa_common::{ExecConfig, Key};
+use opa_common::units::KB;
+use opa_common::{AdmissionPolicy, ExecConfig, Key};
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::JobBuilder;
 use opa_stream::StreamJobBuilder;
@@ -164,6 +165,75 @@ fn main() {
         .expect("query-latency run");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
 
+    // Admission composes with the stream runtime: with the LFU gate on,
+    // the batch run, the streamed run, and a run resumed from a mid-stream
+    // checkpoint must agree bit-for-bit on output and admission counters.
+    // A tiny reduce buffer against a wide key pool forces rejections so
+    // the leg exercises the gate rather than vacuously passing.
+    let mut adm_spec = ClusterSpec::tiny();
+    adm_spec.hardware.reduce_buffer = 4 * KB;
+    let adm_data = ClickStreamSpec::counting_scaled(6 << 20).generate(42);
+    let adm_job = || ClickCountJob {
+        expected_users: 1000,
+    };
+    let adm_stream = || {
+        StreamJobBuilder::new(adm_job())
+            .framework(Framework::IncHash)
+            .cluster(adm_spec)
+            .exec(ExecConfig::oversubscribed(threads))
+            .admission(AdmissionPolicy::Lfu)
+            .batches(BATCHES)
+    };
+    let adm_batch = JobBuilder::new(adm_job())
+        .framework(Framework::IncHash)
+        .cluster(adm_spec)
+        .exec(ExecConfig::oversubscribed(threads))
+        .admission(AdmissionPolicy::Lfu)
+        .run(&adm_data)
+        .expect("admission batch run");
+    let adm_stats = adm_batch
+        .metrics
+        .admission
+        .expect("incremental run reports admission stats");
+    assert!(
+        adm_stats.rejected > 0,
+        "admission leg is vacuous: the gate never fired"
+    );
+    let ckpt_path = dir.join("admission-resume.opac");
+    let adm_streamed = adm_stream()
+        .run_stream(&adm_data, |ctl| {
+            if ctl.batch() == BATCHES / 2 {
+                ctl.checkpoint(&ckpt_path);
+            }
+        })
+        .expect("admission streamed run");
+    assert_eq!(
+        adm_streamed.job.sorted_output(),
+        adm_batch.sorted_output(),
+        "admission-on streamed output diverged from the batch run"
+    );
+    assert_eq!(
+        adm_streamed.job.metrics.admission, adm_batch.metrics.admission,
+        "streaming perturbed the admission counters"
+    );
+    let adm_resumed = adm_stream()
+        .resume_stream(&adm_data, &ckpt_path, |_| {})
+        .expect("admission resumed run");
+    assert_eq!(
+        adm_resumed.job.sorted_output(),
+        adm_batch.sorted_output(),
+        "admission-on resumed output diverged from the batch run"
+    );
+    assert_eq!(
+        adm_resumed.job.metrics.admission, adm_streamed.job.metrics.admission,
+        "checkpoint/resume perturbed the admission counters"
+    );
+    let adm_gamma = adm_stats.gamma_measured();
+    println!(
+        "  admission (lfu)    γ={adm_gamma:.4}  {} offered / {} rejected — batch ≡ stream ≡ resume",
+        adm_stats.offered, adm_stats.rejected
+    );
+
     let ingest_rps = records as f64 / stream_secs;
     let stream_overhead_pct = (stream_secs / batch_secs - 1.0) * 100.0;
     let ckpt_overhead_pct = (ckpt_secs / stream_secs - 1.0) * 100.0;
@@ -184,9 +254,11 @@ fn main() {
 
     let sweep_json = sweep_rows.join(",\n");
     let json = format!(
-        "{{\n  \"host_cpus\": {cpus},\n  \"threads\": {threads},\n  \"records\": {records},\n  \"batches\": {BATCHES},\n  \"batch_secs\": {batch_secs:.4},\n  \"stream_secs\": {stream_secs:.4},\n  \"stream_records_per_sec\": {ingest_rps:.0},\n  \"stream_overhead_pct\": {stream_overhead_pct:.2},\n  \"threads_sweep\": [\n{sweep_json}\n  ],\n  \"checkpoints\": {n_ckpts},\n  \"checkpointed_secs\": {ckpt_secs:.4},\n  \"checkpoint_overhead_pct\": {ckpt_overhead_pct:.2},\n  \"checkpoint_cost_ms\": {per_ckpt_ms:.2},\n  \"checkpoint_file_bytes\": {ckpt_bytes},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0}\n}}\n",
+        "{{\n  \"host_cpus\": {cpus},\n  \"threads\": {threads},\n  \"records\": {records},\n  \"batches\": {BATCHES},\n  \"batch_secs\": {batch_secs:.4},\n  \"stream_secs\": {stream_secs:.4},\n  \"stream_records_per_sec\": {ingest_rps:.0},\n  \"stream_overhead_pct\": {stream_overhead_pct:.2},\n  \"threads_sweep\": [\n{sweep_json}\n  ],\n  \"checkpoints\": {n_ckpts},\n  \"checkpointed_secs\": {ckpt_secs:.4},\n  \"checkpoint_overhead_pct\": {ckpt_overhead_pct:.2},\n  \"checkpoint_cost_ms\": {per_ckpt_ms:.2},\n  \"checkpoint_file_bytes\": {ckpt_bytes},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0},\n  \"admission_gamma\": {adm_gamma:.4},\n  \"admission_offered\": {},\n  \"admission_rejected\": {}\n}}\n",
         mean(&lookup_ns),
         mean(&progress_ns),
+        adm_stats.offered,
+        adm_stats.rejected,
     );
     std::fs::write(&out, json).expect("write benchmark json");
     println!("wrote {out}");

@@ -35,9 +35,14 @@ usage:
   opa generate documents   --bytes SIZE [--seed N] --out FILE
   opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
               [--km RATIO] [--threads N] [--progress-csv FILE] [--output FILE]
-              [--fault-rate P] [--fault-seed N] [--trace-out FILE] [--drift]
+              [--admission off|on|lfu] [--fault-rate P] [--fault-seed N]
+              [--trace-out FILE] [--drift]
       JOB: sessionize | click-count | frequent-users | page-freq | trigrams
       FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
+      --admission lfu (alias: on) turns on frequency-gated admission for
+      the incremental frameworks: when reduce-side memory is full, a new
+      key may evict a resident key that a deterministic frequency sketch
+      judges colder, instead of spilling itself. Default: off.
       --fault-rate P injects map/reduce failures, stragglers and spill-disk
       errors, each with probability P in [0, 1); --fault-seed N (default 42)
       makes the failure trace reproducible. Recovery never loses data;
@@ -47,7 +52,7 @@ usage:
       model for this run's configuration and reports per-term relative error.
   opa stream JOB --input FILE [--batches K] [--framework FW] [--threads N]
               [--checkpoint-every N --checkpoint-dir DIR] [--resume CKPT]
-              [--watch-key N] [--top-k N] [--output FILE]
+              [--watch-key N] [--top-k N] [--output FILE] [--admission off|on|lfu]
               [--fault-rate P] [--fault-seed N] [--trace-out FILE]
       Feeds the input through the engine in K arrival-ordered micro-batches
       (default 4), printing progress and the live incremental state at each
@@ -150,6 +155,13 @@ fn write_lines(path: &PathBuf, input: &JobInput) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_admission(args: &Args) -> Result<opa_common::AdmissionPolicy, String> {
+    match args.options.get("admission") {
+        Some(v) => opa_common::AdmissionPolicy::parse(v).map_err(|e| e.to_string()),
+        None => Ok(opa_common::AdmissionPolicy::Off),
+    }
+}
+
 fn parse_framework(s: &str) -> Result<Framework, String> {
     Ok(match s {
         "sort-merge" | "sm" => Framework::SortMerge,
@@ -190,6 +202,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
     } else {
         opa_common::fault::FaultConfig::disabled()
     };
+    let admission = parse_admission(args)?;
     let want_drift = args.has_flag("drift") || args.options.contains_key("drift");
     let trace_on = args.options.contains_key("trace-out") || want_drift;
 
@@ -206,6 +219,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .admission(admission)
         .trace(trace_on)
         .run(&input),
         "click-count" => JobBuilder::new(ClickCountJob {
@@ -216,6 +230,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .admission(admission)
         .trace(trace_on)
         .run(&input),
         "frequent-users" => JobBuilder::new(FrequentUsersJob {
@@ -227,6 +242,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .admission(admission)
         .trace(trace_on)
         .run(&input),
         "page-freq" => JobBuilder::new(PageFreqJob {
@@ -237,6 +253,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .admission(admission)
         .trace(trace_on)
         .run(&input),
         "trigrams" => JobBuilder::new(TrigramCountJob {
@@ -248,6 +265,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .km_hint(km)
         .exec(exec)
         .faults(faults)
+        .admission(admission)
         .trace(trace_on)
         .run(&input),
         other => return Err(format!("unknown job '{other}'")),
@@ -259,6 +277,19 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         "  reduce@mapfinish    {:.1}%",
         outcome.progress.reduce_pct_at_map_finish()
     );
+    if admission.is_on() {
+        if let Some(s) = &outcome.metrics.admission {
+            println!(
+                "  admission ({})     γ={:.4}  {} offered / {} absorbed / {} evictions / {} rejected",
+                admission.label(),
+                s.gamma_measured(),
+                s.offered,
+                s.absorbed,
+                s.admitted_evictions,
+                s.rejected
+            );
+        }
+    }
     if let Some(rep) = &outcome.metrics.faults {
         println!(
             "  fault breakdown     {} map / {} straggler / {} reduce / {} spill-io (seed {})",
@@ -399,6 +430,7 @@ fn stream_with<J: opa_core::api::Job>(job: J, args: &Args, input: &JobInput) -> 
         .km_hint(args.get_or("km", 1.0f64))
         .exec(exec)
         .faults(faults)
+        .admission(parse_admission(args)?)
         .trace(args.options.contains_key("trace-out"))
         .batches(args.get_or("batches", 4usize));
     if let Some(n) = args.get::<usize>("checkpoint-every") {

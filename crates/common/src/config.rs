@@ -234,6 +234,58 @@ impl ExecConfig {
     }
 }
 
+/// Reduce-side admission policy for the INC/DINC in-memory key→state
+/// tables: what happens when a key arrives and the table is full.
+///
+/// - [`AdmissionPolicy::Off`] is the paper's behavior (first-come
+///   occupancy): the first keys to arrive keep their slots forever and
+///   every later key spills. This is the default, and with it the engine
+///   is byte-identical to an engine built without the admission manager.
+/// - [`AdmissionPolicy::Lfu`] gates occupancy by estimated frequency: a
+///   TinyLFU-style [`crate::sketch::FreqSketch`] tracks arrival counts,
+///   and a newly arriving key may evict a colder resident key (the
+///   victim's state is routed through the existing spill path) instead
+///   of spilling itself. Decisions are pure functions of the delivered
+///   data order, so the engine's bit-identical determinism across thread
+///   counts is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// First-come occupancy (the paper's behavior; default).
+    #[default]
+    Off,
+    /// Frequency-gated admission with sketch-chosen evictions.
+    Lfu,
+}
+
+impl AdmissionPolicy {
+    /// Whether frequency-gated admission is active.
+    pub fn is_on(&self) -> bool {
+        matches!(self, AdmissionPolicy::Lfu)
+    }
+
+    /// Parses a CLI spelling: `off`, `on` (alias for `lfu`) or `lfu`.
+    ///
+    /// # Errors
+    /// Fails on any other spelling.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "off" => Ok(AdmissionPolicy::Off),
+            "on" | "lfu" => Ok(AdmissionPolicy::Lfu),
+            other => Err(Error::config(format!(
+                "unknown admission policy '{other}' (expected off, on or lfu)"
+            ))),
+        }
+    }
+
+    /// Stable wire/CLI label (`off` / `lfu`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Off => "off",
+            AdmissionPolicy::Lfu => "lfu",
+        }
+    }
+}
+
 /// The host's core count as reported by the OS (1 when unknown).
 fn host_parallelism() -> usize {
     std::thread::available_parallelism()

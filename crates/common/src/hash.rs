@@ -383,6 +383,70 @@ impl GroupIndex {
         self.rows.fill(EMPTY);
         self.len = 0;
     }
+
+    /// Removes the mapping `fp → row`, restoring the linear-probe
+    /// invariant with backward-shift deletion (no tombstones, so probe
+    /// chains never grow from deletions). Returns whether the mapping
+    /// existed. Deterministic: the resulting slot layout is a pure
+    /// function of the insert/remove sequence.
+    pub fn remove(&mut self, fp: u64, row: usize) -> bool {
+        if self.rows.is_empty() {
+            return false;
+        }
+        let mut slot = (fp as usize) & self.mask;
+        loop {
+            let r = self.rows[slot];
+            if r == EMPTY {
+                return false;
+            }
+            if self.fps[slot] == fp && r as usize == row {
+                break;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        // Backward-shift: walk the cluster after `slot`; any entry whose
+        // probe path passes through the vacated slot moves back into it.
+        let mut hole = slot;
+        let mut probe = slot;
+        loop {
+            probe = (probe + 1) & self.mask;
+            if self.rows[probe] == EMPTY {
+                break;
+            }
+            let ideal = (self.fps[probe] as usize) & self.mask;
+            if (probe.wrapping_sub(ideal) & self.mask) >= (probe.wrapping_sub(hole) & self.mask) {
+                self.fps[hole] = self.fps[probe];
+                self.rows[hole] = self.rows[probe];
+                hole = probe;
+            }
+        }
+        self.fps[hole] = 0;
+        self.rows[hole] = EMPTY;
+        self.len -= 1;
+        true
+    }
+
+    /// Rewrites the mapping `fp → old_row` to point at `new_row` (the
+    /// caller moved the row in its companion `Vec`, e.g. via
+    /// `swap_remove`). Returns whether the mapping existed.
+    pub fn reindex(&mut self, fp: u64, old_row: usize, new_row: usize) -> bool {
+        debug_assert!(new_row < EMPTY as usize);
+        if self.rows.is_empty() {
+            return false;
+        }
+        let mut slot = (fp as usize) & self.mask;
+        loop {
+            let r = self.rows[slot];
+            if r == EMPTY {
+                return false;
+            }
+            if self.fps[slot] == fp && r as usize == old_row {
+                self.rows[slot] = new_row as u32;
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
 }
 
 /// Number of shards in a [`ShardedGroupIndex`] (power of two).
@@ -466,6 +530,22 @@ impl ShardedGroupIndex {
             }
         }
         self.len = 0;
+    }
+
+    /// Removes the mapping `fp → row` (see [`GroupIndex::remove`]).
+    /// Returns whether the mapping existed.
+    pub fn remove(&mut self, fp: u64, row: usize) -> bool {
+        let removed = self.shards[shard_of(fp)].remove(fp, row);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Rewrites the mapping `fp → old_row` to `new_row` (see
+    /// [`GroupIndex::reindex`]). Returns whether the mapping existed.
+    pub fn reindex(&mut self, fp: u64, old_row: usize, new_row: usize) -> bool {
+        self.shards[shard_of(fp)].reindex(fp, old_row, new_row)
     }
 }
 
@@ -661,5 +741,70 @@ mod tests {
         // must not collide systematically.
         assert_ne!(h.hash(b"ab"), h.hash(b"ab\0"));
         assert_ne!(h.hash(b""), h.hash(b"\0"));
+    }
+
+    #[test]
+    fn remove_preserves_probe_chains() {
+        // Remove every third key from a crowded index (long probe
+        // clusters) and verify every surviving key still resolves —
+        // backward-shift deletion must repair the chains it cuts.
+        let h = HashFamily::new(17).fn_at(0);
+        let keys: Vec<u64> = (0..5_000).collect();
+        let mut rows: Vec<u64> = Vec::new();
+        let mut idx = GroupIndex::with_capacity(16);
+        for &k in &keys {
+            let fp = h.hash(&k.to_be_bytes());
+            idx.insert(fp, rows.len());
+            rows.push(k);
+        }
+        let mut removed = 0;
+        for (r, &k) in rows.iter().enumerate() {
+            if k % 3 == 0 {
+                let fp = h.hash(&k.to_be_bytes());
+                assert!(idx.remove(fp, r), "key {k} was present");
+                removed += 1;
+            }
+        }
+        assert_eq!(idx.len(), keys.len() - removed);
+        for (r, &k) in rows.iter().enumerate() {
+            let fp = h.hash(&k.to_be_bytes());
+            let hit = idx.get(fp, |c| rows[c] == k);
+            if k % 3 == 0 {
+                assert_eq!(hit, None, "removed key {k} must miss");
+            } else {
+                assert_eq!(hit, Some(r), "surviving key {k} must still resolve");
+            }
+        }
+        // Removing an absent mapping is a no-op.
+        assert!(!idx.remove(h.hash(&0u64.to_be_bytes()), 0));
+    }
+
+    #[test]
+    fn reindex_follows_swap_remove() {
+        // The eviction pattern: swap_remove a victim row, then reindex
+        // the moved last row to its new position.
+        let h = HashFamily::new(29).fn_at(0);
+        let mut rows: Vec<u64> = Vec::new();
+        let mut idx = ShardedGroupIndex::with_capacity(4);
+        for k in 0..1_000u64 {
+            idx.insert(h.hash(&k.to_be_bytes()), rows.len());
+            rows.push(k);
+        }
+        for _ in 0..600 {
+            // Deterministically evict the middle row.
+            let victim = rows.len() / 2;
+            let vfp = h.hash(&rows[victim].to_be_bytes());
+            assert!(idx.remove(vfp, victim));
+            let moved = rows.swap_remove(victim);
+            if victim < rows.len() {
+                let mfp = h.hash(&rows[victim].to_be_bytes());
+                assert!(idx.reindex(mfp, rows.len(), victim), "moved key {moved}");
+            }
+        }
+        assert_eq!(idx.len(), rows.len());
+        for (r, &k) in rows.iter().enumerate() {
+            let fp = h.hash(&k.to_be_bytes());
+            assert_eq!(idx.get(fp, |c| rows[c] == k), Some(r), "key {k}");
+        }
     }
 }

@@ -15,6 +15,8 @@
 //! - virtual-time and byte-size units ([`units`]),
 //! - deterministic seeded RNG helpers ([`rng`]),
 //! - SWAR/SIMD byte scanning for tokenizer hot loops ([`scan`]),
+//! - the TinyLFU-style frequency sketch and membership filter behind
+//!   frequency-gated admission ([`sketch`]),
 //! - streaming-run shape and checkpoint cadence ([`stream`]),
 //! - the fault-injection vocabulary shared by the engine and the storage
 //!   substrate ([`fault`]),
@@ -29,15 +31,17 @@ pub mod fault;
 pub mod hash;
 pub mod rng;
 pub mod scan;
+pub mod sketch;
 pub mod stream;
 pub mod types;
 pub mod units;
 
-pub use config::{ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
+pub use config::{AdmissionPolicy, ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 pub use hash::{GroupIndex, HashFamily, HashFn, SeededState, ShardedGroupIndex};
 pub use scan::{find_byte, tokens};
+pub use sketch::{FreqSketch, KeyFilter};
 pub use stream::StreamConfig;
 pub use types::{BatchBuilder, Key, Pair, RecordBatch, StateBatch, StatePair, Value, INLINE_CAP};
 pub use units::{ByteSize, SimDuration, SimTime, GB, KB, MB};

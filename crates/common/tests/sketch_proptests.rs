@@ -1,0 +1,141 @@
+//! Property-based tests for the admission frequency sketch and the
+//! spill-membership filter (ISSUE 7, satellite 3): halving preserves the
+//! relative order of hot keys, counts never exceed true frequency after
+//! aging, and serialization round-trips byte-exact.
+
+use opa_common::sketch::{FreqSketch, KeyFilter};
+use proptest::prelude::*;
+
+/// Row/cell coordinates a key occupies, recovered behaviourally: a key's
+/// estimate after a single touch of an empty clone tells us nothing, so
+/// instead we detect collisions by touching one key and reading another.
+fn collides(width_hint: usize, a: u64, b: u64) -> bool {
+    let mut s = FreqSketch::with_capacity(width_hint);
+    s.touch(a);
+    // If some cell of `b` is untouched, the min over rows is 0 and the
+    // keys are distinguishable; estimate > 0 means every row collides.
+    s.estimate(b) > 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Halving preserves the relative order of any two keys' estimates:
+    /// `est(a) ≥ est(b)` before the reset implies the same after, for an
+    /// arbitrary touch sequence. (Halving maps every counter through the
+    /// monotone `⌊·/2⌋`, which commutes with the row-minimum.)
+    #[test]
+    fn halving_preserves_relative_order(
+        stream in proptest::collection::vec(0u64..64, 1..2000),
+    ) {
+        let mut s = FreqSketch::with_capacity(256);
+        for &fp in &stream {
+            s.touch(fp);
+        }
+        let before: Vec<u32> = (0..64).map(|fp| s.estimate(fp)).collect();
+        s.halve();
+        let after: Vec<u32> = (0..64).map(|fp| s.estimate(fp)).collect();
+        for a in 0..64usize {
+            for b in 0..64usize {
+                if before[a] >= before[b] {
+                    prop_assert!(
+                        after[a] >= after[b],
+                        "order inverted: fp {a} ({} → {}) vs fp {b} ({} → {})",
+                        before[a], after[a], before[b], after[b]
+                    );
+                }
+            }
+        }
+        // Halving is exactly ⌊est/2⌋ (min commutes with monotone halving).
+        for fp in 0..64usize {
+            prop_assert_eq!(after[fp], before[fp] / 2);
+        }
+    }
+
+    /// In a collision-free placement, the estimate equals the true count
+    /// before aging and never exceeds the true count after any number of
+    /// halvings. Colliding placements (count-min's one-sided error) are
+    /// discarded via `prop_assume`.
+    #[test]
+    fn counts_never_exceed_true_frequency_after_aging(
+        counts in proptest::collection::vec(1u32..100, 2..10),
+        halvings in 1usize..4,
+        key_stride in 1u64..1 << 48,
+    ) {
+        // Build a collision-free placement deterministically: nudge any
+        // key that shares all four cells with an earlier one.
+        let mut keys: Vec<u64> = Vec::with_capacity(counts.len());
+        for i in 0..counts.len() as u64 {
+            let mut candidate = i.wrapping_mul(key_stride | 1);
+            while keys.iter().any(|&k| collides(4096, k, candidate)) {
+                candidate = candidate.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            }
+            keys.push(candidate);
+        }
+        let mut s = FreqSketch::with_capacity(4096);
+        for (&fp, &n) in keys.iter().zip(&counts) {
+            for _ in 0..n {
+                s.touch(fp);
+            }
+        }
+        for (&fp, &n) in keys.iter().zip(&counts) {
+            prop_assert_eq!(s.estimate(fp), n, "exact before aging");
+        }
+        let mut prev: Vec<u32> = keys.iter().map(|&fp| s.estimate(fp)).collect();
+        for _ in 0..halvings {
+            s.halve();
+            for ((&fp, &n), p) in keys.iter().zip(&counts).zip(&mut prev) {
+                let est = s.estimate(fp);
+                prop_assert!(est <= n, "aged count {est} exceeds true frequency {n}");
+                prop_assert!(est <= *p, "aging must be monotone non-increasing");
+                *p = est;
+            }
+        }
+    }
+
+    /// Sketch serialization round-trips byte-exact for arbitrary touch
+    /// sequences, including ones long enough to cross the aging period.
+    #[test]
+    fn sketch_serialization_round_trips_byte_exact(
+        stream in proptest::collection::vec(any::<u64>(), 0..1500),
+        capacity in 1usize..512,
+    ) {
+        let mut s = FreqSketch::with_capacity(capacity);
+        for &fp in &stream {
+            s.touch(fp);
+        }
+        let nums = s.to_nums();
+        let back = FreqSketch::from_nums(&nums).expect("valid image");
+        prop_assert_eq!(&s, &back);
+        prop_assert_eq!(nums, back.to_nums());
+        // The restored sketch continues identically.
+        let (mut s2, mut b2) = (s, back);
+        for fp in 0..200u64 {
+            s2.touch(fp);
+            b2.touch(fp);
+        }
+        prop_assert_eq!(s2.to_nums(), b2.to_nums());
+    }
+
+    /// Filter serialization round-trips byte-exact and membership is
+    /// one-sided: every inserted key reports present, before and after
+    /// the round trip.
+    #[test]
+    fn filter_round_trips_and_stays_one_sided(
+        keys in proptest::collection::vec(any::<u64>(), 0..400),
+        capacity in 1usize..2000,
+    ) {
+        let mut f = KeyFilter::with_capacity(capacity);
+        for &fp in &keys {
+            f.insert(fp);
+        }
+        let nums = f.to_nums();
+        let back = KeyFilter::from_nums(&nums).expect("valid image");
+        prop_assert_eq!(&f, &back);
+        prop_assert_eq!(nums, back.to_nums());
+        for &fp in &keys {
+            prop_assert!(f.contains(fp));
+            prop_assert!(back.contains(fp));
+        }
+    }
+}

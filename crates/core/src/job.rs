@@ -150,6 +150,7 @@ pub struct JobBuilder<J: Job> {
     early_stop_coverage: Option<f64>,
     snapshot_points: Vec<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
+    admission: opa_common::AdmissionPolicy,
     faults: FaultConfig,
     trace: bool,
 }
@@ -166,6 +167,7 @@ impl<J: Job> JobBuilder<J> {
             early_stop_coverage: None,
             snapshot_points: Vec::new(),
             dinc_monitor: crate::reduce::dinc_hash::MonitorKind::Frequent,
+            admission: opa_common::AdmissionPolicy::Off,
             faults: FaultConfig::disabled(),
             trace: false,
         }
@@ -226,6 +228,16 @@ impl<J: Job> JobBuilder<J> {
     /// (default: FREQUENT, the paper's choice).
     pub fn dinc_monitor(mut self, kind: crate::reduce::dinc_hash::MonitorKind) -> Self {
         self.dinc_monitor = kind;
+        self
+    }
+
+    /// Selects the reduce-side admission policy (default: off, the
+    /// paper's first-come occupancy). Under
+    /// [`AdmissionPolicy::Lfu`](opa_common::AdmissionPolicy::Lfu) a
+    /// table-full arrival may evict a resident key that a deterministic
+    /// frequency sketch judges colder, instead of spilling itself.
+    pub fn admission(mut self, policy: opa_common::AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
     }
 
@@ -299,6 +311,7 @@ impl<J: Job> JobBuilder<J> {
             self.km_hint,
             self.early_stop_coverage,
             self.dinc_monitor,
+            self.admission,
             &self.snapshot_points,
             &self.faults,
             self.trace,
@@ -362,6 +375,7 @@ fn run_job(
     km_hint: f64,
     early_stop: Option<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
+    admission: opa_common::AdmissionPolicy,
     snapshot_points: &[f64],
     faults: &FaultConfig,
     trace: bool,
@@ -442,6 +456,7 @@ fn run_job(
             state_size: job.state_size_hint().unwrap_or(64),
             early_stop_coverage: early_stop,
             monitor: dinc_monitor,
+            admission,
         };
         let mut reducers = Vec::with_capacity(n_reducers);
         for _ in 0..n_reducers {
@@ -481,6 +496,7 @@ fn run_job(
                 c.bytes,
                 spec,
                 h1,
+                admission,
             )
         };
         let planner: Planner<crate::map_phase::MapTaskPlan> =
@@ -858,6 +874,14 @@ fn run_job(
                 acc.evict_spilled += st.evict_spilled;
             }
         };
+        let mut admission_total: Option<crate::metrics::AdmissionStats> = None;
+        let mut merge_admission = |stats: Option<crate::metrics::AdmissionStats>| {
+            if let Some(st) = stats {
+                admission_total
+                    .get_or_insert_with(Default::default)
+                    .merge(&st);
+            }
+        };
         let mut end = map_finish;
         let mut node_wave1_finish: Vec<Vec<SimTime>> = vec![Vec::new(); n_nodes];
         let wave1: Vec<usize> = (0..n_reducers).filter(|&r| started[r]).collect();
@@ -887,6 +911,8 @@ fn run_job(
             let t0 = ready_at[r].max(map_finish);
             let done = replay(log, t0, spec, target!(r));
             merge_dinc(rec.dinc_stats());
+            let adm = rec.admission_stats();
+            merge_admission(adm);
             node_wave1_finish[reducer_node(r)].push(done);
             end = end.max(done);
             reducers[r] = Some(rec);
@@ -895,6 +921,18 @@ fn run_job(
                 reducer: r as u32,
                 node: reducer_node(r) as u32,
             });
+            if admission.is_on() {
+                if let Some(st) = adm {
+                    res.emit(TraceEvent::Admission {
+                        t: done.0,
+                        reducer: r as u32,
+                        offered: st.offered,
+                        absorbed: st.absorbed,
+                        evictions: st.admitted_evictions,
+                        rejected: st.rejected,
+                    });
+                }
+            }
         }
 
         // Second-wave reducers: start when a first-wave reducer on their
@@ -997,6 +1035,20 @@ fn run_job(
                 node: node as u32,
             });
             merge_dinc(rec.dinc_stats());
+            let adm = rec.admission_stats();
+            merge_admission(adm);
+            if admission.is_on() {
+                if let Some(st) = adm {
+                    res.emit(TraceEvent::Admission {
+                        t: done.0,
+                        reducer: r as u32,
+                        offered: st.offered,
+                        absorbed: st.absorbed,
+                        evictions: st.admitted_evictions,
+                        rejected: st.rejected,
+                    });
+                }
+            }
             reducers[r] = Some(rec);
             if dbg_wave2 {
                 eprintln!(
@@ -1038,6 +1090,7 @@ fn run_job(
             io: res.io.clone(),
             io_recovery: res.io_recovery.clone(),
             dinc: dinc_total,
+            admission: admission_total,
             faults: fault_report,
         };
         let trace_log = res.take_trace();

@@ -300,6 +300,7 @@ pub fn compute_map_task(
     chunk_bytes: u64,
     spec: &ClusterSpec,
     h1: HashFn,
+    admission: opa_common::AdmissionPolicy,
 ) -> MapTaskPlan {
     let cost = &spec.cost;
     let n_partitions = spec.total_reducers();
@@ -329,9 +330,16 @@ pub fn compute_map_task(
             plan_sort_merge(job, pairs, spec.pipeline_granules, spec, h1, &mut plan)
         }
         Framework::MrHash => plan_mr_hash(job, pairs, n_partitions, spec, h1, &mut plan),
-        Framework::IncHash | Framework::DincHash => {
-            plan_incremental(job, pairs, n_partitions, chunk_bytes, spec, h1, &mut plan)
-        }
+        Framework::IncHash | Framework::DincHash => plan_incremental(
+            job,
+            pairs,
+            n_partitions,
+            chunk_bytes,
+            spec,
+            h1,
+            admission,
+            &mut plan,
+        ),
     }
     plan
 }
@@ -394,7 +402,15 @@ pub fn run_map_task(
     h1: HashFn,
     res: &mut Resources,
 ) -> MapTaskResult {
-    let plan = compute_map_task(job, framework, records, chunk_bytes, spec, h1);
+    let plan = compute_map_task(
+        job,
+        framework,
+        records,
+        chunk_bytes,
+        spec,
+        h1,
+        opa_common::AdmissionPolicy::Off,
+    );
     finish_map_task(plan, node, start, spec, res)
 }
 
@@ -617,6 +633,15 @@ fn plan_mr_hash(
 /// table collapses same-key states with `cb()` (map-side combine). The
 /// per-partition buffers are pre-sized from the job's `state_size_hint`
 /// so the hot path does not grow-and-copy per delivery.
+///
+/// With the LFU admission policy on, the collapse table is additionally
+/// held to the map buffer budget: once full, a newcomer is admitted only
+/// by evicting a resident the frequency sketch scores strictly colder
+/// (the evictee's partial state is emitted early — the reduce side
+/// re-merges it, so the result is exact either way); otherwise the
+/// newcomer is forwarded uncombined. Decisions are pure functions of the
+/// chunk's record order, so plans stay deterministic at any thread count.
+#[allow(clippy::too_many_arguments)]
 fn plan_incremental(
     job: &dyn Job,
     pairs: Vec<Pair>,
@@ -624,6 +649,7 @@ fn plan_incremental(
     chunk_bytes: u64,
     spec: &ClusterSpec,
     h1: HashFn,
+    admission: opa_common::AdmissionPolicy,
     plan: &mut MapTaskPlan,
 ) {
     let cost = &spec.cost;
@@ -643,29 +669,91 @@ fn plan_incremental(
     let mut order: Vec<(usize, u64, Key, Value)> = Vec::with_capacity(distinct_hint);
     let mut index = ShardedGroupIndex::with_capacity(distinct_hint);
     let mut cb_calls = 0u64;
+    let mut sketch = admission
+        .is_on()
+        .then(|| opa_common::FreqSketch::with_capacity(distinct_hint));
+    let budget = spec.hardware.map_buffer;
+    let mut used = 0u64;
+    let mut evicted: Vec<(usize, u64, Key, Value)> = Vec::new();
+    let mut victim_cursor = 0u64;
     for p in pairs {
         let state = inc.init(&p.key, p.value);
         let h = h1.hash(p.key.bytes());
+        if let Some(sk) = sketch.as_mut() {
+            sk.touch(h);
+        }
         match index.get(h, |r| order[r].2 == p.key) {
             Some(i) => {
                 let (_, _, ref key, ref mut acc) = order[i];
-                inc.cb(key, acc, state, &mut ctx);
+                if sketch.is_some() {
+                    let before = inc.state_mem_size(acc);
+                    inc.cb(key, acc, state, &mut ctx);
+                    used = (used + inc.state_mem_size(acc)).saturating_sub(before);
+                } else {
+                    inc.cb(key, acc, state, &mut ctx);
+                }
                 cb_calls += 1;
             }
             None => {
                 let part = bucket_of(h, n_partitions);
+                let sz = p.key.len() as u64 + inc.state_mem_size(&state) + 16;
+                if let Some(sk) = &sketch {
+                    if used + sz > budget && !order.is_empty() {
+                        // Table full: probe a few resident rows round-robin
+                        // for the coldest and displace it only if the
+                        // newcomer is strictly hotter.
+                        let nres = order.len();
+                        let mut best: Option<(usize, u32)> = None;
+                        for probe in 0..4u64 {
+                            let vi = ((victim_cursor + probe) % nres as u64) as usize;
+                            let est = sk.estimate(order[vi].1);
+                            if best.is_none_or(|(_, b)| est < b) {
+                                best = Some((vi, est));
+                            }
+                        }
+                        victim_cursor = victim_cursor.wrapping_add(4);
+                        let admit = best
+                            .filter(|&(_, vest)| sk.estimate(h) > vest)
+                            .map(|(vi, _)| vi);
+                        if let Some(vi) = admit {
+                            let last = nres - 1;
+                            let victim = order.swap_remove(vi);
+                            index.remove(victim.1, vi);
+                            if vi < last {
+                                index.reindex(order[vi].1, last, vi);
+                            }
+                            used = used.saturating_sub(
+                                victim.2.len() as u64 + inc.state_mem_size(&victim.3) + 16,
+                            );
+                            evicted.push(victim);
+                            used += sz;
+                            index.insert(h, order.len());
+                            order.push((part, h, p.key, state));
+                        } else {
+                            // Not admitted: forward uncombined.
+                            evicted.push((part, h, p.key, state));
+                        }
+                        continue;
+                    }
+                }
+                used += sz;
                 index.insert(h, order.len());
                 order.push((part, h, p.key, state));
             }
         }
     }
-    plan.op_cpu(cost.init_time(n) + cost.hash_time(n) + cost.cb_time(cb_calls));
+    plan.op_cpu(
+        cost.init_time(n) + cost.hash_time(n + 2 * evicted.len() as u64) + cost.cb_time(cb_calls),
+    );
 
     let cap = order.len() / n_partitions + 1;
     let mut per_part: Vec<StateBatch> = (0..n_partitions)
         .map(|_| StateBatch::with_capacity(cap))
         .collect();
-    for (part, h, key, state) in order {
+    // Early-displaced entries ship first: a victim's partial state must
+    // reach the reducer before later tuples of the same key so bucket
+    // files preserve arrival order for order-sensitive jobs.
+    for (part, h, key, state) in evicted.into_iter().chain(order) {
         per_part[part].push_hashed(StatePair::new(key, state), h);
     }
     let output_bytes: u64 = per_part.iter().map(StateBatch::bytes).sum();
@@ -921,7 +1009,15 @@ mod tests {
                 h1,
                 &mut res_a,
             );
-            let plan = compute_map_task(&job, fw, &recs, bytes, &spec, h1);
+            let plan = compute_map_task(
+                &job,
+                fw,
+                &recs,
+                bytes,
+                &spec,
+                h1,
+                opa_common::AdmissionPolicy::Off,
+            );
             let mut res_b = Resources::new(spec.hardware.nodes, 4, false);
             let replayed = finish_map_task(plan, 0, SimTime::ZERO, &spec, &mut res_b);
             assert_eq!(format!("{direct:?}"), format!("{replayed:?}"), "{fw:?}");
@@ -942,8 +1038,24 @@ mod tests {
         let recs = records(70, 8);
         let bytes: u64 = recs.iter().map(|r| r.len() as u64).sum();
         let h1 = opa_common::HashFamily::new(spec.hash_seed).fn_at(0);
-        let a = compute_map_task(&job, Framework::SortMerge, &recs, bytes, &spec, h1);
-        let b = compute_map_task(&job, Framework::SortMerge, &recs, bytes, &spec, h1);
+        let a = compute_map_task(
+            &job,
+            Framework::SortMerge,
+            &recs,
+            bytes,
+            &spec,
+            h1,
+            opa_common::AdmissionPolicy::Off,
+        );
+        let b = compute_map_task(
+            &job,
+            Framework::SortMerge,
+            &recs,
+            bytes,
+            &spec,
+            h1,
+            opa_common::AdmissionPolicy::Off,
+        );
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

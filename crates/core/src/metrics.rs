@@ -1,7 +1,7 @@
 //! Per-job metrics: the rows of the paper's Tables 1, 3 and 4.
 
 use opa_common::units::{ByteSize, SimDuration, SimTime};
-use opa_simio::IoStats;
+use opa_simio::{IoStats, SpillSplit};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -19,6 +19,57 @@ pub struct DincStats {
     pub evict_output: u64,
     /// Evictions that spilled their state to a bucket.
     pub evict_spilled: u64,
+}
+
+/// Frequency-gated admission statistics, aggregated over all reducers.
+/// Present in [`JobMetrics`] for the incremental frameworks under either
+/// policy (the eviction fields stay zero with admission off, so a test
+/// can compare measured γ and spill attribution across policies); `None`
+/// for the sort-merge/MR-hash frameworks, which keep no resident state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Tuples offered to reduce-side tables.
+    pub offered: u64,
+    /// Tuples absorbed into resident in-memory state (combined or
+    /// installed without spilling).
+    pub absorbed: u64,
+    /// Evict-and-admit decisions: a resident cold key's state was spilled
+    /// to make room for a hotter arrival.
+    pub admitted_evictions: u64,
+    /// Arrivals denied admission and spilled to their hash bucket.
+    pub rejected: u64,
+    /// Byte attribution of the reduce-spill (`U_4`) writes.
+    pub spill: SpillSplit,
+    /// Keys resident in memory when the reducers finished.
+    pub resident_keys: u64,
+    /// Total tuples absorbed into the keys that were still resident at
+    /// finish — the "resident set's total frequency" a better-than-
+    /// first-come policy is supposed to maximize at fixed memory.
+    pub resident_frequency: u64,
+}
+
+impl AdmissionStats {
+    /// Measured coverage γ: the fraction of offered tuples absorbed into
+    /// memory. This is the empirical counterpart of the paper's
+    /// first-come lower bound `t/(t + M/(s+1))` (§4.3) — the quantity the
+    /// admission policy exists to raise.
+    pub fn gamma_measured(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.absorbed as f64 / self.offered as f64
+    }
+
+    /// Merges per-reducer stats into a job-wide aggregate.
+    pub fn merge(&mut self, other: &AdmissionStats) {
+        self.offered += other.offered;
+        self.absorbed += other.absorbed;
+        self.admitted_evictions += other.admitted_evictions;
+        self.rejected += other.rejected;
+        self.spill.merge(&other.spill);
+        self.resident_keys += other.resident_keys;
+        self.resident_frequency += other.resident_frequency;
+    }
 }
 
 /// Everything the paper reports about one job run.
@@ -62,6 +113,9 @@ pub struct JobMetrics {
     pub io_recovery: IoStats,
     /// DINC monitor statistics (only for `Framework::DincHash`).
     pub dinc: Option<DincStats>,
+    /// Frequency-gated admission statistics (only when the LFU admission
+    /// policy was enabled).
+    pub admission: Option<AdmissionStats>,
     /// Fault-injection report: retries, wasted work, recovery time and the
     /// full failure trace. `None` when fault injection was disabled.
     pub faults: Option<opa_common::fault::FaultReport>,
@@ -155,6 +209,7 @@ mod tests {
             io: IoStats::new(),
             io_recovery: IoStats::new(),
             dinc: None,
+            admission: None,
             faults: None,
         }
     }

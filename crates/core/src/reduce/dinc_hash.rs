@@ -26,9 +26,13 @@ use super::{OutputSink, ReduceEnv, ReduceSide, ReducerCkpt, ReducerSizing, TopEn
 use crate::api::{IncrementalReducer, Job, ReduceCtx};
 use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
+use crate::metrics::AdmissionStats;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, HashFamily, HashFn, Key, Result, ShardedGroupIndex, StatePair, Value};
+use opa_common::{
+    AdmissionPolicy, Error, FreqSketch, HashFamily, HashFn, Key, Result, ShardedGroupIndex,
+    StatePair, Value,
+};
 use opa_freq::{MgEntry, MgOutcome, MisraGries, SpaceSavingMonitor};
 use opa_simio::BucketManager;
 
@@ -127,6 +131,23 @@ impl Monitor {
         }
     }
 
+    /// Second-chance LFU install after a [`MgOutcome::Rejected`]: evict
+    /// the coldest guard-approved occupant in favour of `key`. Only the
+    /// FREQUENT monitor supports this (SpaceSaving already displaces its
+    /// minimum on every offer, so a rejection there was a guard veto and
+    /// stands).
+    fn replace_min_guarded(
+        &mut self,
+        key: Key,
+        state: Value,
+        guard: impl FnMut(&Key, &Value) -> bool,
+    ) -> MgOutcome<Key, Value> {
+        match self {
+            Monitor::Frequent(m) => m.replace_min_guarded(key, state, guard),
+            Monitor::SpaceSaving(_) => MgOutcome::Rejected { key, state },
+        }
+    }
+
     fn restore(
         kind: MonitorKind,
         capacity: usize,
@@ -168,6 +189,13 @@ pub struct DincHashReducer<'j> {
     /// exact processing).
     early_stop_coverage: Option<f64>,
     stats: crate::metrics::DincStats,
+    admission: AdmissionPolicy,
+    /// Frequency sketch gating second-chance installs (`Some` iff the LFU
+    /// admission policy is on). Touched on *every* arrival so estimates —
+    /// and therefore admission decisions — are pure functions of the
+    /// delivered tuple order.
+    sketch: Option<FreqSketch>,
+    adm: AdmissionStats,
 }
 
 impl<'j> DincHashReducer<'j> {
@@ -186,7 +214,14 @@ impl<'j> DincHashReducer<'j> {
         let monitor_mem = mem.saturating_sub(h as u64 * write_buffer).max(1);
         let entry = sizing.state_size.max(1) + SLOT_OVERHEAD;
         let s = ((monitor_mem / entry) as usize).max(1);
+        let expected = (sizing.expected_keys as usize).clamp(64, 1 << 22);
         DincHashReducer {
+            admission: sizing.admission,
+            sketch: sizing
+                .admission
+                .is_on()
+                .then(|| FreqSketch::with_capacity(expected)),
+            adm: AdmissionStats::default(),
             inc,
             family: family.clone(),
             h3: family.fn_at(2),
@@ -243,6 +278,67 @@ impl<'j> DincHashReducer<'j> {
         }
         t
     }
+
+    /// Handles a [`MgOutcome::Rejected`] tuple. With the LFU admission
+    /// policy on, the monitor gets a second chance: if the sketch says the
+    /// newcomer is strictly hotter than the coldest evictable occupant,
+    /// that occupant is displaced through the usual eviction hook and the
+    /// newcomer takes its slot. Otherwise (and always when the policy is
+    /// off) the tuple is staged to disk exactly as before.
+    #[allow(clippy::too_many_arguments)]
+    fn reject_or_admit(
+        &mut self,
+        mut t: SimTime,
+        key: Key,
+        state: Value,
+        sp_size: u64,
+        fp: u64,
+        wm: Option<u64>,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        if self.admission.is_on() {
+            let inc = self.inc;
+            let sketch = self.sketch.as_ref().expect("sketch exists when policy on");
+            let h3 = &self.h3;
+            let est_new = sketch.estimate(fp);
+            let outcome = self.monitor.replace_min_guarded(key, state, |k, s| {
+                inc.can_evict(k, s, wm) && sketch.estimate(h3.hash(k.bytes())) < est_new
+            });
+            match outcome {
+                MgOutcome::Combined => unreachable!("rejected key is not monitored"),
+                MgOutcome::Installed { evicted } => {
+                    self.adm.absorbed += 1;
+                    self.adm.admitted_evictions += 1;
+                    t = env.cpu(t, env.cost().hash_time(2));
+                    env.worked(t, 1);
+                    if let Some(e) = evicted {
+                        let victim_size = e.key.len() as u64
+                            + e.state.len() as u64
+                            + opa_common::types::RECORD_OVERHEAD;
+                        let spilled_before = self.stats.evict_spilled;
+                        t = self.handle_eviction(t, e.key, e.state, env);
+                        if self.stats.evict_spilled > spilled_before {
+                            self.adm.spill.admitted_evict += victim_size;
+                        }
+                    }
+                    return t;
+                }
+                MgOutcome::Rejected { key, state } => {
+                    self.stats.rejected += 1;
+                    self.adm.rejected += 1;
+                    self.adm.spill.rejected_arrival += sp_size;
+                    t = env.cpu(t, env.cost().hash_time(1));
+                    return self.stage(t, StatePair::new(key, state), env);
+                }
+            }
+        }
+        // Tuple staged to disk; re-absorbed during bucket processing.
+        self.stats.rejected += 1;
+        self.adm.rejected += 1;
+        self.adm.spill.rejected_arrival += sp_size;
+        t = env.cpu(t, env.cost().hash_time(1));
+        self.stage(t, StatePair::new(key, state), env)
+    }
 }
 
 impl ReduceSide for DincHashReducer<'_> {
@@ -261,7 +357,13 @@ impl ReduceSide for DincHashReducer<'_> {
                 self.ctx.advance_watermark(ts);
             }
             let wm = self.ctx.watermark;
+            let sp_size = sp.size();
             let StatePair { key, state } = sp;
+            self.adm.offered += 1;
+            let fp = self.h3.hash(key.bytes());
+            if let Some(sk) = self.sketch.as_mut() {
+                sk.touch(fp);
+            }
             let inc = self.inc;
             let ctx = &mut self.ctx;
             let outcome = self.monitor.offer_guarded(
@@ -272,6 +374,7 @@ impl ReduceSide for DincHashReducer<'_> {
             );
             match outcome {
                 MgOutcome::Combined => {
+                    self.adm.absorbed += 1;
                     t = env.cpu(t, env.cost().cb_time(1) + env.cost().hash_time(1));
                     env.worked(t, 1);
                     if self.ctx.pending() > 0 {
@@ -280,6 +383,7 @@ impl ReduceSide for DincHashReducer<'_> {
                     }
                 }
                 MgOutcome::Installed { evicted } => {
+                    self.adm.absorbed += 1;
                     t = env.cpu(t, env.cost().hash_time(1));
                     env.worked(t, 1);
                     if let Some(e) = evicted {
@@ -287,11 +391,7 @@ impl ReduceSide for DincHashReducer<'_> {
                     }
                 }
                 MgOutcome::Rejected { key, state } => {
-                    // Tuple staged to disk; re-absorbed during bucket
-                    // processing.
-                    self.stats.rejected += 1;
-                    t = env.cpu(t, env.cost().hash_time(1));
-                    t = self.stage(t, StatePair::new(key, state), env);
+                    t = self.reject_or_admit(t, key, state, sp_size, fp, wm, env);
                 }
             }
         }
@@ -302,6 +402,10 @@ impl ReduceSide for DincHashReducer<'_> {
         Some(self.stats)
     }
 
+    fn admission_stats(&self) -> Option<AdmissionStats> {
+        Some(self.adm)
+    }
+
     fn finish(&mut self, mut t: SimTime, env: &mut ReduceEnv<'_>) -> SimTime {
         env.span_open();
         self.stats.offered = self.monitor.offered();
@@ -309,6 +413,8 @@ impl ReduceSide for DincHashReducer<'_> {
         let capacity = self.monitor.capacity();
         let monitor = std::mem::replace(&mut self.monitor, Monitor::new(MonitorKind::Frequent, 1));
         let entries = monitor.drain();
+        self.adm.resident_keys = entries.len() as u64;
+        self.adm.resident_frequency = entries.iter().map(|e| e.t).sum();
 
         // Approximate early termination (§4.3): finalize monitored keys
         // whose coverage lower bound γ = t/(t + M/(s+1)) clears φ, skip
@@ -372,10 +478,12 @@ impl ReduceSide for DincHashReducer<'_> {
 
     /// Sections: `states[0]` holds the monitor's (key, state) entries in
     /// slot order, `states[1..]` the staged buckets; `nums` holds
-    /// `[offered]`, per-entry counts, per-entry true-frequencies `t`, and
-    /// the running [`crate::metrics::DincStats`]; `pairs` holds the pending
-    /// output buffer, then pending context emissions. Monitor capacity is
-    /// derived from the (identical) sizing on restore.
+    /// `[offered]`, per-entry counts, per-entry true-frequencies `t`, the
+    /// running [`crate::metrics::DincStats`], the running admission
+    /// counters, and — when the LFU admission policy is on — the frequency
+    /// sketch; `pairs` holds the pending output buffer, then pending
+    /// context emissions. Monitor capacity is derived from the (identical)
+    /// sizing on restore.
     fn export_state(&self) -> Result<ReducerCkpt> {
         let entries = self.monitor.entries();
         let mut states = vec![entries
@@ -383,6 +491,29 @@ impl ReduceSide for DincHashReducer<'_> {
             .map(|e| StatePair::new(e.key.clone(), e.state.clone()))
             .collect::<Vec<_>>()];
         states.extend(self.buckets.export_contents());
+        let mut nums = vec![
+            vec![self.monitor.offered()],
+            entries.iter().map(|e| e.count).collect(),
+            entries.iter().map(|e| e.t).collect(),
+            vec![
+                self.stats.slots_per_reducer,
+                self.stats.offered,
+                self.stats.rejected,
+                self.stats.evict_output,
+                self.stats.evict_spilled,
+            ],
+            vec![
+                self.adm.offered,
+                self.adm.absorbed,
+                self.adm.admitted_evictions,
+                self.adm.rejected,
+                self.adm.spill.admitted_evict,
+                self.adm.spill.rejected_arrival,
+            ],
+        ];
+        if let Some(sk) = &self.sketch {
+            nums.push(sk.to_nums());
+        }
         Ok(ReducerCkpt {
             tag: CKPT_TAG,
             flags: match self.monitor.kind() {
@@ -390,18 +521,7 @@ impl ReduceSide for DincHashReducer<'_> {
                 MonitorKind::SpaceSaving => FLAG_SPACE_SAVING,
             },
             watermark: self.ctx.watermark,
-            nums: vec![
-                vec![self.monitor.offered()],
-                entries.iter().map(|e| e.count).collect(),
-                entries.iter().map(|e| e.t).collect(),
-                vec![
-                    self.stats.slots_per_reducer,
-                    self.stats.offered,
-                    self.stats.rejected,
-                    self.stats.evict_output,
-                    self.stats.evict_spilled,
-                ],
-            ],
+            nums,
             pairs: vec![self.sink.export_pending(), self.ctx.export_pending()],
             states,
         })
@@ -422,14 +542,49 @@ impl ReduceSide for DincHashReducer<'_> {
             ));
         }
         let monitor_entries = states.remove(0);
-        let [offered, counts, ts, stats] = <[Vec<u64>; 4]>::try_from(ckpt.nums)
-            .map_err(|_| Error::job("DINC-hash checkpoint missing numeric sections"))?;
+        let mut nums = ckpt.nums.into_iter();
+        let mut section = |name: &str| {
+            nums.next()
+                .ok_or_else(|| Error::job(format!("DINC-hash checkpoint missing {name} section")))
+        };
+        let offered = section("offered")?;
+        let counts = section("counts")?;
+        let ts = section("frequencies")?;
+        let stats = section("stats")?;
+        let adm = section("admission counters")?;
+        let sketch_nums = nums.next();
         if counts.len() != monitor_entries.len() || ts.len() != monitor_entries.len() {
             return Err(Error::job("DINC-hash checkpoint monitor sections disagree"));
         }
         let [slots, st_offered, rejected, evict_output, evict_spilled] =
             <[u64; 5]>::try_from(stats)
                 .map_err(|_| Error::job("DINC-hash checkpoint stats section malformed"))?;
+        let [adm_offered, adm_absorbed, adm_evictions, adm_rejected, adm_spill_evict, adm_spill_rej] =
+            <[u64; 6]>::try_from(adm)
+                .map_err(|_| Error::job("DINC-hash checkpoint admission section malformed"))?;
+        self.sketch = match (self.admission.is_on(), sketch_nums) {
+            (true, Some(nums)) => Some(FreqSketch::from_nums(&nums)?),
+            (true, None) => {
+                return Err(Error::job(
+                    "DINC-hash checkpoint has no frequency sketch but the LFU \
+                     admission policy is on — restore with the same --admission \
+                     setting the checkpoint was written under",
+                ));
+            }
+            (false, _) => None,
+        };
+        self.adm = AdmissionStats {
+            offered: adm_offered,
+            absorbed: adm_absorbed,
+            admitted_evictions: adm_evictions,
+            rejected: adm_rejected,
+            spill: opa_simio::SpillSplit {
+                admitted_evict: adm_spill_evict,
+                rejected_arrival: adm_spill_rej,
+            },
+            resident_keys: 0,
+            resident_frequency: 0,
+        };
         let kind = if ckpt.flags & FLAG_SPACE_SAVING != 0 {
             MonitorKind::SpaceSaving
         } else {

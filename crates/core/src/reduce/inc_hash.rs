@@ -17,9 +17,13 @@ use super::{OutputSink, ReduceEnv, ReduceSide, ReducerCkpt, ReducerSizing, WORK_
 use crate::api::{IncrementalReducer, Job, ReduceCtx};
 use crate::cluster::ClusterSpec;
 use crate::map_phase::Payload;
+use crate::metrics::AdmissionStats;
 use crate::sim::OpKind;
 use opa_common::units::SimTime;
-use opa_common::{Error, HashFamily, HashFn, Key, Result, ShardedGroupIndex, StatePair, Value};
+use opa_common::{
+    AdmissionPolicy, Error, FreqSketch, HashFamily, HashFn, Key, KeyFilter, Result,
+    ShardedGroupIndex, StatePair, Value,
+};
 use opa_simio::BucketManager;
 
 /// [`ReducerCkpt::tag`] of the INC-hash framework.
@@ -36,6 +40,11 @@ const ENTRY_OVERHEAD: u64 = 16;
 /// Recursion ceiling for pathological bucket skew.
 const MAX_DEPTH: usize = 6;
 
+/// How many resident keys the LFU victim scan examines per table-full
+/// arrival. A small constant keeps the gate O(1) while the rotating
+/// cursor guarantees every resident is eventually considered.
+const VICTIM_PROBES: usize = 4;
+
 /// One reduce task running the INC-hash framework.
 pub struct IncHashReducer<'j> {
     inc: &'j dyn IncrementalReducer,
@@ -46,6 +55,9 @@ pub struct IncHashReducer<'j> {
     h3: HashFn,
     /// Insertion-ordered key→state table (`H`).
     states: Vec<(Key, Value)>,
+    /// Tuples combined into each resident row (parallel to `states`);
+    /// summed at finish into the resident-frequency statistic.
+    counts: Vec<u64>,
     index: ShardedGroupIndex,
     mem_used: u64,
     mem_budget: u64,
@@ -59,8 +71,26 @@ pub struct IncHashReducer<'j> {
     /// draining states later frees memory. A key admitted after one of its
     /// tuples spilled would be split between memory and disk, breaking the
     /// module invariant ("the keys chosen for in-memory processing are
-    /// just the first keys observed" — paper §4.3).
+    /// just the first keys observed" — paper §4.3). Only consulted under
+    /// [`AdmissionPolicy::Off`]; the LFU gate replaces it with the
+    /// spilled-key filter below.
     admissions_closed: bool,
+    /// Which admission policy gates table-full arrivals.
+    admission: AdmissionPolicy,
+    /// Frequency sketch over `h1` fingerprints (LFU policy only). Touched
+    /// on *every* arrival, so its state is a pure function of the
+    /// reducer's delivered tuple order.
+    sketch: Option<FreqSketch>,
+    /// Keys that ever spilled a tuple or were evicted (LFU policy only).
+    /// Membership denies admission: a resident key is thereby guaranteed
+    /// to have no bytes on disk, preserving the never-split invariant
+    /// that makes direct finalization exact.
+    filter: Option<KeyFilter>,
+    /// Rotating start position of the deterministic victim scan.
+    victim_cursor: u64,
+    /// Admission counters (populated for both policies; the eviction
+    /// fields stay zero under [`AdmissionPolicy::Off`]).
+    stats: AdmissionStats,
 }
 
 impl<'j> IncHashReducer<'j> {
@@ -77,12 +107,15 @@ impl<'j> IncHashReducer<'j> {
         let write_buffer = spec.bucket_write_buffer;
         let h = sizing.bucket_count(mem, write_buffer);
         let mem_budget = mem.saturating_sub(h as u64 * write_buffer).max(1);
+        let admission = sizing.admission;
+        let expected = (sizing.expected_keys as usize).clamp(64, 1 << 22);
         IncHashReducer {
             inc,
             family: family.clone(),
             h1: family.fn_at(0),
             h3: family.fn_at(2),
             states: Vec::new(),
+            counts: Vec::new(),
             index: ShardedGroupIndex::default(),
             mem_used: 0,
             mem_budget,
@@ -92,6 +125,15 @@ impl<'j> IncHashReducer<'j> {
             sink: OutputSink::new(),
             absorbed: 0,
             admissions_closed: false,
+            admission,
+            sketch: admission
+                .is_on()
+                .then(|| FreqSketch::with_capacity(expected)),
+            filter: admission
+                .is_on()
+                .then(|| KeyFilter::with_capacity(expected)),
+            victim_cursor: 0,
+            stats: AdmissionStats::default(),
         }
     }
 
@@ -110,6 +152,12 @@ impl<'j> IncHashReducer<'j> {
             self.ctx.advance_watermark(ts);
         }
         let h = hash.unwrap_or_else(|| self.h1.hash(sp.key.bytes()));
+        self.stats.offered += 1;
+        if let Some(sketch) = &mut self.sketch {
+            // Every arrival is recorded, hit or miss, so the sketch is a
+            // pure function of the delivered tuple order.
+            sketch.touch(h);
+        }
         match self.index.get(h, |r| self.states[r].0 == sp.key) {
             Some(i) => {
                 let (ref key, ref mut acc) = self.states[i];
@@ -117,13 +165,18 @@ impl<'j> IncHashReducer<'j> {
                 self.inc.cb(key, acc, sp.state, &mut self.ctx);
                 let after = self.inc.state_mem_size(acc);
                 self.mem_used = adjust(self.mem_used, before, after);
+                self.counts[i] += 1;
                 t = env.cpu(t, env.cost().cb_time(1) + env.cost().hash_time(1));
                 self.absorbed += 1;
+                self.stats.absorbed += 1;
                 env.worked(t, 1);
                 if self.ctx.pending() > 0 {
                     let out = self.ctx.drain();
                     t = self.sink.push(t, out, env);
                 }
+            }
+            None if self.admission.is_on() => {
+                t = self.absorb_miss_lfu(t, sp, h, env);
             }
             None => {
                 let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
@@ -131,17 +184,161 @@ impl<'j> IncHashReducer<'j> {
                     self.mem_used += sz;
                     self.index.insert(h, self.states.len());
                     self.states.push((sp.key, sp.state));
+                    self.counts.push(1);
                     t = env.cpu(t, env.cost().hash_time(1));
                     self.absorbed += 1;
+                    self.stats.absorbed += 1;
                     env.worked(t, 1);
                 } else {
                     self.admissions_closed = true;
+                    self.stats.rejected += 1;
+                    self.stats.spill.rejected_arrival += sp.size();
                     let b = self.h3.bucket(sp.key.bytes(), self.buckets.num_buckets());
                     let op = self.buckets.push(b, sp);
                     t = env.spill(t, op);
                 }
             }
         }
+        t
+    }
+
+    /// Table-miss handling under the LFU policy: admit clean keys while
+    /// memory lasts, otherwise either evict a colder resident (staging its
+    /// state through the normal spill path) or spill the arrival.
+    ///
+    /// Exactness: only keys absent from [`IncHashReducer::filter`] are
+    /// ever admitted, so every resident key at `finish` has *all* of its
+    /// data in memory (the never-split invariant); an evicted or rejected
+    /// key's bytes all meet in its `h3` bucket, where `process_bucket`
+    /// re-combines them in arrival order.
+    fn absorb_miss_lfu(
+        &mut self,
+        mut t: SimTime,
+        sp: StatePair,
+        h: u64,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
+        let clean = !self
+            .filter
+            .as_ref()
+            .expect("LFU policy allocates the filter")
+            .contains(h);
+        if clean && self.mem_used + sz <= self.mem_budget {
+            // Unlike first-come, a clean key may be admitted even after
+            // earlier rejections — draining sessions can free memory.
+            self.mem_used += sz;
+            self.index.insert(h, self.states.len());
+            self.states.push((sp.key, sp.state));
+            self.counts.push(1);
+            t = env.cpu(t, env.cost().hash_time(1));
+            self.absorbed += 1;
+            self.stats.absorbed += 1;
+            env.worked(t, 1);
+            return t;
+        }
+        if clean {
+            if let Some(vi) = self.pick_victim(h, sz) {
+                return self.evict_and_admit(t, sp, h, vi, env);
+            }
+        }
+        // Rejected arrival: remember the key so it is never admitted
+        // later, then spill to its bucket exactly as first-come would.
+        self.filter
+            .as_mut()
+            .expect("LFU policy allocates the filter")
+            .insert(h);
+        self.stats.rejected += 1;
+        self.stats.spill.rejected_arrival += sp.size();
+        let b = self.h3.bucket(sp.key.bytes(), self.buckets.num_buckets());
+        let op = self.buckets.push(b, sp);
+        env.spill(t, op)
+    }
+
+    /// Deterministic victim scan: examine up to [`VICTIM_PROBES`] resident
+    /// rows starting at the rotating cursor and return the coldest one —
+    /// provided the arriving key's sketch estimate strictly exceeds the
+    /// victim's and the swap frees enough memory. Pure function of
+    /// (resident table, sketch, cursor), all of which are themselves pure
+    /// functions of the delivered tuple order.
+    fn pick_victim(&mut self, h: u64, incoming_sz: u64) -> Option<usize> {
+        let n = self.states.len();
+        if n == 0 {
+            return None;
+        }
+        let sketch = self
+            .sketch
+            .as_ref()
+            .expect("LFU policy allocates the sketch");
+        let start = (self.victim_cursor % n as u64) as usize;
+        self.victim_cursor = self.victim_cursor.wrapping_add(VICTIM_PROBES as u64);
+        let mut best: Option<(usize, u32)> = None;
+        for probe in 0..VICTIM_PROBES.min(n) {
+            let i = (start + probe) % n;
+            let est = sketch.estimate(self.h1.hash(self.states[i].0.bytes()));
+            if best.is_none_or(|(_, b)| est < b) {
+                best = Some((i, est));
+            }
+        }
+        let (vi, vest) = best?;
+        if sketch.estimate(h) <= vest {
+            return None;
+        }
+        let (vkey, vstate) = &self.states[vi];
+        let vsz = vkey.len() as u64 + self.inc.state_mem_size(vstate) + ENTRY_OVERHEAD;
+        (self.mem_used - vsz + incoming_sz <= self.mem_budget).then_some(vi)
+    }
+
+    /// Evicts resident row `vi` through the existing spill path and
+    /// installs the arriving key in its place. The table stays dense via
+    /// `swap_remove` + index `reindex`, keeping row order (and therefore
+    /// finalize order, seal order and every downstream byte) a pure
+    /// function of the delivered tuple order.
+    fn evict_and_admit(
+        &mut self,
+        mut t: SimTime,
+        sp: StatePair,
+        h: u64,
+        vi: usize,
+        env: &mut ReduceEnv<'_>,
+    ) -> SimTime {
+        let vh = self.h1.hash(self.states[vi].0.bytes());
+        let last = self.states.len() - 1;
+        self.index.remove(vh, vi);
+        let (vkey, vstate) = self.states.swap_remove(vi);
+        self.counts.swap_remove(vi);
+        if vi < self.states.len() {
+            let mh = self.h1.hash(self.states[vi].0.bytes());
+            self.index.reindex(mh, last, vi);
+        }
+        let vsz = vkey.len() as u64 + self.inc.state_mem_size(&vstate) + ENTRY_OVERHEAD;
+        self.mem_used = self.mem_used.saturating_sub(vsz);
+        // The victim is now a disk key forever: its partial state goes to
+        // its h3 bucket first, and every later tuple of the same key will
+        // be rejected (filter) into the same bucket, preserving arrival
+        // order for order-sensitive combines.
+        self.filter
+            .as_mut()
+            .expect("LFU policy allocates the filter")
+            .insert(vh);
+        let victim = StatePair::new(vkey, vstate);
+        self.stats.admitted_evictions += 1;
+        self.stats.spill.admitted_evict += victim.size();
+        let b = self
+            .h3
+            .bucket(victim.key.bytes(), self.buckets.num_buckets());
+        let op = self.buckets.push(b, victim);
+        t = env.spill(t, op);
+        // Install the (hotter) newcomer.
+        let sz = sp.key.len() as u64 + self.inc.state_mem_size(&sp.state) + ENTRY_OVERHEAD;
+        self.mem_used += sz;
+        self.index.insert(h, self.states.len());
+        self.states.push((sp.key, sp.state));
+        self.counts.push(1);
+        t = env.cpu(t, env.cost().hash_time(2));
+        self.absorbed += 1;
+        self.stats.absorbed += 1;
+        env.worked(t, 1);
         t
     }
 
@@ -285,6 +482,8 @@ impl ReduceSide for IncHashReducer<'_> {
         // Finalize every memory-resident key (their data is complete —
         // see the module invariant).
         let states = std::mem::take(&mut self.states);
+        self.stats.resident_keys = states.len() as u64;
+        self.stats.resident_frequency = self.counts.drain(..).sum();
         self.index.clear();
         self.mem_used = 0;
         let n = states.len() as u64;
@@ -313,7 +512,12 @@ impl ReduceSide for IncHashReducer<'_> {
     /// Sections: `states` holds the resident table `H` (insertion order —
     /// restore must preserve it, finalize order shapes the output), then
     /// one section per staged bucket; `pairs` holds the pending output
-    /// buffer, then any pending context emissions; `nums[0] = [absorbed]`.
+    /// buffer, then any pending context emissions. Numeric sections:
+    /// `nums[0] = [absorbed]`, `nums[1]` the admission counters,
+    /// `nums[2]` the per-resident combine counts, and — LFU policy only —
+    /// `nums[3]`/`nums[4]` the frequency-sketch and spilled-key-filter
+    /// images, so a restored reducer makes bit-identical admission
+    /// decisions from the checkpoint onward.
     fn export_state(&self) -> Result<ReducerCkpt> {
         let mut states = vec![self
             .states
@@ -321,6 +525,23 @@ impl ReduceSide for IncHashReducer<'_> {
             .map(|(k, v)| StatePair::new(k.clone(), v.clone()))
             .collect::<Vec<_>>()];
         states.extend(self.buckets.export_contents());
+        let mut nums = vec![
+            vec![self.absorbed],
+            vec![
+                self.stats.offered,
+                self.stats.absorbed,
+                self.stats.admitted_evictions,
+                self.stats.rejected,
+                self.stats.spill.admitted_evict,
+                self.stats.spill.rejected_arrival,
+                self.victim_cursor,
+            ],
+            self.counts.clone(),
+        ];
+        if let (Some(sketch), Some(filter)) = (&self.sketch, &self.filter) {
+            nums.push(sketch.to_nums());
+            nums.push(filter.to_nums());
+        }
         Ok(ReducerCkpt {
             tag: CKPT_TAG,
             flags: if self.admissions_closed {
@@ -329,7 +550,7 @@ impl ReduceSide for IncHashReducer<'_> {
                 0
             },
             watermark: self.ctx.watermark,
-            nums: vec![vec![self.absorbed]],
+            nums,
             pairs: vec![self.sink.export_pending(), self.ctx.export_pending()],
             states,
         })
@@ -366,12 +587,38 @@ impl ReduceSide for IncHashReducer<'_> {
         self.sink.restore_pending(sink_pending);
         self.ctx.restore_pending(ctx_pending);
         self.ctx.watermark = ckpt.watermark;
-        self.absorbed = ckpt
-            .nums
-            .first()
-            .and_then(|n| n.first())
-            .copied()
-            .unwrap_or(0);
+        let mut nums = ckpt.nums.into_iter();
+        self.absorbed = nums.next().and_then(|n| n.first().copied()).unwrap_or(0);
+        if let Some(counters) = nums.next() {
+            let [offered, absorbed, evictions, rejected, sp_evict, sp_rej, cursor] =
+                <[u64; 7]>::try_from(counters).map_err(|_| {
+                    Error::job("INC-hash checkpoint admission-counter section malformed")
+                })?;
+            self.stats.offered = offered;
+            self.stats.absorbed = absorbed;
+            self.stats.admitted_evictions = evictions;
+            self.stats.rejected = rejected;
+            self.stats.spill.admitted_evict = sp_evict;
+            self.stats.spill.rejected_arrival = sp_rej;
+            self.victim_cursor = cursor;
+        }
+        let counts = nums.next().unwrap_or_default();
+        if counts.len() != self.states.len() {
+            return Err(Error::job(
+                "INC-hash checkpoint combine-count section disagrees with the resident table",
+            ));
+        }
+        self.counts = counts;
+        if self.admission.is_on() {
+            let (Some(sketch), Some(filter)) = (nums.next(), nums.next()) else {
+                return Err(Error::job(
+                    "INC-hash checkpoint lacks admission sketch sections — it was \
+                     written with a different --admission setting",
+                ));
+            };
+            self.sketch = Some(FreqSketch::from_nums(&sketch)?);
+            self.filter = Some(KeyFilter::from_nums(&filter)?);
+        }
         self.admissions_closed = ckpt.flags & FLAG_ADMISSIONS_CLOSED != 0;
         Ok(())
     }
@@ -381,6 +628,13 @@ impl ReduceSide for IncHashReducer<'_> {
         self.index
             .get(h, |r| self.states[r].0 == *key)
             .map(|i| self.states[i].1.clone())
+    }
+
+    /// Populated for both policies — the off-policy numbers are what the
+    /// admission tests compare an LFU run against (γ, resident
+    /// frequency); the eviction fields stay zero when the policy is off.
+    fn admission_stats(&self) -> Option<AdmissionStats> {
+        Some(self.stats)
     }
 
     fn watermark(&self) -> Option<u64> {

@@ -59,6 +59,9 @@ pub struct ReducerSizing {
     pub early_stop_coverage: Option<f64>,
     /// Which frequency algorithm drives the DINC monitor.
     pub monitor: dinc_hash::MonitorKind,
+    /// Whether table-full arrivals may evict resident cold keys
+    /// (frequency-gated admission) instead of always spilling themselves.
+    pub admission: opa_common::AdmissionPolicy,
 }
 
 impl ReducerSizing {
@@ -460,6 +463,12 @@ pub trait ReduceSide {
         None
     }
 
+    /// Frequency-gated admission statistics, if this reducer ran with the
+    /// LFU admission policy enabled.
+    fn admission_stats(&self) -> Option<crate::metrics::AdmissionStats> {
+        None
+    }
+
     /// Produces a snapshot of the current (partial) answer — MapReduce
     /// Online's periodic outputs (§3.3). The default is a no-op; the
     /// sort-merge framework implements it by *repeating the merge* over
@@ -559,6 +568,7 @@ mod tests {
             state_size: 64,
             early_stop_coverage: None,
             monitor: dinc_hash::MonitorKind::Frequent,
+            admission: opa_common::AdmissionPolicy::Off,
         };
         // 100 keys × 64 B = 6.4 KB fits easily in 1 MB → one bucket.
         assert_eq!(small.bucket_count(1 << 20, 1024), 1);
@@ -569,6 +579,7 @@ mod tests {
             state_size: 512,
             early_stop_coverage: None,
             monitor: dinc_hash::MonitorKind::Frequent,
+            admission: opa_common::AdmissionPolicy::Off,
         };
         // 1 Mi keys × 512 B = 512 MB over 1 MB memory → many buckets,
         // clamped by write-buffer room.
@@ -585,6 +596,7 @@ mod tests {
             state_size: 0,
             early_stop_coverage: None,
             monitor: dinc_hash::MonitorKind::Frequent,
+            admission: opa_common::AdmissionPolicy::Off,
         };
         assert_eq!(s.bucket_count(1024, 512), 1);
     }

@@ -148,6 +148,7 @@ fn sizing() -> ReducerSizing {
         state_size: 16,
         early_stop_coverage: None,
         monitor: dinc_hash::MonitorKind::Frequent,
+        admission: opa_common::AdmissionPolicy::Off,
     }
 }
 

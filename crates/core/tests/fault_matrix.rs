@@ -14,7 +14,7 @@ mod common;
 
 use common::{seeded_input, spec, WordCount};
 use opa_common::fault::FaultConfig;
-use opa_common::ExecConfig;
+use opa_common::{AdmissionPolicy, ExecConfig};
 use opa_core::cluster::Framework;
 use opa_core::job::{JobBuilder, JobInput, JobOutcome};
 use std::path::PathBuf;
@@ -40,9 +40,20 @@ fn run(
     faults: Option<FaultConfig>,
     input: &JobInput,
 ) -> JobOutcome {
+    run_with_admission(framework, threads, faults, AdmissionPolicy::Off, input)
+}
+
+fn run_with_admission(
+    framework: Framework,
+    threads: usize,
+    faults: Option<FaultConfig>,
+    admission: AdmissionPolicy,
+    input: &JobInput,
+) -> JobOutcome {
     let mut b = JobBuilder::new(WordCount)
         .framework(framework)
         .cluster(spec())
+        .admission(admission)
         .exec(ExecConfig::oversubscribed(threads));
     if let Some(cfg) = faults {
         b = b.faults(cfg);
@@ -126,4 +137,78 @@ fn fault_sweep_is_recoverable_and_deterministic() {
         cells_fired > 0,
         "no cell fired a single fault at rate {RATE} — sweep is vacuous"
     );
+}
+
+/// The admission-on leg of the sweep: the incremental frameworks with the
+/// LFU gate enabled, under the same uniform fault plan. Map retries and
+/// stragglers reshape the delivered tuple order, so admission *decisions*
+/// may legitimately differ from the fault-free run — but the output
+/// multiset may not, the whole outcome must reproduce from (seed,
+/// threads), and the admission books must always balance. A reduce-crash-
+/// only plan additionally round-trips the sketch and admission counters
+/// through recovery re-replay exactly: re-replay re-times, never re-feeds,
+/// so every counter must equal the fault-free run's.
+#[test]
+fn fault_sweep_with_admission_on_is_recoverable_and_deterministic() {
+    let n_seeds = env_usize("OPA_FAULT_SEEDS", 3);
+    let par_threads = env_usize("OPA_TEST_THREADS", 8).max(2);
+    let input = seeded_input(0x5EED, 1000);
+    let lfu = AdmissionPolicy::Lfu;
+
+    for framework in [Framework::IncHash, Framework::DincHash] {
+        let clean = run_with_admission(framework, 1, None, lfu, &input);
+        let clean_out = clean.sorted_output();
+        let clean_adm = clean.metrics.admission.expect("admission stats");
+        for seed in 0..n_seeds as u64 {
+            let cfg = FaultConfig::uniform(0xF0 + seed, RATE);
+            let label = format!("{framework:?}-lfu-seed{seed}");
+
+            let seq = run_with_admission(framework, 1, Some(cfg), lfu, &input);
+            if seq.sorted_output() != clean_out {
+                let path = dump_trace(&label, &seq);
+                panic!("{label}: output diverged from fault-free run (trace at {path:?})");
+            }
+            let s = seq.metrics.admission.expect("admission stats");
+            assert_eq!(
+                s.absorbed + s.rejected,
+                s.offered,
+                "{label}: admission books do not balance under faults"
+            );
+
+            let par = run_with_admission(framework, par_threads, Some(cfg), lfu, &input);
+            if format!("{seq:?}") != format!("{par:?}") {
+                let path = dump_trace(&label, &par);
+                panic!("{label}: outcome diverged at {par_threads} threads (trace at {path:?})");
+            }
+        }
+
+        // Reduce crashes only: recovery re-replays the effect mailbox, so
+        // the sketch and every admission counter survive bit-exactly.
+        let crashes = FaultConfig {
+            seed: 0xC4A5,
+            reduce_failure_rate: RATE,
+            ..FaultConfig::disabled()
+        };
+        let crashed = run_with_admission(framework, 1, Some(crashes), lfu, &input);
+        assert!(
+            crashed
+                .metrics
+                .faults
+                .as_ref()
+                .expect("fault report")
+                .reduce_failures
+                > 0,
+            "{framework:?}: no reduce crash fired at rate {RATE}"
+        );
+        assert_eq!(
+            crashed.metrics.admission.expect("admission stats"),
+            clean_adm,
+            "{framework:?}: reduce-crash recovery perturbed the admission state"
+        );
+        assert_eq!(
+            crashed.sorted_output(),
+            clean_out,
+            "{framework:?}: reduce-crash recovery changed the admission-on output"
+        );
+    }
 }

@@ -214,6 +214,83 @@ impl<K: Clone + Eq + Hash, S> MisraGries<K, S> {
         }
     }
 
+    /// Forcibly installs `key` by evicting the occupant with the minimum
+    /// effective counter, honoring `guard`'s veto — the admission
+    /// override used when a frequency sketch (seeded from the same fixed
+    /// family as this monitor's map hasher, see `opa_common::sketch`)
+    /// judges the arriving key hotter than the coldest monitored one.
+    ///
+    /// Unlike [`MisraGries::offer_guarded`] this never decrements
+    /// counters and never touches `offered` — callers invoke it *after*
+    /// an offer returned [`MgOutcome::Rejected`], handing back the
+    /// rejected key/state. A key that is already monitored, or a monitor
+    /// whose minimum-counter occupants are all vetoed, rejects the tuple
+    /// unchanged.
+    pub fn replace_min_guarded(
+        &mut self,
+        key: K,
+        state: S,
+        mut guard: impl FnMut(&K, &S) -> bool,
+    ) -> MgOutcome<K, S> {
+        if self.index.contains_key(&key) {
+            return MgOutcome::Rejected { key, state };
+        }
+        if self.slots.len() < self.capacity {
+            let i = self.slots.len();
+            self.slots.push(Slot {
+                key: key.clone(),
+                stored: self.base + 1,
+                t: 1,
+                state,
+            });
+            self.index.insert(key, i);
+            self.heap.push(Reverse((self.base + 1, i)));
+            return MgOutcome::Installed { evicted: None };
+        }
+        // Walk the heap in increasing counter order, setting vetoed slots
+        // aside (restored afterwards) until the guard accepts a victim.
+        let mut vetoed: Vec<(u64, usize)> = Vec::new();
+        let mut chosen: Option<usize> = None;
+        while let Some(&Reverse((stored, i))) = self.heap.peek() {
+            if self.slots[i].stored != stored {
+                self.heap.pop(); // stale
+                continue;
+            }
+            self.heap.pop();
+            if guard(&self.slots[i].key, &self.slots[i].state) {
+                chosen = Some(i);
+                break;
+            }
+            vetoed.push((stored, i));
+        }
+        for (stored, i) in vetoed {
+            self.heap.push(Reverse((stored, i)));
+        }
+        match chosen {
+            Some(i) => {
+                let base = self.base;
+                let slot = &mut self.slots[i];
+                let old_key = std::mem::replace(&mut slot.key, key.clone());
+                let old_state = std::mem::replace(&mut slot.state, state);
+                let evicted = MgEntry {
+                    key: old_key.clone(),
+                    count: slot.stored - base,
+                    t: slot.t,
+                    state: old_state,
+                };
+                slot.stored = base + 1;
+                slot.t = 1;
+                self.index.remove(&old_key);
+                self.index.insert(key, i);
+                self.heap.push(Reverse((slot.stored, i)));
+                MgOutcome::Installed {
+                    evicted: Some(evicted),
+                }
+            }
+            None => MgOutcome::Rejected { key, state },
+        }
+    }
+
     /// Finds a slot whose effective counter is zero, discarding stale heap
     /// entries along the way.
     fn pop_zero_slot(&mut self) -> Option<usize> {
@@ -531,6 +608,63 @@ mod tests {
         assert_eq!(mg.offered(), 100);
         assert_eq!(mg.len(), 1);
         assert_eq!(mg.estimate(&5), 100);
+    }
+
+    #[test]
+    fn replace_min_evicts_the_coldest_occupant() {
+        let mut mg: MisraGries<u64, u64> = MisraGries::new(2);
+        for _ in 0..5 {
+            let _ = mg.offer(1, 1, |_, a, b| *a += b); // hot, c=5
+        }
+        let _ = mg.offer(2, 1, |_, a, b| *a += b); // cold, c=1
+        let offered = mg.offered();
+        // A classic offer would be rejected (both counters positive)…
+        match mg.replace_min_guarded(3, 7, |_, _| true) {
+            MgOutcome::Installed { evicted: Some(e) } => {
+                // …but the forced install evicts the minimum-counter key,
+                // reporting its effective counter.
+                assert_eq!(e.key, 2);
+                assert_eq!(e.count, 1);
+                assert_eq!(e.state, 1);
+            }
+            other => panic!("expected forced eviction, got {other:?}"),
+        }
+        assert!(mg.get(&1).is_some(), "hot key untouched");
+        assert_eq!(mg.estimate(&3), 1, "newcomer starts at c=1");
+        assert_eq!(mg.offered(), offered, "offered is not re-counted");
+        // Guard veto on every occupant rejects the tuple unchanged.
+        match mg.replace_min_guarded(4, 9, |_, _| false) {
+            MgOutcome::Rejected { key, state } => {
+                assert_eq!((key, state), (4, 9));
+            }
+            other => panic!("expected veto rejection, got {other:?}"),
+        }
+        // Already-monitored keys are rejected rather than duplicated.
+        assert!(matches!(
+            mg.replace_min_guarded(1, 0, |_, _| true),
+            MgOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn replace_min_uses_spare_capacity_first() {
+        let mut mg: MisraGries<u64, u64> = MisraGries::new(2);
+        let _ = mg.offer(1, 1, |_, a, b| *a += b);
+        assert!(matches!(
+            mg.replace_min_guarded(2, 2, |_, _| true),
+            MgOutcome::Installed { evicted: None }
+        ));
+        assert_eq!(mg.len(), 2);
+        // The monitor keeps behaving normally afterwards: drive both
+        // counters to zero and verify the classic offer path still works.
+        assert!(matches!(
+            mg.offer(3, 3, |_, a, b| *a += b),
+            MgOutcome::Rejected { .. }
+        ));
+        assert!(matches!(
+            mg.offer(3, 3, |_, a, b| *a += b),
+            MgOutcome::Installed { evicted: Some(_) }
+        ));
     }
 }
 

@@ -119,6 +119,39 @@ proptest! {
         }
     }
 
+    /// The monitor's coverage estimate and the analytical model agree:
+    /// `coverage_lower_bound` computes exactly the paper's first-come
+    /// formula `γ = t/(t + M/(s+1))` that `opa_model::gamma` exposes to
+    /// the engine's admission battery and the drift checker.
+    #[test]
+    fn monitor_bound_agrees_with_the_model_formula(
+        seed in 0u64..100,
+        n_keys in 40usize..300,
+        exponent in 0.6f64..1.6,
+        capacity in 4usize..40,
+        len in 1500usize..4000,
+    ) {
+        let stream = zipf_stream(seed, n_keys, exponent, len);
+        let mut mg: MisraGries<u64, ()> = MisraGries::new(capacity);
+        for &k in &stream {
+            mg.offer(k, (), |_, _, _| {});
+        }
+        for entry in mg.iter() {
+            let model = opa_model::gamma::first_come_bound(
+                entry.t,
+                mg.offered(),
+                capacity as u64,
+            );
+            let monitor = mg.coverage_lower_bound(&entry.key);
+            prop_assert!(
+                (model - monitor).abs() < 1e-12,
+                "model γ {model} != monitor γ {monitor} (t={}, M={}, s={capacity})",
+                entry.t,
+                mg.offered()
+            );
+        }
+    }
+
     /// The two sketches agree on the head of a heavily skewed stream: the
     /// true top key is monitored by both and both award it the largest
     /// coverage/guarantee in their summaries.
@@ -142,4 +175,57 @@ proptest! {
         prop_assert!(ss.contains(&top_key), "SS lost the hottest key");
         prop_assert!(mg.coverage_lower_bound(&top_key) > 0.0);
     }
+}
+
+/// The frequency-gated second chance (`replace_min_guarded` steered by a
+/// [`FreqSketch`], exactly the DINC-hash admission wiring) must leave the
+/// monitor holding a hotter resident set than plain FREQUENT: summed over
+/// seeds the true frequency mass of the final resident keys strictly
+/// grows, and no single seed regresses by more than 10% (FREQUENT is
+/// already frequency-aware and new installs restart at counter 1, so
+/// individual seeds can tie or wobble).
+#[test]
+fn sketch_gated_second_chance_holds_a_hotter_resident_set() {
+    use opa_common::sketch::FreqSketch;
+    use opa_freq::MgOutcome;
+
+    let resident_mass = |mg: &MisraGries<u64, ()>, truth: &HashMap<u64, u64>| -> u64 {
+        mg.iter().map(|e| truth[&e.key]).sum()
+    };
+
+    let (mut plain_total, mut gated_total) = (0u64, 0u64);
+    for seed in 0..10u64 {
+        let stream = zipf_stream(0xF11E + seed, 400, 1.2, 6000);
+        let truth = true_counts(&stream);
+
+        let mut plain: MisraGries<u64, ()> = MisraGries::new(16);
+        let mut gated: MisraGries<u64, ()> = MisraGries::new(16);
+        let mut sketch = FreqSketch::with_capacity(512);
+        for &k in &stream {
+            plain.offer(k, (), |_, _, _| {});
+            // Mirror the engine: the sketch sees every arrival before the
+            // monitor decides, so estimates are pure functions of the
+            // stream prefix.
+            sketch.touch(k);
+            if let MgOutcome::Rejected { key, state } = gated.offer(k, (), |_, _, _| {}) {
+                let est_new = sketch.estimate(k);
+                gated.replace_min_guarded(key, state, |occupant, ()| {
+                    sketch.estimate(*occupant) < est_new
+                });
+            }
+        }
+
+        let p = resident_mass(&plain, &truth);
+        let g = resident_mass(&gated, &truth);
+        assert!(
+            g * 100 >= p * 90,
+            "seed {seed}: gated resident mass {g} regressed >10% below plain {p}"
+        );
+        plain_total += p;
+        gated_total += g;
+    }
+    assert!(
+        gated_total > plain_total,
+        "second chance never paid off: gated {gated_total} ≤ plain {plain_total}"
+    );
 }

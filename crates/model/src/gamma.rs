@@ -1,0 +1,89 @@
+//! Coverage (γ) analysis for the incremental frameworks (§4.3).
+//!
+//! For a key with true frequency `t` offered to a FREQUENT monitor with
+//! `s` slots out of `M` total tuples, the paper lower-bounds the fraction
+//! of the key's tuples that combine in memory by
+//! `γ = t / (t + M/(s+1))` — the *first-come* coverage guarantee, which
+//! holds for whichever keys happen to hold slots. The engine additionally
+//! measures occupancy directly ([`measured_occupancy`]): the fraction of
+//! *all* offered tuples absorbed into resident state. A frequency-gated
+//! admission policy exists to push the measured value above what
+//! first-come occupancy achieves at the same memory; the drift checker
+//! validates the bookkeeping identity ([`admission_consistent`]) that
+//! both quantities rest on.
+
+/// The paper's first-come coverage lower bound `γ = t/(t + M/(s+1))` for
+/// a key with frequency `t` among `offered` total tuples and `slots`
+/// monitor slots. Returns 1.0 for a degenerate empty stream.
+pub fn first_come_bound(t: u64, offered: u64, slots: u64) -> f64 {
+    if offered == 0 || t == 0 {
+        return if offered == 0 { 1.0 } else { 0.0 };
+    }
+    let slack = offered as f64 / (slots as f64 + 1.0);
+    t as f64 / (t as f64 + slack)
+}
+
+/// Measured occupancy γ: the fraction of offered tuples absorbed into
+/// memory-resident state (1.0 for an empty stream). This is the
+/// empirical counterpart of [`first_come_bound`] aggregated over the
+/// whole reducer rather than one key.
+pub fn measured_occupancy(absorbed: u64, offered: u64) -> f64 {
+    if offered == 0 {
+        return 1.0;
+    }
+    absorbed as f64 / offered as f64
+}
+
+/// The bookkeeping identity every admission-instrumented reducer must
+/// satisfy: each offered tuple is either absorbed or rejected, so
+/// `absorbed + rejected == offered`. The drift checker treats a violation
+/// as trace corruption.
+pub fn admission_consistent(offered: u64, absorbed: u64, rejected: u64) -> bool {
+    absorbed.checked_add(rejected) == Some(offered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_matches_paper_formula() {
+        // t = 100, M = 1000, s = 9 → slack = 100 → γ = 0.5.
+        assert!((first_come_bound(100, 1000, 9) - 0.5).abs() < 1e-12);
+        assert_eq!(first_come_bound(0, 1000, 9), 0.0);
+        assert_eq!(first_come_bound(5, 0, 9), 1.0);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_frequency_and_slots() {
+        let mut prev = 0.0;
+        for t in [1u64, 10, 100, 1000, 10_000] {
+            let g = first_come_bound(t, 100_000, 63);
+            assert!(g > prev, "γ not increasing in t at {t}");
+            assert!(g < 1.0);
+            prev = g;
+        }
+        let mut prev = 0.0;
+        for s in [1u64, 7, 63, 511, 4095] {
+            let g = first_come_bound(50, 100_000, s);
+            assert!(g > prev, "γ not increasing in s at {s}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn measured_occupancy_edges() {
+        assert_eq!(measured_occupancy(0, 0), 1.0);
+        assert_eq!(measured_occupancy(0, 10), 0.0);
+        assert!((measured_occupancy(7, 10) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_identity() {
+        assert!(admission_consistent(10, 7, 3));
+        assert!(!admission_consistent(10, 7, 2));
+        assert!(admission_consistent(0, 0, 0));
+        // Overflow-safe.
+        assert!(!admission_consistent(0, u64::MAX, 1));
+    }
+}

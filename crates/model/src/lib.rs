@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gamma;
 pub mod hash_model;
 pub mod io_model;
 pub mod lambda;

@@ -189,6 +189,56 @@ impl IoStats {
     }
 }
 
+/// Spill-byte attribution under frequency-gated admission: the `U_4`
+/// (and map-side `U_2`) spill traffic split by *why* each byte went to
+/// disk.
+///
+/// With admission off every spilled byte is a `rejected_arrival` — the
+/// classic first-come policy spills whatever fails to fit. With the LFU
+/// policy on, some spills are instead `admitted_evict`: a resident cold
+/// key's state written out to make room for a hotter newcomer. The split
+/// lets the bench/CI sweep verify that total spill bytes drop *because*
+/// eviction traffic replaces (rather than adds to) rejection traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillSplit {
+    /// Bytes spilled as evicted resident state (victim writes performed
+    /// to admit a hotter arriving key).
+    pub admitted_evict: u64,
+    /// Bytes spilled as rejected arrivals (tuples denied admission, or
+    /// all spills when the policy is off).
+    pub rejected_arrival: u64,
+}
+
+impl SpillSplit {
+    /// All-zero split.
+    pub fn new() -> Self {
+        SpillSplit::default()
+    }
+
+    /// Total spill bytes across both attributions.
+    pub fn total(&self) -> u64 {
+        self.admitted_evict + self.rejected_arrival
+    }
+
+    /// Merges another split into this one (per-task → per-job).
+    pub fn merge(&mut self, other: &SpillSplit) {
+        self.admitted_evict += other.admitted_evict;
+        self.rejected_arrival += other.rejected_arrival;
+    }
+}
+
+impl fmt::Display for SpillSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use opa_common::units::ByteSize;
+        write!(
+            f,
+            "spill split: {} evicted-resident + {} rejected-arrival",
+            ByteSize(self.admitted_evict),
+            ByteSize(self.rejected_arrival)
+        )
+    }
+}
+
 impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use opa_common::units::ByteSize;

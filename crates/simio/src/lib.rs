@@ -46,7 +46,7 @@ pub use blockstore::{BlockStore, Chunk};
 pub use bucket::BucketManager;
 pub use disk::DiskProfile;
 pub use fault::DiskFaultInjector;
-pub use iostats::{IoCategory, IoOp, IoStats};
+pub use iostats::{IoCategory, IoOp, IoStats, SpillSplit};
 pub use spill::{SpillFile, SpillStore};
 
 /// Anything with a serialized size, so spill/bucket managers can account

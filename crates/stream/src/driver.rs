@@ -75,6 +75,7 @@ pub(crate) struct DriverConfig<'a> {
     pub km_hint: f64,
     pub early_stop: Option<f64>,
     pub dinc_monitor: opa_core::reduce::dinc_hash::MonitorKind,
+    pub admission: opa_common::AdmissionPolicy,
     pub faults: &'a FaultConfig,
     pub stream: &'a StreamConfig,
     pub checkpoint_dir: Option<&'a Path>,
@@ -226,6 +227,7 @@ pub(crate) fn drive<'j>(
             c.bytes,
             spec,
             h1,
+            cfg.admission,
         )
     };
     let compute_plan_at = |pos: usize| compute_plan(plan_chunks[pos]);
@@ -278,6 +280,7 @@ pub(crate) fn drive<'j>(
             state_size: job.state_size_hint().unwrap_or(64),
             early_stop_coverage: cfg.early_stop,
             monitor: cfg.dinc_monitor,
+            admission: cfg.admission,
         };
         let mut reducers = Vec::with_capacity(n_reducers);
         for _ in 0..n_reducers {
@@ -903,6 +906,14 @@ pub(crate) fn drive<'j>(
                 acc.evict_spilled += st.evict_spilled;
             }
         };
+        let mut admission_total: Option<opa_core::metrics::AdmissionStats> = None;
+        let mut merge_admission = |stats: Option<opa_core::metrics::AdmissionStats>| {
+            if let Some(st) = stats {
+                admission_total
+                    .get_or_insert_with(Default::default)
+                    .merge(&st);
+            }
+        };
         let mut end = map_finish;
         let mut node_wave1_finish: Vec<Vec<SimTime>> = vec![Vec::new(); n_nodes];
         let wave1: Vec<usize> = (0..n_reducers).filter(|&r| started[r]).collect();
@@ -926,6 +937,8 @@ pub(crate) fn drive<'j>(
             let t0 = ready_at[r].max(map_finish);
             let done_at = replay(log, t0, spec, target!(r));
             merge_dinc(rec.dinc_stats());
+            let adm = rec.admission_stats();
+            merge_admission(adm);
             node_wave1_finish[reducer_node(r)].push(done_at);
             end = end.max(done_at);
             reducers[r] = Some(rec);
@@ -934,6 +947,18 @@ pub(crate) fn drive<'j>(
                 reducer: r as u32,
                 node: reducer_node(r) as u32,
             });
+            if cfg.admission.is_on() {
+                if let Some(st) = adm {
+                    res.emit(TraceEvent::Admission {
+                        t: done_at.0,
+                        reducer: r as u32,
+                        offered: st.offered,
+                        absorbed: st.absorbed,
+                        evictions: st.admitted_evictions,
+                        rejected: st.rejected,
+                    });
+                }
+            }
         }
 
         for node_times in node_wave1_finish.iter_mut() {
@@ -1022,6 +1047,20 @@ pub(crate) fn drive<'j>(
                 node: node as u32,
             });
             merge_dinc(rec.dinc_stats());
+            let adm = rec.admission_stats();
+            merge_admission(adm);
+            if cfg.admission.is_on() {
+                if let Some(st) = adm {
+                    res.emit(TraceEvent::Admission {
+                        t: done_at.0,
+                        reducer: r as u32,
+                        offered: st.offered,
+                        absorbed: st.absorbed,
+                        evictions: st.admitted_evictions,
+                        rejected: st.rejected,
+                    });
+                }
+            }
             reducers[r] = Some(rec);
             end = end.max(done_at);
         }
@@ -1057,6 +1096,7 @@ pub(crate) fn drive<'j>(
             io: res.io.clone(),
             io_recovery: res.io_recovery.clone(),
             dinc: dinc_total,
+            admission: admission_total,
             faults: fault_report,
         };
         let trace_log = res.take_trace();

@@ -76,6 +76,7 @@ pub struct StreamJobBuilder<J: Job> {
     km_hint: f64,
     early_stop_coverage: Option<f64>,
     dinc_monitor: MonitorKind,
+    admission: opa_common::AdmissionPolicy,
     faults: FaultConfig,
     stream: StreamConfig,
     checkpoint_dir: Option<PathBuf>,
@@ -94,6 +95,7 @@ impl<J: Job> StreamJobBuilder<J> {
             km_hint: 1.0,
             early_stop_coverage: None,
             dinc_monitor: MonitorKind::Frequent,
+            admission: opa_common::AdmissionPolicy::Off,
             faults: FaultConfig::disabled(),
             stream: StreamConfig::default(),
             checkpoint_dir: None,
@@ -142,6 +144,16 @@ impl<J: Job> StreamJobBuilder<J> {
     /// Selects the frequency algorithm behind DINC-hash's monitor.
     pub fn dinc_monitor(mut self, kind: MonitorKind) -> Self {
         self.dinc_monitor = kind;
+        self
+    }
+
+    /// Selects the reduce-side admission policy (see
+    /// [`opa_core::job::JobBuilder::admission`]). Admission composes with
+    /// checkpoint/resume: sketch state and admission counters ride on the
+    /// checkpoint, so a resumed run reproduces the uninterrupted run's
+    /// output bit-for-bit.
+    pub fn admission(mut self, policy: opa_common::AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
     }
 
@@ -229,6 +241,7 @@ impl<J: Job> StreamJobBuilder<J> {
             km_hint: self.km_hint,
             early_stop: self.early_stop_coverage,
             dinc_monitor: self.dinc_monitor,
+            admission: self.admission,
             faults: &self.faults,
             stream: &self.stream,
             checkpoint_dir: self.checkpoint_dir.as_deref(),

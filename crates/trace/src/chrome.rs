@@ -212,6 +212,19 @@ pub fn to_chrome(events: &[TraceEvent]) -> String {
                 ),
                 &mut first,
             ),
+            TraceEvent::Admission {
+                t,
+                reducer,
+                offered,
+                absorbed,
+                evictions,
+                rejected,
+            } => push(
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"admission r{reducer}\",\"pid\":{control_pid},\"tid\":0,\"ts\":{t},\"s\":\"g\",\"args\":{{\"offered\":{offered},\"absorbed\":{absorbed},\"evictions\":{evictions},\"rejected\":{rejected}}}}}"
+                ),
+                &mut first,
+            ),
         }
     }
     out.push_str("\n]}\n");

@@ -95,6 +95,11 @@ pub struct DriftReport {
     pub bytes_total: DriftTerm,
     /// Request count `S` (Prop. 3.2), per node.
     pub requests: DriftTerm,
+    /// Measured-occupancy coverage γ vs. the value implied by the
+    /// admission bookkeeping identity `absorbed + rejected = offered`
+    /// (`None` unless the trace carries admission events). Any relative
+    /// error here means the trace's admission counters are corrupt.
+    pub admission_gamma: Option<DriftTerm>,
 }
 
 impl DriftReport {
@@ -137,6 +142,16 @@ impl DriftReport {
             self.requests.measured,
             self.requests.rel_err() * 100.0
         ));
+        if let Some(g) = &self.admission_gamma {
+            out.push_str(&format!(
+                "admission coverage:\n  {:8} {:26} implied   {:>14.4}  measured {:>14.4}  rel err {:>6.2}%\n",
+                g.name,
+                g.what,
+                g.predicted,
+                g.measured,
+                g.rel_err() * 100.0
+            ));
+        }
         out
     }
 }
@@ -219,11 +234,26 @@ pub fn check(
         predicted: model.io_requests(),
         measured: per_node(fp.total_seeks()),
     };
+    let admission_gamma = (rollup.admission_reducers > 0).then(|| DriftTerm {
+        name: "gamma",
+        what: "measured occupancy",
+        predicted: opa_model::gamma::measured_occupancy(
+            rollup
+                .admission_offered
+                .saturating_sub(rollup.admission_rejected),
+            rollup.admission_offered,
+        ),
+        measured: opa_model::gamma::measured_occupancy(
+            rollup.admission_absorbed,
+            rollup.admission_offered,
+        ),
+    });
     Ok(DriftReport {
         workload,
         bytes,
         bytes_total,
         requests,
+        admission_gamma,
     })
 }
 

@@ -238,6 +238,24 @@ pub enum TraceEvent {
         /// Serialized checkpoint size in bytes.
         bytes: u64,
     },
+    /// One reducer's frequency-gated admission summary, emitted right
+    /// after its `reduce_finish` — only when the LFU admission policy is
+    /// on, so admission-off traces stay byte-identical to the pinned
+    /// vocabulary.
+    Admission {
+        /// Completion time (µs), matching the reducer's finish event.
+        t: u64,
+        /// Reducer index.
+        reducer: u32,
+        /// Tuples offered to the reducer's table.
+        offered: u64,
+        /// Tuples absorbed into resident in-memory state.
+        absorbed: u64,
+        /// Evict-and-admit decisions taken.
+        evictions: u64,
+        /// Arrivals denied admission and spilled.
+        rejected: u64,
+    },
 }
 
 impl TraceEvent {
@@ -255,6 +273,7 @@ impl TraceEvent {
             TraceEvent::ReduceFinish { .. } => "reduce_finish",
             TraceEvent::BatchSeal { .. } => "batch_seal",
             TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::Admission { .. } => "admission",
         }
     }
 
@@ -272,7 +291,8 @@ impl TraceEvent {
             | TraceEvent::ReduceStart { t, .. }
             | TraceEvent::ReduceFinish { t, .. }
             | TraceEvent::BatchSeal { t, .. }
-            | TraceEvent::Checkpoint { t, .. } => t,
+            | TraceEvent::Checkpoint { t, .. }
+            | TraceEvent::Admission { t, .. } => t,
         }
     }
 
@@ -362,6 +382,16 @@ impl TraceEvent {
             TraceEvent::Checkpoint { t, batch, bytes } => {
                 format!("{{\"ev\":\"checkpoint\",\"t\":{t},\"batch\":{batch},\"bytes\":{bytes}}}")
             }
+            TraceEvent::Admission {
+                t,
+                reducer,
+                offered,
+                absorbed,
+                evictions,
+                rejected,
+            } => format!(
+                "{{\"ev\":\"admission\",\"t\":{t},\"reducer\":{reducer},\"offered\":{offered},\"absorbed\":{absorbed},\"evictions\":{evictions},\"rejected\":{rejected}}}"
+            ),
         }
     }
 
@@ -442,6 +472,14 @@ impl TraceEvent {
                 t: t("t")?,
                 batch: u32f("batch")?,
                 bytes: t("bytes")?,
+            },
+            "admission" => TraceEvent::Admission {
+                t: t("t")?,
+                reducer: u32f("reducer")?,
+                offered: t("offered")?,
+                absorbed: t("absorbed")?,
+                evictions: t("evictions")?,
+                rejected: t("rejected")?,
             },
             other => return Err(Error::job(format!("unknown trace event '{other}'"))),
         })
@@ -628,6 +666,14 @@ mod tests {
                 t: 7001,
                 batch: 2,
                 bytes: 8888,
+            },
+            TraceEvent::Admission {
+                t: 8000,
+                reducer: 9,
+                offered: 5000,
+                absorbed: 4100,
+                evictions: 37,
+                rejected: 900,
             },
         ]
     }

@@ -60,6 +60,17 @@ pub struct Rollup {
     pub checkpoints: u64,
     /// Total checkpoint bytes.
     pub checkpoint_bytes: u64,
+    /// Admission summaries observed (one per reducer when the LFU
+    /// admission policy is on; 0 otherwise).
+    pub admission_reducers: u64,
+    /// Tuples offered to admission-gated reduce tables.
+    pub admission_offered: u64,
+    /// Tuples absorbed into resident state.
+    pub admission_absorbed: u64,
+    /// Evict-and-admit decisions across all reducers.
+    pub admission_evictions: u64,
+    /// Arrivals denied admission and spilled.
+    pub admission_rejected: u64,
     /// Log₂ histogram of first-pass spill *write* sizes (`U_2` + `U_4`
     /// write operations): bucket `i` counts writes with
     /// `2^i ≤ bytes < 2^(i+1)` (bucket 0 also holds 1-byte writes).
@@ -98,6 +109,11 @@ impl Rollup {
             batch_seals: 0,
             checkpoints: 0,
             checkpoint_bytes: 0,
+            admission_reducers: 0,
+            admission_offered: 0,
+            admission_absorbed: 0,
+            admission_evictions: 0,
+            admission_rejected: 0,
             spill_hist: [0; SPILL_HIST_BUCKETS],
         };
         let mut nodes: BTreeSet<u32> = BTreeSet::new();
@@ -174,6 +190,19 @@ impl Rollup {
                 TraceEvent::Checkpoint { bytes, .. } => {
                     r.checkpoints += 1;
                     r.checkpoint_bytes += bytes;
+                }
+                TraceEvent::Admission {
+                    offered,
+                    absorbed,
+                    evictions,
+                    rejected,
+                    ..
+                } => {
+                    r.admission_reducers += 1;
+                    r.admission_offered += offered;
+                    r.admission_absorbed += absorbed;
+                    r.admission_evictions += evictions;
+                    r.admission_rejected += rejected;
                 }
             }
         }
@@ -253,6 +282,22 @@ impl Rollup {
             out.push_str(&format!(
                 "faults: {} fired, {} retries\n",
                 self.faults, self.retries
+            ));
+        }
+        if self.admission_reducers > 0 {
+            let gamma = if self.admission_offered == 0 {
+                1.0
+            } else {
+                self.admission_absorbed as f64 / self.admission_offered as f64
+            };
+            out.push_str(&format!(
+                "admission: {} reducers, offered {}, absorbed {} (γ {:.4}), {} evictions, {} rejected\n",
+                self.admission_reducers,
+                self.admission_offered,
+                self.admission_absorbed,
+                gamma,
+                self.admission_evictions,
+                self.admission_rejected
             ));
         }
         if self.batch_seals > 0 {
