@@ -175,6 +175,18 @@ fn main() {
     // as null rather than as a misleading ~1.0x.
     let threads = cpus.clamp(2, 8);
     let oversubscribed = threads > cpus;
+    // The null-speedup escape hatch exists solely for the 1-CPU case. On
+    // a multi-core host an oversubscribed row means the thread-selection
+    // logic above regressed — fail loudly instead of silently publishing
+    // `speedup: null` rows that downstream dashboards drop on the floor.
+    if oversubscribed && cpus > 1 {
+        eprintln!(
+            "engine_bench: internal error: host reports {cpus} CPUs but the \
+             parallel run would use {threads} oversubscribed threads; a null \
+             speedup is only legitimate on a 1-CPU host"
+        );
+        std::process::exit(1);
+    }
     let mut spec = ClusterSpec::paper_scaled();
     spec.system.chunk_size = 64 * 1024; // many map tasks to schedule
 

@@ -1,0 +1,167 @@
+//! Wall-clock benchmark of the `opa-serve` job server: sustained job
+//! throughput through the admission queue, mean admission wait, live
+//! query latency while concurrent jobs occupy the scheduler, and the
+//! cost of a dead-letter-queue replay relative to the poisoned run it
+//! repairs. Results land in `BENCH_serve.json` so later changes have a
+//! perf trajectory to regress against.
+//!
+//! ```text
+//! cargo run -p opa-bench --release --bin serve_bench [-- OUT.json]
+//! ```
+
+use opa_common::{ExecConfig, FaultConfig, Key};
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_serve::{JobSpec, ServeConfig, ServeQuery, Server};
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::ClickCountJob;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANTS: u32 = 4;
+const JOBS_PER_TENANT: u32 = 3;
+const BATCHES: usize = 6;
+const QUERY_PROBES: usize = 64;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Each job's engine is sequential here — serve_bench charts the
+    // *server's* scheduling overhead (admission, wave barriers, query
+    // plumbing), and per-job thread scaling is engine_bench's column.
+    let data = Arc::new(ClickStreamSpec::counting_scaled(4 << 20).generate(42));
+    let records = data.len();
+    let total_jobs = TENANTS * JOBS_PER_TENANT;
+    println!(
+        "serve_bench: {total_jobs} jobs ({TENANTS} tenants), {records} records each, \
+         {BATCHES} batches ({cpus} host CPUs)"
+    );
+
+    let job = || ClickCountJob {
+        expected_users: 50_000,
+    };
+    let spec = JobSpec {
+        framework: Framework::IncHash,
+        cluster: ClusterSpec::tiny(),
+        batches: BATCHES,
+        exec: ExecConfig::sequential(),
+        ..JobSpec::default()
+    };
+    // One slot per tenant and a deep shared queue: every tenant's 2nd
+    // and 3rd submissions must wait, so the throughput leg also produces
+    // a non-vacuous admission-wait figure.
+    let cfg = ServeConfig {
+        slots_per_tenant: 1,
+        queue_per_tenant: JOBS_PER_TENANT as usize,
+        queue_total: total_jobs as usize,
+    };
+
+    // --- Leg 1: job throughput through the admission queue. ---
+    let start = Instant::now();
+    let mut server = Server::new(cfg);
+    for j in 0..JOBS_PER_TENANT {
+        for tenant in 0..TENANTS {
+            let receipt = server
+                .submit(tenant, job(), Arc::clone(&data), &spec)
+                .expect("submission accepted");
+            assert!(
+                !matches!(
+                    receipt.outcome,
+                    opa_serve::AdmissionOutcome::RejectedQuota
+                        | opa_serve::AdmissionOutcome::RejectedQueue
+                ),
+                "tenant {tenant} job {j} rejected — quota sizing is wrong"
+            );
+        }
+    }
+    server.run_to_completion().expect("server drains");
+    let drain_secs = start.elapsed().as_secs_f64();
+    let jobs_per_sec = f64::from(total_jobs) / drain_secs;
+
+    let books = server.books();
+    let (mut started, mut wait_rounds) = (0u64, 0u64);
+    for (_, book) in &books {
+        assert!(book.reconciles(), "tenant book does not reconcile");
+        started += book.started;
+        wait_rounds += book.wait_rounds;
+    }
+    assert_eq!(started, u64::from(total_jobs));
+    let mean_wait_rounds = wait_rounds as f64 / started as f64;
+    println!(
+        "  throughput         {drain_secs:>8.3}s  ({jobs_per_sec:.2} jobs/s, \
+         mean admission wait {mean_wait_rounds:.2} rounds)"
+    );
+
+    // --- Leg 2: live query latency under concurrent load. ---
+    // Three tenants' jobs run (parked at wave boundaries) while we probe
+    // one of them — the latency includes the server's channel round-trip
+    // to the job thread, which is the serving path a client pays.
+    let mut qserver = Server::new(ServeConfig::default());
+    for tenant in 0..3 {
+        qserver
+            .submit(tenant, job(), Arc::clone(&data), &spec)
+            .expect("query-leg submission");
+    }
+    let mut lookup_ns = Vec::new();
+    let mut progress_ns = Vec::new();
+    for _ in 0..2 {
+        for probe in 0..QUERY_PROBES as u64 {
+            let q = ServeQuery::Lookup(Key::from_u64(probe));
+            let t0 = Instant::now();
+            std::hint::black_box(qserver.query(0, &q).expect("lookup"));
+            lookup_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        let t0 = Instant::now();
+        std::hint::black_box(qserver.query(0, &ServeQuery::Progress).expect("progress"));
+        progress_ns.push(t0.elapsed().as_nanos() as f64);
+        qserver.step().expect("wave step");
+    }
+    qserver.run_to_completion().expect("query-leg drains");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "  query latency      lookup {:.0} ns, progress {:.0} ns (3 concurrent jobs)",
+        mean(&lookup_ns),
+        mean(&progress_ns)
+    );
+
+    // --- Leg 3: DLQ replay cost. ---
+    // A poisoned run quarantines records; the replay re-runs the job with
+    // the poison cleared. Replay cost ≈ one solo run — charted here so a
+    // regression in the stored-runner path shows up.
+    let mut pspec = spec.clone();
+    pspec.faults = FaultConfig::poison(7, 0.001);
+    let mut pserver = Server::new(ServeConfig::default());
+    pserver
+        .submit(0, job(), Arc::clone(&data), &pspec)
+        .expect("poisoned submission");
+    let t0 = Instant::now();
+    pserver.run_to_completion().expect("poisoned run drains");
+    let poisoned_secs = t0.elapsed().as_secs_f64();
+    let dlq_entries = pserver.dlq(0).expect("dlq").len();
+    assert!(
+        dlq_entries > 0,
+        "poison leg is vacuous: nothing quarantined"
+    );
+    let t0 = Instant::now();
+    let replayed = pserver.replay_dlq(0).expect("replay");
+    let replay_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        replayed.job.dlq.is_empty(),
+        "replay left DLQ entries behind"
+    );
+    println!(
+        "  dlq replay         {replay_secs:>8.3}s  ({dlq_entries} quarantined, \
+         poisoned run {poisoned_secs:.3}s)"
+    );
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {cpus},\n  \"jobs\": {total_jobs},\n  \"tenants\": {TENANTS},\n  \"records_per_job\": {records},\n  \"batches\": {BATCHES},\n  \"drain_secs\": {drain_secs:.4},\n  \"jobs_per_sec\": {jobs_per_sec:.3},\n  \"mean_admission_wait_rounds\": {mean_wait_rounds:.3},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0},\n  \"dlq_entries\": {dlq_entries},\n  \"poisoned_run_secs\": {poisoned_secs:.4},\n  \"dlq_replay_secs\": {replay_secs:.4}\n}}\n",
+        mean(&lookup_ns),
+        mean(&progress_ns),
+    );
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -14,6 +14,7 @@
 //! `--output PATH` persists the result in the IFile-style run format.
 
 mod args;
+mod serve_cmd;
 
 use args::{parse_bytes, Args};
 use opa_common::Key;
@@ -36,7 +37,7 @@ usage:
   opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
               [--km RATIO] [--threads N] [--progress-csv FILE] [--output FILE]
               [--admission off|on|lfu] [--fault-rate P] [--fault-seed N]
-              [--trace-out FILE] [--drift]
+              [--poison-rate P] [--trace-out FILE] [--drift]
       JOB: sessionize | click-count | frequent-users | page-freq | trigrams
       FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
       --admission lfu (alias: on) turns on frequency-gated admission for
@@ -47,13 +48,16 @@ usage:
       errors, each with probability P in [0, 1); --fault-seed N (default 42)
       makes the failure trace reproducible. Recovery never loses data;
       count-style outputs are bit-identical to the fault-free run.
+      --poison-rate P makes the map UDF reject each record with probability
+      P; rejected records are quarantined to the dead-letter queue with
+      full provenance instead of failing the job.
       --trace-out FILE captures every simulation event as structured JSONL
       (see OBSERVABILITY.md); --drift additionally evaluates the Prop 3.1/3.2
       model for this run's configuration and reports per-term relative error.
   opa stream JOB --input FILE [--batches K] [--framework FW] [--threads N]
               [--checkpoint-every N --checkpoint-dir DIR] [--resume CKPT]
               [--watch-key N] [--top-k N] [--output FILE] [--admission off|on|lfu]
-              [--fault-rate P] [--fault-seed N] [--trace-out FILE]
+              [--fault-rate P] [--fault-seed N] [--poison-rate P] [--trace-out FILE]
       Feeds the input through the engine in K arrival-ordered micro-batches
       (default 4), printing progress and the live incremental state at each
       sealed batch. The streamed output is bit-identical to `opa run`'s.
@@ -62,6 +66,13 @@ usage:
       Post-processes a JSONL trace written by --trace-out: `chrome` exports
       a Chrome/Perfetto trace (load at ui.perfetto.dev), `summary` (default)
       prints per-phase rollups.
+  opa serve [--control FILE] [--slots N] [--queue N] [--queue-total N]
+            [--dlq-dir DIR] [--trace-out FILE]
+      Starts the resident multi-tenant job server and reads line commands
+      from --control FILE (or stdin): submit / step / run / status / books /
+      query / dlq / replay / quit. Jobs from different tenants interleave
+      deterministically in admission order; poisoned records land in the
+      dead-letter queue with full provenance instead of failing the job.
   opa query --checkpoint CKPT [--key N] [--top-k N]
       Answers point-lookup / top-k / progress queries offline, straight from
       a stream checkpoint file — no job re-execution.
@@ -77,6 +88,7 @@ fn main() -> ExitCode {
         ["run", job] => run_job(job, &args),
         ["stream", job] => stream_job(job, &args),
         ["trace", file] => trace_file(file, &args),
+        ["serve"] => serve_cmd::serve(&args),
         ["query"] => query_checkpoint(&args),
         ["model"] => model(&args),
         _ => {
@@ -155,14 +167,30 @@ fn write_lines(path: &PathBuf, input: &JobInput) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_admission(args: &Args) -> Result<opa_common::AdmissionPolicy, String> {
+/// Fault configuration shared by `run`, `stream` and `serve` submits:
+/// `--fault-rate` drives the four crash classes uniformly, and
+/// `--poison-rate` independently quarantines map records to the DLQ.
+pub(crate) fn parse_faults(args: &Args) -> opa_common::fault::FaultConfig {
+    let fault_rate = args.get_or("fault-rate", 0.0f64);
+    let seed = args.get_or("fault-seed", 42u64);
+    let mut faults = if fault_rate > 0.0 {
+        opa_common::fault::FaultConfig::uniform(seed, fault_rate)
+    } else {
+        opa_common::fault::FaultConfig::disabled()
+    };
+    faults.seed = seed;
+    faults.udf_poison_rate = args.get_or("poison-rate", 0.0f64);
+    faults
+}
+
+pub(crate) fn parse_admission(args: &Args) -> Result<opa_common::AdmissionPolicy, String> {
     match args.options.get("admission") {
         Some(v) => opa_common::AdmissionPolicy::parse(v).map_err(|e| e.to_string()),
         None => Ok(opa_common::AdmissionPolicy::Off),
     }
 }
 
-fn parse_framework(s: &str) -> Result<Framework, String> {
+pub(crate) fn parse_framework(s: &str) -> Result<Framework, String> {
     Ok(match s {
         "sort-merge" | "sm" => Framework::SortMerge,
         "sort-merge-pipelined" | "hop" => Framework::SortMergePipelined,
@@ -195,13 +223,9 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         None => opa_common::ExecConfig::available_parallelism(),
     };
     // Deterministic fault injection: one uniform rate across all four
-    // fault classes, seeded so a failing run can be replayed exactly.
-    let fault_rate = args.get_or("fault-rate", 0.0f64);
-    let faults = if fault_rate > 0.0 {
-        opa_common::fault::FaultConfig::uniform(args.get_or("fault-seed", 42u64), fault_rate)
-    } else {
-        opa_common::fault::FaultConfig::disabled()
-    };
+    // fault classes, seeded so a failing run can be replayed exactly;
+    // --poison-rate additionally quarantines map records to the DLQ.
+    let faults = parse_faults(args);
     let admission = parse_admission(args)?;
     let want_drift = args.has_flag("drift") || args.options.contains_key("drift");
     let trace_on = args.options.contains_key("trace-out") || want_drift;
@@ -294,6 +318,13 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         println!(
             "  fault breakdown     {} map / {} straggler / {} reduce / {} spill-io (seed {})",
             rep.map_failures, rep.stragglers, rep.reduce_failures, rep.spill_io_errors, faults.seed
+        );
+    }
+    if !outcome.dlq.is_empty() {
+        println!(
+            "  dead-letter queue   {} record(s) quarantined (first offset {})",
+            outcome.dlq.len(),
+            outcome.dlq[0].offset
         );
     }
 
@@ -418,12 +449,7 @@ fn stream_with<J: opa_core::api::Job>(job: J, args: &Args, input: &JobInput) -> 
         }
         None => opa_common::ExecConfig::available_parallelism(),
     };
-    let fault_rate = args.get_or("fault-rate", 0.0f64);
-    let faults = if fault_rate > 0.0 {
-        opa_common::fault::FaultConfig::uniform(args.get_or("fault-seed", 42u64), fault_rate)
-    } else {
-        opa_common::fault::FaultConfig::disabled()
-    };
+    let faults = parse_faults(args);
     let mut builder = StreamJobBuilder::new(job)
         .framework(framework)
         .cluster(ClusterSpec::paper_scaled())
@@ -494,6 +520,12 @@ fn stream_with<J: opa_core::api::Job>(job: J, args: &Args, input: &JobInput) -> 
             rep.map_failures, rep.stragglers, rep.reduce_failures, rep.spill_io_errors
         );
     }
+    if !outcome.job.dlq.is_empty() {
+        println!(
+            "  dead-letter queue   {} record(s) quarantined",
+            outcome.job.dlq.len()
+        );
+    }
     if let Some(path) = args.options.get("trace-out") {
         let log = outcome
             .job
@@ -540,7 +572,7 @@ fn trace_file(file: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn fmt_top(entries: &[opa_core::reduce::TopEntry]) -> String {
+pub(crate) fn fmt_top(entries: &[opa_core::reduce::TopEntry]) -> String {
     entries
         .iter()
         .map(|e| match e.key.as_u64() {

@@ -35,6 +35,15 @@ pub struct FaultConfig {
     /// Probability that one spill-disk I/O operation fails and must be
     /// retried.
     pub spill_error_rate: f64,
+    /// Probability that a map UDF deterministically rejects one input
+    /// record (per-record poison). Unlike the crash classes above, a
+    /// poisoned record is never retried: it is quarantined to the
+    /// dead-letter queue with full provenance and the job completes
+    /// without it. Deliberately *not* part of [`FaultConfig::uniform`] —
+    /// poison removes records from the output, so it would break the
+    /// "fault runs produce fault-free output" recovery invariant the
+    /// crash classes guarantee.
+    pub udf_poison_rate: f64,
     /// Maximum retries per failing entity before the fault plan forces
     /// success (bounds recovery work; must be ≥ 1 when any rate is set).
     pub max_retries: u32,
@@ -59,8 +68,20 @@ impl FaultConfig {
             straggler_rate: 0.0,
             straggler_factor: 3.0,
             spill_error_rate: 0.0,
+            udf_poison_rate: 0.0,
             max_retries: 3,
             retry_backoff_secs: 1.0,
+        }
+    }
+
+    /// Per-record UDF poison only: every other fault class stays off.
+    /// This is the CLI's `--poison-rate` and the dead-letter-queue test
+    /// configuration.
+    pub fn poison(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            udf_poison_rate: rate,
+            ..FaultConfig::disabled()
         }
     }
 
@@ -77,12 +98,19 @@ impl FaultConfig {
         }
     }
 
-    /// Whether any fault class can fire.
+    /// Whether any crash/straggler fault class can fire. Record poison is
+    /// deliberately excluded: it needs no fault plan, no retries and no
+    /// recovery machinery — see [`FaultConfig::poison_enabled`].
     pub fn enabled(&self) -> bool {
         self.map_failure_rate > 0.0
             || self.reduce_failure_rate > 0.0
             || self.straggler_rate > 0.0
             || self.spill_error_rate > 0.0
+    }
+
+    /// Whether per-record UDF poison can fire.
+    pub fn poison_enabled(&self) -> bool {
+        self.udf_poison_rate > 0.0
     }
 
     /// Checks every field for sanity.
@@ -92,6 +120,7 @@ impl FaultConfig {
             ("reduce_failure_rate", self.reduce_failure_rate),
             ("straggler_rate", self.straggler_rate),
             ("spill_error_rate", self.spill_error_rate),
+            ("udf_poison_rate", self.udf_poison_rate),
         ] {
             if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
                 return Err(Error::config(format!(
@@ -119,6 +148,15 @@ impl FaultConfig {
         Ok(())
     }
 
+    /// Whether the record at global input `offset` is poisoned under this
+    /// config. Pure in `(seed, offset)` — the same record poisons on every
+    /// attempt, on every thread, in every interleaving, which is what
+    /// makes quarantine (rather than retry) the only sane disposition.
+    pub fn poisons(&self, offset: u64) -> bool {
+        self.udf_poison_rate > 0.0
+            && decision(self.seed, FaultKind::UdfPoison, offset, 0) < self.udf_poison_rate
+    }
+
     /// Backoff before retry attempt `attempt` (1-based): `base × 2^(n−1)`.
     pub fn backoff(&self, attempt: u32) -> SimDuration {
         let exp = attempt.saturating_sub(1).min(16);
@@ -137,6 +175,10 @@ pub enum FaultKind {
     ReduceFailure,
     /// A spill-disk I/O operation failed and was retried.
     SpillError,
+    /// A map UDF deterministically rejected one input record; the record
+    /// was quarantined to the dead-letter queue instead of failing the
+    /// job. `target` is the record's global input offset.
+    UdfPoison,
 }
 
 /// One fault firing, for the reproducible failure trace.
@@ -168,6 +210,9 @@ pub struct FaultReport {
     pub reduce_failures: u64,
     /// Spill-disk I/O operations that failed (each retried in place).
     pub spill_io_errors: u64,
+    /// Input records rejected by the map UDF and quarantined to the
+    /// dead-letter queue.
+    pub udf_poisoned: u64,
     /// Bytes written or shipped by work that was later thrown away.
     pub wasted_bytes: u64,
     /// CPU time burned by attempts whose results were discarded.
@@ -205,6 +250,7 @@ pub fn decision(seed: u64, kind: FaultKind, target: u64, attempt: u64) -> f64 {
         FaultKind::Straggler => 0x7374_7261u64,
         FaultKind::ReduceFailure => 0x7265_6475u64,
         FaultKind::SpillError => 0x7370_696cu64,
+        FaultKind::UdfPoison => 0x706f_6973u64,
     };
     let mixed = seed
         .wrapping_add(k.wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -278,6 +324,40 @@ mod tests {
             .filter(|&t| decision(9, FaultKind::SpillError, t, 0) < 0.25)
             .count();
         assert!((2000..3000).contains(&hits), "skewed decisions: {hits}");
+    }
+
+    #[test]
+    fn poison_is_orthogonal_to_crash_classes() {
+        let cfg = FaultConfig::poison(11, 0.05);
+        assert!(!cfg.enabled(), "poison must not arm the crash fault plan");
+        assert!(cfg.poison_enabled());
+        cfg.validate().expect("poison config is valid");
+        assert!(
+            !FaultConfig::uniform(11, 0.2).poison_enabled(),
+            "uniform() must not poison: it would break crash-recovery output identity"
+        );
+        let mut cfg = cfg;
+        cfg.udf_poison_rate = 1.0;
+        assert!(cfg.validate().is_err(), "rate 1.0 would drop every record");
+    }
+
+    #[test]
+    fn poison_decisions_are_stable_per_offset() {
+        let cfg = FaultConfig::poison(99, 0.1);
+        let hits: Vec<u64> = (0..10_000).filter(|&o| cfg.poisons(o)).collect();
+        assert!((800..1200).contains(&hits.len()), "skewed: {}", hits.len());
+        for &o in &hits {
+            assert!(cfg.poisons(o), "same offset, same verdict");
+        }
+        let other = FaultConfig::poison(100, 0.1);
+        assert_ne!(
+            hits,
+            (0..10_000)
+                .filter(|&o| other.poisons(o))
+                .collect::<Vec<_>>(),
+            "seed participates in the poison hash"
+        );
+        assert!(!FaultConfig::disabled().poisons(hits[0]));
     }
 
     #[test]

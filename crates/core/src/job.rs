@@ -29,7 +29,7 @@ use crate::cluster::{ClusterSpec, Framework};
 use crate::exec::{Gather, Planner, Pool};
 use crate::fault::{FaultPlan, MapFate};
 use crate::map_phase::{
-    abort_map_task, compute_map_task, finish_map_task, straggle_map_task, Payload,
+    abort_map_task, compute_map_task, finish_map_task, straggle_map_task, Payload, PoisonGate,
 };
 use crate::metrics::JobMetrics;
 use crate::progress::{ProgressCurve, ProgressTracker};
@@ -91,6 +91,22 @@ impl JobInput {
     }
 }
 
+/// One quarantined input record: the engine-level provenance of a map UDF
+/// poison firing. The serving layer (`opa-serve`) adds tenant/job identity
+/// on top when it files the entry in its dead-letter queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonedRecord {
+    /// Map chunk (task) the record belonged to.
+    pub chunk: u32,
+    /// The map-task attempt that committed the chunk (0 unless crash or
+    /// straggler recovery re-ran it).
+    pub attempt: u32,
+    /// The record's global input offset.
+    pub offset: u64,
+    /// The raw record bytes, exactly as read from the input.
+    pub record: Bytes,
+}
+
 /// Everything a finished job yields.
 #[derive(Debug)]
 pub struct JobOutcome {
@@ -108,6 +124,10 @@ pub struct JobOutcome {
     /// [`JobBuilder::trace`]. Bit-identical at any thread count; see the
     /// `opa-trace` crate for the JSONL format, rollups and exporters.
     pub trace: Option<TraceLog>,
+    /// Records quarantined by per-record UDF poison
+    /// ([`opa_common::fault::FaultConfig::udf_poison_rate`]), in the order
+    /// their chunks committed. Empty unless poison injection was enabled.
+    pub dlq: Vec<PoisonedRecord>,
 }
 
 impl JobOutcome {
@@ -405,6 +425,11 @@ fn run_job(
     // and the outcome is bit-identical at any count anyway.
     let workers = exec.effective_threads().saturating_sub(1);
 
+    // Declared outside the execution scope: the speculative planner's
+    // closures capture it by reference and outlive this stack frame's
+    // inner locals.
+    let poison_on = faults.poison_enabled();
+
     std::thread::scope(|scope| -> Result<JobOutcome> {
         let pool = Pool::new(scope, workers);
 
@@ -497,6 +522,10 @@ fn run_job(
                 spec,
                 h1,
                 admission,
+                poison_on.then_some(PoisonGate {
+                    faults: *faults,
+                    base: c.range.start as u64,
+                }),
             )
         };
         let planner: Planner<crate::map_phase::MapTaskPlan> =
@@ -517,6 +546,7 @@ fn run_job(
         let mut map_output_bytes = 0u64;
         let mut map_finish = SimTime::ZERO;
         let mut output: Vec<Pair> = Vec::new();
+        let mut dlq: Vec<PoisonedRecord> = Vec::new();
 
         // Burst scratch, reused across iterations.
         let mut mail_of: Vec<Option<usize>> = vec![None; n_reducers];
@@ -643,6 +673,30 @@ fn run_job(
                         MapFate::Ok => {}
                     }
                     let result = finish_map_task(plan, node, t, spec, &mut res);
+                    // Quarantine the chunk's poisoned records exactly once,
+                    // at the committing attempt: the record, its offset and
+                    // the attempt number are the DLQ's provenance.
+                    for &(offset, ref record) in &result.poisoned {
+                        freport.udf_poisoned += 1;
+                        freport.trace.push(FaultEvent {
+                            time: result.finish,
+                            kind: FaultKind::UdfPoison,
+                            target: offset,
+                            attempt,
+                        });
+                        res.emit(TraceEvent::Poison {
+                            t: result.finish.0,
+                            chunk: chunk as u32,
+                            offset,
+                            attempt,
+                        });
+                        dlq.push(PoisonedRecord {
+                            chunk: chunk as u32,
+                            attempt,
+                            offset,
+                            record: record.clone(),
+                        });
+                    }
                     res.emit(TraceEvent::MapFinish {
                         t0: t.0,
                         t: result.finish.0,
@@ -1059,7 +1113,7 @@ fn run_job(
         }
 
         // Assemble the outcome.
-        let fault_report = if fault_on {
+        let fault_report = if fault_on || poison_on {
             if let Some(inj) = res.take_disk_faults() {
                 freport.spill_io_errors = inj.errors();
                 freport.wasted_bytes += inj.wasted_bytes();
@@ -1101,6 +1155,7 @@ fn run_job(
             usage: res.usage,
             output,
             trace: trace_log,
+            dlq,
         })
     })
 }

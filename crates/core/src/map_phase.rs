@@ -41,12 +41,27 @@ use crate::api::{Job, ReduceCtx, Site};
 use crate::cluster::{ClusterSpec, Framework};
 use crate::sim::{OpKind, Resources};
 use bytes::Bytes;
+use opa_common::fault::FaultConfig;
 use opa_common::hash::bucket_of;
 use opa_common::units::{SimDuration, SimTime};
 use opa_common::{
     BatchBuilder, HashFn, Key, Pair, RecordBatch, ShardedGroupIndex, StateBatch, StatePair, Value,
 };
 use opa_simio::{IoCategory, IoOp};
+
+/// Per-record UDF poison configuration for one map task: the fault config
+/// whose `(seed, udf_poison_rate)` drive the verdict, plus the global
+/// input offset of the task's first record. The verdict for a record is a
+/// pure function of `(seed, base + index)` — independent of thread,
+/// attempt and interleaving — so poisoned records quarantine identically
+/// on every execution.
+#[derive(Debug, Clone, Copy)]
+pub struct PoisonGate {
+    /// Fault config; only `seed` and `udf_poison_rate` are consulted.
+    pub faults: FaultConfig,
+    /// Global input offset of `records[0]` of this task's chunk.
+    pub base: u64,
+}
 
 /// Data delivered from a mapper to one reducer: a batch of rows sharing
 /// the mapper's arena, carrying each row's partition-time `h1` fingerprint
@@ -109,6 +124,10 @@ pub struct MapTaskResult {
     /// Output pairs emitted directly at the mapper by map-side `cb()`
     /// early output (e.g. sessions that closed within a chunk).
     pub early_output: Vec<Pair>,
+    /// Records the map UDF rejected, as `(global offset, raw record)` in
+    /// ascending offset order. The scheduler quarantines these to the
+    /// dead-letter queue instead of failing the task.
+    pub poisoned: Vec<(u64, Bytes)>,
 }
 
 /// One recorded simulated-resource operation of a map task. Replayed in
@@ -146,6 +165,7 @@ pub struct MapTaskPlan {
     output_bytes: u64,
     spill_bytes: u64,
     early_output: Vec<Pair>,
+    poisoned: Vec<(u64, Bytes)>,
 }
 
 impl MapTaskPlan {
@@ -157,6 +177,7 @@ impl MapTaskPlan {
             output_bytes: 0,
             spill_bytes: 0,
             early_output: Vec::new(),
+            poisoned: Vec::new(),
         }
     }
 
@@ -293,6 +314,7 @@ fn replay_partial(
 /// the user map function and the framework collector, and records every
 /// resource operation into the returned plan. Pure — safe to run on any
 /// thread, in any order.
+#[allow(clippy::too_many_arguments)]
 pub fn compute_map_task(
     job: &dyn Job,
     framework: Framework,
@@ -301,6 +323,7 @@ pub fn compute_map_task(
     spec: &ClusterSpec,
     h1: HashFn,
     admission: opa_common::AdmissionPolicy,
+    poison: Option<PoisonGate>,
 ) -> MapTaskPlan {
     let cost = &spec.cost;
     let n_partitions = spec.total_reducers();
@@ -317,11 +340,23 @@ pub fn compute_map_task(
     // append-only arena for large ones), so the per-record path allocates
     // nothing.
     let mut builder = BatchBuilder::with_capacity(records.len());
-    for rec in records {
+    let mut mapped = 0u64;
+    for (i, rec) in records.iter().enumerate() {
+        // Poisoned records never reach the UDF: the verdict is pure in
+        // (seed, offset), so the same record quarantines on every attempt
+        // and the chunk's whole plan stays a pure function of its inputs.
+        if let Some(gate) = &poison {
+            let offset = gate.base + i as u64;
+            if gate.faults.poisons(offset) {
+                plan.poisoned.push((offset, rec.clone()));
+                continue;
+            }
+        }
         job.map(rec, &mut |k, v| builder.push(k, v));
+        mapped += 1;
     }
     let pairs = builder.seal();
-    plan.op_cpu(cost.map_time(records.len() as u64));
+    plan.op_cpu(cost.map_time(mapped));
 
     match framework {
         Framework::SortMerge => plan_sort_merge(job, pairs, 1, spec, h1, &mut plan),
@@ -385,6 +420,7 @@ pub fn finish_map_task(
         output_bytes: plan.output_bytes,
         spill_bytes: plan.spill_bytes,
         early_output: plan.early_output,
+        poisoned: plan.poisoned,
     }
 }
 
@@ -410,6 +446,7 @@ pub fn run_map_task(
         spec,
         h1,
         opa_common::AdmissionPolicy::Off,
+        None,
     );
     finish_map_task(plan, node, start, spec, res)
 }
@@ -1017,6 +1054,7 @@ mod tests {
                 &spec,
                 h1,
                 opa_common::AdmissionPolicy::Off,
+                None,
             );
             let mut res_b = Resources::new(spec.hardware.nodes, 4, false);
             let replayed = finish_map_task(plan, 0, SimTime::ZERO, &spec, &mut res_b);
@@ -1046,6 +1084,7 @@ mod tests {
             &spec,
             h1,
             opa_common::AdmissionPolicy::Off,
+            None,
         );
         let b = compute_map_task(
             &job,
@@ -1055,6 +1094,7 @@ mod tests {
             &spec,
             h1,
             opa_common::AdmissionPolicy::Off,
+            None,
         );
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }

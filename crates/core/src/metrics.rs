@@ -73,7 +73,7 @@ impl AdmissionStats {
 }
 
 /// Everything the paper reports about one job run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobMetrics {
     /// Framework label ("SM", "MR-hash", …).
     pub framework: String,

@@ -1,0 +1,235 @@
+//! Admission control: per-tenant slot quotas with explicit backpressure.
+//!
+//! The server never silently drops a submission. Every `submit` lands in
+//! exactly one of three outcomes, each visible in the tenant's book and
+//! on the trace:
+//!
+//! - **admitted** — a run slot (or a queue seat) was available; the job
+//!   either starts immediately or waits its turn in FIFO order;
+//! - **rejected (quota)** — the tenant already holds its full allowance
+//!   of running *and* waiting jobs; admitting more would let one tenant
+//!   starve the rest;
+//! - **rejected (queue)** — the shared wait queue is full; the server is
+//!   saturated and pushes back regardless of tenant.
+//!
+//! The books mirror the reduce-side `AdmissionStats` idiom: monotone
+//! counters that reconcile (`submitted = admitted + rejected_quota +
+//! rejected_queue`), so tests and benches can assert conservation.
+
+use std::collections::BTreeMap;
+
+/// Server sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Jobs a tenant may have *running* concurrently.
+    pub slots_per_tenant: usize,
+    /// Jobs a tenant may have *waiting* (beyond its running slots) before
+    /// further submissions are rejected with `rejected_quota`.
+    pub queue_per_tenant: usize,
+    /// Total waiting jobs across all tenants before any submission is
+    /// rejected with `rejected_queue`.
+    pub queue_total: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slots_per_tenant: 1,
+            queue_per_tenant: 4,
+            queue_total: 16,
+        }
+    }
+}
+
+/// Where a submission landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Admitted and started immediately (a run slot was free).
+    Started,
+    /// Admitted into the wait queue (backpressure, not rejection).
+    Queued,
+    /// Rejected: the tenant's running + waiting allowance is exhausted.
+    RejectedQuota,
+    /// Rejected: the shared wait queue is full.
+    RejectedQueue,
+}
+
+/// One tenant's admission book — monotone counters plus live gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantBook {
+    /// Jobs ever submitted by this tenant.
+    pub submitted: u64,
+    /// Jobs admitted (started or queued).
+    pub admitted: u64,
+    /// Jobs rejected against the per-tenant allowance.
+    pub rejected_quota: u64,
+    /// Jobs rejected against the shared queue cap.
+    pub rejected_queue: u64,
+    /// Jobs that entered execution.
+    pub started: u64,
+    /// Jobs that finished successfully.
+    pub finished: u64,
+    /// Jobs that failed with an error.
+    pub failed: u64,
+    /// Currently running jobs (gauge).
+    pub running: usize,
+    /// Currently waiting jobs (gauge).
+    pub waiting: usize,
+    /// Total scheduler rounds admitted jobs spent waiting for a slot —
+    /// the admission-wait numerator (`/ started` gives the mean).
+    pub wait_rounds: u64,
+}
+
+impl TenantBook {
+    /// Counter conservation: every submission is accounted exactly once.
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.admitted + self.rejected_quota + self.rejected_queue
+    }
+}
+
+/// The admission controller: books per tenant plus the shared queue gauge.
+#[derive(Debug, Default)]
+pub struct Admission {
+    books: BTreeMap<u32, TenantBook>,
+    waiting_total: usize,
+}
+
+impl Admission {
+    /// Decides one submission for `tenant` and updates the books. The
+    /// caller performs the actual start/enqueue according to the outcome.
+    pub fn decide(&mut self, tenant: u32, cfg: &ServeConfig) -> AdmissionOutcome {
+        let waiting_total = self.waiting_total;
+        let book = self.books.entry(tenant).or_default();
+        book.submitted += 1;
+        if book.running + book.waiting >= cfg.slots_per_tenant + cfg.queue_per_tenant {
+            book.rejected_quota += 1;
+            return AdmissionOutcome::RejectedQuota;
+        }
+        if book.running < cfg.slots_per_tenant {
+            book.admitted += 1;
+            book.started += 1;
+            book.running += 1;
+            return AdmissionOutcome::Started;
+        }
+        if waiting_total >= cfg.queue_total {
+            book.rejected_queue += 1;
+            return AdmissionOutcome::RejectedQueue;
+        }
+        book.admitted += 1;
+        book.waiting += 1;
+        self.waiting_total += 1;
+        AdmissionOutcome::Queued
+    }
+
+    /// Whether `tenant` has a free run slot.
+    pub fn slot_free(&self, tenant: u32, cfg: &ServeConfig) -> bool {
+        self.books
+            .get(&tenant)
+            .is_none_or(|b| b.running < cfg.slots_per_tenant)
+    }
+
+    /// Moves one waiting job of `tenant` into a run slot, charging the
+    /// rounds it spent in the queue.
+    pub fn promote(&mut self, tenant: u32, waited_rounds: u64) {
+        let book = self.books.entry(tenant).or_default();
+        debug_assert!(book.waiting > 0, "promote without a waiting job");
+        book.waiting -= 1;
+        book.started += 1;
+        book.running += 1;
+        book.wait_rounds += waited_rounds;
+        self.waiting_total = self.waiting_total.saturating_sub(1);
+    }
+
+    /// Releases `tenant`'s run slot when a job finishes or fails.
+    pub fn release(&mut self, tenant: u32, failed: bool) {
+        let book = self.books.entry(tenant).or_default();
+        debug_assert!(book.running > 0, "release without a running job");
+        book.running -= 1;
+        if failed {
+            book.failed += 1;
+        } else {
+            book.finished += 1;
+        }
+    }
+
+    /// The book of one tenant, if it ever submitted.
+    pub fn book(&self, tenant: u32) -> Option<&TenantBook> {
+        self.books.get(&tenant)
+    }
+
+    /// All books, in tenant order (deterministic iteration).
+    pub fn books(&self) -> impl Iterator<Item = (u32, &TenantBook)> {
+        self.books.iter().map(|(&t, b)| (t, b))
+    }
+
+    /// Jobs currently waiting across all tenants.
+    pub fn waiting_total(&self) -> usize {
+        self.waiting_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_then_queue_then_rejection() {
+        let cfg = ServeConfig {
+            slots_per_tenant: 1,
+            queue_per_tenant: 2,
+            queue_total: 16,
+        };
+        let mut adm = Admission::default();
+        assert_eq!(adm.decide(7, &cfg), AdmissionOutcome::Started);
+        assert_eq!(adm.decide(7, &cfg), AdmissionOutcome::Queued);
+        assert_eq!(adm.decide(7, &cfg), AdmissionOutcome::Queued);
+        assert_eq!(adm.decide(7, &cfg), AdmissionOutcome::RejectedQuota);
+        let book = adm.book(7).unwrap();
+        assert_eq!(
+            (book.submitted, book.admitted, book.rejected_quota),
+            (4, 3, 1)
+        );
+        assert!(book.reconciles());
+    }
+
+    #[test]
+    fn shared_queue_cap_pushes_back_across_tenants() {
+        let cfg = ServeConfig {
+            slots_per_tenant: 1,
+            queue_per_tenant: 8,
+            queue_total: 1,
+        };
+        let mut adm = Admission::default();
+        assert_eq!(adm.decide(1, &cfg), AdmissionOutcome::Started);
+        assert_eq!(adm.decide(1, &cfg), AdmissionOutcome::Queued);
+        // Tenant 2 still gets its run slot (running jobs don't occupy the
+        // shared queue), but its *second* job hits the full queue.
+        assert_eq!(adm.decide(2, &cfg), AdmissionOutcome::Started);
+        assert_eq!(adm.decide(2, &cfg), AdmissionOutcome::RejectedQueue);
+        assert!(adm.book(1).unwrap().reconciles());
+        assert!(adm.book(2).unwrap().reconciles());
+    }
+
+    #[test]
+    fn promote_and_release_keep_gauges_consistent() {
+        let cfg = ServeConfig {
+            slots_per_tenant: 2,
+            queue_per_tenant: 2,
+            queue_total: 4,
+        };
+        let mut adm = Admission::default();
+        assert_eq!(adm.decide(3, &cfg), AdmissionOutcome::Started);
+        assert_eq!(adm.decide(3, &cfg), AdmissionOutcome::Started);
+        assert_eq!(adm.decide(3, &cfg), AdmissionOutcome::Queued);
+        assert!(!adm.slot_free(3, &cfg));
+        adm.release(3, false);
+        assert!(adm.slot_free(3, &cfg));
+        adm.promote(3, 5);
+        let book = adm.book(3).unwrap();
+        assert_eq!(book.running, 2);
+        assert_eq!(book.waiting, 0);
+        assert_eq!(book.wait_rounds, 5);
+        assert_eq!(book.finished, 1);
+        assert_eq!(adm.waiting_total(), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The serving subsystem's core contract: interleaving jobs on the
+//! server must be invisible to each job. For every admitted job, the
+//! `JobOutcome` — output pairs in order, the full metrics block, the
+//! structured trace (compared by CRC of its JSONL bytes) and the DLQ —
+//! must be bit-identical to a solo `StreamJobBuilder` run of the same
+//! spec, at every engine thread count and under fault injection.
+
+use opa_common::{ExecConfig, FaultConfig};
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::job::JobInput;
+use opa_serve::{AdmissionOutcome, JobPhase, JobSpec, ServeConfig, ServeQuery, Server};
+use opa_simio::codec::crc32;
+use opa_stream::{StreamJobBuilder, StreamOutcome};
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::{ClickCountJob, FrequentUsersJob, PageFreqJob};
+use std::sync::Arc;
+
+fn input() -> Arc<JobInput> {
+    Arc::new(ClickStreamSpec::counting_scaled(1 << 20).generate(42))
+}
+
+fn click_count() -> ClickCountJob {
+    ClickCountJob {
+        expected_users: 2_000,
+    }
+}
+
+fn frequent_users() -> FrequentUsersJob {
+    FrequentUsersJob {
+        threshold: 5,
+        expected_users: 2_000,
+    }
+}
+
+fn page_freq() -> PageFreqJob {
+    PageFreqJob {
+        expected_pages: 4_000,
+    }
+}
+
+/// The reference run: the same job driven by `StreamJobBuilder`
+/// directly, with nobody else on the machine.
+fn solo(
+    spec: &JobSpec,
+    job: impl opa_core::api::Job + Clone + 'static,
+    input: &JobInput,
+) -> StreamOutcome {
+    StreamJobBuilder::new(job)
+        .framework(spec.framework)
+        .cluster(spec.cluster)
+        .exec(spec.exec)
+        .km_hint(spec.km_hint)
+        .admission(spec.admission)
+        .faults(spec.faults)
+        .batches(spec.batches)
+        .trace(spec.trace)
+        .run_stream(input, |_| {})
+        .expect("solo run")
+}
+
+fn trace_crc(o: &StreamOutcome) -> Option<u32> {
+    o.job.trace.as_ref().map(|t| crc32(t.to_jsonl().as_bytes()))
+}
+
+/// Field-by-field bit-identity of the parts of a `JobOutcome` the
+/// acceptance criteria name: output, metrics, trace CRC — plus the DLQ
+/// and the stream bookkeeping for good measure.
+fn assert_outcome_identical(served: &StreamOutcome, solo: &StreamOutcome, ctx: &str) {
+    assert_eq!(served.job.output, solo.job.output, "{ctx}: output diverged");
+    assert_eq!(
+        served.job.metrics, solo.job.metrics,
+        "{ctx}: metrics diverged"
+    );
+    assert_eq!(
+        trace_crc(served),
+        trace_crc(solo),
+        "{ctx}: trace CRC diverged"
+    );
+    assert_eq!(served.job.dlq, solo.job.dlq, "{ctx}: DLQ diverged");
+    assert_eq!(served.batches, solo.batches, "{ctx}: batch count diverged");
+}
+
+fn spec_at(threads: usize, faults: FaultConfig) -> JobSpec {
+    JobSpec {
+        framework: Framework::IncHash,
+        cluster: ClusterSpec::tiny(),
+        batches: 4,
+        // `oversubscribed` lifts the engine's host-core cap so the
+        // matrix runs its nominal thread count even on a 1-CPU host.
+        exec: ExecConfig::oversubscribed(threads),
+        km_hint: 1.0,
+        admission: opa_common::AdmissionPolicy::Off,
+        faults,
+        trace: true,
+    }
+}
+
+/// Three tenants' jobs interleaved wave-by-wave, across the engine
+/// thread matrix, one of them under crash-fault injection and one under
+/// UDF poison — every outcome must match its solo twin bit-for-bit.
+#[test]
+fn interleaved_jobs_identical_to_solo_across_thread_matrix() {
+    let data = input();
+    for threads in [1usize, 2, 4, 8] {
+        let clean = spec_at(threads, FaultConfig::disabled());
+        let crashy = JobSpec {
+            framework: Framework::DincHash,
+            faults: FaultConfig::uniform(3, 0.05),
+            ..spec_at(threads, FaultConfig::disabled())
+        };
+        let poisoned = JobSpec {
+            framework: Framework::MrHash,
+            ..spec_at(threads, FaultConfig::poison(7, 0.002))
+        };
+
+        let mut server = Server::new(ServeConfig {
+            slots_per_tenant: 1,
+            queue_per_tenant: 2,
+            queue_total: 8,
+        });
+        let a = server
+            .submit(0, click_count(), Arc::clone(&data), &clean)
+            .expect("submit a");
+        let b = server
+            .submit(1, frequent_users(), Arc::clone(&data), &crashy)
+            .expect("submit b");
+        let c = server
+            .submit(2, page_freq(), Arc::clone(&data), &poisoned)
+            .expect("submit c");
+        for r in [&a, &b, &c] {
+            assert_eq!(r.outcome, AdmissionOutcome::Started);
+        }
+        server.run_to_completion().expect("server drains");
+
+        let ctx = |name: &str| format!("{name} @ {threads} threads");
+        assert_outcome_identical(
+            server.outcome(a.job).expect("a finished"),
+            &solo(&clean, click_count(), &data),
+            &ctx("click_count"),
+        );
+        assert_outcome_identical(
+            server.outcome(b.job).expect("b finished"),
+            &solo(&crashy, frequent_users(), &data),
+            &ctx("frequent_users+crash-faults"),
+        );
+        assert_outcome_identical(
+            server.outcome(c.job).expect("c finished"),
+            &solo(&poisoned, page_freq(), &data),
+            &ctx("page_freq+poison"),
+        );
+
+        // The crash-fault leg must not be vacuous.
+        let faulted = server.outcome(b.job).unwrap();
+        let report = faulted.job.metrics.faults.as_ref().expect("fault report");
+        assert!(report.any_fired(), "no crash faults fired at rate 0.05");
+    }
+}
+
+/// The serving trace (admission decisions, wave grants) is a pure
+/// function of the submission sequence: two servers fed the same
+/// sequence produce identical traces and identical books.
+#[test]
+fn serving_trace_deterministic_across_runs() {
+    let data = input();
+    let spec = spec_at(2, FaultConfig::disabled());
+    let run = || {
+        let mut server = Server::new(ServeConfig {
+            slots_per_tenant: 1,
+            queue_per_tenant: 2,
+            queue_total: 4,
+        });
+        for tenant in 0..3 {
+            server
+                .submit(tenant, click_count(), Arc::clone(&data), &spec)
+                .expect("submit");
+            // Tenant slot quota of 1: a second submission queues.
+            server
+                .submit(tenant, click_count(), Arc::clone(&data), &spec)
+                .expect("submit twin");
+        }
+        server.run_to_completion().expect("drain");
+        (server.trace().to_vec(), server.books(), server.round())
+    };
+    let (t1, b1, r1) = run();
+    let (t2, b2, r2) = run();
+    assert_eq!(t1, t2, "serving trace is not deterministic");
+    assert_eq!(b1, b2, "books are not deterministic");
+    assert_eq!(r1, r2, "round count is not deterministic");
+    assert!(!t1.is_empty());
+}
+
+/// A poisoned record lands in the DLQ with full provenance, the job
+/// still finishes, the quarantine file round-trips, and replaying the
+/// DLQ with the poison cleared reproduces the fault-free solo output.
+#[test]
+fn poison_quarantines_with_provenance_and_replay_restores_output() {
+    let data = input();
+    let dir = std::env::temp_dir().join("opa-serve-equivalence-dlq");
+    std::fs::remove_dir_all(&dir).ok();
+    let poisoned = spec_at(2, FaultConfig::poison(11, 0.002));
+
+    let mut server = Server::new(ServeConfig::default()).dlq_dir(&dir);
+    let receipt = server
+        .submit(5, click_count(), Arc::clone(&data), &poisoned)
+        .expect("submit");
+    server.run_to_completion().expect("drain");
+
+    // The job finished despite the poison, and each quarantined record
+    // carries its provenance.
+    let status = &server.status()[receipt.job as usize];
+    assert_eq!(status.phase, JobPhase::Finished);
+    let dlq = server.dlq(receipt.job).expect("dlq").to_vec();
+    assert!(!dlq.is_empty(), "poison at 0.002 quarantined nothing");
+    let n_records = data.len() as u64;
+    for rec in &dlq {
+        assert!(rec.offset < n_records, "offset outside the input");
+        assert!(!rec.record.is_empty(), "quarantined record body lost");
+        assert!(
+            poisoned.faults.poisons(rec.offset),
+            "quarantined offset is not one the fault model poisons"
+        );
+    }
+
+    // The quarantine file on disk agrees with the in-memory DLQ.
+    let path = server.dlq_path(receipt.job).expect("dlq file written");
+    let file = opa_serve::QuarantineFile::read_from(path).expect("decodes");
+    assert_eq!(file.tenant, 5);
+    assert_eq!(file.job, receipt.job);
+    assert_eq!(file.entries.len(), dlq.len());
+    for (e, r) in file.entries.iter().zip(&dlq) {
+        assert_eq!(
+            (e.chunk, e.attempt, e.offset),
+            (r.chunk, r.attempt, r.offset)
+        );
+        assert_eq!(e.record, r.record);
+    }
+
+    // Replay with the poison cleared ≡ the fault-free solo run.
+    let clean = spec_at(2, FaultConfig::disabled());
+    let reference = solo(&clean, click_count(), &data);
+    let replayed = server.replay_dlq(receipt.job).expect("replay");
+    assert!(replayed.job.dlq.is_empty(), "replay still quarantined");
+    assert_eq!(
+        replayed.job.output, reference.job.output,
+        "replay did not restore the fault-free output"
+    );
+    assert_eq!(
+        replayed.job.metrics.output_records,
+        reference.job.metrics.output_records
+    );
+
+    // And the poisoned run really did drop records relative to clean.
+    let served = server.outcome(receipt.job).unwrap();
+    assert!(
+        served.job.metrics.output_records <= reference.job.metrics.output_records,
+        "poisoned run output more records than the clean run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Backpressure bookkeeping: quota rejections, shared-queue rejections
+/// and FIFO promotion all reconcile, and rejected jobs never execute.
+#[test]
+fn quota_and_queue_backpressure_books_reconcile() {
+    let data = input();
+    let spec = spec_at(1, FaultConfig::disabled());
+    let cfg = ServeConfig {
+        slots_per_tenant: 1,
+        queue_per_tenant: 1,
+        queue_total: 2,
+    };
+    let mut server = Server::new(cfg);
+
+    // Tenant 0: one runs, one queues, the third bounces off its quota.
+    let outcomes: Vec<AdmissionOutcome> = (0..3)
+        .map(|_| {
+            server
+                .submit(0, click_count(), Arc::clone(&data), &spec)
+                .expect("submit")
+                .outcome
+        })
+        .collect();
+    assert_eq!(
+        outcomes,
+        vec![
+            AdmissionOutcome::Started,
+            AdmissionOutcome::Queued,
+            AdmissionOutcome::RejectedQuota
+        ]
+    );
+    // Tenants 1 and 2 run; tenant 3's queue attempt hits the shared cap
+    // (tenant 0 already holds one of the two shared waiting slots).
+    for tenant in 1..=2 {
+        assert_eq!(
+            server
+                .submit(tenant, click_count(), Arc::clone(&data), &spec)
+                .expect("submit")
+                .outcome,
+            AdmissionOutcome::Started
+        );
+        assert_eq!(
+            server
+                .submit(tenant, click_count(), Arc::clone(&data), &spec)
+                .expect("submit")
+                .outcome,
+            if tenant == 1 {
+                AdmissionOutcome::Queued
+            } else {
+                AdmissionOutcome::RejectedQueue
+            }
+        );
+    }
+
+    server.run_to_completion().expect("drain");
+    for (tenant, book) in server.books() {
+        assert!(book.reconciles(), "tenant {tenant} book does not reconcile");
+        assert_eq!(book.running, 0);
+        assert_eq!(book.waiting, 0);
+        assert_eq!(book.started, book.finished, "tenant {tenant} lost a job");
+    }
+    let b0 = server.book(0).expect("tenant 0 book");
+    assert_eq!((b0.submitted, b0.admitted, b0.rejected_quota), (3, 2, 1));
+    assert!(b0.wait_rounds > 0, "queued job waited zero rounds");
+    let b2 = server.book(2).expect("tenant 2 book");
+    assert_eq!((b2.submitted, b2.admitted, b2.rejected_queue), (2, 1, 1));
+
+    // Rejected submissions never ran and finished jobs answer queries.
+    let status = server.status();
+    let rejected = status
+        .iter()
+        .filter(|s| s.phase == JobPhase::Rejected)
+        .count();
+    assert_eq!(rejected, 2);
+    for s in status.iter().filter(|s| s.phase == JobPhase::Rejected) {
+        assert_eq!(s.waves, 0, "rejected job was granted a wave");
+    }
+    let finished = status
+        .iter()
+        .find(|s| s.phase == JobPhase::Finished)
+        .expect("a finished job");
+    match server
+        .query(finished.job, &ServeQuery::Progress)
+        .expect("progress query")
+    {
+        opa_serve::ServeAnswer::Progress(p) => assert_eq!(p.batches_sealed, spec.batches),
+        other => panic!("unexpected answer {other:?}"),
+    }
+}

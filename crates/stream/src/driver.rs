@@ -31,9 +31,9 @@ use opa_core::api::Job;
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::exec::{Gather, Planner, Pool};
 use opa_core::fault::{FaultPlan, MapFate};
-use opa_core::job::{JobInput, JobOutcome};
+use opa_core::job::{JobInput, JobOutcome, PoisonedRecord};
 use opa_core::map_phase::{
-    abort_map_task, compute_map_task, finish_map_task, straggle_map_task, Payload,
+    abort_map_task, compute_map_task, finish_map_task, straggle_map_task, Payload, PoisonGate,
 };
 use opa_core::metrics::JobMetrics;
 use opa_core::progress::ProgressTracker;
@@ -197,6 +197,20 @@ pub(crate) fn drive<'j>(
     }
     let resumed_from_batch = resume.as_ref().map(|s| s.next_batch as usize);
 
+    // Poison quarantine drops records from the mapped set, which would
+    // break the checkpoint invariant that a resumed run replays to the
+    // same output as the uninterrupted one (the saved state has no DLQ
+    // section). Reject the combination rather than silently losing
+    // provenance across a resume.
+    let poison_on = faults.poison_enabled();
+    if poison_on && (resume.is_some() || cfg.checkpoint_dir.is_some()) {
+        return Err(Error::job(
+            "udf poison injection cannot be combined with checkpointing or \
+             resume — quarantined records are not part of the checkpoint \
+             format",
+        ));
+    }
+
     // Completed-chunk bitmap, seeded from the checkpoint on resume. Lives
     // outside the execution scope because the speculative planner's
     // closures (which outlive this stack frame's inner locals) index the
@@ -228,6 +242,10 @@ pub(crate) fn drive<'j>(
             spec,
             h1,
             cfg.admission,
+            poison_on.then_some(PoisonGate {
+                faults: *faults,
+                base: c.range.start as u64,
+            }),
         )
     };
     let compute_plan_at = |pos: usize| compute_plan(plan_chunks[pos]);
@@ -324,6 +342,7 @@ pub(crate) fn drive<'j>(
         let mut map_output_bytes = 0u64;
         let mut map_finish = SimTime::ZERO;
         let mut output: Vec<Pair> = Vec::new();
+        let mut dlq: Vec<PoisonedRecord> = Vec::new();
         let mut now = SimTime::ZERO;
 
         match resume {
@@ -502,6 +521,13 @@ pub(crate) fn drive<'j>(
                     if cfg.stream.checkpoint_due(sealed) && sealed < k {
                         paths.push(dir.join(format!("stream-ckpt-b{sealed}.opac")));
                     }
+                }
+                if !paths.is_empty() && poison_on {
+                    return Err(Error::job(
+                        "checkpoint requested during a poison-injected run — \
+                         quarantined records are not part of the checkpoint \
+                         format",
+                    ));
                 }
                 if !paths.is_empty() {
                     // Read the queue by draining and re-pushing in pop
@@ -700,6 +726,27 @@ pub(crate) fn drive<'j>(
                         output_bytes: result.output_bytes,
                         spill_bytes: result.spill_bytes,
                     });
+                    for &(offset, ref record) in &result.poisoned {
+                        freport.udf_poisoned += 1;
+                        freport.trace.push(FaultEvent {
+                            time: result.finish,
+                            kind: FaultKind::UdfPoison,
+                            target: offset,
+                            attempt,
+                        });
+                        res.emit(TraceEvent::Poison {
+                            t: result.finish.0,
+                            chunk: chunk as u32,
+                            offset,
+                            attempt,
+                        });
+                        dlq.push(PoisonedRecord {
+                            chunk: chunk as u32,
+                            attempt,
+                            offset,
+                            record: record.clone(),
+                        });
+                    }
                     map_cpu[node] += result.cpu;
                     spill_written_map += result.spill_bytes;
                     map_output_bytes += result.output_bytes;
@@ -1065,7 +1112,7 @@ pub(crate) fn drive<'j>(
             end = end.max(done_at);
         }
 
-        let fault_report = if fault_on {
+        let fault_report = if fault_on || poison_on {
             if let Some(inj) = res.take_disk_faults() {
                 freport.spill_io_errors = inj.errors();
                 freport.wasted_bytes += inj.wasted_bytes();
@@ -1107,6 +1154,7 @@ pub(crate) fn drive<'j>(
                 timeline: std::mem::take(&mut res.timeline),
                 usage: res.usage,
                 output,
+                dlq,
                 trace: trace_log,
             },
             batches: k,

@@ -225,6 +225,23 @@ pub fn to_chrome(events: &[TraceEvent]) -> String {
                 ),
                 &mut first,
             ),
+            TraceEvent::Poison {
+                t,
+                chunk,
+                offset,
+                attempt,
+            } => push(
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"poison c{chunk}\",\"pid\":{control_pid},\"tid\":0,\"ts\":{t},\"s\":\"g\",\"args\":{{\"offset\":{offset},\"attempt\":{attempt}}}}}"
+                ),
+                &mut first,
+            ),
+            // Serving-layer events use scheduler-round timestamps from a
+            // different clock domain than the engine's virtual µs; they
+            // are omitted from the per-job Chrome timeline.
+            TraceEvent::ServeJob { .. }
+            | TraceEvent::WaveGrant { .. }
+            | TraceEvent::DlqReplay { .. } => {}
         }
     }
     out.push_str("\n]}\n");

@@ -81,6 +81,7 @@ pub fn fault_kind_label(kind: FaultKind) -> &'static str {
         FaultKind::Straggler => "straggler",
         FaultKind::ReduceFailure => "reduce_failure",
         FaultKind::SpillError => "spill_error",
+        FaultKind::UdfPoison => "udf_poison",
     }
 }
 
@@ -90,8 +91,54 @@ fn parse_fault_kind(s: &str) -> Result<FaultKind> {
         "straggler" => FaultKind::Straggler,
         "reduce_failure" => FaultKind::ReduceFailure,
         "spill_error" => FaultKind::SpillError,
+        "udf_poison" => FaultKind::UdfPoison,
         other => return Err(Error::job(format!("unknown fault kind '{other}'"))),
     })
+}
+
+/// Lifecycle states of a job inside the `opa serve` scheduler, carried by
+/// [`TraceEvent::ServeJob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeJobState {
+    /// The job passed admission and entered the queue.
+    Admitted,
+    /// Rejected: its tenant already holds its concurrent-job quota and the
+    /// queue policy refuses to hold more for it.
+    RejectedQuota,
+    /// Rejected: the server-wide queue is at capacity (backpressure).
+    RejectedQueue,
+    /// The job left the queue and began running on a slot.
+    Started,
+    /// The job completed and its outcome was stored.
+    Finished,
+    /// The job failed with an error (configuration or input).
+    Failed,
+}
+
+impl ServeJobState {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeJobState::Admitted => "admitted",
+            ServeJobState::RejectedQuota => "rejected_quota",
+            ServeJobState::RejectedQueue => "rejected_queue",
+            ServeJobState::Started => "started",
+            ServeJobState::Finished => "finished",
+            ServeJobState::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self> {
+        Ok(match s {
+            "admitted" => ServeJobState::Admitted,
+            "rejected_quota" => ServeJobState::RejectedQuota,
+            "rejected_queue" => ServeJobState::RejectedQueue,
+            "started" => ServeJobState::Started,
+            "finished" => ServeJobState::Finished,
+            "failed" => ServeJobState::Failed,
+            other => return Err(Error::job(format!("unknown serve job state '{other}'"))),
+        })
+    }
 }
 
 /// One structured simulation event. See `OBSERVABILITY.md` at the
@@ -256,6 +303,58 @@ pub enum TraceEvent {
         /// Arrivals denied admission and spilled.
         rejected: u64,
     },
+    /// A map UDF rejected one input record; the record was quarantined to
+    /// the dead-letter queue with full provenance instead of failing the
+    /// task.
+    Poison {
+        /// Commit time of the chunk the record belonged to (µs).
+        t: u64,
+        /// Map chunk (task) index.
+        chunk: u32,
+        /// The record's global input offset.
+        offset: u64,
+        /// The map-task attempt that committed the chunk.
+        attempt: u32,
+    },
+    /// A job's lifecycle transition inside the `opa serve` scheduler.
+    /// Tenant and job identity are carried on every serving-layer event
+    /// so multi-tenant traces can be filtered per tenant.
+    ServeJob {
+        /// Scheduler round at which the transition happened (serving-layer
+        /// events use round counters, not virtual µs — the server
+        /// interleaves jobs whose virtual clocks are independent).
+        t: u64,
+        /// Tenant index (interned registration order).
+        tenant: u32,
+        /// Server-assigned job id.
+        job: u32,
+        /// The lifecycle transition.
+        state: ServeJobState,
+    },
+    /// The `opa serve` scheduler granted one job its next wave (a
+    /// micro-batch of engine progress); grants within a round are issued
+    /// in admission order, which is what makes interleaving deterministic.
+    WaveGrant {
+        /// Scheduler round of the grant.
+        t: u64,
+        /// Tenant index.
+        tenant: u32,
+        /// Server-assigned job id.
+        job: u32,
+        /// 1-based wave (micro-batch) number granted.
+        wave: u32,
+    },
+    /// A dead-letter-queue replay was executed for one finished job.
+    DlqReplay {
+        /// Scheduler round of the replay.
+        t: u64,
+        /// Tenant index.
+        tenant: u32,
+        /// Server-assigned job id.
+        job: u32,
+        /// Quarantined entries the replay covered.
+        entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -274,6 +373,10 @@ impl TraceEvent {
             TraceEvent::BatchSeal { .. } => "batch_seal",
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::Admission { .. } => "admission",
+            TraceEvent::Poison { .. } => "poison",
+            TraceEvent::ServeJob { .. } => "serve_job",
+            TraceEvent::WaveGrant { .. } => "wave_grant",
+            TraceEvent::DlqReplay { .. } => "dlq_replay",
         }
     }
 
@@ -292,7 +395,11 @@ impl TraceEvent {
             | TraceEvent::ReduceFinish { t, .. }
             | TraceEvent::BatchSeal { t, .. }
             | TraceEvent::Checkpoint { t, .. }
-            | TraceEvent::Admission { t, .. } => t,
+            | TraceEvent::Admission { t, .. }
+            | TraceEvent::Poison { t, .. }
+            | TraceEvent::ServeJob { t, .. }
+            | TraceEvent::WaveGrant { t, .. }
+            | TraceEvent::DlqReplay { t, .. } => t,
         }
     }
 
@@ -392,6 +499,39 @@ impl TraceEvent {
             } => format!(
                 "{{\"ev\":\"admission\",\"t\":{t},\"reducer\":{reducer},\"offered\":{offered},\"absorbed\":{absorbed},\"evictions\":{evictions},\"rejected\":{rejected}}}"
             ),
+            TraceEvent::Poison {
+                t,
+                chunk,
+                offset,
+                attempt,
+            } => format!(
+                "{{\"ev\":\"poison\",\"t\":{t},\"chunk\":{chunk},\"offset\":{offset},\"attempt\":{attempt}}}"
+            ),
+            TraceEvent::ServeJob {
+                t,
+                tenant,
+                job,
+                state,
+            } => format!(
+                "{{\"ev\":\"serve_job\",\"t\":{t},\"tenant\":{tenant},\"job\":{job},\"state\":\"{}\"}}",
+                state.label()
+            ),
+            TraceEvent::WaveGrant {
+                t,
+                tenant,
+                job,
+                wave,
+            } => format!(
+                "{{\"ev\":\"wave_grant\",\"t\":{t},\"tenant\":{tenant},\"job\":{job},\"wave\":{wave}}}"
+            ),
+            TraceEvent::DlqReplay {
+                t,
+                tenant,
+                job,
+                entries,
+            } => format!(
+                "{{\"ev\":\"dlq_replay\",\"t\":{t},\"tenant\":{tenant},\"job\":{job},\"entries\":{entries}}}"
+            ),
         }
     }
 
@@ -480,6 +620,30 @@ impl TraceEvent {
                 absorbed: t("absorbed")?,
                 evictions: t("evictions")?,
                 rejected: t("rejected")?,
+            },
+            "poison" => TraceEvent::Poison {
+                t: t("t")?,
+                chunk: u32f("chunk")?,
+                offset: t("offset")?,
+                attempt: u32f("attempt")?,
+            },
+            "serve_job" => TraceEvent::ServeJob {
+                t: t("t")?,
+                tenant: u32f("tenant")?,
+                job: u32f("job")?,
+                state: ServeJobState::parse(obj.str_field("state")?)?,
+            },
+            "wave_grant" => TraceEvent::WaveGrant {
+                t: t("t")?,
+                tenant: u32f("tenant")?,
+                job: u32f("job")?,
+                wave: u32f("wave")?,
+            },
+            "dlq_replay" => TraceEvent::DlqReplay {
+                t: t("t")?,
+                tenant: u32f("tenant")?,
+                job: u32f("job")?,
+                entries: t("entries")?,
             },
             other => return Err(Error::job(format!("unknown trace event '{other}'"))),
         })
@@ -674,6 +838,30 @@ mod tests {
                 absorbed: 4100,
                 evictions: 37,
                 rejected: 900,
+            },
+            TraceEvent::Poison {
+                t: 1500,
+                chunk: 3,
+                offset: 77,
+                attempt: 1,
+            },
+            TraceEvent::ServeJob {
+                t: 2,
+                tenant: 1,
+                job: 4,
+                state: ServeJobState::Admitted,
+            },
+            TraceEvent::WaveGrant {
+                t: 3,
+                tenant: 1,
+                job: 4,
+                wave: 2,
+            },
+            TraceEvent::DlqReplay {
+                t: 9,
+                tenant: 1,
+                job: 4,
+                entries: 6,
             },
         ]
     }

@@ -79,5 +79,7 @@ mod event;
 pub mod json;
 pub mod rollup;
 
-pub use event::{fault_kind_label, io_category_label, SpanKind, TraceEvent, TraceLog, Tracer};
+pub use event::{
+    fault_kind_label, io_category_label, ServeJobState, SpanKind, TraceEvent, TraceLog, Tracer,
+};
 pub use rollup::Rollup;

@@ -54,6 +54,8 @@ pub struct Rollup {
     pub faults: u64,
     /// Recovery retries scheduled.
     pub retries: u64,
+    /// Input records quarantined by per-record UDF poison.
+    pub poisons: u64,
     /// Stream batch seals observed (0 for batch jobs).
     pub batch_seals: u64,
     /// Stream checkpoints written.
@@ -106,6 +108,7 @@ impl Rollup {
             reduce_tasks: 0,
             faults: 0,
             retries: 0,
+            poisons: 0,
             batch_seals: 0,
             checkpoints: 0,
             checkpoint_bytes: 0,
@@ -204,6 +207,13 @@ impl Rollup {
                     r.admission_evictions += evictions;
                     r.admission_rejected += rejected;
                 }
+                TraceEvent::Poison { .. } => r.poisons += 1,
+                // Serving-layer events carry scheduler rounds, not virtual
+                // µs — they label multi-tenant traces but contribute
+                // nothing to a single job's phase rollup.
+                TraceEvent::ServeJob { .. }
+                | TraceEvent::WaveGrant { .. }
+                | TraceEvent::DlqReplay { .. } => {}
             }
         }
         r.nodes = nodes.len() as u32;
@@ -282,6 +292,12 @@ impl Rollup {
             out.push_str(&format!(
                 "faults: {} fired, {} retries\n",
                 self.faults, self.retries
+            ));
+        }
+        if self.poisons > 0 {
+            out.push_str(&format!(
+                "poison: {} records quarantined to the DLQ\n",
+                self.poisons
             ));
         }
         if self.admission_reducers > 0 {
