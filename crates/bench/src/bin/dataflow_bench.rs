@@ -1,0 +1,132 @@
+//! Wall-clock benchmark of the dataflow layer: per-stage chain
+//! throughput, the skip-vs-materialize handoff comparison on the
+//! top-k-pages join, and PageRank round rate. Results land in
+//! `BENCH_dataflow.json` so later changes have a perf trajectory to
+//! regress against, and the skip-beats-materialize claim is *asserted*,
+//! not just charted.
+//!
+//! ```text
+//! cargo run -p opa-bench --release --bin dataflow_bench [-- OUT.json]
+//! ```
+
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::dataflow::{Dataflow, Dataset, Handoff, HandoffPolicy};
+use opa_core::job::JobBuilder;
+use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::pagerank::{PageRankInitJob, PageRankRoundJob};
+use opa_workloads::top_pages::{PageSessionsJob, TopKFunnelJob, TopPagesJoinJob};
+use opa_workloads::PageFreqJob;
+use std::time::Instant;
+
+const PAGERANK_ROUNDS: usize = 5;
+const TOPK: usize = 20;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dataflow.json".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let spec = ClusterSpec::tiny();
+    let data = ClickStreamSpec::counting_scaled(8 << 20).generate(42);
+    let records = data.len();
+    println!("dataflow_bench: {records} clicks ({cpus} host CPUs)");
+
+    // --- Leg 1: top-pages chain, skip vs forced paths. ---
+    // Producers run once; the measured section is the chain over the
+    // union, where the join either skips its shuffle (Auto) or is forced
+    // through the classic reshuffle / materialize-to-file handoffs.
+    let freq = JobBuilder::new(PageFreqJob {
+        expected_pages: 100_000,
+    })
+    .framework(Framework::IncHash)
+    .cluster(spec)
+    .run(&data)
+    .expect("page_freq producer");
+    let sessions = JobBuilder::new(PageSessionsJob {
+        expected_pages: 100_000,
+    })
+    .framework(Framework::MrHash)
+    .cluster(spec)
+    .run(&data)
+    .expect("page_sessions producer");
+    let union = Dataset::union(&freq.dataset(&spec), &sessions.dataset(&spec))
+        .expect("compatible producers");
+
+    let chain = |policy: HandoffPolicy| {
+        Dataflow::new(spec)
+            .then(TopPagesJoinJob, Framework::MrHash)
+            .then(TopKFunnelJob { k: TOPK }, Framework::MrHash)
+            .policy(policy)
+            .run_from(&union)
+            .expect("top-pages chain")
+    };
+    let time = |policy: HandoffPolicy| {
+        // Warm-up run, then the timed one.
+        chain(policy);
+        let t0 = Instant::now();
+        let outcome = chain(policy);
+        (t0.elapsed().as_secs_f64(), outcome)
+    };
+    let (skip_secs, skip) = time(HandoffPolicy::Auto);
+    let (reshuffle_secs, reshuffle) = time(HandoffPolicy::Reshuffle);
+    let (materialize_secs, materialize) = time(HandoffPolicy::Materialize);
+
+    assert_eq!(skip.stages[0].handoff, Handoff::InMemory);
+    assert_eq!(skip.stages[0].metrics.map_output_bytes, 0);
+    assert_eq!(
+        skip.sorted_output(),
+        reshuffle.sorted_output(),
+        "policies must agree bit-for-bit"
+    );
+    assert_eq!(skip.sorted_output(), materialize.sorted_output());
+    assert!(
+        skip_secs < materialize_secs,
+        "reshuffle skip ({skip_secs:.3}s) must beat the materialized handoff \
+         ({materialize_secs:.3}s)"
+    );
+    let bytes_saved = skip.stages[0].bytes_saved;
+    println!(
+        "  top-pages handoff  skip {skip_secs:.3}s / reshuffle {reshuffle_secs:.3}s / \
+         materialize {materialize_secs:.3}s  ({bytes_saved} shuffle B saved)"
+    );
+
+    // Per-stage records/s on the skip-path run.
+    let stage_rates: Vec<String> = skip
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"stage\": \"{}\", \"handoff\": \"{}\", \"records_in\": {}, \"records_out\": {}}}",
+                s.name,
+                s.handoff.label(),
+                s.records_in,
+                s.records_out
+            )
+        })
+        .collect();
+
+    // --- Leg 2: PageRank rounds/s. ---
+    let mut flow = Dataflow::new(spec).then(PageRankInitJob, Framework::MrHash);
+    for _ in 0..PAGERANK_ROUNDS {
+        flow = flow.then(PageRankRoundJob, Framework::MrHash);
+    }
+    let t0 = Instant::now();
+    let pr = flow.run(&data).expect("pagerank chain");
+    let pagerank_secs = t0.elapsed().as_secs_f64();
+    let rounds_per_sec = PAGERANK_ROUNDS as f64 / pagerank_secs;
+    let graph_nodes = pr.output.len();
+    println!(
+        "  pagerank           {pagerank_secs:>8.3}s  ({PAGERANK_ROUNDS} rounds, \
+         {rounds_per_sec:.2} rounds/s, {graph_nodes} nodes)"
+    );
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {cpus},\n  \"records\": {records},\n  \"topk\": {TOPK},\n  \"skip_secs\": {skip_secs:.4},\n  \"reshuffle_secs\": {reshuffle_secs:.4},\n  \"materialize_secs\": {materialize_secs:.4},\n  \"skip_shuffle_bytes_saved\": {bytes_saved},\n  \"skip_speedup_vs_materialize\": {:.3},\n  \"stages\": [{}],\n  \"pagerank_rounds\": {PAGERANK_ROUNDS},\n  \"pagerank_secs\": {pagerank_secs:.4},\n  \"pagerank_rounds_per_sec\": {rounds_per_sec:.3},\n  \"pagerank_nodes\": {graph_nodes}\n}}\n",
+        materialize_secs / skip_secs,
+        stage_rates.join(", "),
+    );
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -14,6 +14,7 @@
 //! `--output PATH` persists the result in the IFile-style run format.
 
 mod args;
+mod dataflow_cmd;
 mod serve_cmd;
 
 use args::{parse_bytes, Args};
@@ -62,6 +63,17 @@ usage:
       (default 4), printing progress and the live incremental state at each
       sealed batch. The streamed output is bit-identical to `opa run`'s.
       --resume restarts from a checkpoint written by an earlier stream run.
+  opa dataflow CHAIN --input FILE [--framework FW] [--threads N]
+              [--policy auto|reshuffle|materialize] [--rounds K] [--k N]
+              [--window SECS] [--checkpoint-dir DIR] [--resume]
+              [--fault-rate P] [--fault-seed N] [--trace-out FILE] [--output FILE]
+      CHAIN: pagerank | distinct-sessions | top-pages
+      Chains several jobs with M3R-style in-memory handoffs: when a stage
+      declares itself partition-preserving and its input dataset was
+      bucketed under the same partition function, the reshuffle is skipped
+      outright (zero shuffle bytes). --policy reshuffle/materialize forces
+      the classic paths for comparison; --checkpoint-dir + --resume restore
+      the latest finished stage and continue mid-pipeline.
   opa trace FILE [--format chrome|summary] [--out FILE]
       Post-processes a JSONL trace written by --trace-out: `chrome` exports
       a Chrome/Perfetto trace (load at ui.perfetto.dev), `summary` (default)
@@ -87,6 +99,7 @@ fn main() -> ExitCode {
         ["generate", "documents"] => generate_documents(&args),
         ["run", job] => run_job(job, &args),
         ["stream", job] => stream_job(job, &args),
+        ["dataflow", chain] => dataflow_cmd::dataflow(chain, &args),
         ["trace", file] => trace_file(file, &args),
         ["serve"] => serve_cmd::serve(&args),
         ["query"] => query_checkpoint(&args),
@@ -371,7 +384,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn read_input(args: &Args) -> Result<JobInput, String> {
+pub(crate) fn read_input(args: &Args) -> Result<JobInput, String> {
     let input_path = args
         .options
         .get("input")

@@ -17,6 +17,8 @@
 //! - SWAR/SIMD byte scanning for tokenizer hot loops ([`scan`]),
 //! - the TinyLFU-style frequency sketch and membership filter behind
 //!   frequency-gated admission ([`sketch`]),
+//! - the canonical ⟨key, value⟩ record framing that carries one job's
+//!   output into the next job's map in a dataflow ([`record`]),
 //! - streaming-run shape and checkpoint cadence ([`stream`]),
 //! - the fault-injection vocabulary shared by the engine and the storage
 //!   substrate ([`fault`]),
@@ -29,6 +31,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod hash;
+pub mod record;
 pub mod rng;
 pub mod scan;
 pub mod sketch;
@@ -40,6 +43,7 @@ pub use config::{AdmissionPolicy, ExecConfig, HardwareSpec, SystemSettings, Work
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 pub use hash::{GroupIndex, HashFamily, HashFn, SeededState, ShardedGroupIndex};
+pub use record::{decode_kv, encode_kv, encode_kv_into};
 pub use scan::{find_byte, tokens};
 pub use sketch::{FreqSketch, KeyFilter};
 pub use stream::StreamConfig;

@@ -201,6 +201,22 @@ pub trait Job: Send + Sync {
     fn state_size_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Declares that this job's map function preserves the partition of
+    /// its input records: for every framed ⟨key, value⟩ record it
+    /// consumes in a dataflow, every pair it emits carries a key that
+    /// hashes to the *same* h1 partition as the input key (the common
+    /// case: the map emits under the unchanged input key). This is the
+    /// M3R partition-stability contract — a chained stage may skip the
+    /// reshuffle entirely only when the upstream dataset carries a
+    /// compatible `PartitionSpec` *and* the downstream job declares this.
+    /// The dataflow layer re-verifies the claim against the carried h1
+    /// fingerprints at run time and hard-errors on a violation, so a
+    /// wrong `true` cannot silently corrupt grouping. Default: `false`
+    /// (always safe; forces the reshuffle fallback).
+    fn partition_preserving(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +271,7 @@ mod tests {
         assert!(j.incremental().is_none());
         assert!(j.expected_keys().is_none());
         assert!(j.state_size_hint().is_none());
+        assert!(!j.partition_preserving());
     }
 
     struct EchoInc;

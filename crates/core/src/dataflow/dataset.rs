@@ -1,0 +1,347 @@
+//! The reusable in-memory dataset handle.
+//!
+//! A [`Dataset`] is one job's output held resident between the stages of a
+//! [`Dataflow`](super::Dataflow): the pairs live bucketed by their `h1`
+//! partition, and every record carries the `h1` fingerprint computed when
+//! it was bucketed. Those carried fingerprints are what make partition
+//! compatibility *checkable* rather than assumed — a downstream stage may
+//! skip its shuffle only after [`Dataset::verify_placement`] proves every
+//! record already sits on the partition the downstream partition function
+//! would send it to.
+
+use crate::cluster::ClusterSpec;
+use crate::job::JobInput;
+use bytes::Bytes;
+use opa_common::hash::{bucket_of, HashFamily};
+use opa_common::{encode_kv, Error, Pair, Result};
+use opa_simio::ckpt::{decode_sections, encode_sections, Section};
+
+/// Identity of a partition function: the engine partitions by
+/// `bucket_of(h1(key), partitions)` where `h1` is the first member of the
+/// universal hash family seeded by `hash_seed`. Two stages share a
+/// partitioning exactly when their `PartitionSpec`s are equal — same
+/// family seed, same fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Seed of the engine's universal hash family.
+    pub hash_seed: u64,
+    /// Number of partitions (the cluster's total reducers, `N · R`).
+    pub partitions: usize,
+}
+
+impl PartitionSpec {
+    /// The partition function a job run on `spec` uses.
+    pub fn of(spec: &ClusterSpec) -> Self {
+        PartitionSpec {
+            hash_seed: spec.hash_seed,
+            partitions: spec.total_reducers(),
+        }
+    }
+}
+
+/// One job's output pairs, resident in memory, bucketed by `h1` partition
+/// and carrying each record's partition-time fingerprint.
+///
+/// Both `opa run` batch outcomes ([`crate::job::JobOutcome::dataset`]) and
+/// the stream driver produce datasets; a [`Dataflow`](super::Dataflow)
+/// consumes them. Record order is deterministic: partition-major, original
+/// output order within each partition — so a dataset built from a
+/// bit-identical `JobOutcome` is itself bit-identical at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    spec: PartitionSpec,
+    /// Per-partition pairs, indexed by partition.
+    parts: Vec<Vec<Pair>>,
+    /// Per-partition `h1` fingerprints, parallel to `parts`.
+    hashes: Vec<Vec<u64>>,
+}
+
+impl Dataset {
+    /// Buckets `pairs` under the given partition function, computing and
+    /// carrying each key's `h1` fingerprint.
+    pub fn from_pairs(pairs: Vec<Pair>, spec: PartitionSpec) -> Dataset {
+        assert!(spec.partitions > 0, "partition count must be positive");
+        let h1 = HashFamily::new(spec.hash_seed).fn_at(0);
+        let mut parts: Vec<Vec<Pair>> = vec![Vec::new(); spec.partitions];
+        let mut hashes: Vec<Vec<u64>> = vec![Vec::new(); spec.partitions];
+        for pair in pairs {
+            let h = h1.hash(pair.key.bytes());
+            let p = bucket_of(h, spec.partitions);
+            parts[p].push(pair);
+            hashes[p].push(h);
+        }
+        Dataset {
+            spec,
+            parts,
+            hashes,
+        }
+    }
+
+    /// The partition function this dataset is bucketed under.
+    pub fn spec(&self) -> PartitionSpec {
+        self.spec
+    }
+
+    /// Total records across all partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Total bytes of the dataset in its framed dataflow-record form —
+    /// what the downstream map phase reads
+    /// (see [`opa_common::record`]).
+    pub fn record_bytes(&self) -> u64 {
+        self.pairs()
+            .map(|p| 4 + p.key.len() as u64 + p.value.len() as u64)
+            .sum()
+    }
+
+    /// The pairs of one partition, in output order.
+    pub fn partition(&self, p: usize) -> &[Pair] {
+        &self.parts[p]
+    }
+
+    /// All pairs in canonical (partition-major) order.
+    pub fn pairs(&self) -> impl Iterator<Item = &Pair> {
+        self.parts.iter().flatten()
+    }
+
+    /// Consumes the dataset into its pairs, partition-major.
+    pub fn into_pairs(self) -> Vec<Pair> {
+        self.parts.into_iter().flatten().collect()
+    }
+
+    /// The pairs sorted by key then value — canonical form for
+    /// correctness comparisons, matching
+    /// [`crate::job::JobOutcome::sorted_output`].
+    pub fn sorted_pairs(&self) -> Vec<Pair> {
+        let mut out: Vec<Pair> = self.pairs().cloned().collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+        out
+    }
+
+    /// One partition's records in framed dataflow form, ready to feed a
+    /// colocated map task on the shuffle-skip path.
+    pub(crate) fn partition_records(&self, p: usize) -> Vec<Bytes> {
+        self.parts[p]
+            .iter()
+            .map(|pair| Bytes::from(encode_kv(pair.key.bytes(), pair.value.bytes())))
+            .collect()
+    }
+
+    /// Re-encodes the whole dataset as a [`JobInput`] of framed dataflow
+    /// records (partition-major order) — the reshuffle-fallback path, and
+    /// the exact bytes a materialize-to-disk handoff would read back.
+    pub fn to_input(&self) -> JobInput {
+        JobInput {
+            records: (0..self.parts.len())
+                .flat_map(|p| self.partition_records(p))
+                .collect(),
+        }
+    }
+
+    /// Checks the carried fingerprints against the dataset's own partition
+    /// function: every record must sit on the partition `h1` sends it to.
+    /// True by construction after [`Dataset::from_pairs`]; the check
+    /// matters after a checkpoint restore or a union, and is the runtime
+    /// half of the shuffle-skip compatibility argument.
+    pub fn verify_placement(&self) -> bool {
+        self.hashes
+            .iter()
+            .enumerate()
+            .all(|(p, hs)| hs.iter().all(|&h| bucket_of(h, self.spec.partitions) == p))
+    }
+
+    /// Co-partitioned union: concatenates two datasets that share a
+    /// partition function, `a`'s records before `b`'s within each
+    /// partition. This is the no-shuffle join primitive — because both
+    /// sides are bucketed by the same `h1`, every key's records from both
+    /// inputs meet on one partition, verified against the carried
+    /// fingerprints. Errors if the specs differ.
+    pub fn union(a: &Dataset, b: &Dataset) -> Result<Dataset> {
+        if a.spec != b.spec {
+            return Err(Error::job(format!(
+                "dataset union requires one partition function: \
+                 {:?} vs {:?}",
+                a.spec, b.spec
+            )));
+        }
+        let mut parts = a.parts.clone();
+        let mut hashes = a.hashes.clone();
+        for (p, (pairs, hs)) in b.parts.iter().zip(&b.hashes).enumerate() {
+            parts[p].extend(pairs.iter().cloned());
+            hashes[p].extend(hs.iter().copied());
+        }
+        let out = Dataset {
+            spec: a.spec,
+            parts,
+            hashes,
+        };
+        debug_assert!(out.verify_placement());
+        Ok(out)
+    }
+
+    /// Serializes the dataset into checkpoint sections: one `Nums` header
+    /// (seed, fan-out), then a `Pairs` + `Nums` (fingerprints) couple per
+    /// partition.
+    pub(crate) fn to_sections(&self) -> Vec<Section> {
+        let mut sections = Vec::with_capacity(1 + 2 * self.parts.len());
+        sections.push(Section::Nums(vec![
+            self.spec.hash_seed,
+            self.spec.partitions as u64,
+        ]));
+        for (pairs, hashes) in self.parts.iter().zip(&self.hashes) {
+            sections.push(Section::Pairs(pairs.clone()));
+            sections.push(Section::Nums(hashes.clone()));
+        }
+        sections
+    }
+
+    /// Rebuilds a dataset from [`Dataset::to_sections`] output, verifying
+    /// record placement against the restored fingerprints.
+    pub(crate) fn from_sections(sections: &[Section]) -> Result<Dataset> {
+        let bad = || Error::job("malformed dataset checkpoint sections");
+        let Some(Section::Nums(header)) = sections.first() else {
+            return Err(bad());
+        };
+        let [hash_seed, partitions] = header[..] else {
+            return Err(bad());
+        };
+        let partitions = partitions as usize;
+        if partitions == 0 || sections.len() != 1 + 2 * partitions {
+            return Err(bad());
+        }
+        let mut parts = Vec::with_capacity(partitions);
+        let mut hashes = Vec::with_capacity(partitions);
+        for chunk in sections[1..].chunks(2) {
+            let (Section::Pairs(pairs), Section::Nums(hs)) = (&chunk[0], &chunk[1]) else {
+                return Err(bad());
+            };
+            if pairs.len() != hs.len() {
+                return Err(bad());
+            }
+            parts.push(pairs.clone());
+            hashes.push(hs.clone());
+        }
+        let ds = Dataset {
+            spec: PartitionSpec {
+                hash_seed,
+                partitions,
+            },
+            parts,
+            hashes,
+        };
+        if !ds.verify_placement() {
+            return Err(Error::job(
+                "dataset checkpoint fails fingerprint placement verification",
+            ));
+        }
+        Ok(ds)
+    }
+
+    /// Writes the dataset to a checkpoint-format file (`OPAC` framing +
+    /// CRC, see [`opa_simio::ckpt`]).
+    pub fn write(&self, path: &std::path::Path) -> Result<()> {
+        let buf = encode_sections(&self.to_sections());
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| Error::storage(format!("mkdir {}: {e}", dir.display())))?;
+        }
+        std::fs::write(path, buf)
+            .map_err(|e| Error::storage(format!("write {}: {e}", path.display())))
+    }
+
+    /// Reads back a dataset written by [`Dataset::write`], verifying the
+    /// file checksum and record placement.
+    pub fn read(path: &std::path::Path) -> Result<Dataset> {
+        let buf = std::fs::read(path)
+            .map_err(|e| Error::storage(format!("read {}: {e}", path.display())))?;
+        Dataset::from_sections(&decode_sections(&buf)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opa_common::{Key, Value};
+
+    fn sample_spec() -> PartitionSpec {
+        PartitionSpec {
+            hash_seed: 7,
+            partitions: 4,
+        }
+    }
+
+    fn sample() -> Dataset {
+        let pairs: Vec<Pair> = (0..64)
+            .map(|i| {
+                Pair::new(
+                    Key::from_slice(format!("key{i}").as_bytes()),
+                    Value::from_u64(i),
+                )
+            })
+            .collect();
+        Dataset::from_pairs(pairs, sample_spec())
+    }
+
+    #[test]
+    fn bucketing_matches_engine_partitioning() {
+        let ds = sample();
+        assert_eq!(ds.len(), 64);
+        assert!(ds.verify_placement());
+        let h1 = HashFamily::new(7).fn_at(0);
+        for p in 0..4 {
+            for pair in ds.partition(p) {
+                assert_eq!(bucket_of(h1.hash(pair.key.bytes()), 4), p);
+            }
+        }
+    }
+
+    #[test]
+    fn framed_roundtrip_through_input() {
+        let ds = sample();
+        let input = ds.to_input();
+        assert_eq!(input.len(), 64);
+        assert_eq!(input.total_bytes(), ds.record_bytes());
+        for rec in &input.records {
+            let (k, _v) = opa_common::decode_kv(rec).expect("framed record");
+            assert!(k.starts_with(b"key"));
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join(format!("opa-ds-{}", std::process::id()));
+        let path = dir.join("ds.opadf");
+        ds.write(&path).expect("write");
+        let back = Dataset::read(&path).expect("read");
+        assert_eq!(ds, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn union_requires_matching_spec() {
+        let a = sample();
+        let b = Dataset::from_pairs(
+            vec![Pair::new(Key::from("x"), Value::from_u64(1))],
+            PartitionSpec {
+                hash_seed: 9,
+                partitions: 4,
+            },
+        );
+        assert!(Dataset::union(&a, &b).is_err());
+        let c = Dataset::from_pairs(
+            vec![Pair::new(Key::from("x"), Value::from_u64(1))],
+            sample_spec(),
+        );
+        let u = Dataset::union(&a, &c).expect("co-partitioned union");
+        assert_eq!(u.len(), 65);
+        assert!(u.verify_placement());
+    }
+}

@@ -1,0 +1,550 @@
+//! Multi-job in-memory dataflow: partition-stable chaining.
+//!
+//! The paper's engine runs one MapReduce job at a time; real analytics
+//! pipelines (PageRank rounds, multi-step sessionization, join-then-rank
+//! reports) chain several. Chaining through the distributed filesystem —
+//! job N writes its reduce output, job N+1 re-reads, re-maps and
+//! *re-shuffles* it — pays the full `U_1..U_5` I/O bill between every
+//! pair of jobs. This module keeps the handoff in memory instead, in the
+//! spirit of M3R (Shinnar et al., VLDB 2012): job N's reduce output stays
+//! resident as a partition-bucketed [`Dataset`], and when the downstream
+//! job's partitioning is *compatible*, the shuffle is skipped outright —
+//! each partition is mapped and reduced in place by a colocated task
+//! pair, contributing zero shuffle bytes.
+//!
+//! Compatibility is checked, never assumed, in three parts:
+//!
+//! 1. **Partition-function identity** — the dataset's [`PartitionSpec`]
+//!    (hash-family seed + fan-out) must equal the downstream stage's.
+//! 2. **Job declaration** — the job must declare
+//!    [`Job::partition_preserving`]: its map emits every output pair
+//!    under a key hashing to the same `h1` partition as the input key.
+//! 3. **Runtime verification** — the dataset's carried `h1` fingerprints
+//!    are re-checked against the partition function
+//!    ([`Dataset::verify_placement`]), and after every chained map task
+//!    the executor hard-errors if any payload targets a foreign
+//!    partition.
+//!
+//! When any check fails, the chain falls back to a real shuffle
+//! (re-running the stage through the ordinary engine), so a wrong
+//! declaration costs performance, never correctness. The path taken is
+//! recorded per stage in [`StageReport::handoff`] and, when tracing is
+//! on, as `stage_start` / `stage_handoff` / `reshuffle_skipped` events
+//! in the chain's [`TraceLog`].
+//!
+//! Determinism: chained stages compute map plans in parallel but replay
+//! all shared-state effects sequentially in partition order, so a
+//! [`DataflowOutcome`] is bit-identical at any thread count — the same
+//! contract the single-job engine offers.
+//!
+//! # Example
+//!
+//! A two-stage chain where the second stage's map keeps keys unchanged
+//! (and says so), letting the handoff skip the shuffle:
+//!
+//! ```
+//! use opa_common::{Key, Value};
+//! use opa_core::api::{Job, ReduceCtx};
+//! use opa_core::cluster::{ClusterSpec, Framework};
+//! use opa_core::dataflow::{Dataflow, Handoff};
+//! use opa_core::job::JobInput;
+//!
+//! /// Counts each record's first byte.
+//! struct Count;
+//! impl Job for Count {
+//!     fn name(&self) -> &str { "count" }
+//!     fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+//!         emit(&record[..1], &1u64.to_be_bytes());
+//!     }
+//!     fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+//!         let n: u64 = values.iter().filter_map(Value::as_u64).sum();
+//!         ctx.emit(key.clone(), Value::from_u64(n));
+//!     }
+//! }
+//!
+//! /// Doubles each count, key unchanged — partition-preserving.
+//! struct Double;
+//! impl Job for Double {
+//!     fn name(&self) -> &str { "double" }
+//!     fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+//!         let (k, v) = opa_common::decode_kv(record).expect("framed");
+//!         let n = u64::from_be_bytes(v.try_into().expect("u64 value"));
+//!         emit(k, &(2 * n).to_be_bytes());
+//!     }
+//!     fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+//!         for v in values { ctx.emit(key.clone(), v); }
+//!     }
+//!     fn partition_preserving(&self) -> bool { true }
+//! }
+//!
+//! let input = JobInput::from_records(
+//!     (0..200u8).map(|i| vec![i % 7, b'x']).collect(),
+//! );
+//! let outcome = Dataflow::new(ClusterSpec::tiny())
+//!     .then(Count, Framework::MrHash)
+//!     .then(Double, Framework::MrHash)
+//!     .run(&input)
+//!     .expect("chain runs");
+//!
+//! // The second stage skipped its shuffle entirely.
+//! assert_eq!(outcome.stages[1].handoff, Handoff::InMemory);
+//! assert_eq!(outcome.stages[1].metrics.map_output_bytes, 0);
+//! assert!(outcome.stages[1].bytes_saved > 0);
+//! assert_eq!(outcome.output.len(), 7);
+//! ```
+
+mod ckpt;
+mod dataset;
+mod stage;
+
+pub use dataset::{Dataset, PartitionSpec};
+
+use crate::api::Job;
+use crate::cluster::{ClusterSpec, Framework};
+use crate::job::{JobBuilder, JobInput, JobOutcome};
+use crate::metrics::JobMetrics;
+use opa_common::fault::FaultConfig;
+use opa_common::{Error, ExecConfig, Key, Pair, Result, Value};
+use opa_trace::{TraceEvent, TraceLog, Tracer};
+use std::path::PathBuf;
+
+/// How a [`Dataflow`] hands each stage's output to the next stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandoffPolicy {
+    /// Skip the shuffle whenever the compatibility checks pass; fall
+    /// back to a real reshuffle otherwise. The default.
+    #[default]
+    Auto,
+    /// Always reshuffle through the engine, even when the skip would be
+    /// safe. The baseline the skip is measured against.
+    Reshuffle,
+    /// Materialize the handoff through a real file (write, read back,
+    /// reshuffle) — the classic job-chaining-through-HDFS behaviour.
+    Materialize,
+}
+
+/// The handoff a stage's *input* actually crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handoff {
+    /// First stage: raw job input records.
+    Source,
+    /// Partition-stable in-memory handoff — the shuffle was skipped.
+    InMemory,
+    /// The upstream dataset was re-shuffled through the engine.
+    Reshuffled,
+    /// The upstream dataset crossed a real file before reshuffling.
+    Materialized,
+}
+
+impl Handoff {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Handoff::Source => "source",
+            Handoff::InMemory => "in-memory",
+            Handoff::Reshuffled => "reshuffled",
+            Handoff::Materialized => "materialized",
+        }
+    }
+}
+
+/// One stage's summary within a [`DataflowOutcome`].
+#[derive(Debug)]
+pub struct StageReport {
+    /// The stage's job name.
+    pub name: String,
+    /// Framework label the stage ran under.
+    pub framework: String,
+    /// How the stage's input arrived.
+    pub handoff: Handoff,
+    /// Records entering the stage.
+    pub records_in: u64,
+    /// Bytes entering the stage (framed dataflow records, or raw input
+    /// bytes for the source stage).
+    pub bytes_in: u64,
+    /// Records the stage produced.
+    pub records_out: u64,
+    /// Bytes the stage produced (framed dataflow-record form).
+    pub bytes_out: u64,
+    /// Shuffle bytes the in-memory handoff avoided (0 unless
+    /// [`Handoff::InMemory`]).
+    pub bytes_saved: u64,
+    /// The stage's full engine metrics.
+    pub metrics: JobMetrics,
+}
+
+/// Everything a finished chain yields.
+#[derive(Debug)]
+pub struct DataflowOutcome {
+    /// Per-stage reports, in execution order. Stages restored from a
+    /// checkpoint (not re-executed) have no report.
+    pub stages: Vec<StageReport>,
+    /// The final stage's output, resident and partition-bucketed — ready
+    /// to feed another chain.
+    pub output: Dataset,
+    /// Chain-level trace (`stage_start` / `stage_handoff` /
+    /// `reshuffle_skipped`, ordinal-time), when tracing was enabled.
+    /// Per-stage engine detail lives in each [`StageReport::metrics`].
+    pub trace: Option<TraceLog>,
+    /// `Some(k)` when the run restored stage `k`'s checkpointed output
+    /// and resumed at stage `k + 1`.
+    pub resumed_from: Option<usize>,
+}
+
+impl DataflowOutcome {
+    /// The final output sorted by key then value — canonical form for
+    /// correctness comparisons, matching [`JobOutcome::sorted_output`].
+    pub fn sorted_output(&self) -> Vec<Pair> {
+        self.output.sorted_pairs()
+    }
+}
+
+/// One stage of a chain: a job plus the framework (and optionally a
+/// cluster override) to run it under.
+struct Stage {
+    job: Box<dyn Job>,
+    framework: Framework,
+    cluster: Option<ClusterSpec>,
+    km_hint: f64,
+}
+
+/// Borrowed view of a boxed stage job, so the ordinary [`JobBuilder`]
+/// engine path can run it without taking ownership.
+struct DynJob<'a>(&'a dyn Job);
+
+impl Job for DynJob<'_> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        self.0.map(record, emit);
+    }
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut crate::api::ReduceCtx) {
+        self.0.reduce(key, values, ctx);
+    }
+    fn combiner(&self) -> Option<&dyn crate::api::Combiner> {
+        self.0.combiner()
+    }
+    fn incremental(&self) -> Option<&dyn crate::api::IncrementalReducer> {
+        self.0.incremental()
+    }
+    fn expected_keys(&self) -> Option<u64> {
+        self.0.expected_keys()
+    }
+    fn state_size_hint(&self) -> Option<u64> {
+        self.0.state_size_hint()
+    }
+    fn partition_preserving(&self) -> bool {
+        self.0.partition_preserving()
+    }
+}
+
+/// A chain of jobs executed with in-memory handoffs where possible.
+///
+/// Build with [`Dataflow::new`], append stages with [`Dataflow::then`],
+/// then [`Dataflow::run`] (from raw records) or [`Dataflow::run_from`]
+/// (from a resident [`Dataset`], e.g. a previous chain's or stream
+/// window's output).
+pub struct Dataflow {
+    cluster: ClusterSpec,
+    stages: Vec<Stage>,
+    exec: ExecConfig,
+    policy: HandoffPolicy,
+    trace: bool,
+    faults: FaultConfig,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Dataflow {
+    /// Starts a chain on `cluster` (every stage's default).
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Dataflow {
+            cluster,
+            stages: Vec::new(),
+            exec: ExecConfig::sequential(),
+            policy: HandoffPolicy::Auto,
+            trace: false,
+            faults: FaultConfig::disabled(),
+            checkpoint_dir: None,
+            resume: false,
+        }
+    }
+
+    /// Appends a stage running `job` under `framework`.
+    pub fn then(mut self, job: impl Job + 'static, framework: Framework) -> Self {
+        self.stages.push(Stage {
+            job: Box::new(job),
+            framework,
+            cluster: None,
+            km_hint: 1.0,
+        });
+        self
+    }
+
+    /// Overrides the cluster of the most recently appended stage. Note a
+    /// stage whose partition function differs from its input's can never
+    /// skip its shuffle.
+    pub fn stage_cluster(mut self, spec: ClusterSpec) -> Self {
+        if let Some(stage) = self.stages.last_mut() {
+            stage.cluster = Some(spec);
+        }
+        self
+    }
+
+    /// Sets the map output/input ratio hint `K_m` of the most recently
+    /// appended stage (see [`JobBuilder::km_hint`]).
+    pub fn stage_km_hint(mut self, km: f64) -> Self {
+        if let Some(stage) = self.stages.last_mut() {
+            stage.km_hint = km;
+        }
+        self
+    }
+
+    /// Selects the handoff policy (default [`HandoffPolicy::Auto`]).
+    pub fn policy(mut self, policy: HandoffPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the execution-layer thread count (see [`JobBuilder::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.exec = ExecConfig::with_threads(threads);
+        self
+    }
+
+    /// Sets the full execution-layer configuration.
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Turns on chain-level tracing: the outcome then carries a
+    /// [`TraceLog`] of `stage_*` events (ordinal time: `t` = stage
+    /// index), and each engine-run stage records its own trace too.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enables deterministic fault injection for the *engine-run* stages
+    /// (the source stage and any reshuffled/materialized handoff).
+    /// Chained in-memory stages run fault-free: they model colocated
+    /// tasks over resident data, which the engine's fault plan — keyed
+    /// on chunk/reducer identities of a shuffled job — does not cover.
+    pub fn faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = cfg;
+        self
+    }
+
+    /// Writes each stage's output dataset to `dir` as it completes
+    /// (`stage-<i>.opadf`), enabling [`Dataflow::resume`].
+    pub fn checkpoints(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// On the next run, restore the latest matching stage checkpoint
+    /// from the configured directory and resume mid-pipeline after it.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    fn stage_spec(&self, stage: &Stage) -> ClusterSpec {
+        stage.cluster.unwrap_or(self.cluster)
+    }
+
+    /// Fingerprint of the chain's identity: stage job names, frameworks
+    /// and partition functions, in order. Checkpoints from a different
+    /// chain (or an edited one) never restore.
+    fn fingerprint(&self) -> u64 {
+        let parts: Vec<String> = self
+            .stages
+            .iter()
+            .flat_map(|s| {
+                let spec = self.stage_spec(s);
+                [
+                    s.job.name().to_string(),
+                    s.framework.label().to_string(),
+                    format!("{}/{}", spec.hash_seed, spec.total_reducers()),
+                ]
+            })
+            .collect();
+        ckpt::chain_fingerprint(parts.iter().map(String::as_str))
+    }
+
+    /// Runs the chain from raw input records (the first stage reads them
+    /// through the ordinary engine).
+    pub fn run(&self, input: &JobInput) -> Result<DataflowOutcome> {
+        self.execute(Some(input), None)
+    }
+
+    /// Runs the chain from a resident dataset — a previous chain's
+    /// output, or a [`JobOutcome::dataset`] / stream-window result. The
+    /// first stage is handoff-eligible like any later stage.
+    pub fn run_from(&self, dataset: &Dataset) -> Result<DataflowOutcome> {
+        self.execute(None, Some(dataset))
+    }
+
+    fn execute(
+        &self,
+        input: Option<&JobInput>,
+        first_dataset: Option<&Dataset>,
+    ) -> Result<DataflowOutcome> {
+        if self.stages.is_empty() {
+            return Err(Error::job("dataflow has no stages"));
+        }
+        let chain_fp = self.fingerprint();
+        let mut tracer = self.trace.then(Tracer::new);
+        let mut reports: Vec<StageReport> = Vec::with_capacity(self.stages.len());
+
+        // Resume: restore the newest checkpoint this exact chain wrote.
+        let mut resumed_from = None;
+        let mut start = 0usize;
+        let mut current: Option<Dataset> = first_dataset.cloned();
+        if self.resume {
+            if let Some(dir) = &self.checkpoint_dir {
+                if let Some((k, ds)) = ckpt::load_latest(dir, chain_fp, self.stages.len()) {
+                    resumed_from = Some(k);
+                    start = k + 1;
+                    current = Some(ds);
+                }
+            }
+        }
+
+        // `(stage index, records, bytes)` of the last executed stage,
+        // whose stage_handoff event is emitted once the next stage's
+        // handoff kind is known.
+        let mut pending_handoff: Option<(usize, u64, u64)> = None;
+
+        for (i, stage) in self.stages.iter().enumerate().skip(start) {
+            let spec = self.stage_spec(stage);
+            let target = PartitionSpec::of(&spec);
+
+            // Decide how this stage's input arrives.
+            let (handoff, records_in, bytes_in) = match (&current, input) {
+                (Some(ds), _) => {
+                    let kind = match self.policy {
+                        HandoffPolicy::Reshuffle => Handoff::Reshuffled,
+                        HandoffPolicy::Materialize => Handoff::Materialized,
+                        HandoffPolicy::Auto => {
+                            if stage.job.partition_preserving()
+                                && ds.spec() == target
+                                && ds.verify_placement()
+                            {
+                                Handoff::InMemory
+                            } else {
+                                Handoff::Reshuffled
+                            }
+                        }
+                    };
+                    (kind, ds.len() as u64, ds.record_bytes())
+                }
+                (None, Some(input)) => (Handoff::Source, input.len() as u64, input.total_bytes()),
+                (None, None) => unreachable!("run/run_from always provide a first input"),
+            };
+
+            if let Some(tr) = tracer.as_mut() {
+                if let Some((prev, records, bytes)) = pending_handoff.take() {
+                    tr.push(TraceEvent::StageHandoff {
+                        t: prev as u64,
+                        stage: prev as u32,
+                        records,
+                        bytes,
+                        reshuffled: matches!(handoff, Handoff::Reshuffled | Handoff::Materialized),
+                    });
+                }
+                tr.push(TraceEvent::StageStart {
+                    t: i as u64,
+                    stage: i as u32,
+                    records: records_in,
+                    bytes: bytes_in,
+                });
+            }
+
+            // Run the stage along its handoff path.
+            let (outcome, bytes_saved) = match handoff {
+                Handoff::InMemory => {
+                    let ds = current.as_ref().expect("in-memory handoff has a dataset");
+                    stage::run_chained_stage(
+                        stage.job.as_ref(),
+                        stage.framework,
+                        &spec,
+                        self.exec,
+                        stage.km_hint,
+                        ds,
+                        self.trace,
+                    )?
+                }
+                Handoff::Source => {
+                    let input = input.expect("source stage has records");
+                    (self.engine_run(stage, spec, input)?, 0)
+                }
+                Handoff::Reshuffled => {
+                    let ds = current.as_ref().expect("reshuffle handoff has a dataset");
+                    (self.engine_run(stage, spec, &ds.to_input())?, 0)
+                }
+                Handoff::Materialized => {
+                    let ds = current.as_ref().expect("materialize handoff has a dataset");
+                    let dir = self.checkpoint_dir.clone().unwrap_or_else(|| {
+                        std::env::temp_dir().join(format!("opa-dataflow-{}", std::process::id()))
+                    });
+                    let path = dir.join(format!("handoff-{i}.opadf"));
+                    ds.write(&path)?;
+                    let back = Dataset::read(&path)?;
+                    std::fs::remove_file(&path).ok();
+                    (self.engine_run(stage, spec, &back.to_input())?, 0)
+                }
+            };
+
+            if let (Some(tr), Handoff::InMemory) = (tracer.as_mut(), handoff) {
+                tr.push(TraceEvent::ReshuffleSkipped {
+                    t: i as u64,
+                    stage: i as u32,
+                    bytes_saved,
+                });
+            }
+
+            // The stage's output becomes the next stage's resident input,
+            // bucketed under *this* stage's partition function.
+            let out = outcome.dataset(&spec);
+            if let Some(dir) = &self.checkpoint_dir {
+                ckpt::write_stage(dir, chain_fp, i, &out)?;
+            }
+            pending_handoff = Some((i, out.len() as u64, out.record_bytes()));
+            reports.push(StageReport {
+                name: stage.job.name().to_string(),
+                framework: stage.framework.label().to_string(),
+                handoff,
+                records_in,
+                bytes_in,
+                records_out: out.len() as u64,
+                bytes_out: out.record_bytes(),
+                bytes_saved,
+                metrics: outcome.metrics,
+            });
+            current = Some(out);
+        }
+
+        Ok(DataflowOutcome {
+            stages: reports,
+            output: current.expect("at least one stage ran or was restored"),
+            trace: tracer.map(Tracer::into_log),
+            resumed_from,
+        })
+    }
+
+    /// Runs one stage through the ordinary engine (real shuffle), with
+    /// fault injection if configured.
+    fn engine_run(&self, stage: &Stage, spec: ClusterSpec, input: &JobInput) -> Result<JobOutcome> {
+        JobBuilder::new(DynJob(stage.job.as_ref()))
+            .framework(stage.framework)
+            .cluster(spec)
+            .exec(self.exec)
+            .km_hint(stage.km_hint)
+            .faults(self.faults)
+            .trace(self.trace)
+            .run(input)
+    }
+}

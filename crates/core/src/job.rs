@@ -158,6 +158,17 @@ impl JobOutcome {
             .map_err(|e| Error::storage(format!("read {}: {e}", path.display())))?;
         opa_simio::codec::decode_run(&buf)
     }
+
+    /// The output as a resident [`crate::dataflow::Dataset`], bucketed
+    /// under the partition function of `spec` — the handle a
+    /// [`crate::dataflow::Dataflow`] chains from. Pass the spec the job
+    /// ran on to get the partitioning its reducers actually produced.
+    pub fn dataset(&self, spec: &ClusterSpec) -> crate::dataflow::Dataset {
+        crate::dataflow::Dataset::from_pairs(
+            self.output.clone(),
+            crate::dataflow::PartitionSpec::of(spec),
+        )
+    }
 }
 
 /// Fluent builder for one job run.

@@ -35,6 +35,13 @@
 //! output, the five-category I/O statistics, Definition-1 progress curves
 //! and the task timeline used to regenerate the paper's figures.
 //!
+//! Multi-job pipelines live in [`dataflow`]: a [`dataflow::Dataflow`]
+//! chains jobs so each stage's reduce output feeds the next stage's map
+//! through an in-memory, partition-bucketed [`dataflow::Dataset`] — and
+//! when the downstream stage is partition-preserving under the same
+//! partitioning, the intervening shuffle is skipped entirely
+//! (M3R-style), with chain-wide checkpoint/restore at stage boundaries.
+//!
 //! ```
 //! use opa_common::{Key, Value};
 //! use opa_core::prelude::*;
@@ -81,6 +88,7 @@
 pub mod api;
 pub mod cluster;
 pub mod cost;
+pub mod dataflow;
 pub mod exec;
 pub mod fault;
 pub mod job;
@@ -95,6 +103,7 @@ pub mod prelude {
     pub use crate::api::{Combiner, IncrementalReducer, Job, ReduceCtx};
     pub use crate::cluster::{ClusterSpec, Framework};
     pub use crate::cost::CostModel;
+    pub use crate::dataflow::{Dataflow, DataflowOutcome, Dataset, Handoff, HandoffPolicy};
     pub use crate::job::{JobBuilder, JobInput, JobOutcome};
     pub use crate::metrics::JobMetrics;
     pub use crate::progress::ProgressCurve;
@@ -103,4 +112,5 @@ pub mod prelude {
 }
 
 pub use cluster::{ClusterSpec, Framework};
+pub use dataflow::{Dataflow, DataflowOutcome, Dataset};
 pub use job::{JobBuilder, JobInput, JobOutcome};

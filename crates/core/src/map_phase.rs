@@ -186,6 +186,25 @@ impl MapTaskPlan {
         self.cpu += dur;
     }
 
+    /// Converts this plan into its in-memory dataflow form (the M3R-style
+    /// partition-stable handoff): drops the HDFS chunk read — the input
+    /// never lived on the distributed filesystem, it arrived as the
+    /// previous stage's resident output — and the map-output
+    /// materialization writes, which are exactly the shuffle volume the
+    /// handoff skips. CPU charges, internal external-sort spills and
+    /// granule stamps are kept: the map function and its sort really run.
+    /// Returns the forgone map-output byte volume (the stage's
+    /// `bytes_saved`) and zeroes the plan's own shuffle accounting.
+    pub fn strip_materialization(&mut self) -> u64 {
+        self.ops.retain(|op| {
+            !matches!(
+                op,
+                MapOp::Hdfs(IoCategory::MapInput, _) | MapOp::Spill(IoCategory::MapOutput, _)
+            )
+        });
+        std::mem::take(&mut self.output_bytes)
+    }
+
     /// The task's contention-free duration: what it would take on an idle
     /// node. The fault subsystem uses this as the straggler-detection
     /// horizon — the instant a healthy attempt "should have" finished.

@@ -1,0 +1,322 @@
+//! Dataflow-chain correctness battery.
+//!
+//! The contract under test: a chained run — in-memory handoffs, skipped
+//! reshuffles and all — produces output *bit-identical* to the classic
+//! staged pipeline that materializes every intermediate through a real
+//! file, at any thread count and under fault injection; the skip path
+//! really moves zero shuffle bytes; and mid-chain checkpoint/restore
+//! changes nothing but the amount of work re-done.
+
+// Only `WordCount` and `seeded_input` are needed here; the fault-matrix
+// fixtures in `common` stay unused in this binary.
+#[allow(dead_code)]
+mod common;
+
+use common::{seeded_input, WordCount};
+use opa_common::fault::FaultConfig;
+use opa_common::{decode_kv, Key, Pair, Value};
+use opa_core::api::{Job, ReduceCtx};
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::dataflow::{Dataflow, Dataset, Handoff, HandoffPolicy, PartitionSpec};
+use opa_core::job::{JobBuilder, JobInput};
+use opa_trace::TraceEvent;
+use std::path::PathBuf;
+
+/// Key-identity stage: triples each count. Declares itself
+/// partition-preserving, so an Auto chain may skip its shuffle.
+struct Scale;
+
+impl Job for Scale {
+    fn name(&self) -> &str {
+        "scale"
+    }
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        let (k, v) = decode_kv(record).expect("framed dataflow record");
+        let n = u64::from_be_bytes(v.try_into().expect("u64 count"));
+        emit(k, &(3 * n).to_be_bytes());
+    }
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+        ctx.emit(key.clone(), Value::from_u64(sum));
+    }
+    fn partition_preserving(&self) -> bool {
+        true
+    }
+}
+
+/// Re-keying stage: buckets words by first letter. Changes keys, so it
+/// must reshuffle.
+struct ByFirstLetter;
+
+impl Job for ByFirstLetter {
+    fn name(&self) -> &str {
+        "by-first-letter"
+    }
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        let (k, v) = decode_kv(record).expect("framed dataflow record");
+        emit(&k[..1], v);
+    }
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+        ctx.emit(key.clone(), Value::from_u64(sum));
+    }
+}
+
+fn tiny() -> ClusterSpec {
+    ClusterSpec::tiny()
+}
+
+fn chain(threads: usize) -> Dataflow {
+    Dataflow::new(tiny())
+        .then(WordCount, Framework::MrHash)
+        .then(Scale, Framework::MrHash)
+        .then(ByFirstLetter, Framework::SortMerge)
+        .threads(threads)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("opa-df-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The classic pipeline the chain must match: each stage through the
+/// ordinary engine, every intermediate written to and re-read from a
+/// real file.
+fn staged_through_files(input: &JobInput, dir: &PathBuf) -> Vec<Pair> {
+    let spec = tiny();
+    std::fs::create_dir_all(dir).unwrap();
+    let one = JobBuilder::new(WordCount)
+        .framework(Framework::MrHash)
+        .cluster(spec)
+        .run(input)
+        .expect("stage 1");
+    let p1 = dir.join("stage1.opadf");
+    one.dataset(&spec).write(&p1).expect("materialize stage 1");
+    let two = JobBuilder::new(Scale)
+        .framework(Framework::MrHash)
+        .cluster(spec)
+        .run(&Dataset::read(&p1).expect("re-read").to_input())
+        .expect("stage 2");
+    let p2 = dir.join("stage2.opadf");
+    two.dataset(&spec).write(&p2).expect("materialize stage 2");
+    let three = JobBuilder::new(ByFirstLetter)
+        .framework(Framework::SortMerge)
+        .cluster(spec)
+        .run(&Dataset::read(&p2).expect("re-read").to_input())
+        .expect("stage 3");
+    std::fs::remove_dir_all(dir).ok();
+    three.sorted_output()
+}
+
+#[test]
+fn chained_matches_staged_files_at_every_thread_count() {
+    let input = seeded_input(11, 600);
+    let reference = staged_through_files(&input, &tmp_dir("staged"));
+    assert!(!reference.is_empty());
+    for threads in [1, 2, 4, 8] {
+        let out = chain(threads).run(&input).expect("chain runs");
+        assert_eq!(out.stages[0].handoff, Handoff::Source);
+        assert_eq!(
+            out.stages[1].handoff,
+            Handoff::InMemory,
+            "scale stage is partition-compatible"
+        );
+        assert_eq!(
+            out.stages[2].handoff,
+            Handoff::Reshuffled,
+            "re-keying stage must reshuffle"
+        );
+        assert_eq!(
+            out.sorted_output(),
+            reference,
+            "chained output must be bit-identical to the staged pipeline at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn every_policy_agrees_on_output() {
+    let input = seeded_input(12, 400);
+    let auto = chain(2).run(&input).expect("auto");
+    let reshuffle = chain(2)
+        .policy(HandoffPolicy::Reshuffle)
+        .run(&input)
+        .expect("reshuffle");
+    let materialize = chain(2)
+        .policy(HandoffPolicy::Materialize)
+        .run(&input)
+        .expect("materialize");
+    assert_eq!(reshuffle.stages[1].handoff, Handoff::Reshuffled);
+    assert_eq!(materialize.stages[1].handoff, Handoff::Materialized);
+    assert_eq!(auto.sorted_output(), reshuffle.sorted_output());
+    assert_eq!(auto.sorted_output(), materialize.sorted_output());
+}
+
+#[test]
+fn faults_do_not_change_chained_output() {
+    let input = seeded_input(13, 500);
+    let clean = chain(4).run(&input).expect("fault-free");
+    let faulty = chain(4)
+        .faults(FaultConfig::uniform(9, 0.25))
+        .run(&input)
+        .expect("faulty chain still completes");
+    assert!(
+        faulty
+            .stages
+            .iter()
+            .any(|s| s.metrics.faults.as_ref().is_some_and(|f| f.any_fired())),
+        "the fault plan must actually fire for this test to mean anything"
+    );
+    assert_eq!(clean.sorted_output(), faulty.sorted_output());
+}
+
+#[test]
+fn skip_path_moves_zero_shuffle_bytes_and_is_traced() {
+    let input = seeded_input(14, 400);
+    let out = chain(1).trace(true).run(&input).expect("chain runs");
+    let skipped = &out.stages[1];
+    assert_eq!(skipped.handoff, Handoff::InMemory);
+    assert_eq!(
+        skipped.metrics.map_output_bytes, 0,
+        "in-memory stage must report zero shuffle volume"
+    );
+    assert!(skipped.bytes_saved > 0);
+
+    let trace = out.trace.as_ref().expect("chain trace requested");
+    let mut saw_skip = false;
+    let mut stage0_handoff_reshuffled = None;
+    for ev in &trace.events {
+        match *ev {
+            TraceEvent::ReshuffleSkipped {
+                stage, bytes_saved, ..
+            } => {
+                assert_eq!(stage, 1);
+                assert_eq!(bytes_saved, skipped.bytes_saved);
+                saw_skip = true;
+            }
+            TraceEvent::StageHandoff {
+                stage: 0,
+                reshuffled,
+                ..
+            } => stage0_handoff_reshuffled = Some(reshuffled),
+            _ => {}
+        }
+    }
+    assert!(saw_skip, "reshuffle_skipped event must appear in the trace");
+    assert_eq!(
+        stage0_handoff_reshuffled,
+        Some(false),
+        "stage 0 -> 1 handoff must be marked as not reshuffled"
+    );
+
+    // The rollup sees the same story.
+    let rollup = opa_trace::Rollup::from_events(&trace.events);
+    assert_eq!(rollup.stage_skips, 1);
+    assert_eq!(rollup.stage_reshuffles, 1); // by-first-letter
+    assert_eq!(rollup.reshuffle_bytes_saved, skipped.bytes_saved);
+}
+
+#[test]
+fn run_from_makes_a_dataset_a_first_class_source() {
+    let input = seeded_input(15, 300);
+    let spec = tiny();
+    let counts = JobBuilder::new(WordCount)
+        .framework(Framework::IncHash)
+        .cluster(spec)
+        .run(&input)
+        .expect("producer job");
+    let ds = counts.dataset(&spec);
+    assert!(ds.verify_placement());
+    assert_eq!(ds.spec(), PartitionSpec::of(&spec));
+
+    let out = Dataflow::new(spec)
+        .then(Scale, Framework::MrHash)
+        .run_from(&ds)
+        .expect("chain from dataset");
+    assert_eq!(
+        out.stages[0].handoff,
+        Handoff::InMemory,
+        "a compatible dataset source skips even the first stage's shuffle"
+    );
+    // Scaling a count job's output by 3 = scaling each sorted value by 3.
+    let want: Vec<Pair> = counts
+        .sorted_output()
+        .into_iter()
+        .map(|p| Pair::new(p.key, Value::from_u64(p.value.as_u64().unwrap() * 3)))
+        .collect();
+    assert_eq!(out.sorted_output(), want);
+}
+
+#[test]
+fn checkpoint_resume_mid_chain_is_equivalent() {
+    let input = seeded_input(16, 500);
+    let dir = tmp_dir("ckpt");
+    let full = chain(2)
+        .checkpoints(&dir)
+        .run(&input)
+        .expect("checkpointing run");
+    assert_eq!(full.resumed_from, None);
+
+    // All three stage files exist: a resume restores the last stage's
+    // output and re-executes nothing.
+    let warm = chain(2)
+        .checkpoints(&dir)
+        .resume(true)
+        .run(&input)
+        .expect("warm resume");
+    assert_eq!(warm.resumed_from, Some(2));
+    assert!(warm.stages.is_empty());
+    assert_eq!(warm.sorted_output(), full.sorted_output());
+
+    // Delete the later checkpoints: resume must restart mid-chain from
+    // stage 0's output and still converge to the identical answer.
+    std::fs::remove_file(dir.join("stage-1.opadf")).unwrap();
+    std::fs::remove_file(dir.join("stage-2.opadf")).unwrap();
+    let mid = chain(2)
+        .checkpoints(&dir)
+        .resume(true)
+        .run(&input)
+        .expect("mid-chain resume");
+    assert_eq!(mid.resumed_from, Some(0));
+    assert_eq!(mid.stages.len(), 2, "stages 1 and 2 re-execute");
+    assert_eq!(mid.stages[0].handoff, Handoff::InMemory);
+    assert_eq!(mid.sorted_output(), full.sorted_output());
+
+    // A different chain must refuse these checkpoints entirely.
+    let foreign = Dataflow::new(tiny())
+        .then(WordCount, Framework::MrHash)
+        .then(ByFirstLetter, Framework::MrHash)
+        .threads(2)
+        .checkpoints(&dir)
+        .resume(true)
+        .run(&input)
+        .expect("foreign chain runs cold");
+    assert_eq!(
+        foreign.resumed_from, None,
+        "fingerprint mismatch: cold start"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn union_rejects_mismatched_partitioning() {
+    let input = seeded_input(17, 200);
+    let a = JobBuilder::new(WordCount)
+        .framework(Framework::MrHash)
+        .cluster(tiny())
+        .run(&input)
+        .expect("job a")
+        .dataset(&tiny());
+    let mut other = tiny();
+    other.hash_seed ^= 0xbeef;
+    let b = JobBuilder::new(WordCount)
+        .framework(Framework::MrHash)
+        .cluster(other)
+        .run(&input)
+        .expect("job b")
+        .dataset(&other);
+    assert!(Dataset::union(&a, &b).is_err(), "different hash seeds");
+    let ok = Dataset::union(&a, &a).expect("same spec unions fine");
+    assert_eq!(ok.len(), 2 * a.len());
+}

@@ -67,6 +67,17 @@ pub struct StreamOutcome {
     pub resumed_from_batch: Option<usize>,
 }
 
+impl StreamOutcome {
+    /// Packages the stream's output as a partitioned
+    /// [`Dataset`](opa_core::dataflow::Dataset), ready to feed a
+    /// [`Dataflow`](opa_core::dataflow::Dataflow) chain via `run_from` —
+    /// a stream run is a first-class dataflow source, exactly like a
+    /// batch [`JobOutcome`].
+    pub fn dataset(&self, spec: &ClusterSpec) -> opa_core::dataflow::Dataset {
+        self.job.dataset(spec)
+    }
+}
+
 /// Immutable driver configuration, bundled to keep call sites readable.
 pub(crate) struct DriverConfig<'a> {
     pub framework: Framework,

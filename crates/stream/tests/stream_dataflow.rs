@@ -1,0 +1,72 @@
+//! A stream run is a first-class dataflow source: its output dataset
+//! carries the partition function it was produced under, so a
+//! downstream partition-preserving chain starts with an in-memory
+//! handoff — zero shuffle bytes — exactly like a batch-produced dataset.
+
+use opa_common::{decode_kv, Key, Value};
+use opa_core::api::{Job, ReduceCtx};
+use opa_core::cluster::{ClusterSpec, Framework};
+use opa_core::dataflow::{Dataflow, Handoff, PartitionSpec};
+use opa_core::job::JobBuilder;
+use opa_stream::StreamJobBuilder;
+use opa_workloads::click_count::ClickCountJob;
+use opa_workloads::clickstream::ClickStreamSpec;
+
+/// Key-identity stage over framed count records.
+struct Scale;
+
+impl Job for Scale {
+    fn name(&self) -> &str {
+        "scale"
+    }
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        let (k, v) = decode_kv(record).expect("framed dataflow record");
+        let n = u64::from_be_bytes(v.try_into().expect("u64 count"));
+        emit(k, &(10 * n).to_be_bytes());
+    }
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
+        ctx.emit(key.clone(), Value::from_u64(sum));
+    }
+    fn partition_preserving(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn stream_output_feeds_a_dataflow_with_an_in_memory_handoff() {
+    let data = ClickStreamSpec::small().generate(77);
+    let spec = ClusterSpec::tiny();
+    let job = ClickCountJob {
+        expected_users: 100,
+    };
+
+    let stream = StreamJobBuilder::new(job.clone())
+        .framework(Framework::IncHash)
+        .cluster(spec)
+        .batches(4)
+        .run_stream(&data, |_| {})
+        .expect("stream runs");
+    let ds = stream.dataset(&spec);
+    assert_eq!(ds.spec(), PartitionSpec::of(&spec));
+    assert!(ds.verify_placement());
+
+    let out = Dataflow::new(spec)
+        .then(Scale, Framework::MrHash)
+        .run_from(&ds)
+        .expect("chain from stream dataset");
+    assert_eq!(out.stages[0].handoff, Handoff::InMemory);
+    assert_eq!(out.stages[0].metrics.map_output_bytes, 0);
+
+    // Same answer as chaining from the equivalent batch run's dataset.
+    let batch = JobBuilder::new(job)
+        .framework(Framework::IncHash)
+        .cluster(spec)
+        .run(&data)
+        .expect("batch runs");
+    let from_batch = Dataflow::new(spec)
+        .then(Scale, Framework::MrHash)
+        .run_from(&batch.dataset(&spec))
+        .expect("chain from batch dataset");
+    assert_eq!(out.sorted_output(), from_batch.sorted_output());
+}

@@ -236,12 +236,16 @@ pub fn to_chrome(events: &[TraceEvent]) -> String {
                 ),
                 &mut first,
             ),
-            // Serving-layer events use scheduler-round timestamps from a
+            // Serving-layer and dataflow-level events use ordinal
+            // timestamps (scheduler rounds / stage indices) from a
             // different clock domain than the engine's virtual µs; they
             // are omitted from the per-job Chrome timeline.
             TraceEvent::ServeJob { .. }
             | TraceEvent::WaveGrant { .. }
-            | TraceEvent::DlqReplay { .. } => {}
+            | TraceEvent::DlqReplay { .. }
+            | TraceEvent::StageStart { .. }
+            | TraceEvent::StageHandoff { .. }
+            | TraceEvent::ReshuffleSkipped { .. } => {}
         }
     }
     out.push_str("\n]}\n");

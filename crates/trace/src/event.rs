@@ -355,6 +355,49 @@ pub enum TraceEvent {
         /// Quarantined entries the replay covered.
         entries: u64,
     },
+    /// A dataflow stage began consuming its input. Dataflow-level events
+    /// carry the stage index as `t` (each stage's engine run has its own
+    /// virtual clock, so chain-level events use ordinal time, like the
+    /// serving layer's round counters).
+    StageStart {
+        /// Stage index within the chain (doubles as the event time).
+        t: u64,
+        /// Stage index within the chain.
+        stage: u32,
+        /// Input records entering this stage's map phase.
+        records: u64,
+        /// Input bytes entering this stage's map phase.
+        bytes: u64,
+    },
+    /// One stage's output was handed to the next stage, with the exchange
+    /// path taken: `reshuffled = 0` is the in-memory partition-stable
+    /// handoff, `1` means the dataset crossed a real shuffle (engine run
+    /// over re-encoded records).
+    StageHandoff {
+        /// Stage index of the *producing* stage (and the event time).
+        t: u64,
+        /// Stage index of the producing stage.
+        stage: u32,
+        /// Records handed to the next stage.
+        records: u64,
+        /// Bytes handed to the next stage.
+        bytes: u64,
+        /// Whether the handoff crossed a real shuffle.
+        reshuffled: bool,
+    },
+    /// The partition-compatibility check passed for a stage, so its
+    /// shuffle was skipped outright: the carried h1 fingerprints proved
+    /// every record already sits on its reducer's partition and the map
+    /// is declared partition-preserving.
+    ReshuffleSkipped {
+        /// Stage index whose shuffle was skipped (and the event time).
+        t: u64,
+        /// Stage index whose shuffle was skipped.
+        stage: u32,
+        /// Map-output bytes that would have crossed the network had the
+        /// stage reshuffled.
+        bytes_saved: u64,
+    },
 }
 
 impl TraceEvent {
@@ -377,6 +420,9 @@ impl TraceEvent {
             TraceEvent::ServeJob { .. } => "serve_job",
             TraceEvent::WaveGrant { .. } => "wave_grant",
             TraceEvent::DlqReplay { .. } => "dlq_replay",
+            TraceEvent::StageStart { .. } => "stage_start",
+            TraceEvent::StageHandoff { .. } => "stage_handoff",
+            TraceEvent::ReshuffleSkipped { .. } => "reshuffle_skipped",
         }
     }
 
@@ -399,7 +445,10 @@ impl TraceEvent {
             | TraceEvent::Poison { t, .. }
             | TraceEvent::ServeJob { t, .. }
             | TraceEvent::WaveGrant { t, .. }
-            | TraceEvent::DlqReplay { t, .. } => t,
+            | TraceEvent::DlqReplay { t, .. }
+            | TraceEvent::StageStart { t, .. }
+            | TraceEvent::StageHandoff { t, .. }
+            | TraceEvent::ReshuffleSkipped { t, .. } => t,
         }
     }
 
@@ -532,6 +581,31 @@ impl TraceEvent {
             } => format!(
                 "{{\"ev\":\"dlq_replay\",\"t\":{t},\"tenant\":{tenant},\"job\":{job},\"entries\":{entries}}}"
             ),
+            TraceEvent::StageStart {
+                t,
+                stage,
+                records,
+                bytes,
+            } => format!(
+                "{{\"ev\":\"stage_start\",\"t\":{t},\"stage\":{stage},\"records\":{records},\"bytes\":{bytes}}}"
+            ),
+            TraceEvent::StageHandoff {
+                t,
+                stage,
+                records,
+                bytes,
+                reshuffled,
+            } => format!(
+                "{{\"ev\":\"stage_handoff\",\"t\":{t},\"stage\":{stage},\"records\":{records},\"bytes\":{bytes},\"reshuffled\":{}}}",
+                u8::from(reshuffled),
+            ),
+            TraceEvent::ReshuffleSkipped {
+                t,
+                stage,
+                bytes_saved,
+            } => format!(
+                "{{\"ev\":\"reshuffle_skipped\",\"t\":{t},\"stage\":{stage},\"bytes_saved\":{bytes_saved}}}"
+            ),
         }
     }
 
@@ -644,6 +718,24 @@ impl TraceEvent {
                 tenant: u32f("tenant")?,
                 job: u32f("job")?,
                 entries: t("entries")?,
+            },
+            "stage_start" => TraceEvent::StageStart {
+                t: t("t")?,
+                stage: u32f("stage")?,
+                records: t("records")?,
+                bytes: t("bytes")?,
+            },
+            "stage_handoff" => TraceEvent::StageHandoff {
+                t: t("t")?,
+                stage: u32f("stage")?,
+                records: t("records")?,
+                bytes: t("bytes")?,
+                reshuffled: t("reshuffled")? != 0,
+            },
+            "reshuffle_skipped" => TraceEvent::ReshuffleSkipped {
+                t: t("t")?,
+                stage: u32f("stage")?,
+                bytes_saved: t("bytes_saved")?,
             },
             other => return Err(Error::job(format!("unknown trace event '{other}'"))),
         })
@@ -862,6 +954,24 @@ mod tests {
                 tenant: 1,
                 job: 4,
                 entries: 6,
+            },
+            TraceEvent::StageStart {
+                t: 0,
+                stage: 0,
+                records: 100_000,
+                bytes: 9_600_000,
+            },
+            TraceEvent::StageHandoff {
+                t: 0,
+                stage: 0,
+                records: 5_000,
+                bytes: 120_000,
+                reshuffled: false,
+            },
+            TraceEvent::ReshuffleSkipped {
+                t: 1,
+                stage: 1,
+                bytes_saved: 120_000,
             },
         ]
     }

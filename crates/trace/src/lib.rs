@@ -82,4 +82,4 @@ pub mod rollup;
 pub use event::{
     fault_kind_label, io_category_label, ServeJobState, SpanKind, TraceEvent, TraceLog, Tracer,
 };
-pub use rollup::Rollup;
+pub use rollup::{Rollup, StageRow};

@@ -15,6 +15,27 @@ use std::collections::BTreeSet;
 /// 2^63 bytes).
 pub const SPILL_HIST_BUCKETS: usize = 64;
 
+/// Per-stage summary row of a dataflow chain, folded from the
+/// `stage_start`/`stage_handoff`/`reshuffle_skipped` event triple.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageRow {
+    /// Stage index within the chain.
+    pub stage: u32,
+    /// Records entering the stage's map phase.
+    pub records_in: u64,
+    /// Bytes entering the stage's map phase.
+    pub bytes_in: u64,
+    /// Records handed to the next stage (0 for the final stage, which
+    /// emits no handoff).
+    pub records_out: u64,
+    /// Bytes handed to the next stage.
+    pub bytes_out: u64,
+    /// Whether the *outgoing* handoff crossed a real shuffle.
+    pub reshuffled: bool,
+    /// Shuffle bytes this stage avoided via the partition-stable skip.
+    pub bytes_saved: u64,
+}
+
 /// Aggregate view of one trace. All byte counts are cluster-wide totals
 /// (divide by [`Rollup::nodes`] for the per-node quantities the model
 /// predicts); all times are virtual microseconds.
@@ -77,6 +98,18 @@ pub struct Rollup {
     /// write operations): bucket `i` counts writes with
     /// `2^i ≤ bytes < 2^(i+1)` (bucket 0 also holds 1-byte writes).
     pub spill_hist: [u64; SPILL_HIST_BUCKETS],
+    /// Dataflow stages observed (`stage_start` events; 0 for single jobs).
+    pub stages: u64,
+    /// Stage handoffs that crossed a real shuffle.
+    pub stage_reshuffles: u64,
+    /// Stages whose incoming handoff stayed in memory
+    /// (`reshuffle_skipped` events — partition-stable skips).
+    pub stage_skips: u64,
+    /// Total shuffle bytes avoided across all `reshuffle_skipped` stages.
+    pub reshuffle_bytes_saved: u64,
+    /// Per-stage rows of the dataflow chain, in stage order (empty for
+    /// single jobs).
+    pub stage_rows: Vec<StageRow>,
 }
 
 fn span_index(kind: SpanKind) -> usize {
@@ -118,10 +151,36 @@ impl Rollup {
             admission_evictions: 0,
             admission_rejected: 0,
             spill_hist: [0; SPILL_HIST_BUCKETS],
+            stages: 0,
+            stage_reshuffles: 0,
+            stage_skips: 0,
+            reshuffle_bytes_saved: 0,
+            stage_rows: Vec::new(),
+        };
+        // Dataflow-level events carry stage ordinals, not virtual µs, so
+        // they are kept out of the `t_end` makespan bound below.
+        let stage_row = |rows: &mut Vec<StageRow>, stage: u32| -> usize {
+            match rows.iter().position(|row| row.stage == stage) {
+                Some(i) => i,
+                None => {
+                    rows.push(StageRow {
+                        stage,
+                        ..StageRow::default()
+                    });
+                    rows.len() - 1
+                }
+            }
         };
         let mut nodes: BTreeSet<u32> = BTreeSet::new();
         for ev in events {
-            r.t_end = r.t_end.max(ev.time());
+            if !matches!(
+                ev,
+                TraceEvent::StageStart { .. }
+                    | TraceEvent::StageHandoff { .. }
+                    | TraceEvent::ReshuffleSkipped { .. }
+            ) {
+                r.t_end = r.t_end.max(ev.time());
+            }
             match *ev {
                 TraceEvent::MapStart { node, .. } => {
                     r.map_attempts += 1;
@@ -214,6 +273,44 @@ impl Rollup {
                 TraceEvent::ServeJob { .. }
                 | TraceEvent::WaveGrant { .. }
                 | TraceEvent::DlqReplay { .. } => {}
+                TraceEvent::StageStart {
+                    stage,
+                    records,
+                    bytes,
+                    ..
+                } => {
+                    r.stages += 1;
+                    let i = stage_row(&mut r.stage_rows, stage);
+                    r.stage_rows[i].records_in = records;
+                    r.stage_rows[i].bytes_in = bytes;
+                }
+                TraceEvent::StageHandoff {
+                    stage,
+                    records,
+                    bytes,
+                    reshuffled,
+                    ..
+                } => {
+                    if reshuffled {
+                        r.stage_reshuffles += 1;
+                    }
+                    let i = stage_row(&mut r.stage_rows, stage);
+                    r.stage_rows[i].records_out = records;
+                    r.stage_rows[i].bytes_out = bytes;
+                    r.stage_rows[i].reshuffled = reshuffled;
+                }
+                TraceEvent::ReshuffleSkipped {
+                    stage, bytes_saved, ..
+                } => {
+                    // Counted here, not from `stage_handoff` flags: a
+                    // chain started from a resident dataset (`run_from`)
+                    // can skip its *first* stage's shuffle, and that
+                    // handoff has no predecessor stage to emit an event.
+                    r.stage_skips += 1;
+                    r.reshuffle_bytes_saved += bytes_saved;
+                    let i = stage_row(&mut r.stage_rows, stage);
+                    r.stage_rows[i].bytes_saved = bytes_saved;
+                }
             }
         }
         r.nodes = nodes.len() as u32;
@@ -324,6 +421,35 @@ impl Rollup {
                 ByteSize(self.checkpoint_bytes)
             ));
         }
+        if self.stages > 0 {
+            out.push_str(&format!(
+                "dataflow: {} stages, {} reshuffled, {} skipped ({} saved)\n",
+                self.stages,
+                self.stage_reshuffles,
+                self.stage_skips,
+                ByteSize(self.reshuffle_bytes_saved)
+            ));
+            for row in &self.stage_rows {
+                let path = if row.bytes_saved > 0 {
+                    "skip"
+                } else if row.reshuffled {
+                    "reshuffle"
+                } else if row.records_out > 0 {
+                    "handoff"
+                } else {
+                    "final"
+                };
+                out.push_str(&format!(
+                    "  stage {}: in {} recs ({}), out {} recs ({}), {}\n",
+                    row.stage,
+                    row.records_in,
+                    ByteSize(row.bytes_in),
+                    row.records_out,
+                    ByteSize(row.bytes_out),
+                    path
+                ));
+            }
+        }
         let populated: Vec<String> = self
             .spill_hist
             .iter()
@@ -429,5 +555,56 @@ mod tests {
         let text = r.render();
         assert!(text.contains("merge passes"), "{text}");
         assert!(text.contains("stream: 1 seals"), "{text}");
+    }
+
+    #[test]
+    fn rollup_folds_dataflow_stage_events() {
+        let events = vec![
+            TraceEvent::StageStart {
+                t: 0,
+                stage: 0,
+                records: 1000,
+                bytes: 96_000,
+            },
+            TraceEvent::StageHandoff {
+                t: 0,
+                stage: 0,
+                records: 40,
+                bytes: 800,
+                reshuffled: true,
+            },
+            TraceEvent::StageStart {
+                t: 1,
+                stage: 1,
+                records: 40,
+                bytes: 800,
+            },
+            TraceEvent::ReshuffleSkipped {
+                t: 1,
+                stage: 1,
+                bytes_saved: 800,
+            },
+            TraceEvent::StageHandoff {
+                t: 1,
+                stage: 1,
+                records: 40,
+                bytes: 640,
+                reshuffled: false,
+            },
+        ];
+        let r = Rollup::from_events(&events);
+        assert_eq!(r.stages, 2);
+        assert_eq!(r.stage_reshuffles, 1);
+        assert_eq!(r.stage_skips, 1);
+        assert_eq!(r.reshuffle_bytes_saved, 800);
+        assert_eq!(r.stage_rows.len(), 2);
+        assert_eq!(r.stage_rows[0].records_in, 1000);
+        assert!(r.stage_rows[0].reshuffled);
+        assert_eq!(r.stage_rows[1].bytes_saved, 800);
+        // Stage ordinals must not pollute the virtual-time makespan.
+        assert_eq!(r.t_end, 0);
+        let text = r.render();
+        assert!(text.contains("dataflow: 2 stages"), "{text}");
+        assert!(text.contains("stage 1"), "{text}");
     }
 }

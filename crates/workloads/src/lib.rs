@@ -19,6 +19,19 @@
 //! - [`online_agg`] — **online aggregation** with log-spaced early
 //!   approximate answers, the paper's other future-work direction.
 //!
+//! ## Dataflow (multi-job) workloads
+//!
+//! Three workloads exist specifically to exercise the dataflow layer
+//! ([`opa_core::dataflow`]), which chains jobs in memory M3R-style:
+//!
+//! - [`pagerank`] — **k-round PageRank** over the bipartite user↔page
+//!   click graph (every round reshuffles: the full-shuffle case);
+//! - [`distinct_sessions`] — **2-round distinct-sessions count**
+//!   (re-keys between rounds: a legitimate mid-chain reshuffle);
+//! - [`top_pages`] — **top-k pages** joining page-frequency and
+//!   page-sessions outputs with an identity-keyed, partition-preserving
+//!   join (the reshuffle-*skip* case: zero shuffle bytes).
+//!
 //! Each job implements [`opa_core::api::Job`] and, where the paper's reduce
 //! function permits incremental processing, [`opa_core::api::IncrementalReducer`]
 //! with states laid out in byte arrays exactly like the prototype (§5).
@@ -28,21 +41,27 @@
 
 pub mod click_count;
 pub mod clickstream;
+pub mod distinct_sessions;
 pub mod documents;
 pub mod frequent_users;
 pub mod online_agg;
 pub mod page_freq;
+pub mod pagerank;
 pub mod sessionize;
+pub mod top_pages;
 pub mod trigrams;
 pub mod windowed_count;
 pub mod zipf;
 
 pub use click_count::ClickCountJob;
 pub use clickstream::ClickStreamSpec;
+pub use distinct_sessions::{SessionCountJob, SessionMarkJob};
 pub use documents::DocumentSpec;
 pub use frequent_users::FrequentUsersJob;
 pub use online_agg::OnlineAvgJob;
 pub use page_freq::PageFreqJob;
+pub use pagerank::{PageRankInitJob, PageRankRoundJob};
 pub use sessionize::SessionizeJob;
+pub use top_pages::{PageSessionsJob, TopKFunnelJob, TopPagesJoinJob};
 pub use trigrams::TrigramCountJob;
 pub use windowed_count::WindowedCountJob;

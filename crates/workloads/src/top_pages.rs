@@ -1,0 +1,271 @@
+//! Top-k pages by combined visit and session score — the dataflow
+//! layer's reshuffle-*skip* showcase.
+//!
+//! Three jobs form the chain:
+//!
+//! 1. [`PageSessionsJob`] counts distinct visitors per URL, emitting
+//!    9-byte `S`-tagged values so they stay distinguishable from plain
+//!    8-byte counts.
+//! 2. [`TopPagesJoinJob`] consumes the *union* of the page-frequency
+//!    output ([`crate::page_freq::PageFreqJob`], plain 8-byte visit
+//!    counts) and the page-sessions output, both keyed by URL. Its map is
+//!    the identity on keys, so it declares
+//!    [`partition_preserving`](opa_core::api::Job::partition_preserving)
+//!    — when both upstream jobs ran under the same partition function,
+//!    the dataflow layer hands partitions over **in memory with zero
+//!    shuffle bytes** (the M3R case the paper's §7 future-work section
+//!    gestures at).
+//! 3. [`TopKFunnelJob`] funnels every joined row to a single `top` key
+//!    and keeps the k best by score — a deliberate repartition, so the
+//!    chain ends with an honest reshuffle for contrast.
+//!
+//! Scores are integer sums and the funnel's selection is totally ordered
+//! (score desc, then URL asc), keeping chained output bit-identical to
+//! staged runs at any thread count.
+
+use crate::clickstream::parse_click;
+use opa_common::decode_kv;
+use opa_core::api::{Job, ReduceCtx};
+use opa_core::prelude::{Key, Value};
+
+/// Tag byte marking a page-sessions value (vs an 8-byte visit count).
+const SESSION_TAG: u8 = b'S';
+
+fn tagged(n: u64) -> Value {
+    let mut v = [0u8; 9];
+    v[0] = SESSION_TAG;
+    v[1..].copy_from_slice(&n.to_be_bytes());
+    Value::from_slice(&v)
+}
+
+fn untag(v: &Value) -> Option<u64> {
+    match v.bytes().split_first() {
+        Some((&SESSION_TAG, rest)) => Some(u64::from_be_bytes(rest.try_into().ok()?)),
+        _ => None,
+    }
+}
+
+/// Distinct visitors per URL, emitted as `S`-tagged 9-byte counts.
+#[derive(Debug, Clone)]
+pub struct PageSessionsJob {
+    /// Expected distinct pages (sizing hint).
+    pub expected_pages: u64,
+}
+
+impl Default for PageSessionsJob {
+    fn default() -> Self {
+        PageSessionsJob {
+            expected_pages: 100_000,
+        }
+    }
+}
+
+impl Job for PageSessionsJob {
+    fn name(&self) -> &str {
+        "page-sessions"
+    }
+
+    /// Emits `(url, S‖user)` per click; the reduce counts distinct users.
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        if let Some((_, user, tail)) = parse_click(record) {
+            let url = tail.split(|&b| b == b' ').next().unwrap_or(tail);
+            let mut v = [0u8; 9];
+            v[0] = SESSION_TAG;
+            v[1..].copy_from_slice(&user.to_be_bytes());
+            emit(url, &v);
+        }
+    }
+
+    /// Deduplicates visitor ids and emits the tagged distinct count.
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let mut users: Vec<u64> = values.iter().filter_map(untag).collect();
+        users.sort_unstable();
+        users.dedup();
+        ctx.emit(key.clone(), tagged(users.len() as u64));
+    }
+
+    fn expected_keys(&self) -> Option<u64> {
+        Some(self.expected_pages)
+    }
+
+    fn state_size_hint(&self) -> Option<u64> {
+        Some(64)
+    }
+}
+
+/// Joins per-URL visit counts with per-URL session counts — the
+/// partition-preserving stage.
+#[derive(Debug, Clone, Default)]
+pub struct TopPagesJoinJob;
+
+impl Job for TopPagesJoinJob {
+    fn name(&self) -> &str {
+        "top-pages-join"
+    }
+
+    /// Identity on keys: framed `(url, count)` records pass through
+    /// unchanged, whichever side of the union they came from.
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        if let Some((key, value)) = decode_kv(record) {
+            emit(key, value);
+        }
+    }
+
+    /// Merges both sides: 8-byte values are visits, `S`-tagged 9-byte
+    /// values are sessions. Emits `[visits u64][sessions u64]`.
+    fn reduce(&self, key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let mut visits = 0u64;
+        let mut sessions = 0u64;
+        for v in &values {
+            if let Some(s) = untag(v) {
+                sessions += s;
+            } else if let Some(n) = v.as_u64() {
+                visits += n;
+            }
+        }
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&visits.to_be_bytes());
+        out[8..].copy_from_slice(&sessions.to_be_bytes());
+        ctx.emit(key.clone(), Value::from_slice(&out));
+    }
+
+    /// The whole point: keys are unchanged, so a dataset already
+    /// partitioned by the chain's hash function needs no reshuffle.
+    fn partition_preserving(&self) -> bool {
+        true
+    }
+
+    fn state_size_hint(&self) -> Option<u64> {
+        Some(32)
+    }
+}
+
+/// Keeps the k best pages by `visits + sessions` score.
+#[derive(Debug, Clone)]
+pub struct TopKFunnelJob {
+    /// How many pages survive the funnel.
+    pub k: usize,
+}
+
+impl Default for TopKFunnelJob {
+    fn default() -> Self {
+        TopKFunnelJob { k: 10 }
+    }
+}
+
+impl Job for TopKFunnelJob {
+    fn name(&self) -> &str {
+        "topk-funnel"
+    }
+
+    /// Funnels every joined row to the single `top` key as
+    /// `[score u64][url…]`.
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(&[u8], &[u8])) {
+        let Some((url, value)) = decode_kv(record) else {
+            return;
+        };
+        let (Some(va), Some(vb)) = (value.get(..8), value.get(8..16)) else {
+            return;
+        };
+        let visits = u64::from_be_bytes(va.try_into().unwrap());
+        let sessions = u64::from_be_bytes(vb.try_into().unwrap());
+        let score = visits.saturating_add(sessions);
+        let mut v = Vec::with_capacity(8 + url.len());
+        v.extend_from_slice(&score.to_be_bytes());
+        v.extend_from_slice(url);
+        emit(b"top", &v);
+    }
+
+    /// Totally ordered selection: score descending, URL ascending.
+    fn reduce(&self, _key: &Key, values: Vec<Value>, ctx: &mut ReduceCtx) {
+        let mut rows: Vec<(u64, &[u8])> = values
+            .iter()
+            .filter_map(|v| {
+                let score = u64::from_be_bytes(v.bytes().get(..8)?.try_into().ok()?);
+                Some((score, v.bytes().get(8..)?))
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+        rows.truncate(self.k);
+        for (score, url) in rows {
+            ctx.emit(Key::from_slice(url), Value::from_u64(score));
+        }
+    }
+
+    fn expected_keys(&self) -> Option<u64> {
+        Some(1)
+    }
+
+    fn state_size_hint(&self) -> Option<u64> {
+        Some(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clickstream::format_click;
+    use opa_common::encode_kv;
+
+    #[test]
+    fn page_sessions_counts_distinct_visitors() {
+        let job = PageSessionsJob::default();
+        let mut values = Vec::new();
+        // Users 1, 1, 2 hit the same page: 2 distinct visitors.
+        for user in [1, 1, 2] {
+            job.map(&format_click(0, user, 9), &mut |k, v| {
+                assert_eq!(k, b"/en/page00009.html");
+                values.push(Value::from_slice(v));
+            });
+        }
+        let mut ctx = ReduceCtx::new();
+        job.reduce(&Key::from("/en/page00009.html"), values, &mut ctx);
+        assert_eq!(untag(&ctx.drain()[0].value), Some(2));
+    }
+
+    #[test]
+    fn join_is_identity_on_keys_and_merges_both_sides() {
+        let join = TopPagesJoinJob;
+        assert!(Job::partition_preserving(&join));
+        let mut values = Vec::new();
+        // One page_freq row (8-byte visits) and one page-sessions row.
+        for rec in [
+            encode_kv(b"/a", &7u64.to_be_bytes()),
+            encode_kv(b"/a", tagged(3).bytes()),
+        ] {
+            join.map(&rec, &mut |k, v| {
+                assert_eq!(k, b"/a", "key must pass through unchanged");
+                values.push(Value::from_slice(v));
+            });
+        }
+        let mut ctx = ReduceCtx::new();
+        join.reduce(&Key::from("/a"), values, &mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out[0].value.bytes()[..8], 7u64.to_be_bytes());
+        assert_eq!(out[0].value.bytes()[8..], 3u64.to_be_bytes());
+    }
+
+    #[test]
+    fn funnel_keeps_k_best_with_total_order() {
+        let job = TopKFunnelJob { k: 2 };
+        let mut values = Vec::new();
+        for (url, visits, sessions) in [(b"/c" as &[u8], 5u64, 0u64), (b"/a", 2, 3), (b"/b", 1, 1)]
+        {
+            let mut joined = [0u8; 16];
+            joined[..8].copy_from_slice(&visits.to_be_bytes());
+            joined[8..].copy_from_slice(&sessions.to_be_bytes());
+            job.map(&encode_kv(url, &joined), &mut |k, v| {
+                assert_eq!(k, b"top");
+                values.push(Value::from_slice(v));
+            });
+        }
+        let mut ctx = ReduceCtx::new();
+        job.reduce(&Key::from("top"), values, &mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out.len(), 2);
+        // /a and /c tie at score 5: URL ascending breaks the tie.
+        assert_eq!(out[0].key.bytes(), b"/a");
+        assert_eq!(out[1].key.bytes(), b"/c");
+        assert_eq!(out[0].value.as_u64(), Some(5));
+    }
+}
