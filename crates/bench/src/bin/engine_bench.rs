@@ -12,13 +12,15 @@
 //! cargo run -p opa-bench --release --features alloc-stats --bin engine_bench
 //! ```
 
+use opa_common::rng::SplitMix64;
 use opa_common::units::KB;
-use opa_common::{AdmissionPolicy, ExecConfig};
+use opa_common::{AdmissionPolicy, CombineScope, ExecConfig};
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::{JobBuilder, JobInput};
 use opa_trace::SpanKind;
-use opa_workloads::clickstream::ClickStreamSpec;
+use opa_workloads::clickstream::{format_click, ClickStreamSpec};
 use opa_workloads::documents::DocumentSpec;
+use opa_workloads::zipf::Zipf;
 use opa_workloads::{ClickCountJob, FrequentUsersJob, PageFreqJob, SessionizeJob, TrigramCountJob};
 use std::time::Instant;
 
@@ -271,6 +273,14 @@ fn main() {
     // the gate must raise measured coverage and cut reduce-spill bytes.
     let adm_rows = admission_sweep();
 
+    // In-node combining sweep: Zipf skew × {off, task, node} on i.i.d.
+    // draws, where the model's expected-distinct math is exact. Doubles
+    // as the tentpole acceptance check: node scope must ship strictly
+    // fewer shuffle bytes than task scope at skew ≥ 1.0, and the
+    // combiner-ratio model must track the measurement within 10% for
+    // every scope.
+    let cmb_rows = combine_sweep();
+
     let mut json = format!(
         "{{\n  \"host_cpus\": {cpus},\n  \"oversubscribed\": {oversubscribed},\n  \"benchmarks\": [\n"
     );
@@ -344,9 +354,144 @@ fn main() {
             r.resident_keys
         );
     }
+    json.push_str("  ],\n  \"combine_sweep\": [\n");
+    for (i, r) in cmb_rows.iter().enumerate() {
+        let sep = if i + 1 < cmb_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"zipf\": {:.1}, \"combine\": \"{}\", \"shuffle_bytes\": {}, \"map_output_bytes\": {}, \"combine_ratio\": {:.4}, \"node_flushes\": {}, \"merged_rows\": {}, \"model_shuffle_bytes\": {:.0}, \"model_rel_err\": {:.4}}}{sep}\n",
+            r.zipf,
+            r.scope,
+            r.shuffle_bytes,
+            r.map_output_bytes,
+            r.ratio,
+            r.flushes,
+            r.merged_rows,
+            r.model_bytes,
+            r.model_rel_err,
+        ));
+        println!(
+            "  combine zipf {:.1} {:<4} shuffle {:>8}  ratio {:.4}  model {:>8.0} (err {:>5.2}%)",
+            r.zipf,
+            r.scope,
+            r.shuffle_bytes,
+            r.ratio,
+            r.model_bytes,
+            r.model_rel_err * 100.0
+        );
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json).expect("write benchmark json");
     println!("wrote {out}");
+}
+
+struct CombineRow {
+    zipf: f64,
+    scope: &'static str,
+    shuffle_bytes: u64,
+    map_output_bytes: u64,
+    ratio: f64,
+    flushes: u64,
+    merged_rows: u64,
+    model_bytes: f64,
+    model_rel_err: f64,
+}
+
+/// Runs the Zipf × combine-scope grid on MR-hash over *i.i.d.* Zipf
+/// clicks (one pair per record, so the model's draw count is exact) and
+/// asserts the tentpole acceptance: node < task shuffle bytes at skew
+/// ≥ 1.0, and combiner-term drift ≤ 10% for all three scopes.
+fn combine_sweep() -> Vec<CombineRow> {
+    const USERS: usize = 1500;
+    const RECORDS: usize = 24_000;
+    let mut cluster = ClusterSpec::tiny();
+    // A roomy staging budget: each node flushes once, the regime where
+    // the model's ν = 1 flush-count prediction is exact.
+    cluster.node_combine_buffer = 1 << 20;
+    let mut rows = Vec::new();
+    for zipf in [0.8f64, 1.0, 1.2] {
+        // i.i.d. Zipf clicks — deliberately NOT the sessionized generator,
+        // whose per-user click *runs* violate the model's independence
+        // assumption.
+        let mut rng = SplitMix64::new(0xC0B1 + (zipf * 10.0) as u64);
+        let sampler = Zipf::new(USERS, zipf);
+        let input = JobInput::from_records(
+            (0..RECORDS)
+                .map(|i| format_click(i as u64, sampler.sample(&mut rng) as u64, 0))
+                .collect(),
+        );
+        let mut booked = [0u64; 3];
+        for (slot, scope) in [CombineScope::Off, CombineScope::Task, CombineScope::Node]
+            .into_iter()
+            .enumerate()
+        {
+            let outcome = JobBuilder::new(ClickCountJob {
+                expected_users: USERS as u64,
+            })
+            .framework(Framework::MrHash)
+            .cluster(cluster)
+            .combine(scope)
+            .trace(true)
+            .run(&input)
+            .expect("combine sweep job runs");
+            let rollup = outcome
+                .trace
+                .as_ref()
+                .expect("traced run carries a trace log")
+                .rollup();
+            let model = opa_model::CombineModel {
+                pairs: RECORDS as f64,
+                pair_bytes: 24.0, // 8-byte user key + 8-byte count + record overhead
+                keys: USERS as u64,
+                zipf,
+                maps: rollup.map_tasks as f64,
+                nodes: cluster.hardware.nodes as f64,
+                stage_budget: cluster.node_combine_buffer as f64,
+            };
+            let report = opa_trace::drift::check_with_combine(
+                cluster.system,
+                cluster.hardware,
+                &rollup,
+                Some((scope, model)),
+            )
+            .expect("drift check runs");
+            let term = report.combine.expect("combiner term present");
+            let nc = outcome.metrics.node_combine;
+            booked[slot] = outcome.metrics.shuffle_bytes;
+            rows.push(CombineRow {
+                zipf,
+                scope: scope.label(),
+                shuffle_bytes: outcome.metrics.shuffle_bytes,
+                map_output_bytes: outcome.metrics.map_output_bytes,
+                ratio: outcome.metrics.shuffle_bytes as f64
+                    / (RECORDS as f64 * model.pair_bytes),
+                flushes: nc.map_or(0, |s| s.flushes),
+                merged_rows: nc.map_or(0, |s| s.merged_rows),
+                model_bytes: model.shuffle_bytes(scope),
+                model_rel_err: term.rel_err(),
+            });
+            assert!(
+                term.rel_err() <= 0.10,
+                "zipf {zipf} {}: combiner-term drift {:.2}% exceeds 10% \
+                 (predicted {:.0}, measured {:.0} per node)",
+                scope.label(),
+                term.rel_err() * 100.0,
+                term.predicted,
+                term.measured
+            );
+        }
+        let [off, task, node] = booked;
+        assert!(
+            task < off,
+            "zipf {zipf}: task combining did not shrink the shuffle ({task} vs {off})"
+        );
+        if zipf >= 1.0 {
+            assert!(
+                node < task,
+                "zipf {zipf}: node scope did not beat task scope ({node} vs {task})"
+            );
+        }
+    }
+    rows
 }
 
 struct AdmRow {

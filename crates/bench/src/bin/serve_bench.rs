@@ -106,6 +106,7 @@ fn main() {
             .expect("query-leg submission");
     }
     let mut lookup_ns = Vec::new();
+    let mut batch_ns = Vec::new();
     let mut progress_ns = Vec::new();
     for _ in 0..2 {
         for probe in 0..QUERY_PROBES as u64 {
@@ -114,6 +115,28 @@ fn main() {
             std::hint::black_box(qserver.query(0, &q).expect("lookup"));
             lookup_ns.push(t0.elapsed().as_nanos() as f64);
         }
+        // Batched leg: the same probes in ONE channel round-trip. The
+        // answer must agree with the per-key lookups element-wise (same
+        // parked snapshot — the server steps only between legs).
+        let keys: Vec<Key> = (0..QUERY_PROBES as u64).map(Key::from_u64).collect();
+        let t0 = Instant::now();
+        let batched = qserver
+            .query(0, &ServeQuery::LookupBatch(keys.clone()))
+            .expect("batch lookup");
+        batch_ns.push(t0.elapsed().as_nanos() as f64);
+        let opa_serve::ServeAnswer::Values(vals) = &batched else {
+            panic!("LookupBatch answered with a non-Values variant");
+        };
+        assert_eq!(vals.len(), QUERY_PROBES, "batch answer count mismatch");
+        for (key, val) in keys.iter().zip(vals) {
+            let single = qserver
+                .query(0, &ServeQuery::Lookup(key.clone()))
+                .expect("recheck lookup");
+            let opa_serve::ServeAnswer::Value(v) = single else {
+                panic!("Lookup answered with a non-Value variant");
+            };
+            assert_eq!(&v, val, "batch and single lookup disagree");
+        }
         let t0 = Instant::now();
         std::hint::black_box(qserver.query(0, &ServeQuery::Progress).expect("progress"));
         progress_ns.push(t0.elapsed().as_nanos() as f64);
@@ -121,9 +144,12 @@ fn main() {
     }
     qserver.run_to_completion().expect("query-leg drains");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let batch_per_key_ns = mean(&batch_ns) / QUERY_PROBES as f64;
     println!(
-        "  query latency      lookup {:.0} ns, progress {:.0} ns (3 concurrent jobs)",
+        "  query latency      lookup {:.0} ns, batched {:.0} ns/key ({} keys/trip), progress {:.0} ns (3 concurrent jobs)",
         mean(&lookup_ns),
+        batch_per_key_ns,
+        QUERY_PROBES,
         mean(&progress_ns)
     );
 
@@ -158,8 +184,9 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"host_cpus\": {cpus},\n  \"jobs\": {total_jobs},\n  \"tenants\": {TENANTS},\n  \"records_per_job\": {records},\n  \"batches\": {BATCHES},\n  \"drain_secs\": {drain_secs:.4},\n  \"jobs_per_sec\": {jobs_per_sec:.3},\n  \"mean_admission_wait_rounds\": {mean_wait_rounds:.3},\n  \"lookup_ns\": {:.0},\n  \"progress_ns\": {:.0},\n  \"dlq_entries\": {dlq_entries},\n  \"poisoned_run_secs\": {poisoned_secs:.4},\n  \"dlq_replay_secs\": {replay_secs:.4}\n}}\n",
+        "{{\n  \"host_cpus\": {cpus},\n  \"jobs\": {total_jobs},\n  \"tenants\": {TENANTS},\n  \"records_per_job\": {records},\n  \"batches\": {BATCHES},\n  \"drain_secs\": {drain_secs:.4},\n  \"jobs_per_sec\": {jobs_per_sec:.3},\n  \"mean_admission_wait_rounds\": {mean_wait_rounds:.3},\n  \"lookup_ns\": {:.0},\n  \"batch_lookup_keys\": {QUERY_PROBES},\n  \"batch_lookup_trip_ns\": {:.0},\n  \"batch_lookup_ns_per_key\": {batch_per_key_ns:.0},\n  \"progress_ns\": {:.0},\n  \"dlq_entries\": {dlq_entries},\n  \"poisoned_run_secs\": {poisoned_secs:.4},\n  \"dlq_replay_secs\": {replay_secs:.4}\n}}\n",
         mean(&lookup_ns),
+        mean(&batch_ns),
         mean(&progress_ns),
     );
     std::fs::write(&out, json).expect("write benchmark json");

@@ -37,14 +37,21 @@ usage:
   opa generate documents   --bytes SIZE [--seed N] --out FILE
   opa run JOB --input FILE [--framework FW] [--state BYTES] [--threshold N]
               [--km RATIO] [--threads N] [--progress-csv FILE] [--output FILE]
-              [--admission off|on|lfu] [--fault-rate P] [--fault-seed N]
+              [--admission off|on|lfu] [--combine off|task|node]
+              [--fault-rate P] [--fault-seed N]
               [--poison-rate P] [--trace-out FILE] [--drift]
+              [--model-keys N --model-zipf S]
       JOB: sessionize | click-count | frequent-users | page-freq | trigrams
       FW:  sort-merge | sort-merge-pipelined | mr-hash | inc-hash | dinc-hash
       --admission lfu (alias: on) turns on frequency-gated admission for
       the incremental frameworks: when reduce-side memory is full, a new
       key may evict a resident key that a deterministic frequency sketch
       judges colder, instead of spilling itself. Default: off.
+      --combine selects the pre-shuffle combining scope: 'task' (default)
+      combines within each map task, 'node' additionally merges all map
+      output of one simulated node in a staging table before any shuffle
+      bytes are booked, 'off' ships raw map output. Output is identical
+      under all three; only shuffle volume and timing change.
       --fault-rate P injects map/reduce failures, stragglers and spill-disk
       errors, each with probability P in [0, 1); --fault-seed N (default 42)
       makes the failure trace reproducible. Recovery never loses data;
@@ -55,6 +62,12 @@ usage:
       --trace-out FILE captures every simulation event as structured JSONL
       (see OBSERVABILITY.md); --drift additionally evaluates the Prop 3.1/3.2
       model for this run's configuration and reports per-term relative error.
+      With --model-zipf S (and optionally --model-keys N, default
+      --expected-keys), --drift also evaluates the combiner-ratio model:
+      predicted post-combine shuffle bytes for the selected --combine
+      scope vs. the bytes the run actually booked on the network. The
+      parameters describe the input's key distribution (Zipf exponent and
+      key-space size, e.g. the values `generate clickstream` used).
   opa stream JOB --input FILE [--batches K] [--framework FW] [--threads N]
               [--checkpoint-every N --checkpoint-dir DIR] [--resume CKPT]
               [--watch-key N] [--top-k N] [--output FILE] [--admission off|on|lfu]
@@ -203,6 +216,13 @@ pub(crate) fn parse_admission(args: &Args) -> Result<opa_common::AdmissionPolicy
     }
 }
 
+pub(crate) fn parse_combine(args: &Args) -> Result<opa_common::CombineScope, String> {
+    match args.options.get("combine") {
+        Some(v) => opa_common::CombineScope::parse(v).map_err(|e| e.to_string()),
+        None => Ok(opa_common::CombineScope::Task),
+    }
+}
+
 pub(crate) fn parse_framework(s: &str) -> Result<Framework, String> {
     Ok(match s {
         "sort-merge" | "sm" => Framework::SortMerge,
@@ -240,6 +260,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
     // --poison-rate additionally quarantines map records to the DLQ.
     let faults = parse_faults(args);
     let admission = parse_admission(args)?;
+    let combine = parse_combine(args)?;
     let want_drift = args.has_flag("drift") || args.options.contains_key("drift");
     let trace_on = args.options.contains_key("trace-out") || want_drift;
 
@@ -257,6 +278,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .exec(exec)
         .faults(faults)
         .admission(admission)
+        .combine(combine)
         .trace(trace_on)
         .run(&input),
         "click-count" => JobBuilder::new(ClickCountJob {
@@ -268,6 +290,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .exec(exec)
         .faults(faults)
         .admission(admission)
+        .combine(combine)
         .trace(trace_on)
         .run(&input),
         "frequent-users" => JobBuilder::new(FrequentUsersJob {
@@ -280,6 +303,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .exec(exec)
         .faults(faults)
         .admission(admission)
+        .combine(combine)
         .trace(trace_on)
         .run(&input),
         "page-freq" => JobBuilder::new(PageFreqJob {
@@ -291,6 +315,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .exec(exec)
         .faults(faults)
         .admission(admission)
+        .combine(combine)
         .trace(trace_on)
         .run(&input),
         "trigrams" => JobBuilder::new(TrigramCountJob {
@@ -303,6 +328,7 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         .exec(exec)
         .faults(faults)
         .admission(admission)
+        .combine(combine)
         .trace(trace_on)
         .run(&input),
         other => return Err(format!("unknown job '{other}'")),
@@ -314,6 +340,13 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         "  reduce@mapfinish    {:.1}%",
         outcome.progress.reduce_pct_at_map_finish()
     );
+    if combine != opa_common::CombineScope::Task {
+        println!(
+            "  shuffle ({})      {} booked on the network",
+            combine.label(),
+            opa_common::units::ByteSize(outcome.metrics.shuffle_bytes)
+        );
+    }
     if admission.is_on() {
         if let Some(s) = &outcome.metrics.admission {
             println!(
@@ -353,8 +386,31 @@ fn run_job(job: &str, args: &Args) -> Result<(), String> {
         }
         if want_drift {
             let rollup = log.rollup();
-            let report = opa_trace::drift::check(cluster.system, cluster.hardware, &rollup)
-                .map_err(|e| e.to_string())?;
+            // The combiner-ratio term needs the input's key distribution,
+            // which only the user knows (it is a property of the generator,
+            // not the trace): --model-zipf opts in, --model-keys defaults
+            // to the job's --expected-keys hint.
+            let combine_model = args.options.get("model-zipf").map(|z| {
+                let zipf: f64 = z.parse().unwrap_or(1.0);
+                let keys = args.get_or("model-keys", args.get_or("expected-keys", 50_000u64));
+                let model = opa_model::CombineModel {
+                    pairs: input.records.len() as f64,
+                    pair_bytes: 24.0,
+                    keys,
+                    zipf,
+                    maps: rollup.map_tasks as f64,
+                    nodes: cluster.hardware.nodes as f64,
+                    stage_budget: cluster.node_combine_buffer as f64,
+                };
+                (combine, model)
+            });
+            let report = opa_trace::drift::check_with_combine(
+                cluster.system,
+                cluster.hardware,
+                &rollup,
+                combine_model,
+            )
+            .map_err(|e| e.to_string())?;
             println!("model drift (predicted vs measured, first-pass I/O):");
             print!("{}", report.render());
         }

@@ -286,6 +286,73 @@ impl AdmissionPolicy {
     }
 }
 
+/// Where map-output combining happens before shuffle bytes are booked.
+///
+/// - [`CombineScope::Task`] is the engine's historical behavior (default):
+///   each map task runs the job's [`Combiner`](../../opa_core/api/trait.Combiner.html)
+///   over its own output before emitting shuffle granules. Cross-task
+///   redundancy on a node is left intact.
+/// - [`CombineScope::Node`] layers a node-level staging table on top:
+///   granules from *all map tasks scheduled on the same simulated node*
+///   are merged through the combiner in a per-node hash-indexed table and
+///   flushed at deterministic scheduler-side points (node drained, or the
+///   staging-byte budget exceeded), so the same key emitted by many tasks
+///   of one node crosses the network once per flush instead of once per
+///   task.
+/// - [`CombineScope::Off`] disables even the per-task combiner for the
+///   materializing frameworks (sort-merge / MR-hash), shipping raw map
+///   output. The incremental frameworks fold on arrival by construction,
+///   so for them `Off` behaves like `Task`.
+///
+/// Flush decisions are pure functions of the scheduler's event order, so
+/// output and `JobOutcome` stay bit-identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CombineScope {
+    /// No combining anywhere: raw map output is shuffled.
+    Off,
+    /// Per-map-task combining (the engine's historical behavior; default).
+    #[default]
+    Task,
+    /// Per-task combining plus a node-level pre-shuffle staging table.
+    Node,
+}
+
+impl CombineScope {
+    /// Whether the per-task combiner should run inside map tasks.
+    pub fn task_combining(&self) -> bool {
+        !matches!(self, CombineScope::Off)
+    }
+
+    /// Whether the scheduler stages granules in the per-node table.
+    pub fn is_node(&self) -> bool {
+        matches!(self, CombineScope::Node)
+    }
+
+    /// Parses a CLI spelling: `off`, `task` or `node`.
+    ///
+    /// # Errors
+    /// Fails on any other spelling.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "off" => Ok(CombineScope::Off),
+            "task" => Ok(CombineScope::Task),
+            "node" => Ok(CombineScope::Node),
+            other => Err(Error::config(format!(
+                "unknown combine scope '{other}' (expected off, task or node)"
+            ))),
+        }
+    }
+
+    /// Stable wire/CLI label (`off` / `task` / `node`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CombineScope::Off => "off",
+            CombineScope::Task => "task",
+            CombineScope::Node => "node",
+        }
+    }
+}
+
 /// The host's core count as reported by the OS (1 when unknown).
 fn host_parallelism() -> usize {
     std::thread::available_parallelism()
@@ -369,6 +436,22 @@ mod tests {
             .validate()
             .is_err());
         assert!(WorkloadSpec::new(MB, -1.0, 1.0).validate().is_err());
+    }
+
+    #[test]
+    fn combine_scope_parse_and_labels() {
+        assert_eq!(CombineScope::parse("off").unwrap(), CombineScope::Off);
+        assert_eq!(CombineScope::parse("task").unwrap(), CombineScope::Task);
+        assert_eq!(CombineScope::parse("node").unwrap(), CombineScope::Node);
+        assert!(CombineScope::parse("cluster").is_err());
+        assert_eq!(CombineScope::default(), CombineScope::Task);
+        assert!(CombineScope::Task.task_combining());
+        assert!(!CombineScope::Off.task_combining());
+        assert!(CombineScope::Node.is_node());
+        assert!(!CombineScope::Task.is_node());
+        for s in [CombineScope::Off, CombineScope::Task, CombineScope::Node] {
+            assert_eq!(CombineScope::parse(s.label()).unwrap(), s);
+        }
     }
 
     #[test]

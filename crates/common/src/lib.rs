@@ -39,7 +39,9 @@ pub mod stream;
 pub mod types;
 pub mod units;
 
-pub use config::{AdmissionPolicy, ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec};
+pub use config::{
+    AdmissionPolicy, CombineScope, ExecConfig, HardwareSpec, SystemSettings, WorkloadSpec,
+};
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 pub use hash::{GroupIndex, HashFamily, HashFn, SeededState, ShardedGroupIndex};

@@ -99,6 +99,27 @@ impl ReduceCtx {
 pub trait Combiner: Send + Sync {
     /// Collapses the values of one key into (usually) fewer values.
     fn combine(&self, key: &Key, values: Vec<Value>) -> Vec<Value>;
+
+    /// Whether this combiner collapses any value list to a *single* value
+    /// and implements [`Combiner::fold`]. When `true`, the engine's combine
+    /// paths accumulate in place pairwise instead of materializing a
+    /// `Vec<Value>` per group, keeping combining on the zero-allocation
+    /// plane. Must agree with `combine`: for any value list, folding the
+    /// values left-to-right into the first one must produce exactly
+    /// `combine(key, values)[0]`.
+    fn supports_fold(&self) -> bool {
+        false
+    }
+
+    /// Accumulates `value` into `acc` in place. Only called when
+    /// [`Combiner::supports_fold`] returns `true`. The default
+    /// implementation routes through [`Combiner::combine`] (allocating)
+    /// so implementors only override it alongside `supports_fold`.
+    fn fold(&self, key: &Key, acc: &mut Value, value: Value) {
+        let mut out = self.combine(key, vec![std::mem::take(acc), value]);
+        debug_assert_eq!(out.len(), 1, "fold requires a single-value combiner");
+        *acc = out.pop().expect("fold combiner produced no value");
+    }
 }
 
 /// The paper's incremental-processing interface (§4.2): `init()` turns a

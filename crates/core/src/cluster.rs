@@ -69,6 +69,11 @@ pub struct ClusterSpec {
     pub pipeline_granules: usize,
     /// Seed for the engine's universal hash family (`h1, h2, h3, …`).
     pub hash_seed: u64,
+    /// Byte budget of the per-node pre-shuffle staging table used under
+    /// `CombineScope::Node`: once a node's staged (post-combine) bytes
+    /// exceed this, the table flushes early instead of waiting for the
+    /// node's last map task. Ignored under the other combine scopes.
+    pub node_combine_buffer: u64,
 }
 
 impl ClusterSpec {
@@ -99,6 +104,7 @@ impl ClusterSpec {
             bucket_write_buffer: div(8 * 1024 * KB),
             pipeline_granules: 4,
             hash_seed: 0x09A5_EED5,
+            node_combine_buffer: div(8 * 1024 * KB),
         }
     }
 
@@ -122,6 +128,7 @@ impl ClusterSpec {
             bucket_write_buffer: KB,
             pipeline_granules: 2,
             hash_seed: 7,
+            node_combine_buffer: 4 * KB,
         }
     }
 
@@ -134,6 +141,9 @@ impl ClusterSpec {
         }
         if self.pipeline_granules == 0 {
             return Err(Error::config("pipeline granules must be >= 1"));
+        }
+        if self.node_combine_buffer == 0 {
+            return Err(Error::config("node combine buffer must be positive"));
         }
         if self.bucket_write_buffer * 2 > self.hardware.reduce_buffer {
             return Err(Error::config(

@@ -104,6 +104,7 @@ pub(crate) fn run_chained_stage(
                     spec,
                     h1,
                     opa_common::AdmissionPolicy::Off,
+                    opa_common::CombineScope::Task,
                     None,
                 );
                 let saved = plan.strip_materialization();
@@ -265,6 +266,9 @@ pub(crate) fn run_chained_stage(
         dinc: None,
         admission: None,
         faults: None,
+        // Shuffle-skip: nothing crossed the simulated network.
+        shuffle_bytes: 0,
+        node_combine: None,
     };
     let trace_log = res.take_trace();
     Ok((

@@ -41,7 +41,9 @@ use crate::sim::{EventQueue, OpKind, Resources, Span, Usage};
 use bytes::Bytes;
 use opa_common::fault::{FaultConfig, FaultEvent, FaultKind, FaultReport};
 use opa_common::units::{SimDuration, SimTime};
-use opa_common::{Error, ExecConfig, HashFamily, Pair, Result};
+use opa_common::{
+    Error, ExecConfig, GroupIndex, HashFamily, Pair, RecordBatch, Result, StateBatch, StatePair,
+};
 use opa_simio::{BlockStore, DiskFaultInjector, IoCategory, IoOp};
 use opa_trace::{TraceEvent, TraceLog};
 use std::collections::VecDeque;
@@ -182,6 +184,7 @@ pub struct JobBuilder<J: Job> {
     snapshot_points: Vec<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
     admission: opa_common::AdmissionPolicy,
+    combine: opa_common::CombineScope,
     faults: FaultConfig,
     trace: bool,
 }
@@ -199,6 +202,7 @@ impl<J: Job> JobBuilder<J> {
             snapshot_points: Vec::new(),
             dinc_monitor: crate::reduce::dinc_hash::MonitorKind::Frequent,
             admission: opa_common::AdmissionPolicy::Off,
+            combine: opa_common::CombineScope::Task,
             faults: FaultConfig::disabled(),
             trace: false,
         }
@@ -269,6 +273,23 @@ impl<J: Job> JobBuilder<J> {
     /// frequency sketch judges colder, instead of spilling itself.
     pub fn admission(mut self, policy: opa_common::AdmissionPolicy) -> Self {
         self.admission = policy;
+        self
+    }
+
+    /// Selects where map output is combined before shuffle (default:
+    /// [`CombineScope::Task`](opa_common::CombineScope::Task), the
+    /// engine's historical per-map-task combining — bit-identical to
+    /// builds that predate the knob). Under
+    /// [`CombineScope::Node`](opa_common::CombineScope::Node) granules
+    /// from all map tasks of one simulated node additionally merge
+    /// through the job's combiner (or, for the incremental frameworks,
+    /// its `cb()`) in a per-node staging table before any shuffle bytes
+    /// are booked; flush points are scheduler-side and deterministic, so
+    /// output stays bit-identical at any thread count.
+    /// [`CombineScope::Off`](opa_common::CombineScope::Off) disables even
+    /// per-task combining for the materializing frameworks.
+    pub fn combine(mut self, scope: opa_common::CombineScope) -> Self {
+        self.combine = scope;
         self
     }
 
@@ -343,12 +364,25 @@ impl<J: Job> JobBuilder<J> {
             self.early_stop_coverage,
             self.dinc_monitor,
             self.admission,
+            self.combine,
             &self.snapshot_points,
             &self.faults,
             self.trace,
             input,
         )
     }
+}
+
+/// How the per-node staging table merges two same-key rows under
+/// [`opa_common::CombineScope::Node`].
+#[derive(Clone, Copy)]
+enum NodeMerge<'j> {
+    /// Key-value pairs folded through the job's combiner.
+    Pairs(&'j dyn crate::api::Combiner),
+    /// Key-state pairs merged through the incremental `cb()` at
+    /// [`crate::api::Site::Map`]; early emissions route to job output
+    /// exactly like task-level map-side `cb()` emissions.
+    States(&'j dyn crate::api::IncrementalReducer),
 }
 
 enum Ev {
@@ -407,6 +441,7 @@ fn run_job(
     early_stop: Option<f64>,
     dinc_monitor: crate::reduce::dinc_hash::MonitorKind,
     admission: opa_common::AdmissionPolicy,
+    combine: opa_common::CombineScope,
     snapshot_points: &[f64],
     faults: &FaultConfig,
     trace: bool,
@@ -533,6 +568,7 @@ fn run_job(
                 spec,
                 h1,
                 admission,
+                combine,
                 poison_on.then_some(PoisonGate {
                     faults: *faults,
                     base: c.range.start as u64,
@@ -559,6 +595,55 @@ fn run_job(
         let mut output: Vec<Pair> = Vec::new();
         let mut dlq: Vec<PoisonedRecord> = Vec::new();
 
+        // `CombineScope::Node`: per-node pre-shuffle staging. Committed map
+        // granules land in a per-node hash-indexed table (probed by the
+        // carried h1 fingerprints) instead of booking shuffle bytes; the
+        // table drains at two deterministic flush points — the node's last
+        // committed map task, and a post-combine byte budget
+        // (`ClusterSpec::node_combine_buffer`). Staging runs entirely on
+        // this scheduling thread in event order, so the outcome stays
+        // thread-count invariant like the rest of the scheduler. A node
+        // scope without a combiner (or `init/cb` for the incremental
+        // frameworks) degenerates to task scope: nothing to merge with.
+        let node_merge: Option<NodeMerge<'_>> = if combine.is_node() {
+            if framework.is_incremental() {
+                job.incremental().map(NodeMerge::States)
+            } else {
+                job.combiner().map(NodeMerge::Pairs)
+            }
+        } else {
+            None
+        };
+        // Staged rows in first-seen order: (partition, h1 fingerprint, key,
+        // value-or-state). First-seen order makes the rebuilt payloads a
+        // pure function of the commit sequence.
+        let mut stage_rows: Vec<Vec<(usize, u64, opa_common::Key, opa_common::Value)>> =
+            vec![Vec::new(); n_nodes];
+        let mut stage_index: Vec<GroupIndex> =
+            (0..n_nodes).map(|_| GroupIndex::with_capacity(64)).collect();
+        let mut stage_bytes = vec![0u64; n_nodes]; // resident, post-combine
+        let mut stage_in = vec![0u64; n_nodes]; // offered since last flush, pre-combine
+        let mut stage_merges = vec![0u64; n_nodes]; // cb/fold calls since last flush
+        let mut stage_ctx: Vec<crate::api::ReduceCtx> = (0..n_nodes)
+            .map(|_| crate::api::ReduceCtx::at_site(crate::api::Site::Map))
+            .collect();
+        // Committed-chunk countdown per node: the node's table takes its
+        // final flush when the last of its chunks commits. Failed and
+        // straggling attempts `continue` before the commit path, so the
+        // countdown moves only at the committing attempt.
+        let mut stage_outstanding: Vec<usize> = vec![0; n_nodes];
+        if node_merge.is_some() {
+            for c in store.chunks() {
+                stage_outstanding[c.node] += 1;
+            }
+        }
+        let mut nc_stats = crate::metrics::NodeCombineStats::default();
+        // Shuffle bytes actually booked on the network (post-combine under
+        // node scope; equal to `map_output_bytes` minus in-task combining
+        // otherwise). Wave-two re-reads replay these same transfers from
+        // disk and are not re-counted.
+        let mut shuffle_booked = 0u64;
+
         // Burst scratch, reused across iterations.
         let mut mail_of: Vec<Option<usize>> = vec![None; n_reducers];
         let mut log_q: Vec<MailboxLogs> = (0..n_reducers).map(|_| VecDeque::new()).collect();
@@ -575,6 +660,82 @@ fn run_job(
                     snapshot_bytes: &mut snapshot_bytes[$r],
                 }
             };
+        }
+
+        // Drains one node's staging table at flush time `$t`: charge the
+        // accumulated cross-task merge CPU, rebuild per-partition payloads
+        // in first-seen row order, and book the (post-combine) shuffle
+        // transfers exactly as the direct path would have.
+        macro_rules! flush_node {
+            ($node:expr, $t:expr) => {{
+                let fnode: usize = $node;
+                if !stage_rows[fnode].is_empty() {
+                    let t0: SimTime = $t;
+                    let rows = std::mem::take(&mut stage_rows[fnode]);
+                    stage_index[fnode].clear();
+                    stage_bytes[fnode] = 0;
+                    let bytes_in = std::mem::take(&mut stage_in[fnode]);
+                    let merges = std::mem::take(&mut stage_merges[fnode]);
+                    let cb_cpu = spec.cost.cb_time(merges);
+                    let t1 = res.cpu(fnode, t0, cb_cpu);
+                    map_cpu[fnode] += cb_cpu;
+                    let states_mode = matches!(node_merge, Some(NodeMerge::States(_)));
+                    let cap = rows.len() / n_reducers + 1;
+                    let mut payloads: Vec<Payload> = (0..n_reducers)
+                        .map(|_| {
+                            if states_mode {
+                                Payload::States(StateBatch::with_capacity(cap))
+                            } else {
+                                Payload::Pairs(RecordBatch::with_capacity(cap))
+                            }
+                        })
+                        .collect();
+                    let keys = rows.len() as u64;
+                    for (part, h, key, value) in rows {
+                        match &mut payloads[part] {
+                            Payload::Pairs(b) => b.push_hashed(Pair::new(key, value), h),
+                            Payload::States(b) => b.push_hashed(StatePair::new(key, value), h),
+                        }
+                    }
+                    let mut bytes_out = 0u64;
+                    for (r, payload) in payloads.into_iter().enumerate() {
+                        if payload.is_empty() {
+                            continue;
+                        }
+                        let b = payload.bytes();
+                        bytes_out += b;
+                        let arrival = t1 + spec.cost.net_time(b);
+                        res.span(fnode, OpKind::Shuffle, t1, arrival);
+                        res.emit(TraceEvent::Shuffle {
+                            t0: t1.0,
+                            t: arrival.0,
+                            from_node: fnode as u32,
+                            reducer: r as u32,
+                            bytes: b,
+                        });
+                        queue.push(
+                            arrival,
+                            Ev::Deliver {
+                                reducer: r,
+                                from_node: fnode,
+                                payload,
+                            },
+                        );
+                    }
+                    shuffle_booked += bytes_out;
+                    nc_stats.flushes += 1;
+                    nc_stats.staged_bytes += bytes_in;
+                    nc_stats.flushed_bytes += bytes_out;
+                    res.emit(TraceEvent::NodeCombine {
+                        t0: t0.0,
+                        t: t1.0,
+                        node: fnode as u32,
+                        bytes_in,
+                        bytes_out,
+                        keys,
+                    });
+                }
+            }};
         }
 
         // Main event loop.
@@ -739,27 +900,125 @@ fn run_job(
                         output.extend(result.early_output);
                     }
                     for granule in result.granules {
-                        for (r, payload) in granule.partitions.into_iter().enumerate() {
-                            if payload.is_empty() {
-                                continue;
+                        if let Some(merge) = node_merge {
+                            let gt = granule.time;
+                            let rows = &mut stage_rows[node];
+                            let index = &mut stage_index[node];
+                            for (r, payload) in granule.partitions.into_iter().enumerate() {
+                                if payload.is_empty() {
+                                    continue;
+                                }
+                                stage_in[node] += payload.bytes();
+                                match (payload, merge) {
+                                    (Payload::Pairs(batch), NodeMerge::Pairs(cb)) => {
+                                        let (pairs, hashes) = batch.into_parts();
+                                        for (i, p) in pairs.into_iter().enumerate() {
+                                            let h = hashes
+                                                .get(i)
+                                                .copied()
+                                                .unwrap_or_else(|| h1.hash(p.key.bytes()));
+                                            match index.get(h, |row| rows[row].2 == p.key) {
+                                                Some(row) => {
+                                                    let slot = &mut rows[row];
+                                                    let before = slot.3.len() as u64;
+                                                    cb.fold(&slot.2, &mut slot.3, p.value);
+                                                    stage_bytes[node] = stage_bytes[node]
+                                                        + slot.3.len() as u64
+                                                        - before;
+                                                    stage_merges[node] += 1;
+                                                    nc_stats.merged_rows += 1;
+                                                }
+                                                None => {
+                                                    stage_bytes[node] += p.size();
+                                                    index.insert(h, rows.len());
+                                                    rows.push((r, h, p.key, p.value));
+                                                }
+                                            }
+                                        }
+                                    }
+                                    (Payload::States(batch), NodeMerge::States(inc)) => {
+                                        let ctx = &mut stage_ctx[node];
+                                        let (states, hashes) = batch.into_parts();
+                                        for (i, sp) in states.into_iter().enumerate() {
+                                            let h = hashes
+                                                .get(i)
+                                                .copied()
+                                                .unwrap_or_else(|| h1.hash(sp.key.bytes()));
+                                            match index.get(h, |row| rows[row].2 == sp.key) {
+                                                Some(row) => {
+                                                    let slot = &mut rows[row];
+                                                    let before = inc.state_mem_size(&slot.3);
+                                                    inc.cb(&slot.2, &mut slot.3, sp.state, ctx);
+                                                    let after = inc.state_mem_size(&slot.3);
+                                                    stage_bytes[node] = (stage_bytes[node]
+                                                        + after)
+                                                        .saturating_sub(before);
+                                                    stage_merges[node] += 1;
+                                                    nc_stats.merged_rows += 1;
+                                                }
+                                                None => {
+                                                    stage_bytes[node] += sp.size();
+                                                    index.insert(h, rows.len());
+                                                    rows.push((r, h, sp.key, sp.state));
+                                                }
+                                            }
+                                        }
+                                    }
+                                    _ => unreachable!("payload kind matches the merge mode"),
+                                }
                             }
-                            let arrival = granule.time + spec.cost.net_time(payload.bytes());
-                            res.span(node, OpKind::Shuffle, granule.time, arrival);
-                            res.emit(TraceEvent::Shuffle {
-                                t0: granule.time.0,
-                                t: arrival.0,
-                                from_node: node as u32,
-                                reducer: r as u32,
-                                bytes: payload.bytes(),
-                            });
-                            queue.push(
-                                arrival,
-                                Ev::Deliver {
-                                    reducer: r,
-                                    from_node: node,
-                                    payload,
-                                },
-                            );
+                            // Map-site early emissions from a cross-task
+                            // `cb()` (e.g. a session closing across two
+                            // chunks of the same node) route to job output
+                            // exactly like task-level map-side emissions.
+                            if stage_ctx[node].pending() > 0 {
+                                let early = stage_ctx[node].drain();
+                                let b: u64 = early.iter().map(Pair::size).sum();
+                                let _ = res.hdfs_io(
+                                    node,
+                                    gt,
+                                    IoCategory::ReduceOutput,
+                                    IoOp::write(b),
+                                    &spec.cost,
+                                );
+                                progress.emitted(gt, b);
+                                output.extend(early);
+                            }
+                            if stage_bytes[node] > spec.node_combine_buffer {
+                                flush_node!(node, gt);
+                            }
+                        } else {
+                            for (r, payload) in granule.partitions.into_iter().enumerate() {
+                                if payload.is_empty() {
+                                    continue;
+                                }
+                                shuffle_booked += payload.bytes();
+                                let arrival = granule.time + spec.cost.net_time(payload.bytes());
+                                res.span(node, OpKind::Shuffle, granule.time, arrival);
+                                res.emit(TraceEvent::Shuffle {
+                                    t0: granule.time.0,
+                                    t: arrival.0,
+                                    from_node: node as u32,
+                                    reducer: r as u32,
+                                    bytes: payload.bytes(),
+                                });
+                                queue.push(
+                                    arrival,
+                                    Ev::Deliver {
+                                        reducer: r,
+                                        from_node: node,
+                                        payload,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    // Node scope: the last committed chunk on a node takes
+                    // the node's final flush before freeing the slot.
+                    if node_merge.is_some() {
+                        stage_outstanding[node] -= 1;
+                        if stage_outstanding[node] == 0 {
+                            flush_node!(node, result.finish);
                         }
                     }
                     // Free the slot: schedule the node's next chunk.
@@ -1157,6 +1416,8 @@ fn run_job(
             dinc: dinc_total,
             admission: admission_total,
             faults: fault_report,
+            shuffle_bytes: shuffle_booked,
+            node_combine: node_merge.is_some().then_some(nc_stats),
         };
         let trace_log = res.take_trace();
         Ok(JobOutcome {

@@ -342,6 +342,7 @@ pub fn compute_map_task(
     spec: &ClusterSpec,
     h1: HashFn,
     admission: opa_common::AdmissionPolicy,
+    combine: opa_common::CombineScope,
     poison: Option<PoisonGate>,
 ) -> MapTaskPlan {
     let cost = &spec.cost;
@@ -377,13 +378,17 @@ pub fn compute_map_task(
     let pairs = builder.seal();
     plan.op_cpu(cost.map_time(mapped));
 
+    // `Off` disables the per-task combiner for the materializing
+    // frameworks; the incremental frameworks fold on arrival by
+    // construction, so for them the scope has no per-task effect.
+    let combiner = job.combiner().filter(|_| combine.task_combining());
     match framework {
-        Framework::SortMerge => plan_sort_merge(job, pairs, 1, spec, h1, &mut plan),
+        Framework::SortMerge => plan_sort_merge(combiner, pairs, 1, spec, h1, &mut plan),
         Framework::SortMergePipelined => {
             // Pipelined granules interpolate between map-fn end and finish.
-            plan_sort_merge(job, pairs, spec.pipeline_granules, spec, h1, &mut plan)
+            plan_sort_merge(combiner, pairs, spec.pipeline_granules, spec, h1, &mut plan)
         }
-        Framework::MrHash => plan_mr_hash(job, pairs, n_partitions, spec, h1, &mut plan),
+        Framework::MrHash => plan_mr_hash(combiner, pairs, n_partitions, spec, h1, &mut plan),
         Framework::IncHash | Framework::DincHash => plan_incremental(
             job,
             pairs,
@@ -465,6 +470,7 @@ pub fn run_map_task(
         spec,
         h1,
         opa_common::AdmissionPolicy::Off,
+        opa_common::CombineScope::Task,
         None,
     );
     finish_map_task(plan, node, start, spec, res)
@@ -473,7 +479,7 @@ pub fn run_map_task(
 /// Sort-merge collection, optionally split into `granules` pipelined
 /// pieces (each sorted and combined independently, like HOP's spills).
 fn plan_sort_merge(
-    job: &dyn Job,
+    combiner: Option<&dyn crate::api::Combiner>,
     pairs: Vec<Pair>,
     granules: usize,
     spec: &ClusterSpec,
@@ -506,8 +512,9 @@ fn plan_sort_merge(
         part.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.key.cmp(&b.2.key)));
         plan.op_cpu(cost.sort_time(part.len() as u64));
 
-        // Combiner on sorted groups, if the job has one.
-        let run: Vec<(usize, u64, Pair)> = if let Some(cb) = job.combiner() {
+        // Combiner on sorted groups, if the job has one and the scope
+        // permits per-task combining.
+        let run: Vec<(usize, u64, Pair)> = if let Some(cb) = combiner {
             let in_recs = part.len() as u64;
             let combined = combine_sorted(cb, part.drain(..));
             plan.op_cpu(cost.cb_time(in_recs));
@@ -552,6 +559,22 @@ fn combine_sorted(
 ) -> Vec<(usize, u64, Pair)> {
     let mut out = Vec::new();
     let mut iter = sorted.peekable();
+    if cb.supports_fold() {
+        // Fold fast path: accumulate each group in place — no per-group
+        // value Vec, no second pass over the group.
+        while let Some((p, h, first)) = iter.next() {
+            let key = first.key;
+            let mut acc = first.value;
+            while iter
+                .peek()
+                .is_some_and(|(q, _, pair)| *q == p && pair.key == key)
+            {
+                cb.fold(&key, &mut acc, iter.next().expect("peeked").2.value);
+            }
+            out.push((p, h, Pair::new(key, acc)));
+        }
+        return out;
+    }
     let mut values: Vec<Value> = Vec::new();
     while let Some((p, h, first)) = iter.next() {
         let key = first.key;
@@ -625,7 +648,7 @@ fn plan_external_sort(
 /// aggregation works for every hash framework; what MR-hash lacks is only
 /// *reduce-side* incremental processing.
 fn plan_mr_hash(
-    job: &dyn Job,
+    combiner: Option<&dyn crate::api::Combiner>,
     pairs: Vec<Pair>,
     n_partitions: usize,
     spec: &ClusterSpec,
@@ -636,7 +659,32 @@ fn plan_mr_hash(
     let n = pairs.len() as u64;
     // Hash each key once; the fingerprint drives the group-by probe, the
     // partition choice, and rides the batch to the reduce side.
-    let hashed: Vec<(u64, Pair)> = if let Some(cb) = job.combiner() {
+    let hashed: Vec<(u64, Pair)> = if let Some(cb) = combiner.filter(|cb| cb.supports_fold()) {
+        // Fold fast path: one accumulator per key, updated in place — no
+        // per-group value Vec. Groups stay in insertion order, so the
+        // output is identical to the collect-then-combine path below for
+        // any law-abiding fold combiner.
+        let mut groups: Vec<(u64, Key, Value)> = Vec::new();
+        let mut index = ShardedGroupIndex::with_capacity(pairs.len() / 4 + 1);
+        for p in pairs {
+            let h = h1.hash(p.key.bytes());
+            match index.get(h, |r| groups[r].1 == p.key) {
+                Some(i) => {
+                    let (_, ref key, ref mut acc) = groups[i];
+                    cb.fold(key, acc, p.value);
+                }
+                None => {
+                    index.insert(h, groups.len());
+                    groups.push((h, p.key, p.value));
+                }
+            }
+        }
+        plan.op_cpu(cost.cb_time(n));
+        groups
+            .into_iter()
+            .map(|(h, key, acc)| (h, Pair::new(key, acc)))
+            .collect()
+    } else if let Some(cb) = combiner {
         // Insertion-ordered hash table: key → collected values. The
         // index stores only fingerprints and row ids — no key clones.
         let mut groups: Vec<(u64, Key, Vec<Value>)> = Vec::new();
@@ -1073,6 +1121,7 @@ mod tests {
                 &spec,
                 h1,
                 opa_common::AdmissionPolicy::Off,
+                opa_common::CombineScope::Task,
                 None,
             );
             let mut res_b = Resources::new(spec.hardware.nodes, 4, false);
@@ -1103,6 +1152,7 @@ mod tests {
             &spec,
             h1,
             opa_common::AdmissionPolicy::Off,
+            opa_common::CombineScope::Task,
             None,
         );
         let b = compute_map_task(
@@ -1113,6 +1163,7 @@ mod tests {
             &spec,
             h1,
             opa_common::AdmissionPolicy::Off,
+            opa_common::CombineScope::Task,
             None,
         );
         assert_eq!(format!("{a:?}"), format!("{b:?}"));

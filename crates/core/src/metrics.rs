@@ -72,6 +72,33 @@ impl AdmissionStats {
     }
 }
 
+/// In-node combining statistics, aggregated over all nodes. Present in
+/// [`JobMetrics`] only when the job ran under `CombineScope::Node` with a
+/// combiner (or `init/cb` for the incremental frameworks) to merge with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCombineStats {
+    /// Pre-combine bytes offered to the node staging tables (what the
+    /// shuffle would have carried without node-level combining).
+    pub staged_bytes: u64,
+    /// Post-combine bytes the flushes actually shipped.
+    pub flushed_bytes: u64,
+    /// Staging-table flushes (budget-triggered plus per-node finals).
+    pub flushes: u64,
+    /// Cross-task merges: staged rows folded into an already-resident row.
+    pub merged_rows: u64,
+}
+
+impl NodeCombineStats {
+    /// Combine ratio: shipped bytes over offered bytes (1.0 when nothing
+    /// was offered — an empty stage compresses nothing).
+    pub fn ratio(&self) -> f64 {
+        if self.staged_bytes == 0 {
+            return 1.0;
+        }
+        self.flushed_bytes as f64 / self.staged_bytes as f64
+    }
+}
+
 /// Everything the paper reports about one job run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobMetrics {
@@ -119,6 +146,14 @@ pub struct JobMetrics {
     /// Fault-injection report: retries, wasted work, recovery time and the
     /// full failure trace. `None` when fault injection was disabled.
     pub faults: Option<opa_common::fault::FaultReport>,
+    /// Bytes actually booked on the simulated network during the shuffle.
+    /// Equals the post-task-combine map output volume under off/task
+    /// scopes and the post-*node*-combine volume under node scope; the
+    /// quantity the model's combiner-ratio term predicts.
+    pub shuffle_bytes: u64,
+    /// In-node combining statistics (only under `CombineScope::Node` with
+    /// something to merge with).
+    pub node_combine: Option<NodeCombineStats>,
 }
 
 impl JobMetrics {
@@ -173,6 +208,17 @@ impl fmt::Display for JobMetrics {
         )?;
         writeln!(f, "  map CPU / node      {}", self.map_cpu_per_node)?;
         write!(f, "  reduce CPU / node   {}", self.reduce_cpu_per_node)?;
+        if let Some(nc) = &self.node_combine {
+            write!(
+                f,
+                "\n  node combine        {} staged -> {} shipped (ratio {:.3}, {} flushes, {} merges)",
+                ByteSize(nc.staged_bytes),
+                ByteSize(nc.flushed_bytes),
+                nc.ratio(),
+                nc.flushes,
+                nc.merged_rows
+            )?;
+        }
         if let Some(rep) = &self.faults {
             write!(
                 f,
@@ -211,7 +257,21 @@ mod tests {
             dinc: None,
             admission: None,
             faults: None,
+            shuffle_bytes: 269 << 20,
+            node_combine: None,
         }
+    }
+
+    #[test]
+    fn node_combine_ratio() {
+        let nc = NodeCombineStats {
+            staged_bytes: 1000,
+            flushed_bytes: 250,
+            flushes: 3,
+            merged_rows: 42,
+        };
+        assert!((nc.ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(NodeCombineStats::default().ratio(), 1.0);
     }
 
     #[test]

@@ -139,6 +139,108 @@ impl ModelInput {
     }
 }
 
+/// Combiner-ratio model: predicted shuffle bytes under the three combine
+/// scopes, as a function of key skew, scope granularity and the node
+/// staging budget.
+///
+/// The underlying quantity is the expected number of distinct keys among
+/// `n` i.i.d. draws from a Zipf(`s`) distribution over `keys` ranks
+/// (`P(rank k) ∝ 1/(k+1)^s`, matching the workload generators):
+/// `E[distinct(n)] = Σ_k 1 − (1 − p_k)^n`. A combining stage over a set
+/// of draws ships exactly that set's distinct keys, so the predicted
+/// shuffle volume is the expected distinct count at the stage's
+/// granularity times the combined pair size:
+///
+/// - **off** ships every raw pair — `pairs · b`;
+/// - **task** combines within each map task —
+///   `maps · E[distinct(pairs/maps)] · b`;
+/// - **node** combines across all of a node's tasks, flushing its staging
+///   table `ν` times (resident post-combine volume over the budget) —
+///   `nodes · ν · E[distinct(pairs/(nodes·ν))] · b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CombineModel {
+    /// Raw map-output pairs before any combining (cluster-wide).
+    pub pairs: f64,
+    /// Serialized bytes of one combined pair (key + value + record
+    /// overhead; combining is size-preserving for counter-style values).
+    pub pair_bytes: f64,
+    /// Distinct keys in the workload's key space.
+    pub keys: u64,
+    /// Zipf exponent of key popularity (0 = uniform).
+    pub zipf: f64,
+    /// Map tasks in the job (task-scope combining granularity).
+    pub maps: f64,
+    /// Simulated nodes (node-scope combining granularity).
+    pub nodes: f64,
+    /// Node staging-table byte budget (`ClusterSpec::node_combine_buffer`);
+    /// exceeding it splits a node's combining into multiple flushes.
+    pub stage_budget: f64,
+}
+
+impl CombineModel {
+    /// Expected distinct keys among `n` i.i.d. Zipf draws:
+    /// `Σ_k 1 − (1 − p_k)^n`, computed with `exp(n·ln(1−p))` for
+    /// stability at hot ranks.
+    pub fn expected_distinct(&self, n: f64) -> f64 {
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let ranks = self.keys.max(1);
+        let mut h = 0.0;
+        for k in 1..=ranks {
+            h += 1.0 / (k as f64).powf(self.zipf);
+        }
+        let mut distinct = 0.0;
+        for k in 1..=ranks {
+            let p = 1.0 / (k as f64).powf(self.zipf) / h;
+            let miss = if p >= 1.0 {
+                0.0
+            } else {
+                (n * (1.0 - p).ln()).exp()
+            };
+            distinct += 1.0 - miss;
+        }
+        distinct
+    }
+
+    /// Predicted flushes per node under node scope: the resident
+    /// post-combine volume of an unbounded node table over the staging
+    /// budget, at least one.
+    pub fn node_flushes(&self) -> f64 {
+        let resident = self.expected_distinct(self.pairs / self.nodes.max(1.0)) * self.pair_bytes;
+        if self.stage_budget <= 0.0 {
+            return 1.0;
+        }
+        (resident / self.stage_budget).ceil().max(1.0)
+    }
+
+    /// Predicted cluster-wide shuffle bytes for one combine scope.
+    pub fn shuffle_bytes(&self, scope: opa_common::CombineScope) -> f64 {
+        use opa_common::CombineScope;
+        match scope {
+            CombineScope::Off => self.pairs * self.pair_bytes,
+            CombineScope::Task => {
+                let maps = self.maps.max(1.0);
+                maps * self.expected_distinct(self.pairs / maps) * self.pair_bytes
+            }
+            CombineScope::Node => {
+                let nodes = self.nodes.max(1.0);
+                let nu = self.node_flushes();
+                nodes * nu * self.expected_distinct(self.pairs / (nodes * nu)) * self.pair_bytes
+            }
+        }
+    }
+
+    /// Predicted combine ratio (shipped over raw bytes) for one scope.
+    pub fn ratio(&self, scope: opa_common::CombineScope) -> f64 {
+        let raw = self.pairs * self.pair_bytes;
+        if raw <= 0.0 {
+            return 1.0;
+        }
+        self.shuffle_bytes(scope) / raw
+    }
+}
+
 /// Per-node I/O bytes in the five Table 2 categories.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IoBytesBreakdown {
@@ -274,5 +376,64 @@ mod tests {
             HardwareSpec::paper_cluster_full(),
         );
         assert!(r.is_err());
+    }
+
+    fn combine_setup(zipf: f64, stage_budget: f64) -> CombineModel {
+        CombineModel {
+            pairs: 100_000.0,
+            pair_bytes: 24.0,
+            keys: 5_000,
+            zipf,
+            maps: 50.0,
+            nodes: 5.0,
+            stage_budget,
+        }
+    }
+
+    #[test]
+    fn combine_scopes_monotone() {
+        use opa_common::CombineScope;
+        let m = combine_setup(1.0, 1e12);
+        let off = m.shuffle_bytes(CombineScope::Off);
+        let task = m.shuffle_bytes(CombineScope::Task);
+        let node = m.shuffle_bytes(CombineScope::Node);
+        assert!(node < task, "node {node} !< task {task}");
+        assert!(task < off, "task {task} !< off {off}");
+        assert!((off - 100_000.0 * 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_skew_compresses_more() {
+        use opa_common::CombineScope;
+        let mild = combine_setup(0.5, 1e12).ratio(CombineScope::Node);
+        let hot = combine_setup(1.5, 1e12).ratio(CombineScope::Node);
+        assert!(hot < mild, "hot {hot} !< mild {mild}");
+        assert!(hot > 0.0 && mild <= 1.0);
+    }
+
+    #[test]
+    fn tight_budget_means_more_flushes_and_bytes() {
+        use opa_common::CombineScope;
+        let roomy = combine_setup(1.0, 1e12);
+        let tight = combine_setup(1.0, 1024.0);
+        assert_eq!(roomy.node_flushes(), 1.0);
+        assert!(tight.node_flushes() > roomy.node_flushes());
+        assert!(tight.shuffle_bytes(CombineScope::Node) > roomy.shuffle_bytes(CombineScope::Node));
+        // Even flushing often, node scope never ships more than off.
+        assert!(tight.shuffle_bytes(CombineScope::Node) <= tight.shuffle_bytes(CombineScope::Off));
+    }
+
+    #[test]
+    fn expected_distinct_sane() {
+        let m = combine_setup(0.0, 1e12); // uniform
+        assert_eq!(m.expected_distinct(0.0), 0.0);
+        // One draw hits exactly one key.
+        assert!((m.expected_distinct(1.0) - 1.0).abs() < 1e-9);
+        // Many draws approach (and never exceed) the key-space size.
+        let huge = m.expected_distinct(1e9);
+        assert!(huge <= 5_000.0 + 1e-6);
+        assert!(huge > 4_999.0);
+        // Monotone in n.
+        assert!(m.expected_distinct(10_000.0) > m.expected_distinct(1_000.0));
     }
 }

@@ -61,7 +61,7 @@ pub mod lambda;
 pub mod optimizer;
 pub mod time_model;
 
-pub use io_model::{IoBytesBreakdown, ModelInput};
+pub use io_model::{CombineModel, IoBytesBreakdown, ModelInput};
 pub use lambda::{lambda_f, MergeTreeSim};
 pub use optimizer::{GridPoint, Optimizer, Recommendation};
 pub use time_model::{CostConstants, TimeBreakdown};

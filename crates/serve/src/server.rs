@@ -81,6 +81,11 @@ impl Default for JobSpec {
 pub enum ServeQuery {
     /// Point lookup of a key's resident partial aggregate.
     Lookup(Key),
+    /// Batched point lookups: answers every key in one channel
+    /// round-trip against the *same* parked state snapshot, instead of
+    /// paying one `Lookup` round-trip (and potentially interleaved
+    /// steps) per key.
+    LookupBatch(Vec<Key>),
     /// The DINC top-k answer with its γ coverage bound.
     TopK(usize),
     /// Progress / watermark metadata.
@@ -92,6 +97,8 @@ pub enum ServeQuery {
 pub enum ServeAnswer {
     /// Resident value, if the framework keeps queryable state for the key.
     Value(Option<Value>),
+    /// One entry per [`ServeQuery::LookupBatch`] key, in request order.
+    Values(Vec<Option<Value>>),
     /// Global top-k entries with the weakest per-reducer γ bound.
     TopK(Option<(Vec<TopEntry>, f64)>),
     /// Progress snapshot at the pause point.
@@ -645,6 +652,9 @@ impl Drop for Server {
 fn answer_live(ctl: &BatchCtl<'_, '_>, query: &ServeQuery) -> ServeAnswer {
     match query {
         ServeQuery::Lookup(key) => ServeAnswer::Value(ctl.lookup(key)),
+        ServeQuery::LookupBatch(keys) => {
+            ServeAnswer::Values(keys.iter().map(|k| ctl.lookup(k)).collect())
+        }
         ServeQuery::TopK(k) => ServeAnswer::TopK(ctl.top_k(*k)),
         ServeQuery::Progress => ServeAnswer::Progress(ctl.progress()),
     }
@@ -661,6 +671,18 @@ fn answer_finished(entry: &JobEntry, outcome: &StreamOutcome, query: &ServeQuery
                 .iter()
                 .find(|p| &p.key == key)
                 .map(|p| p.value.clone()),
+        ),
+        ServeQuery::LookupBatch(keys) => ServeAnswer::Values(
+            keys.iter()
+                .map(|key| {
+                    outcome
+                        .job
+                        .output
+                        .iter()
+                        .find(|p| &p.key == key)
+                        .map(|p| p.value.clone())
+                })
+                .collect(),
         ),
         ServeQuery::TopK(_) => ServeAnswer::TopK(None),
         ServeQuery::Progress => {

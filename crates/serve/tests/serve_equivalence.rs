@@ -5,7 +5,7 @@
 //! must be bit-identical to a solo `StreamJobBuilder` run of the same
 //! spec, at every engine thread count and under fault injection.
 
-use opa_common::{ExecConfig, FaultConfig};
+use opa_common::{ExecConfig, FaultConfig, Key};
 use opa_core::cluster::{ClusterSpec, Framework};
 use opa_core::job::JobInput;
 use opa_serve::{AdmissionOutcome, JobPhase, JobSpec, ServeConfig, ServeQuery, Server};
@@ -345,4 +345,52 @@ fn quota_and_queue_backpressure_books_reconcile() {
         opa_serve::ServeAnswer::Progress(p) => assert_eq!(p.batches_sealed, spec.batches),
         other => panic!("unexpected answer {other:?}"),
     }
+}
+
+/// `LookupBatch` must agree element-wise with per-key `Lookup`s against
+/// both a *running* job (parked live state) and a *finished* one (final
+/// output), and must answer the whole batch in one call.
+#[test]
+fn batched_lookup_matches_single_lookups_live_and_finished() {
+    let spec = spec_at(1, FaultConfig::disabled());
+    let mut server = Server::new(ServeConfig::default());
+    let receipt = server
+        .submit(0, click_count(), input(), &spec)
+        .expect("submission accepted");
+    assert_eq!(receipt.outcome, AdmissionOutcome::Started);
+    let keys: Vec<Key> = (0..96).map(Key::from_u64).collect();
+
+    let check = |server: &Server, ctx: &str| {
+        let answer = server
+            .query(0, &ServeQuery::LookupBatch(keys.clone()))
+            .expect("batch lookup");
+        let opa_serve::ServeAnswer::Values(vals) = answer else {
+            panic!("{ctx}: LookupBatch answered a non-Values variant");
+        };
+        assert_eq!(vals.len(), keys.len(), "{ctx}: answer count");
+        let mut hits = 0usize;
+        for (key, batched) in keys.iter().zip(&vals) {
+            let single = server
+                .query(0, &ServeQuery::Lookup(key.clone()))
+                .expect("single lookup");
+            let opa_serve::ServeAnswer::Value(v) = single else {
+                panic!("{ctx}: Lookup answered a non-Value variant");
+            };
+            assert_eq!(&v, batched, "{ctx}: key {key:?} disagrees");
+            hits += usize::from(batched.is_some());
+        }
+        hits
+    };
+
+    // Live: step past the first wave so resident state exists.
+    server.step().expect("wave step");
+    server.step().expect("wave step");
+    let live_hits = check(&server, "live");
+
+    server.run_to_completion().expect("server drains");
+    let finished_hits = check(&server, "finished");
+    assert!(
+        live_hits > 0 && finished_hits > 0,
+        "vacuous: no probe key ever resolved (live {live_hits}, finished {finished_hits})"
+    );
 }

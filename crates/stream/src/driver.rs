@@ -253,6 +253,7 @@ pub(crate) fn drive<'j>(
             spec,
             h1,
             cfg.admission,
+            opa_common::CombineScope::Task,
             poison_on.then_some(PoisonGate {
                 faults: *faults,
                 base: c.range.start as u64,
@@ -1156,6 +1157,8 @@ pub(crate) fn drive<'j>(
             dinc: dinc_total,
             admission: admission_total,
             faults: fault_report,
+            shuffle_bytes: map_output_bytes,
+            node_combine: None,
         };
         let trace_log = res.take_trace();
         Ok(StreamOutcome {

@@ -47,6 +47,9 @@ pub fn to_chrome(events: &[TraceEvent]) -> String {
             TraceEvent::Shuffle { from_node, .. } => {
                 nodes.insert(from_node);
             }
+            TraceEvent::NodeCombine { node, .. } => {
+                nodes.insert(node);
+            }
             _ => {}
         }
     }
@@ -155,6 +158,20 @@ pub fn to_chrome(events: &[TraceEvent]) -> String {
             } => push(
                 format!(
                     "{{\"ph\":\"X\",\"name\":\"to r{reducer}\",\"pid\":{from_node},\"tid\":{LANE_SHUFFLE},\"ts\":{t0},\"dur\":{},\"args\":{{\"bytes\":{bytes}}}}}",
+                    t.saturating_sub(t0)
+                ),
+                &mut first,
+            ),
+            TraceEvent::NodeCombine {
+                t0,
+                t,
+                node,
+                bytes_in,
+                bytes_out,
+                keys,
+            } => push(
+                format!(
+                    "{{\"ph\":\"X\",\"name\":\"node_combine\",\"pid\":{node},\"tid\":{LANE_SHUFFLE},\"ts\":{t0},\"dur\":{},\"args\":{{\"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out},\"keys\":{keys}}}}}",
                     t.saturating_sub(t0)
                 ),
                 &mut first,

@@ -17,8 +17,8 @@
 //! are authoritative for model comparison.
 
 use crate::rollup::Rollup;
-use opa_common::{Error, HardwareSpec, Result, SystemSettings, WorkloadSpec};
-use opa_model::io_model::ModelInput;
+use opa_common::{CombineScope, Error, HardwareSpec, Result, SystemSettings, WorkloadSpec};
+use opa_model::io_model::{CombineModel, ModelInput};
 use opa_simio::IoCategory;
 
 /// One predicted-vs-measured quantity.
@@ -100,6 +100,11 @@ pub struct DriftReport {
     /// (`None` unless the trace carries admission events). Any relative
     /// error here means the trace's admission counters are corrupt.
     pub admission_gamma: Option<DriftTerm>,
+    /// Combiner-ratio term: the [`CombineModel`]'s predicted per-node
+    /// shuffle bytes vs. the bytes the trace actually booked on the
+    /// network (`None` unless a combine model was supplied via
+    /// [`check_with_combine`]).
+    pub combine: Option<DriftTerm>,
 }
 
 impl DriftReport {
@@ -152,6 +157,16 @@ impl DriftReport {
                 g.rel_err() * 100.0
             ));
         }
+        if let Some(c) = &self.combine {
+            out.push_str(&format!(
+                "combiner ratio:\n  {:8} {:26} predicted {:>14.0}  measured {:>14.0}  rel err {:>6.2}%\n",
+                c.name,
+                c.what,
+                c.predicted,
+                c.measured,
+                c.rel_err() * 100.0
+            ));
+        }
         out
     }
 }
@@ -178,6 +193,19 @@ pub fn check(
     system: SystemSettings,
     hardware: HardwareSpec,
     rollup: &Rollup,
+) -> Result<DriftReport> {
+    check_with_combine(system, hardware, rollup, None)
+}
+
+/// [`check`], plus the combiner-ratio term: when the caller knows the
+/// job's key distribution (a [`CombineModel`]) and the combine scope it
+/// ran under, the report also compares the model's predicted per-node
+/// shuffle bytes against the network bytes the trace booked.
+pub fn check_with_combine(
+    system: SystemSettings,
+    hardware: HardwareSpec,
+    rollup: &Rollup,
+    combine_model: Option<(CombineScope, CombineModel)>,
 ) -> Result<DriftReport> {
     let workload = MeasuredWorkload::from_rollup(rollup)?;
     let model = ModelInput::new(
@@ -248,12 +276,19 @@ pub fn check(
             rollup.admission_offered,
         ),
     });
+    let combine = combine_model.map(|(scope, model)| DriftTerm {
+        name: "shuffle",
+        what: "post-combine shuffle bytes",
+        predicted: model.shuffle_bytes(scope) / n,
+        measured: per_node(rollup.shuffle_bytes),
+    });
     Ok(DriftReport {
         workload,
         bytes,
         bytes_total,
         requests,
         admission_gamma,
+        combine,
     })
 }
 

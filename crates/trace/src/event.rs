@@ -187,6 +187,26 @@ pub enum TraceEvent {
         /// Payload bytes.
         bytes: u64,
     },
+    /// A node's pre-shuffle staging table flushed under
+    /// `CombineScope::Node`: the cross-task combined rows were rebuilt
+    /// into per-reducer payloads and booked on the network. Emitted only
+    /// under node scope, so off/task traces stay byte-identical to the
+    /// pinned vocabulary.
+    NodeCombine {
+        /// Flush start (µs).
+        t0: u64,
+        /// Flush end — when the merge CPU charge finished and the
+        /// transfers departed (µs).
+        t: u64,
+        /// Node whose staging table flushed.
+        node: u32,
+        /// Pre-combine bytes offered to the table since its last flush.
+        bytes_in: u64,
+        /// Post-combine bytes the flush shipped.
+        bytes_out: u64,
+        /// Distinct staged rows (keys) the flush shipped.
+        keys: u64,
+    },
     /// A device operation on a node's disk queue (every simulated read
     /// or write; seeks count discrete sequential requests, Prop 3.2's
     /// `S`).
@@ -407,6 +427,7 @@ impl TraceEvent {
             TraceEvent::MapStart { .. } => "map_start",
             TraceEvent::MapFinish { .. } => "map_finish",
             TraceEvent::Shuffle { .. } => "shuffle",
+            TraceEvent::NodeCombine { .. } => "node_combine",
             TraceEvent::Io { .. } => "io",
             TraceEvent::Span { .. } => "span",
             TraceEvent::Fault { .. } => "fault",
@@ -433,6 +454,7 @@ impl TraceEvent {
             TraceEvent::MapStart { t, .. }
             | TraceEvent::MapFinish { t, .. }
             | TraceEvent::Shuffle { t, .. }
+            | TraceEvent::NodeCombine { t, .. }
             | TraceEvent::Io { t, .. }
             | TraceEvent::Span { t, .. }
             | TraceEvent::Fault { t, .. }
@@ -484,6 +506,16 @@ impl TraceEvent {
                 bytes,
             } => format!(
                 "{{\"ev\":\"shuffle\",\"t0\":{t0},\"t\":{t},\"from_node\":{from_node},\"reducer\":{reducer},\"bytes\":{bytes}}}"
+            ),
+            TraceEvent::NodeCombine {
+                t0,
+                t,
+                node,
+                bytes_in,
+                bytes_out,
+                keys,
+            } => format!(
+                "{{\"ev\":\"node_combine\",\"t0\":{t0},\"t\":{t},\"node\":{node},\"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out},\"keys\":{keys}}}"
             ),
             TraceEvent::Io {
                 t0,
@@ -637,6 +669,14 @@ impl TraceEvent {
                 from_node: u32f("from_node")?,
                 reducer: u32f("reducer")?,
                 bytes: t("bytes")?,
+            },
+            "node_combine" => TraceEvent::NodeCombine {
+                t0: t("t0")?,
+                t: t("t")?,
+                node: u32f("node")?,
+                bytes_in: t("bytes_in")?,
+                bytes_out: t("bytes_out")?,
+                keys: t("keys")?,
             },
             "io" => TraceEvent::Io {
                 t0: t("t0")?,
@@ -873,6 +913,14 @@ mod tests {
                 from_node: 1,
                 reducer: 2,
                 bytes: 1024,
+            },
+            TraceEvent::NodeCombine {
+                t0: 1600,
+                t: 1650,
+                node: 1,
+                bytes_in: 4096,
+                bytes_out: 1024,
+                keys: 12,
             },
             TraceEvent::Io {
                 t0: 1600,

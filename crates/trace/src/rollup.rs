@@ -69,6 +69,13 @@ pub struct Rollup {
     pub shuffle_transfers: u64,
     /// Total bytes shuffled over the network.
     pub shuffle_bytes: u64,
+    /// Node staging-table flushes (`node_combine` events; 0 unless the
+    /// job ran under `CombineScope::Node`).
+    pub node_combine_flushes: u64,
+    /// Pre-combine bytes offered to the node staging tables.
+    pub node_combine_staged: u64,
+    /// Post-combine bytes the node flushes shipped.
+    pub node_combine_flushed: u64,
     /// Reduce tasks that finished.
     pub reduce_tasks: u64,
     /// Fault-injection decisions that fired.
@@ -138,6 +145,9 @@ impl Rollup {
             map_spill_bytes: 0,
             shuffle_transfers: 0,
             shuffle_bytes: 0,
+            node_combine_flushes: 0,
+            node_combine_staged: 0,
+            node_combine_flushed: 0,
             reduce_tasks: 0,
             faults: 0,
             retries: 0,
@@ -205,6 +215,17 @@ impl Rollup {
                     r.shuffle_transfers += 1;
                     r.shuffle_bytes += bytes;
                     nodes.insert(from_node);
+                }
+                TraceEvent::NodeCombine {
+                    node,
+                    bytes_in,
+                    bytes_out,
+                    ..
+                } => {
+                    r.node_combine_flushes += 1;
+                    r.node_combine_staged += bytes_in;
+                    r.node_combine_flushed += bytes_out;
+                    nodes.insert(node);
                 }
                 TraceEvent::Io {
                     node,
@@ -358,6 +379,20 @@ impl Rollup {
             self.shuffle_transfers,
             ByteSize(self.shuffle_bytes)
         ));
+        if self.node_combine_flushes > 0 {
+            let ratio = if self.node_combine_staged == 0 {
+                1.0
+            } else {
+                self.node_combine_flushed as f64 / self.node_combine_staged as f64
+            };
+            out.push_str(&format!(
+                "node-combine: {} flushes, staged {} -> shipped {} (ratio {:.3})\n",
+                self.node_combine_flushes,
+                ByteSize(self.node_combine_staged),
+                ByteSize(self.node_combine_flushed),
+                ratio
+            ));
+        }
         out.push_str(&format!(
             "reduce: {} tasks, {} merge passes\n",
             self.reduce_tasks,

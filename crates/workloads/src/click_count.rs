@@ -29,6 +29,15 @@ impl Combiner for ClickCountJob {
         let sum: u64 = values.iter().filter_map(Value::as_u64).sum();
         vec![Value::from_u64(sum)]
     }
+
+    fn supports_fold(&self) -> bool {
+        true
+    }
+
+    fn fold(&self, _key: &Key, acc: &mut Value, value: Value) {
+        let sum = acc.as_u64().unwrap_or(0) + value.as_u64().unwrap_or(0);
+        *acc = Value::from_u64(sum);
+    }
 }
 
 impl IncrementalReducer for ClickCountJob {
@@ -83,6 +92,20 @@ impl Job for ClickCountJob {
 mod tests {
     use super::*;
     use crate::clickstream::format_click;
+
+    #[test]
+    fn fold_agrees_with_combine() {
+        let job = ClickCountJob::default();
+        assert!(Combiner::supports_fold(&job));
+        let key = Key::from("user");
+        let values: Vec<Value> = [3u64, 0, 41, 7].iter().map(|&v| Value::from_u64(v)).collect();
+        let combined = job.combine(&key, values.clone());
+        let mut acc = values[0].clone();
+        for v in &values[1..] {
+            Combiner::fold(&job, &key, &mut acc, v.clone());
+        }
+        assert_eq!(combined, vec![acc]);
+    }
 
     #[test]
     fn map_extracts_user() {
